@@ -1,0 +1,190 @@
+// Command libreport regenerates a single table or figure of the paper's
+// evaluation from a fresh experiment run.
+//
+// Usage:
+//
+//	libreport -figure F9 [-apps N] [-seed S]
+//
+// Figure ids: T1, F2, F3, F4, F5, F6, F7, F8, F9, F10, E1 (cost),
+// E2 (energy), E4 (baselines), totals, json (full machine-readable
+// summary).
+//
+// With -artifacts DIR the report is regenerated from previously persisted
+// run evidence (see libspector -artifacts) instead of a fresh fleet run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"libspector"
+	"libspector/internal/analysis"
+	"libspector/internal/baseline"
+	"libspector/internal/corpus"
+	"libspector/internal/dispatch"
+	"libspector/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "libreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("libreport", flag.ContinueOnError)
+	var (
+		figure    = fs.String("figure", "totals", "table/figure id: T1,F2..F10,E1,E2,E4,totals,json")
+		apps      = fs.Int("apps", 200, "number of apps in the corpus")
+		seed      = fs.Uint64("seed", 42, "experiment seed")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		topN      = fs.Int("top", 15, "entries in the Figure 3 rankings")
+		artifacts = fs.String("artifacts", "", "reanalyze persisted run evidence from this directory instead of running a fleet")
+		csvDir    = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := libspector.DefaultConfig()
+	cfg.Apps = *apps
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	var ds *analysis.Dataset
+	if *artifacts != "" {
+		ds, err = reanalyze(exp, *artifacts)
+	} else {
+		err = exp.Run()
+		if err == nil {
+			ds = exp.Dataset()
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(ds, *csvDir); err != nil {
+			return err
+		}
+	}
+
+	switch strings.ToUpper(*figure) {
+	case "TOTALS":
+		fmt.Println(report.Totals(ds.ComputeTotals()))
+	case "T1":
+		for _, d := range exp.World().Domains {
+			exp.Domains().Categorize(d.Name)
+		}
+		fmt.Println(report.TableI(exp.Domains().Counts()))
+	case "F2":
+		fmt.Println(report.Fig2(ds.Fig2CategoryTransfer()))
+	case "F3":
+		fmt.Println(report.Fig3(ds.Fig3TopOrigins(*topN), ds.Fig3TopTwoLevel(*topN)))
+	case "F4":
+		fmt.Println(report.Fig4(ds.Fig4CDF()))
+	case "F5":
+		fmt.Println(report.Fig5(ds.Fig5FlowRatios()))
+	case "F6":
+		fmt.Println(report.Fig6(ds.Fig6AnTShares()))
+	case "F7":
+		fmt.Println(report.Fig7(ds.Fig7Averages()))
+	case "F8":
+		fmt.Println(report.Fig8(ds.Fig8AppCategoryAverages()))
+	case "F9":
+		fmt.Println(report.Fig9(ds.Fig9Heatmap()))
+	case "F10":
+		fmt.Println(report.Fig10(ds.Fig10Coverage()))
+	case "E1":
+		costs := analysis.CostPerCategory(ds.Fig7Averages(), analysis.NewCostModel(),
+			corpus.LibAdvertisement, corpus.LibMobileAnalytics,
+			corpus.LibSocialNetwork, corpus.LibDigitalIdentity, corpus.LibGameEngine)
+		fmt.Println(report.Costs(costs))
+	case "E2":
+		fmt.Println(report.Energy(analysis.NewEnergyModel(), ds.Fig7Averages().PerLibrary[corpus.LibAdvertisement]))
+	case "E4":
+		fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
+	case "JSON":
+		if err := ds.Summarize(*topN).WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown figure id %q", *figure)
+	}
+	return nil
+}
+
+// reanalyze rebuilds the dataset from persisted artifacts: it feeds the
+// stored apks through the LibRadar detection pass and re-runs the offline
+// attribution over the stored captures and reports.
+func reanalyze(exp *libspector.Experiment, dir string) (*analysis.Dataset, error) {
+	store, err := dispatch.NewArtifactStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	shas, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, sha := range shas {
+		stored, err := store.Load(sha)
+		if err != nil {
+			return nil, err
+		}
+		if err := exp.Detector().ObserveApp(stored.Meta.Package, stored.APK.Dex.Packages()); err != nil {
+			return nil, err
+		}
+	}
+	runs, err := store.Reanalyze(exp.Attributor())
+	if err != nil {
+		return nil, err
+	}
+	exp.Detector().Finalize(2)
+	return analysis.BuildDataset(runs, exp.Detector(), exp.Domains())
+}
+
+// writeCSVs exports the plottable figure series.
+func writeCSVs(ds *analysis.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating csv dir: %w", err)
+	}
+	write := func(name string, fill func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", name, err)
+		}
+		defer func() { _ = f.Close() }()
+		return fill(f)
+	}
+	if err := write("fig2_category_matrix.csv", func(w *os.File) error {
+		return report.Fig2CSV(w, ds.Fig2CategoryTransfer())
+	}); err != nil {
+		return err
+	}
+	if err := write("fig4_cdf.csv", func(w *os.File) error {
+		return report.Fig4CSV(w, ds.Fig4CDF())
+	}); err != nil {
+		return err
+	}
+	if err := write("fig5_ratios.csv", func(w *os.File) error {
+		return report.Fig5CSV(w, ds.Fig5FlowRatios())
+	}); err != nil {
+		return err
+	}
+	if err := write("fig9_heatmap.csv", func(w *os.File) error {
+		return report.Fig9CSV(w, ds.Fig9Heatmap())
+	}); err != nil {
+		return err
+	}
+	return write("fig10_coverage.csv", func(w *os.File) error {
+		return report.Fig10CSV(w, ds.Fig10Coverage())
+	})
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestEveryFigureRenders exercises every figure id end-to-end on a tiny
+// corpus. One fleet run per figure keeps the test honest about the
+// command's actual behavior.
+func TestEveryFigureRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-backed CLI test skipped in -short mode")
+	}
+	for _, figure := range []string{"totals", "T1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "E1", "E2", "E4", "json"} {
+		figure := figure
+		t.Run(figure, func(t *testing.T) {
+			if err := run([]string{"-figure", figure, "-apps", "8", "-seed", "5"}); err != nil {
+				t.Fatalf("figure %s: %v", figure, err)
+			}
+		})
+	}
+}
+
+func TestUnknownFigureRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-backed CLI test skipped in -short mode")
+	}
+	if err := run([]string{"-figure", "F99", "-apps", "4"}); err == nil {
+		t.Error("unknown figure id should fail")
+	}
+}

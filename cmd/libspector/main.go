@@ -1,0 +1,112 @@
+// Command libspector runs the full measurement pipeline end-to-end:
+// generate the synthetic app corpus, exercise every app in the emulated
+// fleet under monkey, attribute traffic to origin-libraries, and print
+// every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	libspector [-apps N] [-seed S] [-workers W] [-events E] [-collector] [-store]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"libspector"
+	"libspector/internal/analysis"
+	"libspector/internal/baseline"
+	"libspector/internal/corpus"
+	"libspector/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "libspector:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("libspector", flag.ContinueOnError)
+	var (
+		apps        = fs.Int("apps", 300, "number of apps in the corpus")
+		seed        = fs.Uint64("seed", 42, "experiment seed")
+		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		events      = fs.Int("events", 1000, "monkey events per app")
+		throttleMS  = fs.Int("throttle", 500, "monkey throttle between events (ms, virtual)")
+		collector   = fs.Bool("collector", false, "route supervisor reports through a real UDP collector")
+		store       = fs.Bool("store", false, "round-trip apks through the database server")
+		domainScale = fs.Float64("domain-scale", 0.05, "fraction of the paper's 14,140-domain universe")
+		methodScale = fs.Float64("method-scale", 0.03, "fraction of the paper's 49,138 mean methods per apk")
+		volumeScale = fs.Float64("volume-scale", 1.0, "traffic volume scale (1.0 = paper's ~1.23 MB/app)")
+		topN        = fs.Int("top", 15, "entries in the Figure 3 rankings")
+		artifactDir = fs.String("artifacts", "", "persist per-run raw evidence (apk/pcap/reports/trace) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := libspector.DefaultConfig()
+	cfg.Apps = *apps
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	cfg.MonkeyEvents = *events
+	cfg.Throttle = time.Duration(*throttleMS) * time.Millisecond
+	cfg.UseCollector = *collector
+	cfg.UseStore = *store
+	cfg.DomainScale = *domainScale
+	cfg.MethodScale = *methodScale
+	cfg.VolumeScale = *volumeScale
+	cfg.ArtifactDir = *artifactDir
+
+	fmt.Printf("Generating world (seed=%d, %d apps) and running the fleet...\n", cfg.Seed, cfg.Apps)
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := exp.Run(); err != nil {
+		return err
+	}
+	res := exp.Result()
+	fmt.Printf("Fleet done in %s: %d runs, %d ARM-only apps skipped.\n",
+		time.Since(start).Round(time.Millisecond), len(res.Runs), res.SkippedARMOnly)
+	if cfg.UseCollector {
+		fmt.Printf("Collector received %d reports (%d malformed).\n",
+			res.CollectorReports, res.CollectorMalformed)
+	}
+	fmt.Println()
+
+	ds := exp.Dataset()
+	fmt.Println(report.Totals(ds.ComputeTotals()))
+
+	// Table I over the full domain universe, as the paper categorizes
+	// every domain seen in DNS requests.
+	for _, d := range exp.World().Domains {
+		exp.Domains().Categorize(d.Name)
+	}
+	fmt.Println(report.TableI(exp.Domains().Counts()))
+
+	fmt.Println(report.Fig2(ds.Fig2CategoryTransfer()))
+	fmt.Println(report.Fig3(ds.Fig3TopOrigins(*topN), ds.Fig3TopTwoLevel(*topN)))
+	fmt.Println(report.Fig4(ds.Fig4CDF()))
+	fmt.Println(report.Fig5(ds.Fig5FlowRatios()))
+	fmt.Println(report.Fig6(ds.Fig6AnTShares()))
+	avgs := ds.Fig7Averages()
+	fmt.Println(report.Fig7(avgs))
+	fmt.Println(report.Fig8(ds.Fig8AppCategoryAverages()))
+	fmt.Println(report.Fig9(ds.Fig9Heatmap()))
+	fmt.Println(report.Fig10(ds.Fig10Coverage()))
+
+	costs := analysis.CostPerCategory(avgs, analysis.NewCostModel(),
+		corpus.LibAdvertisement, corpus.LibMobileAnalytics,
+		corpus.LibSocialNetwork, corpus.LibDigitalIdentity, corpus.LibGameEngine)
+	fmt.Println(report.Costs(costs))
+	fmt.Println(report.Energy(analysis.NewEnergyModel(), avgs.PerLibrary[corpus.LibAdvertisement]))
+
+	fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
+	fmt.Println(report.PaperComparison(ds.CompareWithPaper()))
+	return nil
+}

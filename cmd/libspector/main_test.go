@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFullPipelineSmallCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-backed CLI test skipped in -short mode")
+	}
+	artifacts := t.TempDir()
+	err := run([]string{
+		"-apps", "10", "-seed", "9", "-events", "150",
+		"-collector", "-store", "-artifacts", artifacts,
+	})
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	// The artifact directory holds one run directory per analyzed app.
+	entries, err := os.ReadDir(artifacts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no artifacts persisted")
+	}
+	for _, e := range entries {
+		for _, name := range []string{"app.apk", "capture.pcap", "reports.bin", "trace.txt", "meta.json"} {
+			if _, err := os.Stat(filepath.Join(artifacts, e.Name(), name)); err != nil {
+				t.Errorf("artifact %s/%s missing: %v", e.Name(), name, err)
+			}
+		}
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-apps", "notanumber"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

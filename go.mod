@@ -1,0 +1,3 @@
+module libspector
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package analysis aggregates per-run attribution results into every table
+// and figure of the paper's evaluation (§IV): per-category transfer
+// matrices, top-library rankings, CDFs, flow ratios, AnT prevalence,
+// lib×domain heatmaps, coverage statistics, and the §IV-D user-cost and
+// energy models.
+package analysis
+
+import (
+	"fmt"
+
+	"libspector/internal/attribution"
+	"libspector/internal/corpus"
+	"libspector/internal/libradar"
+	"libspector/internal/nets"
+)
+
+// DomainCategorizer resolves domains to generic categories (implemented by
+// the vtclient service).
+type DomainCategorizer interface {
+	Categorize(domain string) corpus.DomainCategory
+}
+
+// FlowRecord is one attributed flow flattened for aggregation.
+type FlowRecord struct {
+	AppSHA      string             `json:"app_sha"`
+	AppPackage  string             `json:"app_package"`
+	AppCategory corpus.AppCategory `json:"app_category"`
+
+	Origin      string                 `json:"origin"`
+	TwoLevel    string                 `json:"two_level"`
+	Builtin     bool                   `json:"builtin"`
+	LibCategory corpus.LibraryCategory `json:"lib_category"`
+
+	Domain         string                `json:"domain"`
+	DomainCategory corpus.DomainCategory `json:"domain_category"`
+
+	BytesSent     int64 `json:"bytes_sent"`
+	BytesReceived int64 `json:"bytes_received"`
+
+	IsAnT       bool `json:"is_ant"`
+	IsCommonLib bool `json:"is_common_lib"`
+
+	// UserAgent and HTTPHost are what a purely network-focused analysis
+	// can read out of the flow's first request ("" when the payload is
+	// not parseable HTTP, e.g. TLS).
+	UserAgent string `json:"user_agent"`
+	HTTPHost  string `json:"http_host"`
+	// ContentType is the response MIME type ("" when not parseable).
+	ContentType string `json:"content_type"`
+}
+
+// TotalBytes is the flow's combined volume.
+func (r *FlowRecord) TotalBytes() int64 { return r.BytesSent + r.BytesReceived }
+
+// Dataset is the analysis-ready view over a fleet run.
+type Dataset struct {
+	Runs    []*attribution.RunResult
+	Records []FlowRecord
+	// UnattributedFlows counts flows without a supervisor report.
+	UnattributedFlows int
+}
+
+// BuildDataset flattens fleet results, resolving library categories via the
+// LibRadar detector and domain categories via the VirusTotal-style service.
+func BuildDataset(runs []*attribution.RunResult, detector *libradar.Detector, domains DomainCategorizer) (*Dataset, error) {
+	if detector == nil {
+		return nil, fmt.Errorf("analysis: nil detector")
+	}
+	if domains == nil {
+		return nil, fmt.Errorf("analysis: nil domain categorizer")
+	}
+	antList := corpus.AnTPrefixes()
+	clList := corpus.CommonLibraryPrefixes()
+
+	ds := &Dataset{Runs: runs}
+	for _, run := range runs {
+		for _, f := range run.Flows {
+			if f.Report == nil {
+				ds.UnattributedFlows++
+				continue
+			}
+			rec := FlowRecord{
+				AppSHA:        run.AppSHA,
+				AppPackage:    run.AppPackage,
+				AppCategory:   run.AppCategory,
+				Origin:        f.OriginLibrary,
+				TwoLevel:      f.TwoLevelLibrary,
+				Builtin:       f.BuiltinOrigin,
+				Domain:        f.Domain,
+				BytesSent:     f.BytesSent,
+				BytesReceived: f.BytesReceived,
+			}
+			if f.Domain != "" {
+				rec.DomainCategory = domains.Categorize(f.Domain)
+			} else {
+				rec.DomainCategory = corpus.DomUnknown
+			}
+			if f.BuiltinOrigin {
+				// Pseudo origin-libraries have no LibRadar category.
+				rec.LibCategory = corpus.LibUnknown
+			} else {
+				rec.LibCategory = detector.Categorize(f.OriginLibrary)
+				rec.IsAnT = corpus.HasPrefixInList(f.OriginLibrary, antList)
+				// The AnT and common-library sets are contrasted in
+				// Figure 6; membership is disjoint, with the AnT list
+				// taking precedence (gms.ads is AnT, not plain gms).
+				rec.IsCommonLib = !rec.IsAnT && corpus.HasPrefixInList(f.OriginLibrary, clList)
+			}
+			if len(f.FirstClientPayload) > 0 {
+				if info, err := nets.ParseHTTPRequest(f.FirstClientPayload); err == nil {
+					rec.UserAgent = info.UserAgent
+					rec.HTTPHost = info.Host
+				}
+			}
+			if len(f.FirstServerPayload) > 0 {
+				if info, err := nets.ParseHTTPResponse(f.FirstServerPayload); err == nil {
+					rec.ContentType = info.ContentType
+				}
+			}
+			ds.Records = append(ds.Records, rec)
+		}
+	}
+	return ds, nil
+}
+
+// Totals summarizes the dataset (§IV-A opening paragraph).
+type Totals struct {
+	BytesSent       int64
+	BytesReceived   int64
+	Flows           int
+	DistinctOrigins int
+	DistinctDomains int
+	DistinctApps    int
+	// UDP accounting across runs (supervisor traffic excluded).
+	UDPWireBytes int64
+	DNSWireBytes int64
+	TCPWireBytes int64
+}
+
+// TotalBytes is sent plus received.
+func (t Totals) TotalBytes() int64 { return t.BytesSent + t.BytesReceived }
+
+// UDPRatio is the UDP share of total traffic (the paper observes 0.52%).
+func (t Totals) UDPRatio() float64 {
+	denom := float64(t.TCPWireBytes + t.UDPWireBytes)
+	if denom == 0 {
+		return 0
+	}
+	return float64(t.UDPWireBytes) / denom
+}
+
+// DNSShareOfUDP is the DNS share of UDP traffic (the paper observes 97%).
+func (t Totals) DNSShareOfUDP() float64 {
+	if t.UDPWireBytes == 0 {
+		return 0
+	}
+	return float64(t.DNSWireBytes) / float64(t.UDPWireBytes)
+}
+
+// ComputeTotals aggregates the headline dataset totals.
+func (ds *Dataset) ComputeTotals() Totals {
+	var t Totals
+	origins := make(map[string]struct{})
+	domains := make(map[string]struct{})
+	apps := make(map[string]struct{})
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		t.BytesSent += r.BytesSent
+		t.BytesReceived += r.BytesReceived
+		t.Flows++
+		origins[r.Origin] = struct{}{}
+		if r.Domain != "" {
+			domains[r.Domain] = struct{}{}
+		}
+		apps[r.AppSHA] = struct{}{}
+	}
+	t.DistinctOrigins = len(origins)
+	t.DistinctDomains = len(domains)
+	t.DistinctApps = len(apps)
+	for _, run := range ds.Runs {
+		t.UDPWireBytes += run.UDPWireBytes
+		t.DNSWireBytes += run.DNSWireBytes
+		t.TCPWireBytes += run.TCPWireBytes
+	}
+	return t
+}

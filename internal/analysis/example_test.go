@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"libspector/internal/analysis"
+)
+
+// ExampleCostModel reproduces the §IV-D cost arithmetic: the paper's
+// measured 15.58 MB of advertisement traffic per 8-minute run costs $1.17
+// per hour at Google Fi's $10/GB.
+func ExampleCostModel() {
+	model := analysis.NewCostModel()
+	fmt.Printf("$%.2f per hour\n", model.DollarsPerHour(15.58e6))
+	// Output:
+	// $1.17 per hour
+}
+
+// ExampleEnergyModel reproduces the §IV-D energy arithmetic: 15.6 MB of
+// advertisement traffic at the paper's rounded constant consumes ~7,800 J,
+// 18.7% of a typical 11.55 Wh battery.
+func ExampleEnergyModel() {
+	model := analysis.NewEnergyModel()
+	joules := 15.6e6 * analysis.PaperJoulesPerByte
+	fmt.Printf("%.0f J, %.0f%% of the battery\n", joules, 100*model.BatteryShare(joules))
+	// Output:
+	// 7800 J, 19% of the battery
+}

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"sort"
+
+	"libspector/internal/corpus"
+	"libspector/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2: data transfer of origin-library categories per app category.
+
+// CategoryMatrix is the Figure 2 aggregation.
+type CategoryMatrix struct {
+	// Bytes[appCategory][libCategory] is the aggregate transfer volume.
+	Bytes map[corpus.AppCategory]map[corpus.LibraryCategory]int64
+	// LegendShare[libCategory] is each library category's share of total
+	// transfer (the Figure 2 legend percentages).
+	LegendShare map[corpus.LibraryCategory]float64
+	// Total is the overall transferred volume.
+	Total int64
+}
+
+// Fig2CategoryTransfer computes the Figure 2 matrix.
+func (ds *Dataset) Fig2CategoryTransfer() *CategoryMatrix {
+	m := &CategoryMatrix{
+		Bytes:       make(map[corpus.AppCategory]map[corpus.LibraryCategory]int64),
+		LegendShare: make(map[corpus.LibraryCategory]float64),
+	}
+	perLib := make(map[corpus.LibraryCategory]int64)
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		row := m.Bytes[r.AppCategory]
+		if row == nil {
+			row = make(map[corpus.LibraryCategory]int64)
+			m.Bytes[r.AppCategory] = row
+		}
+		row[r.LibCategory] += r.TotalBytes()
+		perLib[r.LibCategory] += r.TotalBytes()
+		m.Total += r.TotalBytes()
+	}
+	if m.Total > 0 {
+		for cat, b := range perLib {
+			m.LegendShare[cat] = float64(b) / float64(m.Total)
+		}
+	}
+	return m
+}
+
+// AppCategoryOrder returns app categories sorted by descending aggregate
+// transfer (the Figure 2 x-axis ordering).
+func (m *CategoryMatrix) AppCategoryOrder() []corpus.AppCategory {
+	type kv struct {
+		cat   corpus.AppCategory
+		bytes int64
+	}
+	rows := make([]kv, 0, len(m.Bytes))
+	for cat, libs := range m.Bytes {
+		var sum int64
+		for _, b := range libs {
+			sum += b
+		}
+		rows = append(rows, kv{cat, sum})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].bytes != rows[j].bytes {
+			return rows[i].bytes > rows[j].bytes
+		}
+		return rows[i].cat < rows[j].cat
+	})
+	out := make([]corpus.AppCategory, len(rows))
+	for i, r := range rows {
+		out[i] = r.cat
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: top origin-libraries and 2-level libraries.
+
+// RankedLibrary is one bar of the Figure 3 charts.
+type RankedLibrary struct {
+	Name  string
+	Bytes int64
+	// Builtin marks pseudo-libraries ("*-Advertisement") and platform
+	// libraries, rendered red in the paper's figure.
+	Builtin bool
+}
+
+// Fig3TopOrigins ranks origin-libraries by transfer volume.
+func (ds *Dataset) Fig3TopOrigins(n int) []RankedLibrary {
+	return ds.topBy(n, func(r *FlowRecord) (string, bool) { return r.Origin, r.Builtin })
+}
+
+// Fig3TopTwoLevel ranks 2-level libraries by transfer volume.
+func (ds *Dataset) Fig3TopTwoLevel(n int) []RankedLibrary {
+	return ds.topBy(n, func(r *FlowRecord) (string, bool) {
+		return r.TwoLevel, r.Builtin || r.TwoLevel == "com.android" || r.TwoLevel == "com.google"
+	})
+}
+
+func (ds *Dataset) topBy(n int, key func(*FlowRecord) (string, bool)) []RankedLibrary {
+	bytes := make(map[string]int64)
+	builtin := make(map[string]bool)
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		k, isBuiltin := key(r)
+		bytes[k] += r.TotalBytes()
+		if isBuiltin {
+			builtin[k] = true
+		}
+	}
+	out := make([]RankedLibrary, 0, len(bytes))
+	for name, b := range bytes {
+		out = append(out, RankedLibrary{Name: name, Bytes: b, Builtin: builtin[name]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopShare computes the transfer share of the top-n entries of a grouping
+// (e.g. "top 25 2-level libraries account for 72.5% of bytes").
+func (ds *Dataset) TopShare(n int, twoLevel bool) float64 {
+	var ranked []RankedLibrary
+	if twoLevel {
+		ranked = ds.Fig3TopTwoLevel(0)
+	} else {
+		ranked = ds.Fig3TopOrigins(0)
+	}
+	var total, top int64
+	for i, r := range ranked {
+		total += r.Bytes
+		if i < n {
+			top += r.Bytes
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: CDFs of sent/received flow sizes for apps, origin-libraries,
+// and DNS domains.
+
+// CDFSeries is one curve: sorted per-entity byte totals.
+type CDFSeries struct {
+	Label  string
+	Values []float64 // sorted ascending
+}
+
+// At returns the CDF value (fraction of entities with total <= x).
+func (s CDFSeries) At(x float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(s.Values, x)
+	// Advance past equal values to get P(value <= x).
+	for i < len(s.Values) && s.Values[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(s.Values))
+}
+
+// Fig4CDF computes the six Figure 4 series.
+func (ds *Dataset) Fig4CDF() []CDFSeries {
+	type pair struct{ sent, rcvd int64 }
+	perApp := make(map[string]*pair)
+	perLib := make(map[string]*pair)
+	perDom := make(map[string]*pair)
+	get := func(m map[string]*pair, k string) *pair {
+		p := m[k]
+		if p == nil {
+			p = &pair{}
+			m[k] = p
+		}
+		return p
+	}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		a := get(perApp, r.AppSHA)
+		a.sent += r.BytesSent
+		a.rcvd += r.BytesReceived
+		l := get(perLib, r.Origin)
+		l.sent += r.BytesSent
+		l.rcvd += r.BytesReceived
+		if r.Domain != "" {
+			// From the domain's perspective "sent" is what the server
+			// transmitted (the app's received bytes).
+			d := get(perDom, r.Domain)
+			d.sent += r.BytesReceived
+			d.rcvd += r.BytesSent
+		}
+	}
+	series := make([]CDFSeries, 0, 6)
+	extract := func(label string, m map[string]*pair, sent bool) CDFSeries {
+		vals := make([]float64, 0, len(m))
+		for _, p := range m {
+			if sent {
+				vals = append(vals, float64(p.sent))
+			} else {
+				vals = append(vals, float64(p.rcvd))
+			}
+		}
+		sort.Float64s(vals)
+		return CDFSeries{Label: label, Values: vals}
+	}
+	series = append(series,
+		extract("App: Sent", perApp, true),
+		extract("App: Received", perApp, false),
+		extract("Lib: Sent", perLib, true),
+		extract("Lib: Received", perLib, false),
+		extract("DNS: Sent", perDom, true),
+		extract("DNS: Received", perDom, false),
+	)
+	return series
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: transfer-flow ratios.
+
+// RatioSeries is the per-entity received/sent ratio distribution of one
+// entity kind, sorted descending as in Figure 5, plus its mean.
+type RatioSeries struct {
+	Label  string
+	Ratios []float64
+	Mean   float64
+}
+
+// Fig5FlowRatios computes the three Figure 5 curves. For apps and
+// origin-libraries the ratio is received/sent (they receive more than they
+// send); for DNS domains it is transmitted/received from the server's
+// perspective — the same quantity, which the paper reports as "domains
+// send 104 times more data than received".
+func (ds *Dataset) Fig5FlowRatios() []RatioSeries {
+	type pair struct{ sent, rcvd int64 }
+	perApp := make(map[string]*pair)
+	perLib := make(map[string]*pair)
+	perDom := make(map[string]*pair)
+	get := func(m map[string]*pair, k string) *pair {
+		p := m[k]
+		if p == nil {
+			p = &pair{}
+			m[k] = p
+		}
+		return p
+	}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		a := get(perApp, r.AppSHA)
+		a.sent += r.BytesSent
+		a.rcvd += r.BytesReceived
+		l := get(perLib, r.Origin)
+		l.sent += r.BytesSent
+		l.rcvd += r.BytesReceived
+		if r.Domain != "" {
+			d := get(perDom, r.Domain)
+			d.sent += r.BytesReceived
+			d.rcvd += r.BytesSent
+		}
+	}
+	build := func(label string, m map[string]*pair) RatioSeries {
+		ratios := make([]float64, 0, len(m))
+		for _, p := range m {
+			if p.sent == 0 && label != "DNS" || p.rcvd == 0 && label == "DNS" {
+				continue
+			}
+			var ratio float64
+			if label == "DNS" {
+				ratio = float64(p.sent) / float64(p.rcvd)
+			} else {
+				ratio = float64(p.rcvd) / float64(p.sent)
+			}
+			ratios = append(ratios, ratio)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
+		return RatioSeries{Label: label, Ratios: ratios, Mean: sim.Mean(ratios)}
+	}
+	return []RatioSeries{
+		build("Apps", perApp),
+		build("Libs", perLib),
+		build("DNS", perDom),
+	}
+}
+
+// TopDecileRatioMean returns the mean ratio of the top 10% of a ratio
+// series ("the top 10% of origin-libraries received over 260 times the
+// data they sent").
+func TopDecileRatioMean(s RatioSeries) float64 {
+	if len(s.Ratios) == 0 {
+		return 0
+	}
+	n := len(s.Ratios) / 10
+	if n < 1 {
+		n = 1
+	}
+	return sim.Mean(s.Ratios[:n])
+}

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"sort"
+
+	"libspector/internal/corpus"
+	"libspector/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 6: AnT and common-library transfer-ratio prevalence.
+
+// AnTStats is the Figure 6 aggregation plus the §IV-A prevalence numbers.
+type AnTStats struct {
+	// AnTShares / CLShares are the per-app ratios of AnT (respectively
+	// common-library) bytes over total attributed app bytes, sorted
+	// descending.
+	AnTShares []float64
+	CLShares  []float64
+	// FracAnTOnly is the fraction of traffic-producing apps whose traffic
+	// is entirely AnT (paper: 35%).
+	FracAnTOnly float64
+	// FracSomeAnT is the fraction with any AnT traffic (paper: 89%).
+	FracSomeAnT float64
+	// FracAnTFree is the fraction with zero AnT traffic (paper: ~10%).
+	FracAnTFree float64
+	// AnTFlowRatioMean / CLFlowRatioMean are the received/sent ratios of
+	// AnT and common libraries (paper: 54.8 vs 24.4).
+	AnTFlowRatioMean float64
+	CLFlowRatioMean  float64
+}
+
+// Fig6AnTShares computes Figure 6. Only app-attributed (non-builtin) flows
+// participate, since the AnT/CL lists describe app libraries.
+func (ds *Dataset) Fig6AnTShares() *AnTStats {
+	type acc struct {
+		total, ant, cl   int64
+		antSent, antRcvd int64
+		clSent, clRcvd   int64
+	}
+	perApp := make(map[string]*acc)
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if r.Builtin {
+			continue
+		}
+		a := perApp[r.AppSHA]
+		if a == nil {
+			a = &acc{}
+			perApp[r.AppSHA] = a
+		}
+		a.total += r.TotalBytes()
+		if r.IsAnT {
+			a.ant += r.TotalBytes()
+			a.antSent += r.BytesSent
+			a.antRcvd += r.BytesReceived
+		}
+		if r.IsCommonLib {
+			a.cl += r.TotalBytes()
+			a.clSent += r.BytesSent
+			a.clRcvd += r.BytesReceived
+		}
+	}
+	st := &AnTStats{}
+	var antOnly, someAnT, antFree, apps int
+	var antRatios, clRatios []float64
+	for _, a := range perApp {
+		if a.total == 0 {
+			continue
+		}
+		apps++
+		antShare := float64(a.ant) / float64(a.total)
+		clShare := float64(a.cl) / float64(a.total)
+		st.AnTShares = append(st.AnTShares, antShare)
+		st.CLShares = append(st.CLShares, clShare)
+		switch {
+		case a.ant == a.total:
+			antOnly++
+			someAnT++
+		case a.ant > 0:
+			someAnT++
+		default:
+			antFree++
+		}
+		if a.antSent > 0 {
+			antRatios = append(antRatios, float64(a.antRcvd)/float64(a.antSent))
+		}
+		if a.clSent > 0 {
+			clRatios = append(clRatios, float64(a.clRcvd)/float64(a.clSent))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(st.AnTShares)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(st.CLShares)))
+	if apps > 0 {
+		st.FracAnTOnly = float64(antOnly) / float64(apps)
+		st.FracSomeAnT = float64(someAnT) / float64(apps)
+		st.FracAnTFree = float64(antFree) / float64(apps)
+	}
+	st.AnTFlowRatioMean = sim.Mean(antRatios)
+	st.CLFlowRatioMean = sim.Mean(clRatios)
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: average transfer per origin-library category and per domain
+// category.
+
+// CategoryAverages holds per-category averages.
+type CategoryAverages struct {
+	// PerLibrary[cat] is bytes per distinct origin-library of the category.
+	PerLibrary map[corpus.LibraryCategory]float64
+	// PerDomain[cat] is bytes per distinct domain of the category.
+	PerDomain map[corpus.DomainCategory]float64
+}
+
+// Fig7Averages computes the Figure 7 panels.
+func (ds *Dataset) Fig7Averages() *CategoryAverages {
+	libBytes := make(map[corpus.LibraryCategory]int64)
+	libMembers := make(map[corpus.LibraryCategory]map[string]struct{})
+	domBytes := make(map[corpus.DomainCategory]int64)
+	domMembers := make(map[corpus.DomainCategory]map[string]struct{})
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if !r.Builtin {
+			libBytes[r.LibCategory] += r.TotalBytes()
+			if libMembers[r.LibCategory] == nil {
+				libMembers[r.LibCategory] = make(map[string]struct{})
+			}
+			libMembers[r.LibCategory][r.Origin] = struct{}{}
+		}
+		if r.Domain != "" {
+			domBytes[r.DomainCategory] += r.TotalBytes()
+			if domMembers[r.DomainCategory] == nil {
+				domMembers[r.DomainCategory] = make(map[string]struct{})
+			}
+			domMembers[r.DomainCategory][r.Domain] = struct{}{}
+		}
+	}
+	out := &CategoryAverages{
+		PerLibrary: make(map[corpus.LibraryCategory]float64),
+		PerDomain:  make(map[corpus.DomainCategory]float64),
+	}
+	for cat, b := range libBytes {
+		if n := len(libMembers[cat]); n > 0 {
+			out.PerLibrary[cat] = float64(b) / float64(n)
+		}
+	}
+	for cat, b := range domBytes {
+		if n := len(domMembers[cat]); n > 0 {
+			out.PerDomain[cat] = float64(b) / float64(n)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: average transfer per app category.
+
+// Fig8AppCategoryAverages returns bytes per app for each Play Store
+// category.
+func (ds *Dataset) Fig8AppCategoryAverages() map[corpus.AppCategory]float64 {
+	bytes := make(map[corpus.AppCategory]int64)
+	apps := make(map[corpus.AppCategory]map[string]struct{})
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		bytes[r.AppCategory] += r.TotalBytes()
+		if apps[r.AppCategory] == nil {
+			apps[r.AppCategory] = make(map[string]struct{})
+		}
+		apps[r.AppCategory][r.AppSHA] = struct{}{}
+	}
+	out := make(map[corpus.AppCategory]float64, len(bytes))
+	for cat, b := range bytes {
+		if n := len(apps[cat]); n > 0 {
+			out[cat] = float64(b) / float64(n)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: library-category × domain-category heatmap.
+
+// Heatmap is the Figure 9 matrix in bytes.
+type Heatmap struct {
+	// Bytes[libCategory][domainCategory].
+	Bytes map[corpus.LibraryCategory]map[corpus.DomainCategory]int64
+}
+
+// Fig9Heatmap computes the correlation matrix of origin-library categories
+// with DNS domain categories.
+func (ds *Dataset) Fig9Heatmap() *Heatmap {
+	h := &Heatmap{Bytes: make(map[corpus.LibraryCategory]map[corpus.DomainCategory]int64)}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		if r.Builtin {
+			continue
+		}
+		row := h.Bytes[r.LibCategory]
+		if row == nil {
+			row = make(map[corpus.DomainCategory]int64)
+			h.Bytes[r.LibCategory] = row
+		}
+		row[r.DomainCategory] += r.TotalBytes()
+	}
+	return h
+}
+
+// ShareToDomain returns the fraction of a library category's traffic bound
+// for a domain category ("advertisement libraries send ~29% of their
+// traffic to CDN servers").
+func (h *Heatmap) ShareToDomain(lib corpus.LibraryCategory, dom corpus.DomainCategory) float64 {
+	row := h.Bytes[lib]
+	var total int64
+	for _, b := range row {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[dom]) / float64(total)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: method coverage.
+
+// CoverageStats summarizes the per-app coverage distribution (§IV-C).
+type CoverageStats struct {
+	// Percents is the per-app coverage percentage, app order.
+	Percents []float64
+	// Mean is the average coverage (paper: 9.5%).
+	Mean float64
+	// FracAboveMean is the fraction of apps above the mean (paper: 40.5%).
+	FracAboveMean float64
+	// MeanMethods is the average dex method count (paper: 49,138).
+	MeanMethods float64
+	// FracAboveMeanMethods is the fraction of apps with more methods than
+	// average (paper: 27.3%).
+	FracAboveMeanMethods float64
+}
+
+// Fig10Coverage aggregates coverage across runs.
+func (ds *Dataset) Fig10Coverage() *CoverageStats {
+	st := &CoverageStats{}
+	var methods []float64
+	for _, run := range ds.Runs {
+		st.Percents = append(st.Percents, run.Coverage.Percent())
+		methods = append(methods, float64(run.Coverage.TotalMethods))
+	}
+	st.Mean = sim.Mean(st.Percents)
+	st.MeanMethods = sim.Mean(methods)
+	var above, aboveMethods int
+	for i := range st.Percents {
+		if st.Percents[i] > st.Mean {
+			above++
+		}
+		if methods[i] > st.MeanMethods {
+			aboveMethods++
+		}
+	}
+	if n := len(st.Percents); n > 0 {
+		st.FracAboveMean = float64(above) / float64(n)
+		st.FracAboveMeanMethods = float64(aboveMethods) / float64(n)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Half-traffic concentration (§IV-A: "top 5,057 apps, 2,299 origin-
+// libraries and 4,010 DNS domains are associated with half of the total
+// data transfer").
+
+// HalfTrafficCounts reports how many top entities of each kind account for
+// 50% of the transfer volume.
+type HalfTrafficCounts struct {
+	Apps    int
+	Origins int
+	Domains int
+}
+
+// ComputeHalfTraffic computes the concentration counts.
+func (ds *Dataset) ComputeHalfTraffic() HalfTrafficCounts {
+	count := func(key func(*FlowRecord) string) int {
+		bytes := make(map[string]int64)
+		var total int64
+		for i := range ds.Records {
+			r := &ds.Records[i]
+			k := key(r)
+			if k == "" {
+				continue
+			}
+			bytes[k] += r.TotalBytes()
+			total += r.TotalBytes()
+		}
+		vols := make([]int64, 0, len(bytes))
+		for _, b := range bytes {
+			vols = append(vols, b)
+		}
+		sort.Slice(vols, func(i, j int) bool { return vols[i] > vols[j] })
+		var acc int64
+		for i, v := range vols {
+			acc += v
+			if acc*2 >= total {
+				return i + 1
+			}
+		}
+		return len(vols)
+	}
+	return HalfTrafficCounts{
+		Apps:    count(func(r *FlowRecord) string { return r.AppSHA }),
+		Origins: count(func(r *FlowRecord) string { return r.Origin }),
+		Domains: count(func(r *FlowRecord) string { return r.Domain }),
+	}
+}
+
+// naturalDomain maps each library category to the domain category a naive
+// 1-to-1 model would predict its traffic lands on.
+var naturalDomain = map[corpus.LibraryCategory]corpus.DomainCategory{
+	corpus.LibAdvertisement:   corpus.DomAdvertisements,
+	corpus.LibMobileAnalytics: corpus.DomAnalytics,
+	corpus.LibGameEngine:      corpus.DomGames,
+	corpus.LibSocialNetwork:   corpus.DomSocialNetworks,
+	corpus.LibPayment:         corpus.DomBusinessFinance,
+	corpus.LibDigitalIdentity: corpus.DomInternetServices,
+}
+
+// DiagonalShare quantifies the paper's RQ2 finding: the fraction of
+// traffic from library categories with a "natural" destination category
+// that actually lands there. A value near 1 would mean a strict 1-to-1
+// correlation; the paper (and this reproduction) find far less.
+func (h *Heatmap) DiagonalShare() float64 {
+	var total, diagonal int64
+	for lib, dom := range naturalDomain {
+		for d, b := range h.Bytes[lib] {
+			total += b
+			if d == dom {
+				diagonal += b
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diagonal) / float64(total)
+}

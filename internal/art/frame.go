@@ -1,0 +1,58 @@
+// Package art simulates the Android runtime (ART) at the granularity
+// Libspector instruments: Java call stacks, method invocation with a
+// profiler attachment (the Method Monitor, §II-B1), and the app behaviour
+// model the synthetic corpus generator emits (activities, event handlers,
+// and the call chains that lead to socket creation).
+package art
+
+import "fmt"
+
+// Frame is one Java stack frame as getStackTrace exposes it: the dotted
+// qualified method name plus the parameter arity the runtime knows, which
+// the Socket Supervisor uses to disambiguate overloaded variants during
+// signature translation (§II-B2a).
+type Frame struct {
+	// Qualified is the dotted class-and-method name, e.g.
+	// "com.unity3d.ads.android.cache.b.doInBackground".
+	Qualified string `json:"qualified"`
+	// Arity is the number of parameters (-1 when unknown, e.g. for
+	// framework frames outside the app's dex).
+	Arity int `json:"arity"`
+}
+
+// Thread models one runtime thread's call stack. Frames are stored
+// bottom-first (index 0 is the chronologically first invocation).
+type Thread struct {
+	frames []Frame
+}
+
+// Push appends a frame to the top of the stack.
+func (t *Thread) Push(f Frame) { t.frames = append(t.frames, f) }
+
+// Pop removes the top frame. Popping an empty stack is a programming error
+// in the simulation and fails loudly.
+func (t *Thread) Pop() error {
+	if len(t.frames) == 0 {
+		return fmt.Errorf("art: pop on empty stack")
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	return nil
+}
+
+// Depth reports the current stack depth.
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// GetStackTrace returns the active frames top-first, matching Java's
+// Thread.getStackTrace ordering (index 0 is the most recent invocation, as
+// in Listing 1 of the paper where java.net.Socket.connect is line 1 and
+// java.util.concurrent.FutureTask.run is line 14).
+func (t *Thread) GetStackTrace() []Frame {
+	out := make([]Frame, len(t.frames))
+	for i, f := range t.frames {
+		out[len(t.frames)-1-i] = f
+	}
+	return out
+}
+
+// Reset clears the stack between handler dispatches.
+func (t *Thread) Reset() { t.frames = t.frames[:0] }

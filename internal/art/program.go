@@ -1,0 +1,220 @@
+package art
+
+import (
+	"fmt"
+
+	"libspector/internal/dex"
+)
+
+// ContextKind selects the framework frames at the bottom of a
+// socket-creating call stack — where the call chronologically started.
+type ContextKind int
+
+const (
+	// ContextMainThread is a UI-thread dispatch (Looper/Handler/View).
+	ContextMainThread ContextKind = iota + 1
+	// ContextAsyncTask is the AsyncTask pattern of Listing 1
+	// (FutureTask.run → AsyncTask$2.call → doInBackground).
+	ContextAsyncTask
+	// ContextWorkerThread is a plain java.lang.Thread.run worker.
+	ContextWorkerThread
+	// ContextExecutorPool is a ThreadPoolExecutor worker, the shape that
+	// puts library executor frames (e.g. glide's engine executor) at the
+	// bottom of the stack.
+	ContextExecutorPool
+)
+
+// TransportKind selects the HTTP/transport frames between the app-level
+// chain and the socket connect call.
+type TransportKind int
+
+const (
+	// TransportBuiltinOkhttp is the platform's internal okhttp fork
+	// (com.android.okhttp.*, frames 2–10 of Listing 1) — built-in frames
+	// that attribution filters out.
+	TransportBuiltinOkhttp TransportKind = iota + 1
+	// TransportJavaNet is a direct java.net.Socket connection.
+	TransportJavaNet
+	// TransportBundledOkhttp3 is an app-bundled okhttp3 (non-builtin
+	// frames; when no app frame sits below them, okhttp3.internal.http
+	// itself becomes the origin-library, as in Figure 3).
+	TransportBundledOkhttp3
+	// TransportVolley is the app-bundled com.android.volley stack.
+	TransportVolley
+)
+
+// contextFrames returns the bottom-first framework frames for a context.
+func contextFrames(k ContextKind) []Frame {
+	switch k {
+	case ContextMainThread:
+		return []Frame{
+			{Qualified: "com.android.internal.os.ZygoteInit.main", Arity: 1},
+			{Qualified: "android.os.Looper.loop", Arity: 0},
+			{Qualified: "android.os.Handler.dispatchMessage", Arity: 1},
+			{Qualified: "android.view.View.performClick", Arity: 0},
+		}
+	case ContextAsyncTask:
+		return []Frame{
+			{Qualified: "java.util.concurrent.FutureTask.run", Arity: 0},
+			{Qualified: "android.os.AsyncTask$2.call", Arity: 0},
+		}
+	case ContextWorkerThread:
+		return []Frame{
+			{Qualified: "java.lang.Thread.run", Arity: 0},
+		}
+	case ContextExecutorPool:
+		return []Frame{
+			{Qualified: "java.lang.Thread.run", Arity: 0},
+			{Qualified: "java.util.concurrent.ThreadPoolExecutor$Worker.run", Arity: 0},
+			{Qualified: "java.util.concurrent.ThreadPoolExecutor.runWorker", Arity: 1},
+		}
+	default:
+		return []Frame{{Qualified: "java.lang.Thread.run", Arity: 0}}
+	}
+}
+
+// transportFrames returns the bottom-first transport frames, ending with
+// the frame that performs the socket system call.
+func transportFrames(k TransportKind) []Frame {
+	switch k {
+	case TransportBuiltinOkhttp:
+		return []Frame{
+			{Qualified: "com.android.okhttp.internal.huc.HttpURLConnectionImpl.connect", Arity: 0},
+			{Qualified: "com.android.okhttp.internal.huc.HttpURLConnectionImpl.execute", Arity: 1},
+			{Qualified: "com.android.okhttp.internal.http.HttpEngine.sendRequest", Arity: 0},
+			{Qualified: "com.android.okhttp.internal.http.HttpEngine.connect", Arity: 0},
+			{Qualified: "com.android.okhttp.OkHttpClient$1.connectAndSetOwner", Arity: 3},
+			{Qualified: "com.android.okhttp.Connection.connectAndSetOwner", Arity: 2},
+			{Qualified: "com.android.okhttp.Connection.connect", Arity: 2},
+			{Qualified: "com.android.okhttp.Connection.connectSocket", Arity: 2},
+			{Qualified: "com.android.okhttp.internal.Platform.connectSocket", Arity: 3},
+			{Qualified: "java.net.Socket.connect", Arity: 2},
+		}
+	case TransportJavaNet:
+		return []Frame{
+			{Qualified: "java.net.Socket.connect", Arity: 2},
+		}
+	case TransportBundledOkhttp3:
+		return []Frame{
+			{Qualified: "okhttp3.internal.http.RealInterceptorChain.proceed", Arity: 1},
+			{Qualified: "okhttp3.internal.connection.ConnectInterceptor.intercept", Arity: 1},
+			{Qualified: "okhttp3.internal.connection.RealConnection.connect", Arity: 2},
+			{Qualified: "okhttp3.internal.connection.RealConnection.connectSocket", Arity: 2},
+			{Qualified: "java.net.Socket.connect", Arity: 2},
+		}
+	case TransportVolley:
+		return []Frame{
+			{Qualified: "com.android.volley.NetworkDispatcher.run", Arity: 0},
+			{Qualified: "com.android.volley.toolbox.BasicNetwork.performRequest", Arity: 1},
+			{Qualified: "com.android.volley.toolbox.HurlStack.executeRequest", Arity: 2},
+			{Qualified: "java.net.Socket.connect", Arity: 2},
+		}
+	default:
+		return []Frame{{Qualified: "java.net.Socket.connect", Arity: 2}}
+	}
+}
+
+// NetworkAction describes one network exchange an app performs: the
+// endpoint, the HTTP shape of the request (which the network-only
+// baselines parse), and the byte volumes in each direction.
+type NetworkAction struct {
+	Domain        string `json:"domain"`
+	Port          uint16 `json:"port"`
+	HTTPMethod    string `json:"http_method"`
+	Path          string `json:"path"`
+	UserAgent     string `json:"user_agent"`
+	RequestBytes  int    `json:"request_bytes"`
+	ResponseBytes int64  `json:"response_bytes"`
+	// ContentType is the MIME type the server stamps on the response
+	// (what content-based classifiers inspect).
+	ContentType string `json:"content_type"`
+	// UDPExchange marks a plain datagram exchange (NTP-style) instead of
+	// a TCP connection; no socket-connect hook fires for these.
+	UDPExchange bool `json:"udp_exchange"`
+}
+
+// NetOp couples a network action with the call-stack shape that creates
+// its socket.
+type NetOp struct {
+	// ChainIdxs are dex method indices of the app-level frames, bottom
+	// first (the chronologically first called method — the origin-library
+	// candidate — is ChainIdxs[0]). May be empty: sockets created purely
+	// by framework or transport-pool code.
+	ChainIdxs []int         `json:"chain_idxs"`
+	Context   ContextKind   `json:"context"`
+	Transport TransportKind `json:"transport"`
+	Action    NetworkAction `json:"action"`
+	// RunLimit caps how many handler dispatches execute this op (ad loads
+	// happen once or a few times, not on every UI event). Zero means no
+	// cap: the op runs on every dispatch, like a refresh timer.
+	RunLimit int `json:"run_limit"`
+}
+
+// Handler is an event handler of an activity: the methods it executes
+// (recorded by the Method Monitor) and the network operations it performs.
+type Handler struct {
+	Name string `json:"name"`
+	// MethodIdxs are dex method indices invoked when the handler fires.
+	MethodIdxs []int   `json:"method_idxs"`
+	NetOps     []NetOp `json:"net_ops"`
+}
+
+// Activity is one app screen with its event handlers. Handlers[0] plays
+// the onCreate role and runs when the activity first starts.
+type Activity struct {
+	Name     string    `json:"name"`
+	Handlers []Handler `json:"handlers"`
+}
+
+// Program is the loaded, executable form of an app: its dex file plus the
+// behaviour model the synthetic generator derived.
+type Program struct {
+	PackageName string
+	Dex         *dex.File
+	Activities  []Activity
+}
+
+// Validate checks structural invariants: all method indices must resolve
+// into the dex file, and every activity needs at least one handler.
+func (p *Program) Validate() error {
+	if p.PackageName == "" {
+		return fmt.Errorf("art: program has empty package name")
+	}
+	if p.Dex == nil || p.Dex.MethodCount() == 0 {
+		return fmt.Errorf("art: program %s has no dex methods", p.PackageName)
+	}
+	if len(p.Activities) == 0 {
+		return fmt.Errorf("art: program %s has no activities", p.PackageName)
+	}
+	n := p.Dex.MethodCount()
+	for ai, act := range p.Activities {
+		if len(act.Handlers) == 0 {
+			return fmt.Errorf("art: program %s activity %d (%s) has no handlers", p.PackageName, ai, act.Name)
+		}
+		for hi, h := range act.Handlers {
+			for _, idx := range h.MethodIdxs {
+				if idx < 0 || idx >= n {
+					return fmt.Errorf("art: program %s activity %d handler %d references method %d outside dex range %d",
+						p.PackageName, ai, hi, idx, n)
+				}
+			}
+			for oi, op := range h.NetOps {
+				for _, idx := range op.ChainIdxs {
+					if idx < 0 || idx >= n {
+						return fmt.Errorf("art: program %s activity %d handler %d netop %d references method %d outside dex range %d",
+							p.PackageName, ai, hi, oi, idx, n)
+					}
+				}
+				if op.Action.Domain == "" {
+					return fmt.Errorf("art: program %s activity %d handler %d netop %d has empty domain",
+						p.PackageName, ai, hi, oi)
+				}
+				if op.Action.Port == 0 {
+					return fmt.Errorf("art: program %s activity %d handler %d netop %d has port 0",
+						p.PackageName, ai, hi, oi)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package attribution
+
+import (
+	"libspector/internal/dex"
+)
+
+// Coverage is the Java method coverage of one app run (§IV-C): the ratio
+// of method signatures that appear both in the method trace file and in
+// the app's dex file, over the total number of methods in the dex file.
+type Coverage struct {
+	// ExecutedMethods counts trace signatures present in the dex.
+	ExecutedMethods int `json:"executed_methods"`
+	// TotalMethods is the dex method count.
+	TotalMethods int `json:"total_methods"`
+}
+
+// Percent returns the coverage percentage.
+func (c Coverage) Percent() float64 {
+	if c.TotalMethods == 0 {
+		return 0
+	}
+	return 100 * float64(c.ExecutedMethods) / float64(c.TotalMethods)
+}
+
+// ComputeCoverage intersects the profiler trace with the apk's
+// disassembled signature set. Trace entries not present in the dex (e.g.
+// framework methods the profiler also saw) do not count, exactly as in the
+// paper's methodology.
+func ComputeCoverage(trace map[string]struct{}, disasm *dex.Disassembly) Coverage {
+	cov := Coverage{TotalMethods: disasm.MethodCount}
+	for sig := range trace {
+		if disasm.Contains(sig) {
+			cov.ExecutedMethods++
+		}
+	}
+	return cov
+}

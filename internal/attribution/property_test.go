@@ -1,0 +1,66 @@
+package attribution
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"libspector/internal/corpus"
+	"libspector/internal/xposed"
+)
+
+// TestOriginOfProperty: for arbitrary stacks assembled from a frame pool,
+// OriginOf is total (never errors), returns builtin=true exactly when no
+// non-builtin frame exists, and the returned package never belongs to a
+// built-in namespace.
+func TestOriginOfProperty(t *testing.T) {
+	framePool := []string{
+		"java.net.Socket.connect",
+		"com.android.okhttp.internal.Platform.connectSocket",
+		"android.os.AsyncTask$2.call",
+		"java.util.concurrent.FutureTask.run",
+		"com.android.internal.os.ZygoteInit.main",
+		"Lcom/unity3d/ads/android/cache/b;->doInBackground([Ljava/lang/String;)Ljava/lang/Object;",
+		"okhttp3.internal.http.RealInterceptorChain.proceed",
+		"com.vungle.publisher.AdLoader.fetch",
+		"com.example.app.net.Client.get",
+	}
+	filter := corpus.NewBuiltinFilter()
+	a := NewAttributor(nil)
+	check := func(picks [6]uint8) bool {
+		trace := make([]string, 0, len(picks))
+		for _, p := range picks {
+			trace = append(trace, framePool[int(p)%len(framePool)])
+		}
+		rep := &xposed.Report{
+			APKSHA256:  strings.Repeat("ab", 32),
+			StackTrace: trace,
+		}
+		origin, builtin, err := a.OriginOf(rep)
+		if err != nil {
+			return false
+		}
+		// Determine expected builtin-ness independently.
+		anyApp := false
+		for _, f := range trace {
+			class, err := FrameClass(f)
+			if err != nil {
+				return false
+			}
+			if !filter.IsBuiltin(class) {
+				anyApp = true
+			}
+		}
+		if builtin == anyApp {
+			return false // builtin must be true iff no app frame exists
+		}
+		if builtin {
+			return origin == ""
+		}
+		// A non-builtin origin must never be a framework package.
+		return origin != "" && !filter.IsBuiltin(origin+".X")
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package borderpatrol implements the §IV-E Security application of
+// Libspector: a BorderPatrol-style policy-enforcement layer that consumes
+// attribution output. BorderPatrol [50] enforces per-library network
+// policies on BYOD devices; its missing piece is knowing *which* library
+// to blacklist — exactly the intelligence Libspector produces.
+//
+// The Enforcer binds a pre-connect veto to the network stack: at dial
+// time it inspects the live call stack (the same context the Socket
+// Supervisor reports), determines the origin-library of the imminent
+// connection, and denies it when the library — or the destination domain —
+// is blacklisted.
+package borderpatrol
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"libspector/internal/art"
+	"libspector/internal/corpus"
+	"libspector/internal/nets"
+)
+
+// Policy is a library- and domain-granular blocking policy.
+type Policy struct {
+	// BlockedLibraryPrefixes deny any connection whose origin package
+	// equals or falls under a prefix (label-boundary semantics).
+	BlockedLibraryPrefixes []string
+	// BlockedDomains deny connections by exact destination name.
+	BlockedDomains []string
+}
+
+// Validate checks policy shape.
+func (p Policy) Validate() error {
+	for _, prefix := range p.BlockedLibraryPrefixes {
+		if prefix == "" {
+			return fmt.Errorf("borderpatrol: empty library prefix in policy")
+		}
+	}
+	for _, d := range p.BlockedDomains {
+		if d == "" {
+			return fmt.Errorf("borderpatrol: empty domain in policy")
+		}
+	}
+	return nil
+}
+
+// Violation records one denied connection.
+type Violation struct {
+	Origin string `json:"origin"`
+	Domain string `json:"domain"`
+	Port   uint16 `json:"port"`
+	Rule   string `json:"rule"`
+}
+
+// Enforcer evaluates the policy at connect time.
+type Enforcer struct {
+	policy Policy
+	filter *corpus.BuiltinFilter
+	thread *art.Thread
+
+	mu         sync.Mutex
+	violations []Violation
+}
+
+// NewEnforcer creates an enforcer reading call stacks from the runtime
+// thread.
+func NewEnforcer(policy Policy, thread *art.Thread) (*Enforcer, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if thread == nil {
+		return nil, fmt.Errorf("borderpatrol: nil runtime thread")
+	}
+	return &Enforcer{
+		policy: policy,
+		filter: corpus.NewBuiltinFilter(),
+		thread: thread,
+	}, nil
+}
+
+// Bind installs the enforcer as the stack's connect veto.
+func (e *Enforcer) Bind(stack *nets.Stack) {
+	stack.SetConnectVeto(e.check)
+}
+
+// OriginOfStack determines the origin-library of a live (untranslated)
+// call stack: the package of the chronologically first non-built-in frame
+// — the same §III-C rule attribution applies to translated reports.
+// ok is false when every frame is framework code.
+func (e *Enforcer) OriginOfStack(frames []art.Frame) (string, bool) {
+	// frames are top-first (getStackTrace order); walk bottom-up.
+	for i := len(frames) - 1; i >= 0; i-- {
+		qualified := frames[i].Qualified
+		class := qualified
+		if dot := strings.LastIndex(qualified, "."); dot > 0 {
+			class = qualified[:dot]
+		}
+		if e.filter.IsBuiltin(class) {
+			continue
+		}
+		if dot := strings.LastIndex(class, "."); dot > 0 {
+			return class[:dot], true
+		}
+		return class, true
+	}
+	return "", false
+}
+
+func (e *Enforcer) check(domain string, port uint16) error {
+	origin, hasOrigin := e.OriginOfStack(e.thread.GetStackTrace())
+	if hasOrigin && corpus.HasPrefixInList(origin, e.policy.BlockedLibraryPrefixes) {
+		e.record(Violation{Origin: origin, Domain: domain, Port: port, Rule: "library:" + origin})
+		return fmt.Errorf("borderpatrol: library %s is blacklisted", origin)
+	}
+	for _, blocked := range e.policy.BlockedDomains {
+		if domain == blocked {
+			e.record(Violation{Origin: origin, Domain: domain, Port: port, Rule: "domain:" + domain})
+			return fmt.Errorf("borderpatrol: domain %s is blacklisted", domain)
+		}
+	}
+	return nil
+}
+
+func (e *Enforcer) record(v Violation) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.violations = append(e.violations, v)
+}
+
+// Violations returns the denied connections so far.
+func (e *Enforcer) Violations() []Violation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Violation, len(e.violations))
+	copy(out, e.violations)
+	return out
+}
+
+// PolicyFromAnTList builds the blacklist the paper's measurement motivates:
+// every library on the Li et al. advertisement/tracker list.
+func PolicyFromAnTList() Policy {
+	return Policy{BlockedLibraryPrefixes: corpus.AnTPrefixes()}
+}

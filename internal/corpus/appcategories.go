@@ -1,0 +1,89 @@
+package corpus
+
+import "strings"
+
+// AppCategory is a Google Play Store application category identifier in the
+// store's canonical SCREAMING_SNAKE form (e.g. "GAME_PUZZLE").
+type AppCategory string
+
+// appCategories lists the 49 Play Store categories spanned by the paper's
+// dataset, in the order they appear on the x-axis of Figure 2 (descending
+// aggregate data transfer).
+var appCategories = []AppCategory{
+	"NEWS_AND_MAGAZINES",
+	"MUSIC_AND_AUDIO",
+	"GAME_SIMULATION",
+	"SPORTS",
+	"BOOKS_AND_REFERENCE",
+	"GAME_PUZZLE",
+	"GAME_ACTION",
+	"EDUCATION",
+	"ART_AND_DESIGN",
+	"GAME_RACING",
+	"GAME_ARCADE",
+	"GAME_ADVENTURE",
+	"PERSONALIZATION",
+	"ENTERTAINMENT",
+	"GAME_WORD",
+	"GAME_CASUAL",
+	"GAME_STRATEGY",
+	"FOOD_AND_DRINK",
+	"TOOLS",
+	"GAME_BOARD",
+	"GAME_TRIVIA",
+	"GAME_CASINO",
+	"GAME_SPORTS",
+	"VIDEO_PLAYERS",
+	"COMICS",
+	"GAME_ROLE_PLAYING",
+	"MEDICAL",
+	"GAME_CARD",
+	"LIFESTYLE",
+	"GAME_EDUCATIONAL",
+	"SHOPPING",
+	"HEALTH_AND_FITNESS",
+	"PHOTOGRAPHY",
+	"BEAUTY",
+	"TRAVEL_AND_LOCAL",
+	"LIBRARIES_AND_DEMO",
+	"WEATHER",
+	"HOUSE_AND_HOME",
+	"COMMUNICATION",
+	"EVENTS",
+	"GAME_MUSIC",
+	"SOCIAL",
+	"MAPS_AND_NAVIGATION",
+	"PRODUCTIVITY",
+	"BUSINESS",
+	"PARENTING",
+	"AUTO_AND_VEHICLES",
+	"FINANCE",
+	"DATING",
+}
+
+// AppCategories returns the 49 Play Store app categories in Figure 2 order.
+func AppCategories() []AppCategory {
+	out := make([]AppCategory, len(appCategories))
+	copy(out, appCategories)
+	return out
+}
+
+// ValidAppCategory reports whether c is one of the 49 dataset categories.
+func ValidAppCategory(c AppCategory) bool {
+	for _, ac := range appCategories {
+		if ac == c {
+			return true
+		}
+	}
+	return false
+}
+
+// IsGameCategory reports whether the category is one of the GAME_*
+// subcategories, which the paper singles out for their large initial
+// downloads (§IV-D).
+func (c AppCategory) IsGameCategory() bool {
+	return strings.HasPrefix(string(c), "GAME_")
+}
+
+// NumAppCategories is the number of Play Store categories in the dataset.
+const NumAppCategories = 49

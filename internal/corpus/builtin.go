@@ -1,0 +1,70 @@
+package corpus
+
+import "regexp"
+
+// builtinPackagePatterns are the regular-expression rules of §III-C
+// (footnote 2) that eliminate call frames belonging to Android's built-in
+// packages before origin-library attribution. They are anchored at the
+// start of the fully qualified class name.
+var builtinPackagePatterns = []string{
+	`^android\.`,
+	`^dalvik\.`,
+	`^java\.`,
+	`^javax\.`,
+	`^junit\.`,
+	`^org\.apache\.http\.`,
+	`^org\.json\.`,
+	`^org\.w3c\.dom\.`,
+	`^org\.xml\.sax\.`,
+	`^org\.xmlpull\.v1\.`,
+	// The platform's internal okhttp fork lives under com.android.okhttp
+	// (Listing 1, frames 2–10) and is framework code, not an app library.
+	// Note that com.android.volley is NOT framework code — it ships inside
+	// apps — so the rules are scoped to the okhttp fork, conscrypt, and the
+	// hidden framework internals (ZygoteInit and friends).
+	`^com\.android\.okhttp\.`,
+	`^com\.android\.org\.conscrypt\.`,
+	`^com\.android\.internal\.`,
+}
+
+// BuiltinFilter decides whether a stack frame belongs to an Android
+// built-in package and must be ignored during origin-library attribution.
+type BuiltinFilter struct {
+	rules []*regexp.Regexp
+}
+
+// NewBuiltinFilter compiles the §III-C built-in package rules.
+func NewBuiltinFilter() *BuiltinFilter {
+	rules := make([]*regexp.Regexp, 0, len(builtinPackagePatterns))
+	for _, p := range builtinPackagePatterns {
+		rules = append(rules, regexp.MustCompile(p))
+	}
+	return &BuiltinFilter{rules: rules}
+}
+
+// IsBuiltin reports whether the fully qualified class or method name (dot
+// separated, e.g. "android.os.AsyncTask$2.call") belongs to a built-in
+// package.
+func (f *BuiltinFilter) IsBuiltin(qualifiedName string) bool {
+	for _, re := range f.rules {
+		if re.MatchString(qualifiedName) {
+			return true
+		}
+	}
+	return false
+}
+
+// BuiltinPackagePatterns returns the pattern sources, for documentation and
+// report rendering.
+func BuiltinPackagePatterns() []string {
+	out := make([]string, len(builtinPackagePatterns))
+	copy(out, builtinPackagePatterns)
+	return out
+}
+
+// BuiltinOriginPrefix is the prefix of the pseudo origin-library assigned
+// to sockets whose entire (filtered) stack consists of built-in frames.
+// Figure 3 renders these as "*-<DNS domain category>", e.g.
+// "*-Advertisement" for built-in-created sockets whose endpoint is an
+// advertisement domain.
+const BuiltinOriginPrefix = "*-"

@@ -1,0 +1,167 @@
+// Package corpus holds the static world data the Libspector reproduction is
+// grounded in: the 49 Google Play app categories the paper's 25,000-app
+// dataset spans, the 13 LibRadar library categories, the 17 generic domain
+// categories of Table I together with their tokenization patterns, seed
+// third-party libraries with known categories, the Li et al. advertisement/
+// tracker (AnT) and common-library lists, and seed DNS domains.
+//
+// Everything in this package is immutable reference data; accessors return
+// copies so callers cannot mutate the shared tables.
+package corpus
+
+// LibraryCategory is a LibRadar-style third-party library category. The 13
+// values below are exactly the categories appearing in the paper's Figure 2
+// legend.
+type LibraryCategory string
+
+// Library categories (Fig. 2 legend).
+const (
+	LibAdvertisement        LibraryCategory = "Advertisement"
+	LibAppMarket            LibraryCategory = "App Market"
+	LibDevelopmentAid       LibraryCategory = "Development Aid"
+	LibDevelopmentFramework LibraryCategory = "Development Framework"
+	LibDigitalIdentity      LibraryCategory = "Digital Identity"
+	LibGUIComponent         LibraryCategory = "GUI Component"
+	LibGameEngine           LibraryCategory = "Game Engine"
+	LibMapLBS               LibraryCategory = "Map/LBS"
+	LibMobileAnalytics      LibraryCategory = "Mobile Analytics"
+	LibPayment              LibraryCategory = "Payment"
+	LibSocialNetwork        LibraryCategory = "Social Network"
+	LibUnknown              LibraryCategory = "Unknown"
+	LibUtility              LibraryCategory = "Utility"
+)
+
+// libraryCategories is ordered as in the paper's Figure 2 legend
+// (alphabetical), which the report renderers rely on.
+var libraryCategories = []LibraryCategory{
+	LibAdvertisement,
+	LibAppMarket,
+	LibDevelopmentAid,
+	LibDevelopmentFramework,
+	LibDigitalIdentity,
+	LibGUIComponent,
+	LibGameEngine,
+	LibMapLBS,
+	LibMobileAnalytics,
+	LibPayment,
+	LibSocialNetwork,
+	LibUnknown,
+	LibUtility,
+}
+
+// LibraryCategories returns all 13 library categories in report order.
+func LibraryCategories() []LibraryCategory {
+	out := make([]LibraryCategory, len(libraryCategories))
+	copy(out, libraryCategories)
+	return out
+}
+
+// ValidLibraryCategory reports whether c is one of the 13 known categories.
+func ValidLibraryCategory(c LibraryCategory) bool {
+	for _, lc := range libraryCategories {
+		if lc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainCategory is one of the 17 generic DNS domain categories of Table I.
+type DomainCategory string
+
+// Generic domain categories (Table I).
+const (
+	DomAdult            DomainCategory = "adult"
+	DomAdvertisements   DomainCategory = "advertisements"
+	DomAnalytics        DomainCategory = "analytics"
+	DomBusinessFinance  DomainCategory = "business_and_finance"
+	DomCDN              DomainCategory = "cdn"
+	DomCommunication    DomainCategory = "communication"
+	DomEducation        DomainCategory = "education"
+	DomEntertainment    DomainCategory = "entertainment"
+	DomGames            DomainCategory = "games"
+	DomHealth           DomainCategory = "health"
+	DomInfoTech         DomainCategory = "info_tech"
+	DomInternetServices DomainCategory = "internet_services"
+	DomLifestyle        DomainCategory = "lifestyle"
+	DomMalicious        DomainCategory = "malicious"
+	DomNews             DomainCategory = "news"
+	DomSocialNetworks   DomainCategory = "social_networks"
+	DomUnknown          DomainCategory = "unknown"
+)
+
+// domainCategories is ordered as in Table I.
+var domainCategories = []DomainCategory{
+	DomAdult,
+	DomAdvertisements,
+	DomAnalytics,
+	DomBusinessFinance,
+	DomCDN,
+	DomCommunication,
+	DomEducation,
+	DomEntertainment,
+	DomGames,
+	DomHealth,
+	DomInfoTech,
+	DomInternetServices,
+	DomLifestyle,
+	DomMalicious,
+	DomNews,
+	DomSocialNetworks,
+	DomUnknown,
+}
+
+// DomainCategories returns all 17 generic domain categories in Table I
+// order.
+func DomainCategories() []DomainCategory {
+	out := make([]DomainCategory, len(domainCategories))
+	copy(out, domainCategories)
+	return out
+}
+
+// ValidDomainCategory reports whether c is one of the 17 generic
+// categories.
+func ValidDomainCategory(c DomainCategory) bool {
+	for _, dc := range domainCategories {
+		if dc == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TableIDomainCount is the number of domains the paper observed in each
+// generic category (Table I, "Count" column; total 14,140). The synthetic
+// domain universe is calibrated against these proportions.
+var tableIDomainCount = map[DomainCategory]int{
+	DomAdult:            206,
+	DomAdvertisements:   1336,
+	DomAnalytics:        419,
+	DomBusinessFinance:  3394,
+	DomCDN:              77,
+	DomCommunication:    472,
+	DomEducation:        413,
+	DomEntertainment:    481,
+	DomGames:            288,
+	DomHealth:           40,
+	DomInfoTech:         1525,
+	DomInternetServices: 374,
+	DomLifestyle:        558,
+	DomMalicious:        23,
+	DomNews:             415,
+	DomSocialNetworks:   55,
+	DomUnknown:          4064,
+}
+
+// TableIDomainCounts returns a copy of the paper's Table I domain counts.
+func TableIDomainCounts() map[DomainCategory]int {
+	out := make(map[DomainCategory]int, len(tableIDomainCount))
+	for k, v := range tableIDomainCount {
+		out[k] = v
+	}
+	return out
+}
+
+// TableITotalDomains is the total number of distinct DNS domains in the
+// paper's dataset (Table I).
+const TableITotalDomains = 14140

@@ -1,0 +1,274 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoryInventories(t *testing.T) {
+	if got := len(LibraryCategories()); got != 13 {
+		t.Errorf("library categories = %d, want 13 (Figure 2 legend)", got)
+	}
+	if got := len(DomainCategories()); got != 17 {
+		t.Errorf("domain categories = %d, want 17 (Table I)", got)
+	}
+	if got := len(AppCategories()); got != NumAppCategories {
+		t.Errorf("app categories = %d, want %d", got, NumAppCategories)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	if !ValidLibraryCategory(LibAdvertisement) {
+		t.Error("LibAdvertisement should validate")
+	}
+	if ValidLibraryCategory("Bogus") {
+		t.Error("bogus library category should not validate")
+	}
+	if !ValidDomainCategory(DomCDN) {
+		t.Error("DomCDN should validate")
+	}
+	if ValidDomainCategory("bogus") {
+		t.Error("bogus domain category should not validate")
+	}
+	if !ValidAppCategory("GAME_PUZZLE") {
+		t.Error("GAME_PUZZLE should validate")
+	}
+	if ValidAppCategory("GAME_BOGUS") {
+		t.Error("GAME_BOGUS should not validate")
+	}
+}
+
+func TestTableICountsMatchPaper(t *testing.T) {
+	counts := TableIDomainCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != TableITotalDomains {
+		t.Errorf("Table I counts sum to %d, want %d", total, TableITotalDomains)
+	}
+	// Spot-check the published rows.
+	if counts[DomAdvertisements] != 1336 {
+		t.Errorf("advertisements count %d, want 1336", counts[DomAdvertisements])
+	}
+	if counts[DomCDN] != 77 {
+		t.Errorf("cdn count %d, want 77", counts[DomCDN])
+	}
+	if counts[DomUnknown] != 4064 {
+		t.Errorf("unknown count %d, want 4064", counts[DomUnknown])
+	}
+}
+
+func TestIsGameCategory(t *testing.T) {
+	if !AppCategory("GAME_CASINO").IsGameCategory() {
+		t.Error("GAME_CASINO is a game category")
+	}
+	if AppCategory("TOOLS").IsGameCategory() {
+		t.Error("TOOLS is not a game category")
+	}
+}
+
+func TestTokenizerTableIExamples(t *testing.T) {
+	tok := NewTokenizer()
+	cases := []struct {
+		raw  string
+		want DomainCategory
+	}{
+		{"adult content", DomAdult},
+		{"Gambling", DomAdult},
+		{"web advertising", DomAdvertisements},
+		{"marketing services", DomAdvertisements},
+		{"analytics", DomAnalytics},
+		{"business", DomBusinessFinance},
+		{"online banking", DomBusinessFinance},
+		{"content delivery", DomCDN},
+		{"web proxy", DomCDN},
+		{"dns service", DomCDN},
+		{"chat", DomCommunication},
+		{"im clients", DomCommunication},
+		{"education", DomEducation},
+		{"reference materials", DomEducation},
+		{"streaming media", DomEntertainment},
+		{"sport", DomEntertainment},
+		{"game network", DomGames},
+		{"health and medication", DomHealth},
+		{"information technology", DomInfoTech},
+		{"computersandsoftware", DomInfoTech},
+		{"web hosting", DomInternetServices},
+		{"search engines", DomInternetServices},
+		{"parked domain", DomInternetServices},
+		{"travel blog", DomLifestyle},
+		{"malicious site", DomMalicious},
+		{"compromised host", DomMalicious},
+		{"news and media", DomNews},
+		{"social networks", DomSocialNetworks},
+		{"uncategorized", DomUnknown},
+		{"", DomUnknown},
+		{"completely novel label", DomUnknown},
+	}
+	for _, tc := range cases {
+		if got := tok.Tokenize(tc.raw); got != tc.want {
+			t.Errorf("Tokenize(%q) = %s, want %s", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizerRowOrderPrecedence(t *testing.T) {
+	tok := NewTokenizer()
+	// "dating" appears in the adult row, which precedes everything else.
+	if got := tok.Tokenize("dating"); got != DomAdult {
+		t.Errorf("Tokenize(dating) = %s, want adult (first matching row wins)", got)
+	}
+	// "im" must match as a whole word only.
+	if got := tok.Tokenize("animation studio"); got == DomCommunication {
+		t.Error("'animation' must not match the \\bim\\b communication token")
+	}
+}
+
+// TestVendorVocabularyRecoverable guards the synthetic oracle: every
+// vendor label in a category's vocabulary must tokenize back to that
+// category, otherwise domain categorization silently drifts (a real bug
+// this test caught for "dynamic content" → cdn).
+func TestVendorVocabularyRecoverable(t *testing.T) {
+	tok := NewTokenizer()
+	for _, cat := range DomainCategories() {
+		for _, label := range VendorVocabulary(cat) {
+			if got := tok.Tokenize(label); got != cat {
+				t.Errorf("vocabulary label %q of %s tokenizes to %s", label, cat, got)
+			}
+		}
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.MajorityVote([]string{"ads", "web advertising", "uncategorized", "chat", "marketing"})
+	if got != DomAdvertisements {
+		t.Errorf("majority vote = %s, want advertisements", got)
+	}
+	if got := tok.MajorityVote(nil); got != DomUnknown {
+		t.Errorf("empty vote = %s, want unknown", got)
+	}
+	// Ties break in Table I row order.
+	got = tok.MajorityVote([]string{"ads", "chat"})
+	if got != DomAdvertisements {
+		t.Errorf("tie vote = %s, want advertisements (earlier row)", got)
+	}
+}
+
+func TestPatternFor(t *testing.T) {
+	if PatternFor(DomAnalytics) != "analytics" {
+		t.Errorf("PatternFor(analytics) = %q", PatternFor(DomAnalytics))
+	}
+	if PatternFor(DomUnknown) != "" {
+		t.Error("unknown category has no pattern")
+	}
+}
+
+func TestBuiltinFilterFootnote2(t *testing.T) {
+	f := NewBuiltinFilter()
+	builtins := []string{
+		"android.os.AsyncTask$2.call",
+		"dalvik.system.DexClassLoader",
+		"java.util.concurrent.FutureTask.run",
+		"javax.net.ssl.SSLSocketFactory",
+		"junit.framework.TestCase",
+		"org.apache.http.client.HttpClient",
+		"org.json.JSONObject",
+		"org.w3c.dom.Document",
+		"org.xml.sax.XMLReader",
+		"org.xmlpull.v1.XmlPullParser",
+		"com.android.okhttp.internal.Platform.connectSocket",
+		"com.android.org.conscrypt.OpenSSLSocketImpl",
+		"com.android.internal.os.ZygoteInit.main",
+	}
+	for _, name := range builtins {
+		if !f.IsBuiltin(name) {
+			t.Errorf("IsBuiltin(%q) = false, want true", name)
+		}
+	}
+	notBuiltins := []string{
+		"com.android.volley.NetworkDispatcher.run", // ships inside apps
+		"com.unity3d.ads.android.cache.b.doInBackground",
+		"okhttp3.internal.http.RealInterceptorChain.proceed",
+		"androidx.core.view.ViewCompat", // androidx is a support library, not android.*
+		"org.jsoup.Jsoup",
+	}
+	for _, name := range notBuiltins {
+		if f.IsBuiltin(name) {
+			t.Errorf("IsBuiltin(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestHasPrefixInList(t *testing.T) {
+	list := []string{"com.unity3d.ads", "com.flurry"}
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"com.unity3d.ads", true},
+		{"com.unity3d.ads.android.cache", true},
+		{"com.unity3d.adsx", false}, // not a label boundary
+		{"com.unity3d", false},
+		{"com.flurry.sdk", true},
+		{"", false},
+	}
+	for _, tc := range cases {
+		if got := HasPrefixInList(tc.pkg, list); got != tc.want {
+			t.Errorf("HasPrefixInList(%q) = %v, want %v", tc.pkg, got, tc.want)
+		}
+	}
+}
+
+func TestSeedLibrariesWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, lib := range SeedLibraries() {
+		if lib.Prefix == "" {
+			t.Fatal("seed library with empty prefix")
+		}
+		if !ValidLibraryCategory(lib.Category) {
+			t.Errorf("seed %s has invalid category %q", lib.Prefix, lib.Category)
+		}
+		if seen[lib.Prefix] {
+			t.Errorf("duplicate seed prefix %s", lib.Prefix)
+		}
+		seen[lib.Prefix] = true
+	}
+}
+
+func TestAnTListDisjointFromAccessorMutation(t *testing.T) {
+	a := AnTPrefixes()
+	a[0] = "mutated"
+	b := AnTPrefixes()
+	if b[0] == "mutated" {
+		t.Error("AnTPrefixes must return a copy")
+	}
+	c := CommonLibraryPrefixes()
+	c[0] = "mutated"
+	if CommonLibraryPrefixes()[0] == "mutated" {
+		t.Error("CommonLibraryPrefixes must return a copy")
+	}
+}
+
+func TestBuiltinPatternsAnchored(t *testing.T) {
+	for _, p := range BuiltinPackagePatterns() {
+		if !strings.HasPrefix(p, "^") {
+			t.Errorf("pattern %q is not anchored", p)
+		}
+	}
+}
+
+func TestSeedDomainsWellFormed(t *testing.T) {
+	for _, d := range SeedDomains() {
+		if d.Name == "" || !ValidDomainCategory(d.Category) {
+			t.Errorf("malformed seed domain %+v", d)
+		}
+	}
+}
+
+func TestVendorCount(t *testing.T) {
+	if VendorCount != 5 {
+		t.Errorf("VendorCount = %d; the paper aggregates five vendors", VendorCount)
+	}
+}

@@ -1,0 +1,165 @@
+package corpus
+
+// SeedDomain is a DNS domain with its ground-truth generic category in the
+// synthetic world. The VirusTotal-style oracle derives noisy multi-vendor
+// labels from the ground truth; the Table I tokenizer recovers categories
+// from those labels.
+type SeedDomain struct {
+	Name     string
+	Category DomainCategory
+}
+
+// seedDomains anchors each generic category with recognizable real-world
+// style names; the synthetic world extends each category to its Table I
+// proportion with generated names.
+var seedDomains = []SeedDomain{
+	{"doubleclick.example.net", DomAdvertisements},
+	{"googlesyndication.example.com", DomAdvertisements},
+	{"adservice.example.com", DomAdvertisements},
+	{"unityads.example.net", DomAdvertisements},
+	{"vungle-cdn.example.com", DomAdvertisements},
+	{"chartboost.example.com", DomAdvertisements},
+	{"applovin.example.com", DomAdvertisements},
+	{"mopub.example.com", DomAdvertisements},
+
+	{"google-analytics.example.com", DomAnalytics},
+	{"crashlytics.example.com", DomAnalytics},
+	{"mixpanel.example.com", DomAnalytics},
+	{"appsflyer.example.com", DomAnalytics},
+	{"flurry.example.com", DomAnalytics},
+
+	{"cloudfront.example.net", DomCDN},
+	{"akamaihd.example.net", DomCDN},
+	{"fastly.example.net", DomCDN},
+	{"edgecast.example.net", DomCDN},
+	{"cdninstagram.example.com", DomCDN},
+	{"gvt1.example.com", DomCDN},
+
+	{"paypal.example.com", DomBusinessFinance},
+	{"stripe.example.com", DomBusinessFinance},
+	{"shopify.example.com", DomBusinessFinance},
+	{"chasebank.example.com", DomBusinessFinance},
+
+	{"gmail.example.com", DomCommunication},
+	{"whatsapp.example.net", DomCommunication},
+	{"discordapp.example.com", DomCommunication},
+
+	{"khanacademy.example.org", DomEducation},
+	{"coursera.example.org", DomEducation},
+
+	{"netflix.example.com", DomEntertainment},
+	{"twitch.example.tv", DomEntertainment},
+	{"spotify.example.com", DomEntertainment},
+
+	{"supercell.example.com", DomGames},
+	{"king.example.com", DomGames},
+	{"gameloft.example.com", DomGames},
+	{"unity3d.example.com", DomGames},
+
+	{"webmd.example.com", DomHealth},
+	{"myfitnesspal.example.com", DomHealth},
+
+	{"stackoverflow.example.com", DomInfoTech},
+	{"github.example.com", DomInfoTech},
+	{"firebaseio.example.com", DomInfoTech},
+
+	{"amazonaws.example.com", DomInternetServices},
+	{"googleapis.example.com", DomInternetServices},
+	{"bitly.example.com", DomInternetServices},
+
+	{"pinterest.example.com", DomLifestyle},
+	{"tripadvisor.example.com", DomLifestyle},
+	{"yelp.example.com", DomLifestyle},
+
+	{"malware-sink.example.org", DomMalicious},
+	{"botnet-c2.example.org", DomMalicious},
+
+	{"cnn.example.com", DomNews},
+	{"reuters.example.com", DomNews},
+	{"buzzfeed.example.com", DomNews},
+
+	{"facebook.example.com", DomSocialNetworks},
+	{"twitter.example.com", DomSocialNetworks},
+	{"vk.example.com", DomSocialNetworks},
+
+	{"tinder.example.com", DomAdult},
+	{"badoo.example.com", DomAdult},
+
+	{"xj3k9f.example.net", DomUnknown},
+	{"trkqz.example.io", DomUnknown},
+}
+
+// SeedDomains returns a copy of the seed domain list.
+func SeedDomains() []SeedDomain {
+	out := make([]SeedDomain, len(seedDomains))
+	copy(out, seedDomains)
+	return out
+}
+
+// vendorVocabulary lists, per generic category, the raw category labels
+// that security vendors plausibly return for a domain of that category.
+// Every label matches the category's Table I pattern, so tokenization can
+// recover the ground truth; the oracle mixes in cross-category noise to
+// exercise majority voting.
+var vendorVocabulary = map[DomainCategory][]string{
+	DomAdult:            {"adult content", "dating", "gambling", "personals", "alcohol and tobacco"},
+	DomAdvertisements:   {"ads", "advertisements", "web advertising", "marketing", "ad exposure network"},
+	DomAnalytics:        {"analytics", "web analytics", "traffic analytics"},
+	DomBusinessFinance:  {"business", "finance", "financial services", "shopping", "banking", "online trading", "real estate", "professional services"},
+	DomCDN:              {"content delivery", "content server", "delivery network", "dns service", "web proxy"},
+	DomCommunication:    {"chat", "web mail", "im clients", "radio and tv", "forum", "telephony", "web portal", "file sharing portal"},
+	DomEducation:        {"education", "educational institutions", "reference materials"},
+	DomEntertainment:    {"entertainment", "sport", "streaming media", "videos"},
+	DomGames:            {"games", "game network", "game sites"},
+	DomHealth:           {"health", "health and medication", "nutrition"},
+	DomInfoTech:         {"information technology", "computersandsoftware", "technology vendor"},
+	DomInternetServices: {"web hosting", "search engines", "online storage", "download site", "infrastructure", "security services", "government", "parked domain"},
+	DomLifestyle:        {"blogs", "hobbies", "lifestyle", "travel", "cultural institutions", "restaurants", "vehicles", "society events"},
+	DomMalicious:        {"malicious site", "infected host", "bot network", "not recommended site", "hacking", "compromised", "illegal site"},
+	DomNews:             {"news", "news and media", "tabloids", "journals"},
+	DomSocialNetworks:   {"social networks", "social web"},
+	DomUnknown:          {"uncategorized", "miscellaneous", "n/a", "other"},
+}
+
+// VendorVocabulary returns a copy of the raw label vocabulary for the
+// generic category.
+func VendorVocabulary(c DomainCategory) []string {
+	labels := vendorVocabulary[c]
+	out := make([]string, len(labels))
+	copy(out, labels)
+	return out
+}
+
+// VendorCount is the number of cybersecurity vendors the VirusTotal-style
+// oracle aggregates (§III-F: "five different cybersecurity companies").
+const VendorCount = 5
+
+// domainNameStems feeds the synthetic domain-name generator.
+var domainNameStems = map[DomainCategory][]string{
+	DomAdult:            {"date", "match", "flirt", "spin", "vice"},
+	DomAdvertisements:   {"ad", "banner", "promo", "click", "impression", "bid"},
+	DomAnalytics:        {"metric", "track", "stat", "telemetry", "insight"},
+	DomBusinessFinance:  {"pay", "bank", "shop", "trade", "market", "invoice", "estate"},
+	DomCDN:              {"edge", "cache", "static", "origin", "cdn"},
+	DomCommunication:    {"chat", "mail", "msg", "call", "voice"},
+	DomEducation:        {"learn", "study", "tutor", "course", "exam"},
+	DomEntertainment:    {"stream", "video", "show", "music", "tube"},
+	DomGames:            {"game", "play", "arcade", "quest", "pixel"},
+	DomHealth:           {"health", "fit", "med", "care", "vital"},
+	DomInfoTech:         {"api", "dev", "cloud", "data", "code"},
+	DomInternetServices: {"host", "dns", "link", "store", "search"},
+	DomLifestyle:        {"life", "travel", "food", "style", "home"},
+	DomMalicious:        {"free-prize", "sys-update", "win-now", "verify-account"},
+	DomNews:             {"news", "daily", "press", "herald", "times"},
+	DomSocialNetworks:   {"social", "friend", "connect", "share", "feed"},
+	DomUnknown:          {"srv", "node", "host", "zone", "relay"},
+}
+
+// DomainNameStems returns a copy of the name stems for generated domains of
+// a category.
+func DomainNameStems(c DomainCategory) []string {
+	stems := domainNameStems[c]
+	out := make([]string, len(stems))
+	copy(out, stems)
+	return out
+}

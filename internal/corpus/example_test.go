@@ -1,0 +1,42 @@
+package corpus_test
+
+import (
+	"fmt"
+
+	"libspector/internal/corpus"
+)
+
+// ExampleTokenizer demonstrates the Table I tokenization of raw vendor
+// labels into generic domain categories.
+func ExampleTokenizer() {
+	tok := corpus.NewTokenizer()
+	fmt.Println(tok.Tokenize("content delivery"))
+	fmt.Println(tok.Tokenize("web advertising"))
+	fmt.Println(tok.Tokenize("some novel label"))
+	// Output:
+	// cdn
+	// advertisements
+	// unknown
+}
+
+// ExampleTokenizer_majorityVote shows the §III-F multi-vendor resolution.
+func ExampleTokenizer_majorityVote() {
+	tok := corpus.NewTokenizer()
+	labels := []string{"ads", "marketing", "uncategorized", "chat", "web advertising"}
+	fmt.Println(tok.MajorityVote(labels))
+	// Output:
+	// advertisements
+}
+
+// ExampleBuiltinFilter shows the §III-C built-in package rules on the
+// frames of the paper's Listing 1.
+func ExampleBuiltinFilter() {
+	f := corpus.NewBuiltinFilter()
+	fmt.Println(f.IsBuiltin("android.os.AsyncTask$2.call"))
+	fmt.Println(f.IsBuiltin("com.android.okhttp.internal.Platform"))
+	fmt.Println(f.IsBuiltin("com.unity3d.ads.android.cache.b"))
+	// Output:
+	// true
+	// true
+	// false
+}

@@ -1,0 +1,277 @@
+package corpus
+
+// SeedLibrary is a third-party library known to the LibRadar-style category
+// database: a Java package prefix plus the category LibRadar assigns it.
+type SeedLibrary struct {
+	Prefix   string
+	Category LibraryCategory
+}
+
+// seedLibraries is the category database seeded from LibRadar output over
+// the corpus (§III-D). Prefixes mirror the real-world libraries named in
+// the paper (unity3d, vungle, chartboost, okhttp3, volley, picasso, glide,
+// whispersync, …) plus the common libraries of Li et al. The synthetic app
+// generator embeds these packages in apps; LibRadar detection and the
+// longest-matching-prefix rule operate on this table.
+var seedLibraries = []SeedLibrary{
+	// Advertisement.
+	{"com.google.android.gms.ads", LibAdvertisement},
+	{"com.google.android.gms.internal.ads", LibAdvertisement},
+	{"com.google.ads", LibAdvertisement},
+	{"com.unity3d.ads", LibAdvertisement},
+	{"com.vungle.publisher", LibAdvertisement},
+	{"com.vungle.warren", LibAdvertisement},
+	{"com.chartboost.sdk", LibAdvertisement},
+	{"com.applovin.impl.sdk", LibAdvertisement},
+	{"com.applovin.adview", LibAdvertisement},
+	{"com.ironsource.sdk", LibAdvertisement},
+	{"com.ironsource.mediationsdk", LibAdvertisement},
+	{"com.adcolony.sdk", LibAdvertisement},
+	{"com.mopub.mobileads", LibAdvertisement},
+	{"com.mopub.nativeads", LibAdvertisement},
+	{"com.inmobi.ads", LibAdvertisement},
+	{"com.millennialmedia", LibAdvertisement},
+	{"com.tapjoy", LibAdvertisement},
+	{"com.facebook.ads", LibAdvertisement},
+	{"com.startapp.android.publish", LibAdvertisement},
+	{"com.heyzap.sdk.ads", LibAdvertisement},
+	{"com.smaato.soma", LibAdvertisement},
+	{"com.mobfox.sdk", LibAdvertisement},
+	{"net.pubnative.library", LibAdvertisement},
+	{"com.amazon.device.ads", LibAdvertisement},
+	{"com.fyber.ads", LibAdvertisement},
+	{"com.my.target.ads", LibAdvertisement},
+	{"com.yandex.mobile.ads", LibAdvertisement},
+	{"com.duapps.ad", LibAdvertisement},
+
+	// Mobile analytics / trackers.
+	{"com.google.android.gms.analytics", LibMobileAnalytics},
+	{"com.google.firebase.analytics", LibMobileAnalytics},
+	{"com.flurry.android", LibMobileAnalytics},
+	{"com.flurry.sdk", LibMobileAnalytics},
+	{"com.crashlytics.android", LibMobileAnalytics},
+	{"io.fabric.sdk.android", LibMobileAnalytics},
+	{"com.mixpanel.android", LibMobileAnalytics},
+	{"com.amplitude.api", LibMobileAnalytics},
+	{"com.appsflyer", LibMobileAnalytics},
+	{"com.adjust.sdk", LibMobileAnalytics},
+	{"com.umeng.analytics", LibMobileAnalytics},
+	{"com.localytics.android", LibMobileAnalytics},
+	{"com.segment.analytics", LibMobileAnalytics},
+	{"com.kochava.base", LibMobileAnalytics},
+	{"io.branch.referral", LibMobileAnalytics},
+	{"com.comscore.analytics", LibMobileAnalytics},
+
+	// Development aid.
+	{"okhttp3", LibDevelopmentAid},
+	{"okhttp3.internal", LibDevelopmentAid},
+	{"okio", LibDevelopmentAid},
+	{"retrofit2", LibDevelopmentAid},
+	{"com.squareup.picasso", LibDevelopmentAid},
+	{"com.squareup.okhttp", LibDevelopmentAid},
+	{"com.bumptech.glide", LibDevelopmentAid},
+	{"com.bumptech.glide.load.engine", LibDevelopmentAid},
+	{"com.android.volley", LibDevelopmentAid},
+	{"com.nostra13.universalimageloader", LibDevelopmentAid},
+	{"com.loopj.android.http", LibDevelopmentAid},
+	{"com.google.gson", LibDevelopmentAid},
+	{"com.google.firebase", LibDevelopmentAid},
+	{"com.google.android.gms.common", LibDevelopmentAid},
+	{"com.google.android.gms.internal", LibDevelopmentAid},
+	{"com.google.android.gms.tasks", LibDevelopmentAid},
+	{"com.amazon.whispersync", LibDevelopmentAid},
+	{"com.amazon.identity", LibDevelopmentAid},
+	{"org.greenrobot.eventbus", LibDevelopmentAid},
+	{"io.reactivex", LibDevelopmentAid},
+	{"rx.internal", LibDevelopmentAid},
+	{"com.fasterxml.jackson", LibDevelopmentAid},
+	{"org.apache.commons", LibDevelopmentAid},
+	{"com.jakewharton.retrofit", LibDevelopmentAid},
+	{"com.koushikdutta.async", LibDevelopmentAid},
+	{"com.github.kevinsawicki.http", LibDevelopmentAid},
+
+	// Game engines.
+	{"com.unity3d.player", LibGameEngine},
+	{"com.unity3d.services", LibGameEngine},
+	{"com.unity3d", LibGameEngine},
+	{"com.badlogic.gdx", LibGameEngine},
+	{"org.cocos2dx.lib", LibGameEngine},
+	{"org.cocos2dx.javascript", LibGameEngine},
+	{"com.gameloft.android", LibGameEngine},
+	{"com.ansca.corona", LibGameEngine},
+	{"com.godot.game", LibGameEngine},
+	{"org.libsdl.app", LibGameEngine},
+	{"com.epicgames.ue4", LibGameEngine},
+
+	// GUI components.
+	{"uk.co.senab.photoview", LibGUIComponent},
+	{"com.astuetz.pagerslidingtabstrip", LibGUIComponent},
+	{"com.viewpagerindicator", LibGUIComponent},
+	{"com.handmark.pulltorefresh", LibGUIComponent},
+	{"com.github.chrisbanes.photoview", LibGUIComponent},
+	{"pl.droidsonroids.gif", LibGUIComponent},
+	{"com.airbnb.lottie", LibGUIComponent},
+	{"com.makeramen.roundedimageview", LibGUIComponent},
+	{"de.hdodenhof.circleimageview", LibGUIComponent},
+	{"com.daimajia.slider.library", LibGUIComponent},
+
+	// Social networks.
+	{"com.facebook.internal", LibSocialNetwork},
+	{"com.facebook.login", LibSocialNetwork},
+	{"com.facebook.share", LibSocialNetwork},
+	{"com.twitter.sdk.android", LibSocialNetwork},
+	{"com.vk.sdk", LibSocialNetwork},
+	{"com.tencent.mm.opensdk", LibSocialNetwork},
+	{"com.sina.weibo.sdk", LibSocialNetwork},
+	{"com.kakao.auth", LibSocialNetwork},
+
+	// Payment.
+	{"com.paypal.android.sdk", LibPayment},
+	{"com.stripe.android", LibPayment},
+	{"com.braintreepayments.api", LibPayment},
+	{"com.android.billingclient", LibPayment},
+	{"com.amazon.device.iap", LibPayment},
+	{"com.samsung.android.sdk.iap", LibPayment},
+
+	// Digital identity.
+	{"com.google.android.gms.auth", LibDigitalIdentity},
+	{"com.google.android.gms.signin", LibDigitalIdentity},
+	{"com.facebook.accountkit", LibDigitalIdentity},
+	{"com.firebase.ui.auth", LibDigitalIdentity},
+	{"com.auth0.android", LibDigitalIdentity},
+
+	// Map / location-based services.
+	{"com.google.android.gms.maps", LibMapLBS},
+	{"com.google.android.gms.location", LibMapLBS},
+	{"com.baidu.mapapi", LibMapLBS},
+	{"com.amap.api", LibMapLBS},
+	{"com.mapbox.mapboxsdk", LibMapLBS},
+	{"com.here.android.mpa", LibMapLBS},
+
+	// App market.
+	{"com.unity3d.plugin.downloader", LibAppMarket},
+	{"com.android.vending.expansion.downloader", LibAppMarket},
+	{"com.google.android.vending.licensing", LibAppMarket},
+	{"com.amazon.venezia", LibAppMarket},
+
+	// Development frameworks.
+	{"org.apache.cordova", LibDevelopmentFramework},
+	{"com.adobe.phonegap", LibDevelopmentFramework},
+	{"io.ionic.keyboard", LibDevelopmentFramework},
+	{"org.xwalk.core", LibDevelopmentFramework},
+	{"com.facebook.react", LibDevelopmentFramework},
+	{"io.flutter.embedding", LibDevelopmentFramework},
+
+	// Utility.
+	{"com.jakewharton.timber", LibUtility},
+	{"net.sqlcipher.database", LibUtility},
+	{"org.acra", LibUtility},
+	{"com.evernote.android.job", LibUtility},
+	{"com.liulishuo.filedownloader", LibUtility},
+	{"com.tonyodev.fetch", LibUtility},
+	{"net.hockeyapp.android", LibUtility},
+	{"com.getkeepsafe.relinker", LibUtility},
+	{"bestdict.common", LibUtility},
+}
+
+// SeedLibraries returns a copy of the seeded category database.
+func SeedLibraries() []SeedLibrary {
+	out := make([]SeedLibrary, len(seedLibraries))
+	copy(out, seedLibraries)
+	return out
+}
+
+// antPrefixes is the advertisement-and-tracker (AnT) library list in the
+// style of Li et al. [23], used for the Figure 6 prevalence analysis.
+// A library is AnT if its package name falls under one of these prefixes.
+var antPrefixes = []string{
+	"com.google.android.gms.ads",
+	"com.google.android.gms.internal.ads",
+	"com.google.ads",
+	"com.unity3d.ads",
+	"com.vungle",
+	"com.chartboost",
+	"com.applovin",
+	"com.ironsource",
+	"com.adcolony",
+	"com.mopub",
+	"com.inmobi",
+	"com.millennialmedia",
+	"com.tapjoy",
+	"com.facebook.ads",
+	"com.startapp",
+	"com.heyzap",
+	"com.smaato",
+	"com.mobfox",
+	"net.pubnative",
+	"com.amazon.device.ads",
+	"com.fyber",
+	"com.my.target",
+	"com.yandex.mobile.ads",
+	"com.duapps.ad",
+	"com.flurry",
+	"com.crashlytics",
+	"io.fabric",
+	"com.mixpanel",
+	"com.amplitude",
+	"com.appsflyer",
+	"com.adjust",
+	"com.umeng",
+	"com.localytics",
+	"com.segment.analytics",
+	"com.kochava",
+	"io.branch",
+	"com.comscore",
+	"com.google.android.gms.analytics",
+	"com.google.firebase.analytics",
+}
+
+// AnTPrefixes returns the advertisement/tracker package-prefix list.
+func AnTPrefixes() []string {
+	out := make([]string, len(antPrefixes))
+	copy(out, antPrefixes)
+	return out
+}
+
+// commonLibraryPrefixes is the "most common libraries" (CL) list of
+// Li et al. [23]: the libraries most frequently embedded across apps,
+// irrespective of purpose. Used alongside AnT for Figure 6.
+var commonLibraryPrefixes = []string{
+	"com.google.android.gms",
+	"com.google.firebase",
+	"com.google.gson",
+	"okhttp3",
+	"okio",
+	"retrofit2",
+	"com.squareup.picasso",
+	"com.bumptech.glide",
+	"com.android.volley",
+	"com.nostra13.universalimageloader",
+	"com.facebook",
+	"org.apache.commons",
+	"io.reactivex",
+	"com.fasterxml.jackson",
+	"com.loopj.android.http",
+	"org.greenrobot.eventbus",
+}
+
+// CommonLibraryPrefixes returns the Li et al. common-library prefix list.
+func CommonLibraryPrefixes() []string {
+	out := make([]string, len(commonLibraryPrefixes))
+	copy(out, commonLibraryPrefixes)
+	return out
+}
+
+// HasPrefixInList reports whether the dotted package name pkg equals one of
+// the prefixes or falls under it as a subpackage (prefix followed by '.').
+func HasPrefixInList(pkg string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkg == p {
+			return true
+		}
+		if len(pkg) > len(p) && pkg[:len(p)] == p && pkg[len(p)] == '.' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"regexp"
+	"strings"
+)
+
+// tokenPatterns reproduces Table I: the hand-curated word lists (compiled as
+// regular-expression alternations) that map a raw vendor-supplied domain
+// category string onto one of the 17 generic categories. Order matters: the
+// first generic category whose pattern matches wins a token vote, and the
+// row order below is the row order of Table I.
+//
+// The word lists are verbatim from the paper. Note "im" in communication is
+// anchored as a whole word to avoid matching inside e.g. "animation".
+var tokenPatterns = []struct {
+	category DomainCategory
+	pattern  string
+}{
+	{DomAdult, `adult|sex|obscene|personals|dating|porn|violence|lingerie|marijuana|alcohol|gambling`},
+	{DomAdvertisements, `ads|advert|marketing|exposure`},
+	{DomAnalytics, `analytics`},
+	{DomBusinessFinance, `busines|financ|shop|bank|trading|estate|auctions|professional`},
+	{DomCDN, `proxy|dns|content|delivery`},
+	{DomCommunication, `\bim\b|chat|mail|text|radio|tv|forum|telephony|portal|file`},
+	{DomEducation, `education|reference`},
+	{DomEntertainment, `entertainment|sport|videos|streaming|pay-to-surf`},
+	{DomGames, `game`},
+	{DomHealth, `health|medication|nutrition`},
+	{DomInfoTech, `information|technology|computersandsoftware|dynamic content`},
+	{DomInternetServices, `hosting|url-shortening|search|download|collaboration|parked|online|infrastructure|storage|security|surveillance|government`},
+	{DomLifestyle, `blog|hobbies|lifestyle|travel|cultur|religi|politic|restaurant|vehicles|philanthropic|event|advice`},
+	{DomMalicious, `malicious|infected|bot|not recommended|illegal|hack|compromised|suspicious content`},
+	{DomNews, `news|tabloids|journals`},
+	{DomSocialNetworks, `social`},
+	// DomUnknown has no pattern: it is the fallback for "all remaining".
+}
+
+// Tokenizer maps raw vendor category labels (as returned by the
+// VirusTotal-style oracle) to the generic categories of Table I, and
+// resolves multi-vendor disagreement by majority vote — the methodology of
+// §III-F, modeled on AVClass.
+type Tokenizer struct {
+	rules []tokenRule
+}
+
+type tokenRule struct {
+	category DomainCategory
+	re       *regexp.Regexp
+}
+
+// NewTokenizer compiles the Table I pattern table.
+func NewTokenizer() *Tokenizer {
+	rules := make([]tokenRule, 0, len(tokenPatterns))
+	for _, tp := range tokenPatterns {
+		rules = append(rules, tokenRule{
+			category: tp.category,
+			re:       regexp.MustCompile(tp.pattern),
+		})
+	}
+	return &Tokenizer{rules: rules}
+}
+
+// Tokenize maps one raw vendor category label onto a generic category.
+// Labels that match no pattern fall into DomUnknown ("all remaining").
+func (t *Tokenizer) Tokenize(raw string) DomainCategory {
+	lowered := strings.ToLower(strings.TrimSpace(raw))
+	if lowered == "" {
+		return DomUnknown
+	}
+	for _, rule := range t.rules {
+		if rule.re.MatchString(lowered) {
+			return rule.category
+		}
+	}
+	return DomUnknown
+}
+
+// MajorityVote tokenizes every vendor label and returns the most frequent
+// generic category. Ties break in Table I row order (the order generic
+// categories were defined), matching a deterministic reading of §III-F.
+// An empty label list yields DomUnknown.
+func (t *Tokenizer) MajorityVote(rawLabels []string) DomainCategory {
+	if len(rawLabels) == 0 {
+		return DomUnknown
+	}
+	votes := make(map[DomainCategory]int, len(rawLabels))
+	for _, raw := range rawLabels {
+		votes[t.Tokenize(raw)]++
+	}
+	best := DomUnknown
+	bestVotes := -1
+	for _, cat := range domainCategories {
+		if v := votes[cat]; v > bestVotes {
+			best = cat
+			bestVotes = v
+		}
+	}
+	return best
+}
+
+// PatternFor returns the Table I regular-expression source for a generic
+// category, or "" for DomUnknown (which has no pattern).
+func PatternFor(c DomainCategory) string {
+	for _, tp := range tokenPatterns {
+		if tp.category == c {
+			return tp.pattern
+		}
+	}
+	return ""
+}

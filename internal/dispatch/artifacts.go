@@ -1,0 +1,245 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"libspector/internal/apk"
+	"libspector/internal/attribution"
+	"libspector/internal/corpus"
+	"libspector/internal/dex"
+	"libspector/internal/nets"
+	"libspector/internal/xposed"
+)
+
+// Artifact persistence: the paper's workers send each run's packet capture
+// and method trace "to a central database for later evaluation" (§II-B3).
+// ArtifactStore materializes that database on disk so experiments can be
+// re-analyzed offline — different heuristics, same raw evidence.
+//
+// Layout (one directory per run, keyed by apk sha256):
+//
+//	<dir>/<sha>/app.apk       — the exact apk under analysis
+//	<dir>/<sha>/capture.pcap  — the emulator's packet capture
+//	<dir>/<sha>/reports.bin   — length-prefixed supervisor datagrams
+//	<dir>/<sha>/trace.txt     — Method Monitor trace (one signature/line)
+//	<dir>/<sha>/meta.json     — run metadata
+
+// RunMeta is the per-run metadata record.
+type RunMeta struct {
+	Package    string             `json:"package"`
+	SHA256     string             `json:"sha256"`
+	Category   corpus.AppCategory `json:"category"`
+	Events     int                `json:"monkey_events"`
+	RecordedAt time.Time          `json:"recorded_at"`
+}
+
+// ArtifactStore reads and writes run artifacts under a root directory.
+type ArtifactStore struct {
+	dir string
+}
+
+// NewArtifactStore creates the root directory if needed.
+func NewArtifactStore(dir string) (*ArtifactStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("dispatch: empty artifact directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dispatch: creating artifact dir: %w", err)
+	}
+	return &ArtifactStore{dir: dir}, nil
+}
+
+// Dir returns the store root.
+func (s *ArtifactStore) Dir() string { return s.dir }
+
+// Save persists one run's raw evidence.
+func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports [][]byte, trace map[string]struct{}) error {
+	if meta.SHA256 == "" {
+		return fmt.Errorf("dispatch: artifact save without sha")
+	}
+	runDir := filepath.Join(s.dir, meta.SHA256)
+	if err := os.MkdirAll(runDir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: creating run dir: %w", err)
+	}
+	metaJSON, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dispatch: marshaling meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(runDir, "meta.json"), metaJSON, 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(runDir, "app.apk"), apkBytes, 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing apk: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(runDir, "capture.pcap"), capture, 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing capture: %w", err)
+	}
+
+	var reports bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	for _, raw := range rawReports {
+		n := binary.PutUvarint(scratch[:], uint64(len(raw)))
+		reports.Write(scratch[:n])
+		reports.Write(raw)
+	}
+	if err := os.WriteFile(filepath.Join(runDir, "reports.bin"), reports.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing reports: %w", err)
+	}
+
+	sigs := make([]string, 0, len(trace))
+	for sig := range trace {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	var traceBuf bytes.Buffer
+	for _, sig := range sigs {
+		traceBuf.WriteString(sig)
+		traceBuf.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(runDir, "trace.txt"), traceBuf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("dispatch: writing trace: %w", err)
+	}
+	return nil
+}
+
+// List returns the stored run checksums, sorted.
+func (s *ArtifactStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: listing artifacts: %w", err)
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) == 64 {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// StoredRun is one run loaded back from disk.
+type StoredRun struct {
+	Meta    RunMeta
+	APK     *apk.APK
+	Capture []byte
+	Reports []*xposed.Report
+	Trace   map[string]struct{}
+}
+
+// Load reads one run's artifacts back.
+func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
+	runDir := filepath.Join(s.dir, sha)
+	metaJSON, err := os.ReadFile(filepath.Join(runDir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading meta: %w", err)
+	}
+	run := &StoredRun{}
+	if err := json.Unmarshal(metaJSON, &run.Meta); err != nil {
+		return nil, fmt.Errorf("dispatch: parsing meta: %w", err)
+	}
+	if run.Meta.SHA256 != sha {
+		return nil, fmt.Errorf("dispatch: meta sha %s does not match directory %s", run.Meta.SHA256, sha)
+	}
+
+	apkBytes, err := os.ReadFile(filepath.Join(runDir, "app.apk"))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading apk: %w", err)
+	}
+	if got := apk.Checksum(apkBytes); got != sha {
+		return nil, fmt.Errorf("dispatch: stored apk checksum %s does not match %s", got, sha)
+	}
+	if run.APK, err = apk.Decode(apkBytes); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding stored apk: %w", err)
+	}
+
+	if run.Capture, err = os.ReadFile(filepath.Join(runDir, "capture.pcap")); err != nil {
+		return nil, fmt.Errorf("dispatch: reading capture: %w", err)
+	}
+
+	reportBytes, err := os.ReadFile(filepath.Join(runDir, "reports.bin"))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading reports: %w", err)
+	}
+	r := bytes.NewReader(reportBytes)
+	for r.Len() > 0 {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: reading report length: %w", err)
+		}
+		if n > uint64(r.Len()) {
+			return nil, fmt.Errorf("dispatch: report length %d exceeds remaining %d bytes", n, r.Len())
+		}
+		raw := make([]byte, n)
+		if _, err := r.Read(raw); err != nil {
+			return nil, fmt.Errorf("dispatch: reading report body: %w", err)
+		}
+		rep, err := xposed.DecodeReport(raw)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: decoding stored report: %w", err)
+		}
+		run.Reports = append(run.Reports, rep)
+	}
+
+	traceFile, err := os.Open(filepath.Join(runDir, "trace.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: opening trace: %w", err)
+	}
+	defer func() { _ = traceFile.Close() }()
+	run.Trace = make(map[string]struct{})
+	sc := bufio.NewScanner(traceFile)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			run.Trace[line] = struct{}{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dispatch: scanning trace: %w", err)
+	}
+	return run, nil
+}
+
+// Reanalyze runs the offline analysis over every stored run — the "later
+// evaluation" half of the paper's pipeline, decoupled from execution.
+func (s *ArtifactStore) Reanalyze(attributor *attribution.Attributor) ([]*attribution.RunResult, error) {
+	if attributor == nil {
+		return nil, fmt.Errorf("dispatch: nil attributor")
+	}
+	shas, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*attribution.RunResult, 0, len(shas))
+	for _, sha := range shas {
+		stored, err := s.Load(sha)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: loading %s: %w", sha, err)
+		}
+		run, err := attributor.AnalyzeRun(attribution.RunInput{
+			AppSHA:        stored.Meta.SHA256,
+			AppPackage:    stored.Meta.Package,
+			AppCategory:   stored.Meta.Category,
+			Capture:       bytes.NewReader(stored.Capture),
+			Reports:       stored.Reports,
+			Trace:         stored.Trace,
+			Disassembly:   dex.DisassembleFile(stored.APK.Dex),
+			LocalAddr:     nets.DefaultLocalAddr,
+			CollectorAddr: nets.DefaultCollectorAddr,
+			CollectorPort: nets.DefaultCollectorPort,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: reanalyzing %s: %w", sha, err)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package dispatch_test
+
+import (
+	"testing"
+
+	"libspector/internal/dispatch"
+)
+
+func TestArtifactStoreRoundTrip(t *testing.T) {
+	world := smallWorld(t, 51, 6)
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := newAttributor(t, 51, world)
+	res, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+		Emulator:   shortOpts(51),
+		BaseSeed:   51,
+		Attributor: attr,
+		Artifacts:  store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shas, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shas) != len(res.Runs) {
+		t.Fatalf("stored %d runs, executed %d", len(shas), len(res.Runs))
+	}
+
+	// Load one run back and verify integrity.
+	stored, err := store.Load(shas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Meta.SHA256 != shas[0] || stored.APK == nil || len(stored.Capture) == 0 {
+		t.Error("stored run incomplete")
+	}
+	if len(stored.Reports) == 0 || len(stored.Trace) == 0 {
+		t.Error("stored reports/trace empty")
+	}
+
+	// Re-analysis from disk must reproduce the live results exactly.
+	replayed, err := store.Reanalyze(newAttributor(t, 51, world))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != len(res.Runs) {
+		t.Fatalf("replayed %d runs, want %d", len(replayed), len(res.Runs))
+	}
+	bySHA := make(map[string]int64)
+	for _, run := range res.Runs {
+		for _, f := range run.Flows {
+			bySHA[run.AppSHA] += f.TotalBytes()
+		}
+	}
+	for _, run := range replayed {
+		var total int64
+		for _, f := range run.Flows {
+			total += f.TotalBytes()
+		}
+		if total != bySHA[run.AppSHA] {
+			t.Errorf("replayed volume for %s = %d, live = %d", run.AppPackage, total, bySHA[run.AppSHA])
+		}
+		if run.Join.UnmatchedFlows != 0 || run.Join.ChecksumMismatch != 0 {
+			t.Errorf("replayed join anomalies: %+v", run.Join)
+		}
+		if run.Coverage.TotalMethods == 0 || run.Coverage.ExecutedMethods == 0 {
+			t.Errorf("replayed coverage empty for %s", run.AppPackage)
+		}
+	}
+}
+
+func TestArtifactStoreValidation(t *testing.T) {
+	if _, err := dispatch.NewArtifactStore(""); err == nil {
+		t.Error("empty dir should fail")
+	}
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(dispatch.RunMeta{}, nil, nil, nil, nil); err == nil {
+		t.Error("save without sha should fail")
+	}
+	if _, err := store.Load("doesnotexist"); err == nil {
+		t.Error("loading a missing run should fail")
+	}
+	if _, err := store.Reanalyze(nil); err == nil {
+		t.Error("nil attributor should fail")
+	}
+	shas, err := store.List()
+	if err != nil || len(shas) != 0 {
+		t.Errorf("empty store List = %v, %v", shas, err)
+	}
+}

@@ -1,0 +1,123 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"libspector/internal/xposed"
+)
+
+// Collector is the central data-collection server: a real UDP listener
+// that receives Socket Supervisor datagrams from the worker fleet and
+// groups decoded reports by apk checksum (§II-A).
+type Collector struct {
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	bySHA     map[string][]*xposed.Report
+	total     int
+	malformed int
+}
+
+// NewCollector starts a collector on an ephemeral loopback port.
+func NewCollector() (*Collector, error) {
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: starting collector: %w", err)
+	}
+	c := &Collector{conn: conn, bySHA: make(map[string][]*xposed.Report)}
+	c.wg.Add(1)
+	go c.receiveLoop()
+	return c, nil
+}
+
+func (c *Collector) receiveLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket ends the loop.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		report, err := xposed.DecodeReport(payload)
+		c.mu.Lock()
+		if err != nil {
+			c.malformed++
+		} else {
+			c.bySHA[report.APKSHA256] = append(c.bySHA[report.APKSHA256], report)
+			c.total++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Addr returns the collector's UDP address.
+func (c *Collector) Addr() *net.UDPAddr {
+	addr, ok := c.conn.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		return nil
+	}
+	return addr
+}
+
+// ReportsFor returns the reports received for an apk checksum.
+func (c *Collector) ReportsFor(sha string) []*xposed.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reports := c.bySHA[sha]
+	out := make([]*xposed.Report, len(reports))
+	copy(out, reports)
+	return out
+}
+
+// Totals reports (received, malformed) datagram counts.
+func (c *Collector) Totals() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total, c.malformed
+}
+
+// Close stops the receive loop and releases the socket.
+func (c *Collector) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// Client is a worker-side sender toward the collector.
+type Client struct {
+	conn *net.UDPConn
+}
+
+// NewClient dials the collector.
+func NewClient(addr *net.UDPAddr) (*Client, error) {
+	if addr == nil {
+		return nil, fmt.Errorf("dispatch: nil collector address")
+	}
+	conn, err := net.DialUDP("udp4", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: dialing collector: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send ships one datagram payload.
+func (c *Client) Send(payload []byte) error {
+	if _, err := c.conn.Write(payload); err != nil {
+		return fmt.Errorf("dispatch: sending report: %w", err)
+	}
+	return nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,201 @@
+package dispatch
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"libspector/internal/apk"
+	"libspector/internal/dex"
+	"libspector/internal/pcap"
+	"libspector/internal/xposed"
+)
+
+// encodeTestAPK builds a minimal valid apk for store tests.
+func encodeTestAPK(t *testing.T, pkg string, version int, dexDate time.Time) (StoreEntry, string) {
+	t.Helper()
+	d := dex.NewFile(dexDate)
+	if err := d.AddMethod(dex.Method{Class: pkg + ".Main", Name: "onCreate", Return: "V"}); err != nil {
+		t.Fatal(err)
+	}
+	// Add a version marker method so different versions encode differently.
+	if err := d.AddMethod(dex.Method{Class: pkg + ".Main", Name: "v", Params: make([]string, 0), Return: versionDescriptor(version)}); err != nil {
+		t.Fatal(err)
+	}
+	a := &apk.APK{
+		Manifest: apk.Manifest{
+			Package: pkg, VersionCode: version, Category: "TOOLS",
+			MainActivity: pkg + ".Main",
+		},
+		Dex:     d,
+		DexDate: dexDate,
+	}
+	encoded, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return StoreEntry{
+		Package: pkg,
+		Encoded: encoded,
+		SHA256:  apk.Checksum(encoded),
+		DexDate: dexDate,
+	}, apk.Checksum(encoded)
+}
+
+func versionDescriptor(v int) string {
+	if v%2 == 0 {
+		return "I"
+	}
+	return "J"
+}
+
+func TestStoreSelectionLatestDexDate(t *testing.T) {
+	s := NewStore()
+	older, _ := encodeTestAPK(t, "com.app", 1, time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC))
+	newer, newerSHA := encodeTestAPK(t, "com.app", 2, time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err := s.Put(older); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(newer); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Select("com.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA256 != newerSHA {
+		t.Error("Select should prefer the latest dex timestamp (§III-A)")
+	}
+	if s.VersionCount("com.app") != 2 {
+		t.Errorf("VersionCount = %d", s.VersionCount("com.app"))
+	}
+}
+
+func TestStoreSelectionDefaultDexDateFallsBackToVTScan(t *testing.T) {
+	s := NewStore()
+	a, _ := encodeTestAPK(t, "com.app", 1, dex.DefaultDexTime)
+	a.VTScanDate = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	b, bSHA := encodeTestAPK(t, "com.app", 2, dex.DefaultDexTime)
+	b.VTScanDate = time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Select("com.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA256 != bSHA {
+		t.Error("default dex dates should fall back to the latest VT scan (§III-A)")
+	}
+}
+
+func TestStoreSelectionRealDexDateBeatsDefault(t *testing.T) {
+	s := NewStore()
+	defDate, _ := encodeTestAPK(t, "com.app", 1, dex.DefaultDexTime)
+	defDate.VTScanDate = time.Date(2019, 12, 1, 0, 0, 0, 0, time.UTC)
+	real, realSHA := encodeTestAPK(t, "com.app", 2, time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err := s.Put(defDate); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(real); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Select("com.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA256 != realSHA {
+		t.Error("a real dex date beats any default-dated version")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(StoreEntry{}); err == nil {
+		t.Error("empty entry should fail")
+	}
+	if err := s.Put(StoreEntry{Package: "x", Encoded: []byte("junk")}); err == nil {
+		t.Error("undecodable apk should fail")
+	}
+	entry, _ := encodeTestAPK(t, "com.app", 1, time.Now())
+	entry.SHA256 = "wrong"
+	if err := s.Put(entry); err == nil {
+		t.Error("checksum mismatch should fail")
+	}
+	entry, _ = encodeTestAPK(t, "com.app", 1, time.Now())
+	entry.Package = "com.other"
+	if err := s.Put(entry); err == nil {
+		t.Error("package mismatch should fail")
+	}
+	if _, err := s.Select("com.ghost"); err == nil {
+		t.Error("selecting a missing package should fail")
+	}
+	if got := s.Packages(); len(got) != 0 {
+		t.Errorf("Packages = %v, want empty", got)
+	}
+}
+
+func TestCollectorReceivesAndGroupsReports(t *testing.T) {
+	c, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	client, err := NewClient(c.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	report := &xposed.Report{
+		APKSHA256:   "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff",
+		Tuple:       testTupleForCollector(),
+		ConnectedAt: time.Now().UTC(),
+		StackTrace:  []string{"java.net.Socket.connect", "com.app.X.load"},
+	}
+	payload, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := client.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Malformed datagram must be counted, not crash the loop.
+	if err := client.Send([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total, malformed := c.Totals()
+		if total == 5 && malformed == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector totals = %d/%d, want 5/1", total, malformed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := c.ReportsFor(report.APKSHA256)
+	if len(got) != 5 {
+		t.Fatalf("ReportsFor = %d reports", len(got))
+	}
+	if got[0].Tuple != report.Tuple {
+		t.Error("collected report tuple differs")
+	}
+	if len(c.ReportsFor("unknownsha")) != 0 {
+		t.Error("unknown sha should have no reports")
+	}
+}
+
+func testTupleForCollector() pcap.FourTuple {
+	return pcap.FourTuple{
+		SrcIP: netip.AddrFrom4([4]byte{10, 0, 2, 15}), SrcPort: 40000,
+		DstIP: netip.AddrFrom4([4]byte{198, 18, 0, 1}), DstPort: 80,
+	}
+}

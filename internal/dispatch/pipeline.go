@@ -1,0 +1,290 @@
+package dispatch
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"libspector/internal/attribution"
+	"libspector/internal/dex"
+	"libspector/internal/emulator"
+	"libspector/internal/libradar"
+	"libspector/internal/nets"
+	"libspector/internal/synth"
+)
+
+// AppSource supplies the corpus to analyze. synth.World implements it.
+type AppSource interface {
+	NumApps() int
+	GenerateApp(i int) (*synth.App, error)
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Workers is the parallel worker count (0 = GOMAXPROCS).
+	Workers int
+	// Emulator is the per-run option template; each worker derives its
+	// monkey seed from BaseSeed plus the app index.
+	Emulator emulator.Options
+	// BaseSeed differentiates per-app monkey streams.
+	BaseSeed uint64
+	// UseCollector routes supervisor reports through a real loopback UDP
+	// collector instead of in-process delivery, and attributes from the
+	// collector's copy.
+	UseCollector bool
+	// UseStore round-trips every apk through the database server (put,
+	// §III-A select, decode) before running it.
+	UseStore bool
+	// Detector receives per-app package observations for the LibRadar
+	// detection pass; may be nil.
+	Detector *libradar.Detector
+	// Attributor performs per-run offline analysis. Required.
+	Attributor *attribution.Attributor
+	// Artifacts, when non-nil, persists every run's raw evidence (apk,
+	// capture, reports, trace) for later offline re-analysis (§II-B3).
+	Artifacts *ArtifactStore
+	// ContinueOnError keeps the fleet running when individual app runs
+	// fail (a large-scale necessity: the paper's 25,000-app campaign
+	// cannot abort on one bad apk). Failures are reported in
+	// Result.Failures instead.
+	ContinueOnError bool
+}
+
+// RunFailure records one failed app run in ContinueOnError mode.
+type RunFailure struct {
+	AppIndex int
+	Err      error
+}
+
+// Result aggregates a fleet run.
+type Result struct {
+	Runs           []*attribution.RunResult
+	SkippedARMOnly int
+	// Failures holds per-app errors when ContinueOnError is set.
+	Failures []RunFailure
+	// CollectorReports / CollectorMalformed are the collector's datagram
+	// totals when UseCollector is set.
+	CollectorReports   int
+	CollectorMalformed int
+	// Elapsed is the wall-clock duration of the fleet run.
+	Elapsed time.Duration
+}
+
+// RunAll exercises every app in the source across the worker fleet and
+// returns the per-run attribution results in app-index order.
+func RunAll(source AppSource, resolver nets.Resolver, cfg Config) (*Result, error) {
+	if source == nil {
+		return nil, fmt.Errorf("dispatch: nil app source")
+	}
+	if resolver == nil {
+		return nil, fmt.Errorf("dispatch: nil resolver")
+	}
+	if cfg.Attributor == nil {
+		return nil, fmt.Errorf("dispatch: config needs an attributor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var collector *Collector
+	if cfg.UseCollector {
+		var err error
+		collector, err = NewCollector()
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = collector.Close() }()
+	}
+	var store *Store
+	if cfg.UseStore {
+		store = NewStore()
+	}
+
+	numApps := source.NumApps()
+	runs := make([]*attribution.RunResult, numApps)
+	skipped := make([]bool, numApps)
+	errs := make([]error, numApps)
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var client *Client
+			if collector != nil {
+				var err error
+				client, err = NewClient(collector.Addr())
+				if err != nil {
+					// Mark all remaining jobs failed via the shared error
+					// below; simplest is to consume and record.
+					for i := range jobs {
+						errs[i] = err
+					}
+					return
+				}
+				defer func() { _ = client.Close() }()
+			}
+			for i := range jobs {
+				run, skip, err := runOne(source, resolver, cfg, store, collector, client, i)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				skipped[i] = skip
+				runs[i] = run
+			}
+		}()
+	}
+	for i := 0; i < numApps; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Elapsed: time.Since(start)}
+	for i := 0; i < numApps; i++ {
+		if errs[i] != nil {
+			if cfg.ContinueOnError {
+				res.Failures = append(res.Failures, RunFailure{AppIndex: i, Err: errs[i]})
+				continue
+			}
+			return nil, fmt.Errorf("dispatch: app %d: %w", i, errs[i])
+		}
+		if skipped[i] {
+			res.SkippedARMOnly++
+			continue
+		}
+		res.Runs = append(res.Runs, runs[i])
+	}
+	if collector != nil {
+		res.CollectorReports, res.CollectorMalformed = collector.Totals()
+	}
+	return res, nil
+}
+
+// runOne executes the full per-app worker job: pull the apk, filter by
+// ABI, feed the LibRadar pass, exercise in the emulator, and run offline
+// attribution.
+func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i int) (*attribution.RunResult, bool, error) {
+	app, err := source.GenerateApp(i)
+	if err != nil {
+		return nil, false, fmt.Errorf("generating app: %w", err)
+	}
+	encoded := app.Encoded
+	sha := app.SHA256
+	pack := app.APK
+	if store != nil {
+		// Round-trip through the database server: put, select (§III-A),
+		// decode, and verify integrity.
+		entry := StoreEntry{
+			Package:    pack.Manifest.Package,
+			Encoded:    encoded,
+			SHA256:     sha,
+			DexDate:    pack.DexDate,
+			VTScanDate: pack.VTScanDate,
+		}
+		if err := store.Put(entry); err != nil {
+			return nil, false, err
+		}
+		selected, err := store.Select(pack.Manifest.Package)
+		if err != nil {
+			return nil, false, err
+		}
+		if selected.SHA256 != sha {
+			return nil, false, fmt.Errorf("store selected unexpected version of %s", pack.Manifest.Package)
+		}
+	}
+	// ABI filter (§III-A): Libspector supports x86-compatible apps only.
+	if !pack.SupportsX86() {
+		return nil, true, nil
+	}
+	if cfg.Detector != nil {
+		if err := cfg.Detector.ObserveApp(pack.Manifest.Package, app.Program.Dex.Packages()); err != nil {
+			return nil, false, err
+		}
+	}
+
+	opts := cfg.Emulator
+	opts.Seed = cfg.BaseSeed + uint64(i)*2654435761
+	if client != nil {
+		opts.ReportSink = client.Send
+	}
+	arts, err := emulator.Run(emulator.Installation{Program: app.Program, APKSHA256: sha}, resolver, opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("emulator run: %w", err)
+	}
+	if arts.HookErrors > 0 {
+		return nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
+	}
+
+	if cfg.Artifacts != nil {
+		meta := RunMeta{
+			Package:    pack.Manifest.Package,
+			SHA256:     sha,
+			Category:   pack.Manifest.Category,
+			Events:     arts.EventsInjected,
+			RecordedAt: time.Now().UTC(),
+		}
+		if err := cfg.Artifacts.Save(meta, encoded, arts.CaptureBytes, arts.RawReports, arts.Trace); err != nil {
+			return nil, false, err
+		}
+	}
+
+	reports := arts.Reports
+	if collector != nil {
+		// Wait for the collector to drain this app's datagrams; UDP on
+		// loopback is reliable but asynchronous.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got := collector.ReportsFor(sha)
+			if len(got) >= len(arts.RawReports) {
+				reports = got
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, false, fmt.Errorf("collector received %d of %d reports for %s",
+					len(got), len(arts.RawReports), pack.Manifest.Package)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	run, err := cfg.Attributor.AnalyzeRun(attribution.RunInput{
+		AppSHA:        sha,
+		AppPackage:    pack.Manifest.Package,
+		AppCategory:   pack.Manifest.Category,
+		Capture:       bytes.NewReader(arts.CaptureBytes),
+		Reports:       reports,
+		Trace:         arts.Trace,
+		Disassembly:   dex.DisassembleFile(app.Program.Dex),
+		LocalAddr:     nets.DefaultLocalAddr,
+		CollectorAddr: nets.DefaultCollectorAddr,
+		CollectorPort: nets.DefaultCollectorPort,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return run, false, nil
+}
+
+// RunOne exercises a single app of the corpus outside the fleet and
+// returns its attribution result. ARM-only apps (excluded by the §III-A
+// filter) yield an error.
+func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*attribution.RunResult, error) {
+	if cfg.Attributor == nil {
+		return nil, fmt.Errorf("dispatch: config needs an attributor")
+	}
+	run, skipped, err := runOne(source, resolver, cfg, nil, nil, nil, index)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
+	}
+	if skipped {
+		return nil, fmt.Errorf("dispatch: app %d ships only ARM native libraries (excluded by the ABI filter)", index)
+	}
+	return run, nil
+}

@@ -1,0 +1,227 @@
+package dispatch_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"libspector/internal/attribution"
+	"libspector/internal/dispatch"
+	"libspector/internal/emulator"
+	"libspector/internal/synth"
+	"libspector/internal/vtclient"
+)
+
+// shortOpts keeps fleet tests fast.
+func shortOpts(seed uint64) emulator.Options {
+	opts := emulator.DefaultOptions(seed)
+	opts.Monkey.Events = 120
+	return opts
+}
+
+func smallWorld(t testing.TB, seed uint64, apps int) *synth.World {
+	t.Helper()
+	cfg := synth.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumApps = apps
+	world, err := synth.NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+func newAttributor(t testing.TB, seed uint64, world *synth.World) *attribution.Attributor {
+	t.Helper()
+	svc, err := vtclient.NewService(vtclient.NewOracle(seed, world.DomainTruth()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return attribution.NewAttributor(svc)
+}
+
+func TestRunAllBasic(t *testing.T) {
+	world := smallWorld(t, 31, 12)
+	res, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+		Emulator:   shortOpts(31),
+		BaseSeed:   31,
+		Attributor: newAttributor(t, 31, world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs)+res.SkippedARMOnly != 12 {
+		t.Errorf("runs %d + skipped %d != 12", len(res.Runs), res.SkippedARMOnly)
+	}
+	for _, run := range res.Runs {
+		if run.AppSHA == "" || run.AppPackage == "" {
+			t.Error("run missing identity")
+		}
+		if run.Coverage.TotalMethods == 0 {
+			t.Error("run missing coverage")
+		}
+		if run.Join.UnmatchedReports != 0 || run.Join.ChecksumMismatch != 0 {
+			t.Errorf("join anomalies for %s: %+v", run.AppPackage, run.Join)
+		}
+	}
+}
+
+func TestRunAllDeterminism(t *testing.T) {
+	run := func() []string {
+		world := smallWorld(t, 33, 8)
+		res, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+			Workers:    4,
+			Emulator:   shortOpts(33),
+			BaseSeed:   33,
+			Attributor: newAttributor(t, 33, world),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shas := make([]string, 0, len(res.Runs))
+		for _, r := range res.Runs {
+			shas = append(shas, r.AppSHA)
+		}
+		return shas
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("run %d sha differs across identical fleets", i)
+		}
+	}
+}
+
+// TestRunAllWithCollectorAndStore exercises the real-UDP collector path
+// and the database-server round trip together: attribution must consume
+// the collector's copy of the reports and produce the same joins as the
+// in-process path.
+func TestRunAllWithCollectorAndStore(t *testing.T) {
+	world := smallWorld(t, 35, 8)
+	inProcess, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+		Emulator:   shortOpts(35),
+		BaseSeed:   35,
+		Attributor: newAttributor(t, 35, world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	world2 := smallWorld(t, 35, 8)
+	viaCollector, err := dispatch.RunAll(world2, world2.Resolver, dispatch.Config{
+		Emulator:     shortOpts(35),
+		BaseSeed:     35,
+		UseCollector: true,
+		UseStore:     true,
+		Attributor:   newAttributor(t, 35, world2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCollector.CollectorMalformed != 0 {
+		t.Errorf("collector saw %d malformed datagrams", viaCollector.CollectorMalformed)
+	}
+	if viaCollector.CollectorReports == 0 {
+		t.Error("collector received no reports")
+	}
+	if len(inProcess.Runs) != len(viaCollector.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(inProcess.Runs), len(viaCollector.Runs))
+	}
+	for i := range inProcess.Runs {
+		a, b := inProcess.Runs[i], viaCollector.Runs[i]
+		if a.AppSHA != b.AppSHA {
+			t.Fatalf("run %d app differs", i)
+		}
+		if a.Join.MatchedFlows != b.Join.MatchedFlows {
+			t.Errorf("run %d matched flows differ: %d vs %d", i, a.Join.MatchedFlows, b.Join.MatchedFlows)
+		}
+		if len(a.Flows) != len(b.Flows) {
+			t.Errorf("run %d flow counts differ: %d vs %d", i, len(a.Flows), len(b.Flows))
+		}
+	}
+}
+
+func TestRunAllValidation(t *testing.T) {
+	world := smallWorld(t, 36, 2)
+	if _, err := dispatch.RunAll(nil, world.Resolver, dispatch.Config{Attributor: newAttributor(t, 36, world)}); err == nil {
+		t.Error("nil source should fail")
+	}
+	if _, err := dispatch.RunAll(world, nil, dispatch.Config{Attributor: newAttributor(t, 36, world)}); err == nil {
+		t.Error("nil resolver should fail")
+	}
+	if _, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{}); err == nil {
+		t.Error("missing attributor should fail")
+	}
+}
+
+func TestRunOneSingleApp(t *testing.T) {
+	world := smallWorld(t, 37, 6)
+	cfg := dispatch.Config{
+		Emulator:   shortOpts(37),
+		BaseSeed:   37,
+		Attributor: newAttributor(t, 37, world),
+	}
+	var ran bool
+	for i := 0; i < 6; i++ {
+		run, err := dispatch.RunOne(world, world.Resolver, cfg, i)
+		if err != nil {
+			// ARM-only apps are rejected with a descriptive error.
+			continue
+		}
+		ran = true
+		if run.AppPackage == "" || len(run.Flows) == 0 {
+			t.Errorf("app %d: empty run result", i)
+		}
+	}
+	if !ran {
+		t.Error("no app ran successfully")
+	}
+}
+
+// failingSource wraps a world and fails generation for one index.
+type failingSource struct {
+	*synth.World
+	failIdx int
+}
+
+func (f *failingSource) GenerateApp(i int) (*synth.App, error) {
+	if i == f.failIdx {
+		return nil, errFailInjected
+	}
+	return f.World.GenerateApp(i)
+}
+
+var errFailInjected = fmt.Errorf("injected generation failure")
+
+func TestRunAllContinueOnError(t *testing.T) {
+	world := smallWorld(t, 39, 6)
+	src := &failingSource{World: world, failIdx: 2}
+	cfg := dispatch.Config{
+		Emulator:        shortOpts(39),
+		BaseSeed:        39,
+		Attributor:      newAttributor(t, 39, world),
+		ContinueOnError: true,
+	}
+	res, err := dispatch.RunAll(src, world.Resolver, cfg)
+	if err != nil {
+		t.Fatalf("ContinueOnError fleet aborted: %v", err)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].AppIndex != 2 {
+		t.Errorf("failures = %+v, want app 2", res.Failures)
+	}
+	if !errors.Is(res.Failures[0].Err, errFailInjected) {
+		t.Errorf("failure cause = %v", res.Failures[0].Err)
+	}
+	if len(res.Runs)+res.SkippedARMOnly != 5 {
+		t.Errorf("runs %d + skipped %d != 5", len(res.Runs), res.SkippedARMOnly)
+	}
+
+	// Without ContinueOnError the same failure aborts the fleet.
+	cfg.ContinueOnError = false
+	if _, err := dispatch.RunAll(src, world.Resolver, cfg); err == nil {
+		t.Error("strict mode should abort on failure")
+	}
+}

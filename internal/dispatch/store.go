@@ -1,0 +1,123 @@
+// Package dispatch implements the paper's data-collection framework
+// (§II-B3): a database server holding the apk corpus, a job dispatcher
+// fanning app runs out to parallel workers, and the central UDP collection
+// server the Socket Supervisor reports to.
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"libspector/internal/apk"
+	"libspector/internal/dex"
+)
+
+// StoreEntry is one apk version in the database, with the AndroZoo
+// metadata the selection policy of §III-A uses.
+type StoreEntry struct {
+	Package    string
+	Encoded    []byte
+	SHA256     string
+	DexDate    time.Time
+	VTScanDate time.Time
+}
+
+// Store is the apk database server. Multiple versions of a package may
+// coexist (AndroZoo keeps several); Select applies the paper's policy.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string][]StoreEntry
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string][]StoreEntry)}
+}
+
+// Put validates and adds one apk version. The encoded bytes are decoded to
+// verify integrity and the checksum is recomputed server-side.
+func (s *Store) Put(e StoreEntry) error {
+	if e.Package == "" {
+		return fmt.Errorf("dispatch: store entry has empty package")
+	}
+	if len(e.Encoded) == 0 {
+		return fmt.Errorf("dispatch: store entry %s has no apk bytes", e.Package)
+	}
+	decoded, err := apk.Decode(e.Encoded)
+	if err != nil {
+		return fmt.Errorf("dispatch: store entry %s does not decode: %w", e.Package, err)
+	}
+	if decoded.Manifest.Package != e.Package {
+		return fmt.Errorf("dispatch: store entry package %s does not match manifest %s",
+			e.Package, decoded.Manifest.Package)
+	}
+	if sum := apk.Checksum(e.Encoded); e.SHA256 != "" && e.SHA256 != sum {
+		return fmt.Errorf("dispatch: store entry %s checksum mismatch", e.Package)
+	} else if e.SHA256 == "" {
+		e.SHA256 = sum
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[e.Package] = append(s.entries[e.Package], e)
+	return nil
+}
+
+// Select returns the apk version to analyze for a package, per §III-A:
+// the latest dex timestamp wins; among versions with the default (1980)
+// dex timestamp, the most recent VirusTotal scan wins.
+func (s *Store) Select(pkg string) (StoreEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.entries[pkg]
+	if len(versions) == 0 {
+		return StoreEntry{}, fmt.Errorf("dispatch: package %s not in store", pkg)
+	}
+	best := versions[0]
+	for _, v := range versions[1:] {
+		if betterEntry(v, best) {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// betterEntry implements the §III-A ordering.
+func betterEntry(a, b StoreEntry) bool {
+	aDefault := isDefaultDexDate(a.DexDate)
+	bDefault := isDefaultDexDate(b.DexDate)
+	switch {
+	case !aDefault && !bDefault:
+		return a.DexDate.After(b.DexDate)
+	case !aDefault:
+		return true
+	case !bDefault:
+		return false
+	default:
+		return a.VTScanDate.After(b.VTScanDate)
+	}
+}
+
+func isDefaultDexDate(t time.Time) bool {
+	return t.IsZero() || t.Equal(dex.DefaultDexTime)
+}
+
+// Packages lists the stored package names, sorted.
+func (s *Store) Packages() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.entries))
+	for pkg := range s.entries {
+		out = append(out, pkg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VersionCount reports how many versions of a package are stored.
+func (s *Store) VersionCount(pkg string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries[pkg])
+}

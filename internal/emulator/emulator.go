@@ -1,0 +1,315 @@
+// Package emulator composes the substrates into one analysis device: a
+// fresh Android-image equivalent per run (same user profile and device
+// IDs, no account logins — §II-B3), the app under test, the monkey
+// exerciser, the Xposed Socket Supervisor, the Method Monitor profiler,
+// and the network stack with full packet capture.
+package emulator
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"libspector/internal/art"
+	"libspector/internal/borderpatrol"
+	"libspector/internal/monkey"
+	"libspector/internal/nets"
+	"libspector/internal/pcap"
+	"libspector/internal/sim"
+	"libspector/internal/xposed"
+)
+
+// DefaultInstrumentationDelay is the paper's measured worst-case
+// per-request packet delay introduced by the supervisor (0.5 ms, §II-B3).
+const DefaultInstrumentationDelay = 500 * time.Microsecond
+
+// Installation is an app installed on the device: its executable program
+// plus the apk checksum the supervisor embeds in reports.
+type Installation struct {
+	Program   *art.Program
+	APKSHA256 string
+}
+
+// Options parameterize one run.
+type Options struct {
+	// Monkey is the exerciser configuration (paper: 1,000 events, 500 ms).
+	Monkey monkey.Config
+	// Seed drives the monkey's event stream.
+	Seed uint64
+	// Instrumented attaches the Socket Supervisor; disable to measure the
+	// uninstrumented baseline (E3).
+	Instrumented bool
+	// ProfilerMode selects the Method Monitor buffer behaviour; zero
+	// value defaults to the paper's unique-method modification.
+	ProfilerMode art.ProfilerMode
+	// ProfilerCapacity applies to the bounded mode.
+	ProfilerCapacity int
+	// Capture receives the pcap stream; nil uses an in-memory buffer
+	// returned in the artifacts.
+	Capture io.Writer
+	// ReportSink optionally forwards supervisor datagrams to an external
+	// collector (e.g. the dispatch package's UDP collector).
+	ReportSink func(payload []byte) error
+	// Policy optionally installs a BorderPatrol-style enforcement policy;
+	// connections it denies are dropped (the app sees them fail) and
+	// counted, without aborting the run (§IV-E).
+	Policy *borderpatrol.Policy
+	// StartTime anchors the virtual clock.
+	StartTime time.Time
+	// PacketLatency is the virtual per-packet latency.
+	PacketLatency time.Duration
+	// InstrumentationDelay overrides the per-connect hook cost; zero uses
+	// DefaultInstrumentationDelay.
+	InstrumentationDelay time.Duration
+}
+
+// DefaultOptions mirrors the paper's experimental setup.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Monkey:       monkey.DefaultConfig(),
+		Seed:         seed,
+		Instrumented: true,
+		ProfilerMode: art.ProfilerUnique,
+		StartTime:    time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Artifacts is everything one run produces for offline analysis.
+type Artifacts struct {
+	// CaptureBytes holds the pcap when no external capture writer was
+	// given.
+	CaptureBytes []byte
+	// Reports are the decoded supervisor reports (empty when not
+	// instrumented).
+	Reports []*xposed.Report
+	// RawReports are the datagram payloads as sent on the wire.
+	RawReports [][]byte
+	// Trace is the Method Monitor's unique-method signature set.
+	Trace map[string]struct{}
+	// NetStats are the stack's cumulative wire counters.
+	NetStats nets.Stats
+	// EventsInjected is the number of monkey events delivered.
+	EventsInjected int
+	// VirtualDuration is how much device time the run spanned.
+	VirtualDuration time.Duration
+	// HookErrors counts supervisor failures (should be zero).
+	HookErrors int
+	// BlockedConnections counts dials denied by the enforcement policy.
+	BlockedConnections int64
+	// Violations are the policy denials, when a policy was installed.
+	Violations []borderpatrol.Violation
+	// Profiler exposes invocation counters for the ablation benchmarks.
+	ProfilerUniqueMethods  int
+	ProfilerTotalCalls     int64
+	ProfilerDroppedEntries int64
+}
+
+// netPerformer executes network actions on the simulated stack. HTTP flows
+// (port 80) carry a parseable request with Host and User-Agent headers;
+// HTTPS flows (port 443) carry an opaque TLS-like payload the network-only
+// baselines cannot inspect.
+type netPerformer struct {
+	stack *nets.Stack
+}
+
+var _ art.NetworkPerformer = (*netPerformer)(nil)
+
+func (p *netPerformer) Perform(_ *art.Thread, action art.NetworkAction) error {
+	if action.UDPExchange {
+		return p.stack.ExchangeUDP(action.Domain, action.Port, action.RequestBytes, int(action.ResponseBytes))
+	}
+	conn, err := p.stack.Dial(action.Domain, action.Port)
+	if err != nil {
+		// Policy denials are a normal runtime condition: the library sees
+		// a failed connection and the app keeps running.
+		if errors.Is(err, nets.ErrBlocked) {
+			return nil
+		}
+		return err
+	}
+	var request []byte
+	if action.Port == 443 {
+		request = tlsLikePayload(action.RequestBytes)
+	} else {
+		body := 0
+		if action.HTTPMethod == "POST" {
+			body = action.RequestBytes
+		}
+		request = nets.BuildHTTPRequest(action.HTTPMethod, action.Domain, action.Path, action.UserAgent, nil, body)
+		if pad := action.RequestBytes - len(request); pad > 0 && body == 0 {
+			request = append(request, tlsLikePayload(pad)...)
+		}
+	}
+	if err := conn.Send(request); err != nil {
+		return err
+	}
+	if action.Port == 443 {
+		if err := conn.ReceiveN(action.ResponseBytes); err != nil {
+			return err
+		}
+		return conn.Close()
+	}
+	// Plain-HTTP responses carry a status line and headers ahead of the
+	// body, as real servers send them; the Content-Type is what
+	// content-based classifiers inspect.
+	header := nets.BuildHTTPResponseHeader(action.ContentType, action.ResponseBytes)
+	if err := conn.Receive(header); err != nil {
+		return err
+	}
+	body := action.ResponseBytes - int64(len(header))
+	if body < 0 {
+		body = 0
+	}
+	if err := conn.ReceiveN(body); err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// tlsLikePayload builds an opaque payload resembling a TLS record.
+func tlsLikePayload(n int) []byte {
+	if n < 8 {
+		n = 8
+	}
+	b := make([]byte, n)
+	b[0], b[1], b[2] = 0x16, 0x03, 0x01
+	for i := 3; i < n; i++ {
+		b[i] = byte(i * 31)
+	}
+	return b
+}
+
+// Run installs the app on a fresh device image and exercises it with the
+// monkey while recording the capture, the supervisor reports, and the
+// method trace (§II-B3).
+func Run(install Installation, resolver nets.Resolver, opts Options) (*Artifacts, error) {
+	if install.Program == nil {
+		return nil, fmt.Errorf("emulator: installation has no program")
+	}
+	if resolver == nil {
+		return nil, fmt.Errorf("emulator: nil resolver")
+	}
+	if err := opts.Monkey.Validate(); err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	if opts.ProfilerMode == 0 {
+		opts.ProfilerMode = art.ProfilerUnique
+	}
+	if opts.InstrumentationDelay == 0 {
+		opts.InstrumentationDelay = DefaultInstrumentationDelay
+	}
+	if opts.StartTime.IsZero() {
+		opts.StartTime = time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC)
+	}
+
+	var captureBuf *bytes.Buffer
+	captureTarget := opts.Capture
+	if captureTarget == nil {
+		captureBuf = &bytes.Buffer{}
+		captureTarget = captureBuf
+	}
+	clock := nets.NewClock(opts.StartTime)
+	capture := newCaptureWriter(captureTarget)
+	stack, err := nets.NewStack(nets.Config{
+		Resolver:      resolver,
+		Clock:         clock,
+		Capture:       capture,
+		PacketLatency: opts.PacketLatency,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("emulator: building network stack: %w", err)
+	}
+
+	profiler, err := art.NewProfiler(opts.ProfilerMode, opts.ProfilerCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+	runtime, err := art.NewRuntime(install.Program, profiler, &netPerformer{stack: stack})
+	if err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+
+	var enforcer *borderpatrol.Enforcer
+	if opts.Policy != nil {
+		enforcer, err = borderpatrol.NewEnforcer(*opts.Policy, runtime.Thread())
+		if err != nil {
+			return nil, fmt.Errorf("emulator: %w", err)
+		}
+		enforcer.Bind(stack)
+	}
+
+	artifacts := &Artifacts{}
+	var framework *xposed.Framework
+	if opts.Instrumented {
+		framework, err = xposed.NewFramework(runtime.Thread())
+		if err != nil {
+			return nil, fmt.Errorf("emulator: %w", err)
+		}
+		supervisor, err := xposed.NewSupervisor(install.APKSHA256, install.Program.Dex, stack)
+		if err != nil {
+			return nil, fmt.Errorf("emulator: %w", err)
+		}
+		framework.Register(supervisor)
+		framework.Bind(stack)
+		stack.SetInstrumentationDelay(opts.InstrumentationDelay)
+		stack.SetUDPSink(func(payload []byte) error {
+			raw := append([]byte(nil), payload...)
+			artifacts.RawReports = append(artifacts.RawReports, raw)
+			report, err := xposed.DecodeReport(raw)
+			if err != nil {
+				return fmt.Errorf("emulator: decoding own report: %w", err)
+			}
+			artifacts.Reports = append(artifacts.Reports, report)
+			if opts.ReportSink != nil {
+				return opts.ReportSink(raw)
+			}
+			return nil
+		})
+	}
+
+	exerciser, err := monkey.New(opts.Monkey, sim.NewRand(opts.Seed).Split("monkey"))
+	if err != nil {
+		return nil, fmt.Errorf("emulator: %w", err)
+	}
+
+	if err := runtime.Launch(); err != nil {
+		return nil, fmt.Errorf("emulator: launching app: %w", err)
+	}
+	for {
+		ev, ok := exerciser.Next()
+		if !ok {
+			break
+		}
+		clock.Advance(opts.Monkey.Throttle)
+		if err := runtime.DispatchEvent(ev.X, ev.Y); err != nil {
+			return nil, fmt.Errorf("emulator: dispatching event %d: %w", ev.Seq, err)
+		}
+		artifacts.EventsInjected++
+	}
+	if err := capture.Flush(); err != nil {
+		return nil, fmt.Errorf("emulator: flushing capture: %w", err)
+	}
+
+	artifacts.Trace = profiler.UniqueMethods()
+	artifacts.NetStats = stack.Stats()
+	artifacts.VirtualDuration = clock.Now().Sub(opts.StartTime)
+	artifacts.ProfilerUniqueMethods = profiler.UniqueCount()
+	artifacts.ProfilerTotalCalls = profiler.TotalInvocations()
+	artifacts.ProfilerDroppedEntries = profiler.DroppedInvocations()
+	if framework != nil {
+		artifacts.HookErrors = len(framework.HookErrors())
+	}
+	artifacts.BlockedConnections = stack.BlockedConnections()
+	if enforcer != nil {
+		artifacts.Violations = enforcer.Violations()
+	}
+	if captureBuf != nil {
+		artifacts.CaptureBytes = captureBuf.Bytes()
+	}
+	return artifacts, nil
+}
+
+// newCaptureWriter wraps the target in a pcap writer.
+func newCaptureWriter(w io.Writer) *pcap.Writer { return pcap.NewWriter(w) }

@@ -1,0 +1,36 @@
+package libradar_test
+
+import (
+	"fmt"
+
+	"libspector/internal/corpus"
+	"libspector/internal/libradar"
+)
+
+// Example_listing2 reproduces the paper's Listing 2: category resolution
+// for com.unity3d packages via longest-prefix and majority voting.
+func Example_listing2() {
+	d := libradar.NewDetector(map[string]corpus.LibraryCategory{
+		"com.unity3d":                   corpus.LibGameEngine,
+		"com.unity3d.ads":               corpus.LibAdvertisement,
+		"com.unity3d.plugin.downloader": corpus.LibAppMarket,
+		"com.unity3d.services":          corpus.LibGameEngine,
+	})
+	// The origin-library of Listing 1 resolves through its longest
+	// matching prefix, com.unity3d.ads.
+	fmt.Println(d.Categorize("com.unity3d.ads.android.cache"))
+	// com.unity3d.example resolves through com.unity3d.
+	fmt.Println(d.Categorize("com.unity3d.example"))
+	// Output:
+	// Advertisement
+	// Game Engine
+}
+
+// ExampleTwoLevel shows the reduced-granularity library naming of §III-C.
+func ExampleTwoLevel() {
+	fmt.Println(libradar.TwoLevel("com.unity3d.ads.android.cache"))
+	fmt.Println(libradar.TwoLevel("okhttp3.internal.http"))
+	// Output:
+	// com.unity3d
+	// okhttp3.internal
+}

@@ -1,0 +1,239 @@
+// Package libradar reimplements the role LibRadar plays in the paper
+// (§III-C, §III-D): detecting third-party libraries across the app corpus,
+// mapping an origin package to its library via longest-matching-prefix, and
+// predicting categories for libraries LibRadar cannot resolve through the
+// majority-voting heuristic of Listing 2.
+package libradar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"libspector/internal/corpus"
+)
+
+// Detector accumulates per-app package observations (the corpus-wide
+// detection pass) and resolves library categories.
+//
+// Detection follows LibRadar's core insight: a package hierarchy that
+// recurs across unrelated apps is a third-party library, whereas
+// first-party code appears in exactly one app. Categories come from the
+// seeded category database plus the majority-voting prediction.
+type Detector struct {
+	mu sync.Mutex
+	// db maps known library prefixes to their category.
+	db map[string]corpus.LibraryCategory
+	// dbPrefixes is the sorted key set of db, for deterministic voting.
+	dbPrefixes []string
+	dbDirty    bool
+	// appCount counts, per candidate package prefix, the distinct apps it
+	// was observed in.
+	appCount map[string]int
+	// detected is the post-finalization library set.
+	detected map[string]struct{}
+	// finalized guards against observing after finalization.
+	finalized bool
+}
+
+// NewDetector creates a detector seeded with a category database.
+func NewDetector(db map[string]corpus.LibraryCategory) *Detector {
+	d := &Detector{
+		db:       make(map[string]corpus.LibraryCategory, len(db)),
+		appCount: make(map[string]int),
+		detected: make(map[string]struct{}),
+	}
+	for prefix, cat := range db {
+		d.db[prefix] = cat
+	}
+	d.dbDirty = true
+	return d
+}
+
+// SeededDetector returns a detector loaded with the corpus seed library
+// database — the categorization effort the paper reuses (§I).
+func SeededDetector() *Detector {
+	db := make(map[string]corpus.LibraryCategory)
+	for _, seed := range corpus.SeedLibraries() {
+		db[seed.Prefix] = seed.Category
+	}
+	return NewDetector(db)
+}
+
+// AddKnownLibrary extends the category database (e.g. with the synthetic
+// world's LibRadar-known libraries).
+func (d *Detector) AddKnownLibrary(prefix string, cat corpus.LibraryCategory) error {
+	if prefix == "" {
+		return fmt.Errorf("libradar: empty library prefix")
+	}
+	if !corpus.ValidLibraryCategory(cat) {
+		return fmt.Errorf("libradar: unknown category %q for %s", cat, prefix)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.db[prefix] = cat
+	d.dbDirty = true
+	return nil
+}
+
+// ObserveApp feeds one app's package list into the detection pass. appPkg
+// is the app's own package name; packages under it never count as library
+// candidates. Safe for concurrent use by parallel workers.
+func (d *Detector) ObserveApp(appPkg string, packages []string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.finalized {
+		return fmt.Errorf("libradar: detection already finalized")
+	}
+	seen := make(map[string]struct{}, len(packages)*2)
+	for _, pkg := range packages {
+		if pkg == "" || isUnder(pkg, appPkg) {
+			continue
+		}
+		// Count every hierarchical prefix of depth >= 2 once per app.
+		labels := strings.Split(pkg, ".")
+		for depth := 2; depth <= len(labels); depth++ {
+			prefix := strings.Join(labels[:depth], ".")
+			if _, dup := seen[prefix]; dup {
+				continue
+			}
+			seen[prefix] = struct{}{}
+			d.appCount[prefix]++
+		}
+	}
+	return nil
+}
+
+// Finalize computes the detected library set: prefixes observed in at
+// least minApps distinct apps. Known database entries are always detected.
+func (d *Detector) Finalize(minApps int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if minApps < 1 {
+		minApps = 1
+	}
+	for prefix, n := range d.appCount {
+		if n >= minApps {
+			d.detected[prefix] = struct{}{}
+		}
+	}
+	for prefix := range d.db {
+		d.detected[prefix] = struct{}{}
+	}
+	d.finalized = true
+}
+
+// Detected reports whether a package prefix was detected as a library.
+func (d *Detector) Detected(prefix string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.detected[prefix]
+	return ok
+}
+
+// DetectedCount reports the size of the detected library set.
+func (d *Detector) DetectedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.detected)
+}
+
+// Categorize resolves the category of an origin-library package via the
+// §III-D methodology:
+//
+//  1. Exact database hit.
+//  2. Longest matching database prefix ("the category of the origin-library
+//     of Listing 1 solely depends on com.unity3d.ads, as it is the longest
+//     prefix and the only matching library").
+//  3. Majority voting among all database libraries sharing the longest
+//     common organizational prefix (Listing 2).
+//  4. Unknown.
+func (d *Detector) Categorize(pkg string) corpus.LibraryCategory {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pkg == "" {
+		return corpus.LibUnknown
+	}
+	if cat, ok := d.db[pkg]; ok {
+		return cat
+	}
+	// Longest matching database prefix.
+	labels := strings.Split(pkg, ".")
+	for depth := len(labels) - 1; depth >= 1; depth-- {
+		prefix := strings.Join(labels[:depth], ".")
+		if cat, ok := d.db[prefix]; ok {
+			return cat
+		}
+	}
+	// Majority voting under the longest shared organizational prefix.
+	d.refreshPrefixes()
+	for depth := len(labels); depth >= 2; depth-- {
+		prefix := strings.Join(labels[:depth], ".")
+		votes := make(map[corpus.LibraryCategory]int)
+		voters := 0
+		for _, known := range d.dbPrefixes {
+			if known == prefix || isUnder(known, prefix) {
+				votes[d.db[known]]++
+				voters++
+			}
+		}
+		if voters == 0 {
+			continue
+		}
+		return winnerOf(votes)
+	}
+	return corpus.LibUnknown
+}
+
+// refreshPrefixes rebuilds the sorted database key list after mutation.
+// Caller must hold d.mu.
+func (d *Detector) refreshPrefixes() {
+	if !d.dbDirty {
+		return
+	}
+	d.dbPrefixes = d.dbPrefixes[:0]
+	for prefix := range d.db {
+		d.dbPrefixes = append(d.dbPrefixes, prefix)
+	}
+	sort.Strings(d.dbPrefixes)
+	d.dbDirty = false
+}
+
+// winnerOf picks the category with the most votes; ties break in the
+// canonical category order for determinism.
+func winnerOf(votes map[corpus.LibraryCategory]int) corpus.LibraryCategory {
+	best := corpus.LibUnknown
+	bestVotes := -1
+	for _, cat := range corpus.LibraryCategories() {
+		if v := votes[cat]; v > bestVotes {
+			best = cat
+			bestVotes = v
+		}
+	}
+	return best
+}
+
+// isUnder reports whether pkg is under prefix in the dotted hierarchy
+// (strictly: pkg == prefix.something).
+func isUnder(pkg, prefix string) bool {
+	if prefix == "" {
+		return false
+	}
+	return len(pkg) > len(prefix) && strings.HasPrefix(pkg, prefix) && pkg[len(prefix)] == '.'
+}
+
+// TwoLevel reduces an origin-library to its first two hierarchy levels
+// ("com.unity3d.ads.android.cache" → "com.unity3d"), the reduced
+// granularity of §III-C. Shallower names are returned unchanged.
+func TwoLevel(pkg string) string {
+	first := strings.IndexByte(pkg, '.')
+	if first < 0 {
+		return pkg
+	}
+	second := strings.IndexByte(pkg[first+1:], '.')
+	if second < 0 {
+		return pkg
+	}
+	return pkg[:first+1+second]
+}

@@ -1,0 +1,177 @@
+// Package monkey reimplements the role of Android's adb monkey UI
+// exerciser (§II, §III-B): a seeded pseudo-random stream of UI events with
+// a configurable event budget and inter-event throttle. The paper's
+// experiments use 1,000 events with 500 ms throttling.
+package monkey
+
+import (
+	"fmt"
+	"time"
+
+	"libspector/internal/sim"
+)
+
+// EventType is a class of injected UI event.
+type EventType int
+
+// Event types with their default mix, loosely following monkey's own event
+// proportions (touch-dominated).
+const (
+	EventTouch EventType = iota + 1
+	EventMotion
+	EventKeyNav
+	EventSystemKey
+	EventAppSwitch
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventTouch:
+		return "touch"
+	case EventMotion:
+		return "motion"
+	case EventKeyNav:
+		return "keynav"
+	case EventSystemKey:
+		return "syskey"
+	case EventAppSwitch:
+		return "appswitch"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one injected UI event. X and Y are screen coordinates; the
+// runtime maps them onto an activity handler.
+type Event struct {
+	Seq  int
+	Type EventType
+	X    int
+	Y    int
+}
+
+// Strategy selects how events are generated.
+type Strategy int
+
+const (
+	// StrategyRandom is adb monkey's behaviour: uniformly random events.
+	// The paper's experiments use this (§III-B).
+	StrategyRandom Strategy = iota + 1
+	// StrategySystematic sweeps the (activity, handler) space round-robin,
+	// in the spirit of the instrumentation-guided exercisers (PUMA,
+	// Dynodroid) the paper cites as coverage improvements over monkey.
+	StrategySystematic
+)
+
+// systematicPhaseStride controls how quickly the handler index drifts out
+// of phase with the activity index: the runtime reduces both modulo the
+// app's real counts, so a co-prime drift covers the full (activity,
+// handler) product even when the two counts share a divisor.
+const systematicPhaseStride = 17
+
+// Config parameterizes an exerciser run.
+type Config struct {
+	// Events is the event budget (paper: 1,000).
+	Events int
+	// Throttle is the inter-event delay (paper: 500 ms).
+	Throttle time.Duration
+	// ScreenW and ScreenH bound generated coordinates.
+	ScreenW int
+	ScreenH int
+	// Strategy selects the event-generation strategy; the zero value is
+	// StrategyRandom.
+	Strategy Strategy
+}
+
+// DefaultConfig is the paper's experimental configuration (§III-B).
+func DefaultConfig() Config {
+	return Config{Events: 1000, Throttle: 500 * time.Millisecond, ScreenW: 1080, ScreenH: 1920}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Events <= 0 {
+		return fmt.Errorf("monkey: event budget must be positive, got %d", c.Events)
+	}
+	if c.Throttle < 0 {
+		return fmt.Errorf("monkey: negative throttle %v", c.Throttle)
+	}
+	if c.ScreenW <= 0 || c.ScreenH <= 0 {
+		return fmt.Errorf("monkey: invalid screen %dx%d", c.ScreenW, c.ScreenH)
+	}
+	return nil
+}
+
+// typeMix weights event types roughly like monkey's default profile.
+var typeMix = []struct {
+	t EventType
+	w float64
+}{
+	{EventTouch, 0.55},
+	{EventMotion, 0.25},
+	{EventKeyNav, 0.12},
+	{EventSystemKey, 0.05},
+	{EventAppSwitch, 0.03},
+}
+
+// Exerciser generates the event stream.
+type Exerciser struct {
+	cfg    Config
+	rng    *sim.Rand
+	choice *sim.WeightedChoice
+	seq    int
+}
+
+// New creates an exerciser with its own deterministic stream.
+func New(cfg Config, rng *sim.Rand) (*Exerciser, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("monkey: nil rng")
+	}
+	weights := make([]float64, len(typeMix))
+	for i, tm := range typeMix {
+		weights[i] = tm.w
+	}
+	choice, err := sim.NewWeightedChoice(weights)
+	if err != nil {
+		return nil, fmt.Errorf("monkey: building type mix: %w", err)
+	}
+	return &Exerciser{cfg: cfg, rng: rng, choice: choice}, nil
+}
+
+// Config returns the run configuration.
+func (e *Exerciser) Config() Config { return e.cfg }
+
+// Next generates the next event, or ok=false once the budget is spent.
+func (e *Exerciser) Next() (Event, bool) {
+	if e.seq >= e.cfg.Events {
+		return Event{}, false
+	}
+	var ev Event
+	if e.cfg.Strategy == StrategySystematic {
+		// Advance activity and handler indices together; the phase drift
+		// every systematicPhaseStride events makes the pair walk cover
+		// the full product space under the runtime's modulo reduction.
+		ev = Event{
+			Seq:  e.seq,
+			Type: EventTouch,
+			X:    e.seq,
+			Y:    e.seq + e.seq/systematicPhaseStride,
+		}
+	} else {
+		ev = Event{
+			Seq:  e.seq,
+			Type: typeMix[e.choice.Sample(e.rng)].t,
+			X:    e.rng.Intn(e.cfg.ScreenW),
+			Y:    e.rng.Intn(e.cfg.ScreenH),
+		}
+	}
+	e.seq++
+	return ev, true
+}
+
+// Remaining reports how many events are left in the budget.
+func (e *Exerciser) Remaining() int { return e.cfg.Events - e.seq }

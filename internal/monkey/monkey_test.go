@@ -1,0 +1,161 @@
+package monkey
+
+import (
+	"testing"
+
+	"libspector/internal/sim"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Events != 1000 {
+		t.Errorf("default events = %d, want 1,000 (§III-B)", cfg.Events)
+	}
+	if cfg.Throttle.Milliseconds() != 500 {
+		t.Errorf("default throttle = %v, want 500ms (§III-B)", cfg.Throttle)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Events: 0, ScreenW: 100, ScreenH: 100},
+		{Events: 10, Throttle: -1, ScreenW: 100, ScreenH: 100},
+		{Events: 10, ScreenW: 0, ScreenH: 100},
+		{Events: 10, ScreenW: 100, ScreenH: 0},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestExerciserBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 37
+	e, err := New(cfg, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		ev, ok := e.Next()
+		if !ok {
+			break
+		}
+		if ev.Seq != count {
+			t.Errorf("event %d has seq %d", count, ev.Seq)
+		}
+		if ev.X < 0 || ev.X >= cfg.ScreenW || ev.Y < 0 || ev.Y >= cfg.ScreenH {
+			t.Errorf("event %d out of screen: (%d,%d)", count, ev.X, ev.Y)
+		}
+		count++
+	}
+	if count != 37 {
+		t.Errorf("generated %d events, want 37", count)
+	}
+	if e.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", e.Remaining())
+	}
+	if _, ok := e.Next(); ok {
+		t.Error("Next after exhaustion should fail")
+	}
+}
+
+func TestExerciserDeterminism(t *testing.T) {
+	gen := func() []Event {
+		e, err := New(DefaultConfig(), sim.NewRand(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Event
+		for {
+			ev, ok := e.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		}
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventTypeMix(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 20000
+	e, err := New(cfg, sim.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[EventType]int)
+	for {
+		ev, ok := e.Next()
+		if !ok {
+			break
+		}
+		counts[ev.Type]++
+	}
+	// Touch dominates (55% of the mix).
+	frac := float64(counts[EventTouch]) / float64(cfg.Events)
+	if frac < 0.50 || frac > 0.60 {
+		t.Errorf("touch fraction %.3f, want ~0.55", frac)
+	}
+	for _, et := range []EventType{EventTouch, EventMotion, EventKeyNav, EventSystemKey, EventAppSwitch} {
+		if counts[et] == 0 {
+			t.Errorf("event type %s never generated", et)
+		}
+		if et.String() == "" {
+			t.Errorf("event type %d has no name", et)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, sim.NewRand(1)); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestSystematicStrategyCoversPairSpace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Events = 128
+	cfg.Strategy = StrategySystematic
+	// Under the runtime's modulo reduction (here 7 activities × 5
+	// handlers, 4 × 2, and 6 × 4 — including a shared divisor), the walk
+	// must cover every pair within the budget.
+	for _, dims := range [][2]int{{7, 5}, {4, 2}, {6, 4}} {
+		seen := make(map[[2]int]bool)
+		e, err := New(cfg, sim.NewRand(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			ev, ok := e.Next()
+			if !ok {
+				break
+			}
+			if ev.Type != EventTouch {
+				t.Errorf("systematic events should be touches, got %s", ev.Type)
+			}
+			seen[[2]int{ev.X % dims[0], ev.Y % dims[1]}] = true
+		}
+		if len(seen) != dims[0]*dims[1] {
+			t.Errorf("systematic sweep over %dx%d hit %d pairs, want %d",
+				dims[0], dims[1], len(seen), dims[0]*dims[1])
+		}
+	}
+}

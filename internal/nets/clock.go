@@ -1,0 +1,36 @@
+// Package nets implements the simulated network stack of the analysis
+// emulator: a virtual clock, a DNS resolver over the synthetic domain
+// universe, TCP connections with SYN/data/FIN packet emission, UDP
+// datagrams, and a capture sink producing genuine pcap files.
+//
+// The stack is the substrate standing in for the Android emulator's
+// network interface (DESIGN.md substitution table). It exposes the two
+// observation points Libspector instruments: a connect hook (the Xposed
+// Socket Supervisor attaches here) and the packet capture recording every
+// byte in and out of the emulator (§II-B3).
+package nets
+
+import "time"
+
+// Clock is the emulator's virtual clock. All packet timestamps and
+// throttling delays derive from it, so experiment runs are deterministic
+// and independent of wall time.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock creates a clock starting at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d (negative d is ignored; the
+// simulation never travels backwards).
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}

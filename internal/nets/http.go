@@ -1,0 +1,165 @@
+package nets
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// BuildHTTPRequest renders an HTTP/1.1 request payload with the headers the
+// network-only baselines inspect: Host (Tongaonkar et al. hostname
+// classification) and User-Agent (Xue et al. / Maier et al.).
+func BuildHTTPRequest(method, host, path, userAgent string, extraHeaders map[string]string, bodyLen int) []byte {
+	if method == "" {
+		method = http.MethodGet
+	}
+	if path == "" {
+		path = "/"
+	}
+	var b strings.Builder
+	b.Grow(256 + bodyLen)
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	fmt.Fprintf(&b, "Host: %s\r\n", host)
+	if userAgent != "" {
+		fmt.Fprintf(&b, "User-Agent: %s\r\n", userAgent)
+	}
+	fmt.Fprintf(&b, "Accept: */*\r\nConnection: keep-alive\r\n")
+	if bodyLen > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", bodyLen)
+	}
+	for k, v := range extraHeaders {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	if bodyLen > 0 {
+		body := make([]byte, bodyLen)
+		for i := range body {
+			body[i] = byte('0' + i%10)
+		}
+		b.Write(body)
+	}
+	return []byte(b.String())
+}
+
+// HTTPRequestInfo is the header subset a purely network-focused analysis
+// can extract from a request payload.
+type HTTPRequestInfo struct {
+	Method    string
+	Path      string
+	Host      string
+	UserAgent string
+}
+
+// ParseHTTPRequest extracts baseline-relevant headers from the first
+// request on a stream. It fails on payloads that do not look like HTTP —
+// the baselines simply skip those flows.
+func ParseHTTPRequest(payload []byte) (HTTPRequestInfo, error) {
+	text := string(payload)
+	endOfHeaders := strings.Index(text, "\r\n\r\n")
+	if endOfHeaders < 0 {
+		return HTTPRequestInfo{}, fmt.Errorf("nets: payload has no HTTP header terminator")
+	}
+	sc := bufio.NewScanner(strings.NewReader(text[:endOfHeaders]))
+	if !sc.Scan() {
+		return HTTPRequestInfo{}, fmt.Errorf("nets: empty HTTP payload")
+	}
+	requestLine := sc.Text()
+	parts := strings.SplitN(requestLine, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		return HTTPRequestInfo{}, fmt.Errorf("nets: malformed request line %q", requestLine)
+	}
+	info := HTTPRequestInfo{Method: parts[0], Path: parts[1]}
+	for sc.Scan() {
+		line := sc.Text()
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "host":
+			info.Host = val
+		case "user-agent":
+			info.UserAgent = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return HTTPRequestInfo{}, fmt.Errorf("nets: scanning HTTP headers: %w", err)
+	}
+	if info.Host == "" {
+		return HTTPRequestInfo{}, fmt.Errorf("nets: HTTP request lacks Host header")
+	}
+	return info, nil
+}
+
+// DefaultUserAgent is the generic Dalvik User-Agent most HTTP stacks on the
+// analysis image emit — the "generic identifiers in HTTP headers" that the
+// paper argues make header-based attribution unreliable (§I).
+const DefaultUserAgent = "Dalvik/2.1.0 (Linux; U; Android 7.1.1; sdk_google_phone_x86 Build/NMF26Q)"
+
+// BuildHTTPResponseHeader renders the status line and headers a server
+// sends ahead of its body. The Content-Type header is what content-based
+// traffic classifiers (Vallina et al.) inspect.
+func BuildHTTPResponseHeader(contentType string, contentLength int64) []byte {
+	if contentType == "" {
+		contentType = "application/octet-stream"
+	}
+	return []byte(fmt.Sprintf(
+		"HTTP/1.1 200 OK\r\nServer: nginx\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n",
+		contentType, contentLength))
+}
+
+// HTTPResponseInfo is the header subset readable from a response payload.
+type HTTPResponseInfo struct {
+	StatusCode    int
+	ContentType   string
+	ContentLength int64
+}
+
+// ParseHTTPResponse extracts baseline-relevant headers from the first
+// server payload of a stream.
+func ParseHTTPResponse(payload []byte) (HTTPResponseInfo, error) {
+	text := string(payload)
+	endOfHeaders := strings.Index(text, "\r\n\r\n")
+	if endOfHeaders < 0 {
+		return HTTPResponseInfo{}, fmt.Errorf("nets: payload has no HTTP header terminator")
+	}
+	sc := bufio.NewScanner(strings.NewReader(text[:endOfHeaders]))
+	if !sc.Scan() {
+		return HTTPResponseInfo{}, fmt.Errorf("nets: empty HTTP response")
+	}
+	statusLine := sc.Text()
+	parts := strings.SplitN(statusLine, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return HTTPResponseInfo{}, fmt.Errorf("nets: malformed status line %q", statusLine)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return HTTPResponseInfo{}, fmt.Errorf("nets: bad status code in %q: %w", statusLine, err)
+	}
+	info := HTTPResponseInfo{StatusCode: code}
+	for sc.Scan() {
+		line := sc.Text()
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:colon]))
+		val := strings.TrimSpace(line[colon+1:])
+		switch key {
+		case "content-type":
+			info.ContentType = val
+		case "content-length":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				info.ContentLength = n
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return HTTPResponseInfo{}, fmt.Errorf("nets: scanning response headers: %w", err)
+	}
+	return info, nil
+}

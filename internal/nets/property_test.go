@@ -1,0 +1,73 @@
+package nets
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"libspector/internal/pcap"
+)
+
+// TestConnAccountingProperty checks, for random request/response sizes,
+// that the payload bytes visible in the capture match the connection's
+// own accounting exactly, in both directions.
+func TestConnAccountingProperty(t *testing.T) {
+	check := func(reqRaw uint16, respRaw uint32) bool {
+		reqSize := int(reqRaw % 5000)
+		respSize := int64(respRaw % 400_000)
+		var buf bytes.Buffer
+		cfg := Config{Resolver: NewStaticResolver(), Clock: testClock(), Capture: pcap.NewWriter(&buf)}
+		if err := cfg.Resolver.(*StaticResolver).Add("h.example", DefaultCollectorAddr); err != nil {
+			return false
+		}
+		s, err := NewStack(cfg)
+		if err != nil {
+			return false
+		}
+		conn, err := s.Dial("h.example", 80)
+		if err != nil {
+			return false
+		}
+		req := make([]byte, reqSize)
+		if err := conn.Send(req); err != nil {
+			return false
+		}
+		if err := conn.ReceiveN(respSize); err != nil {
+			return false
+		}
+		if err := conn.Close(); err != nil {
+			return false
+		}
+		if err := s.capture.Flush(); err != nil {
+			return false
+		}
+		r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		pkts, err := r.ReadAll()
+		if err != nil {
+			return false
+		}
+		var in, out int64
+		for _, p := range pkts {
+			seg, err := pcap.DecodeSegment(p.Data)
+			if err != nil {
+				return false
+			}
+			if seg.Protocol != pcap.ProtoTCP {
+				continue
+			}
+			if seg.Tuple.SrcIP == s.LocalAddr() {
+				out += int64(len(seg.Payload))
+			} else {
+				in += int64(len(seg.Payload))
+			}
+		}
+		return out == int64(reqSize) && in == respSize &&
+			conn.SentPayload() == int64(reqSize) && conn.ReceivedPayload() == respSize
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package nets
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Resolver answers A-record queries for the synthetic domain universe.
+type Resolver interface {
+	// Resolve maps a DNS name to an IPv4 address. Unknown names fail.
+	Resolve(name string) (netip.Addr, error)
+}
+
+// StaticResolver resolves from a fixed name→address table. It is safe for
+// concurrent use once populated.
+type StaticResolver struct {
+	mu    sync.RWMutex
+	table map[string]netip.Addr
+}
+
+// NewStaticResolver creates an empty resolver.
+func NewStaticResolver() *StaticResolver {
+	return &StaticResolver{table: make(map[string]netip.Addr)}
+}
+
+// Add registers a name→address binding. Re-registering a name with a
+// different address fails: the synthetic world assigns stable addresses.
+func (r *StaticResolver) Add(name string, addr netip.Addr) error {
+	if name == "" {
+		return fmt.Errorf("nets: cannot register empty DNS name")
+	}
+	if !addr.Is4() {
+		return fmt.Errorf("nets: address %s for %s is not IPv4", addr, name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.table[name]; ok && existing != addr {
+		return fmt.Errorf("nets: %s already resolves to %s, cannot rebind to %s", name, existing, addr)
+	}
+	r.table[name] = addr
+	return nil
+}
+
+// Resolve implements Resolver.
+func (r *StaticResolver) Resolve(name string) (netip.Addr, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addr, ok := r.table[name]
+	if !ok {
+		return netip.Addr{}, fmt.Errorf("nets: NXDOMAIN for %q", name)
+	}
+	return addr, nil
+}
+
+// Len reports the number of registered names.
+func (r *StaticResolver) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.table)
+}
+
+var _ Resolver = (*StaticResolver)(nil)

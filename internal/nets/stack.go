@@ -1,0 +1,376 @@
+package nets
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"libspector/internal/pcap"
+)
+
+// ErrBlocked marks a dial denied by the connect policy; test with
+// errors.Is.
+var ErrBlocked = errors.New("connection blocked by policy")
+
+// Defaults mirroring the Android emulator's user-mode network.
+var (
+	// DefaultLocalAddr is the guest address of the emulated device.
+	DefaultLocalAddr = netip.AddrFrom4([4]byte{10, 0, 2, 15})
+	// DefaultDNSServer is the emulator's built-in DNS proxy.
+	DefaultDNSServer = netip.AddrFrom4([4]byte{10, 0, 2, 3})
+	// DefaultCollectorAddr is the host-side data-collection server the
+	// Socket Supervisor reports to (§II-A).
+	DefaultCollectorAddr = netip.AddrFrom4([4]byte{10, 0, 2, 2})
+)
+
+// DefaultCollectorPort is the UDP port of the collection server.
+const DefaultCollectorPort = 45999
+
+// DefaultMSS is the TCP maximum segment size used when slicing transfers
+// into packets.
+const DefaultMSS = 1460
+
+// firstEphemeralPort is where the stack's port allocator starts.
+const firstEphemeralPort = 32768
+
+// ConnectObserver is invoked after a TCP connection is established — the
+// attachment point of the Xposed Socket Supervisor's post hook on
+// socket/connect (§II-B2a). Post hooks guarantee the connection already
+// has distinct socket-pair parameters when the observer runs.
+type ConnectObserver func(conn *Conn)
+
+// Config parameterizes a Stack.
+type Config struct {
+	LocalAddr     netip.Addr
+	DNSServer     netip.Addr
+	CollectorAddr netip.Addr
+	CollectorPort uint16
+	Resolver      Resolver
+	Clock         *Clock
+	// Capture receives every packet in and out of the emulator. Nil
+	// disables capture.
+	Capture *pcap.Writer
+	// PacketLatency is the virtual one-way latency charged per packet.
+	PacketLatency time.Duration
+	// MSS is the TCP maximum segment size (DefaultMSS when zero).
+	MSS int
+}
+
+// Stack is the emulated device's network stack.
+type Stack struct {
+	cfg       Config
+	resolver  Resolver
+	clock     *Clock
+	capture   *pcap.Writer
+	mss       int
+	nextPort  uint16
+	nextDNSID uint16
+
+	observers []ConnectObserver
+	// instrumentDelay is the extra per-connect latency the supervisor hook
+	// introduces; it models the paper's measured 0.5 ms worst-case packet
+	// delay (§II-B3) and is charged only while observers are attached.
+	instrumentDelay time.Duration
+	// udpSink forwards supervisor report payloads to the collection server
+	// (in addition to the capture record of the datagram).
+	udpSink func(payload []byte) error
+	// connectVeto, when set, can deny a connection before the handshake —
+	// the attachment point for BorderPatrol-style policy enforcement
+	// (§IV-E). A veto error aborts the dial.
+	connectVeto func(domain string, port uint16) error
+	// blockedConnections counts vetoed dials.
+	blockedConnections int64
+
+	// Traffic accounting for the whole emulator, by wire bytes.
+	tcpWireBytes int64
+	udpWireBytes int64
+	dnsWireBytes int64
+	packetCount  int64
+}
+
+// NewStack creates a network stack. Resolver and Clock are required.
+func NewStack(cfg Config) (*Stack, error) {
+	if cfg.Resolver == nil {
+		return nil, fmt.Errorf("nets: config needs a resolver")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("nets: config needs a clock")
+	}
+	if cfg.LocalAddr == (netip.Addr{}) {
+		cfg.LocalAddr = DefaultLocalAddr
+	}
+	if cfg.DNSServer == (netip.Addr{}) {
+		cfg.DNSServer = DefaultDNSServer
+	}
+	if cfg.CollectorAddr == (netip.Addr{}) {
+		cfg.CollectorAddr = DefaultCollectorAddr
+	}
+	if cfg.CollectorPort == 0 {
+		cfg.CollectorPort = DefaultCollectorPort
+	}
+	mss := cfg.MSS
+	if mss == 0 {
+		mss = DefaultMSS
+	}
+	if mss < 1 || mss > 65495 {
+		return nil, fmt.Errorf("nets: MSS %d out of range", mss)
+	}
+	return &Stack{
+		cfg:       cfg,
+		resolver:  cfg.Resolver,
+		clock:     cfg.Clock,
+		capture:   cfg.Capture,
+		mss:       mss,
+		nextPort:  firstEphemeralPort,
+		nextDNSID: 1,
+	}, nil
+}
+
+// Clock returns the stack's virtual clock.
+func (s *Stack) Clock() *Clock { return s.clock }
+
+// LocalAddr returns the emulated device address.
+func (s *Stack) LocalAddr() netip.Addr { return s.cfg.LocalAddr }
+
+// OnConnect registers a connect post-hook observer.
+func (s *Stack) OnConnect(obs ConnectObserver) {
+	s.observers = append(s.observers, obs)
+}
+
+// SetInstrumentationDelay sets the per-connect virtual latency charged for
+// the supervisor hook.
+func (s *Stack) SetInstrumentationDelay(d time.Duration) { s.instrumentDelay = d }
+
+// SetUDPSink installs the forwarding function for supervisor datagrams.
+func (s *Stack) SetUDPSink(sink func(payload []byte) error) { s.udpSink = sink }
+
+// SetConnectVeto installs a pre-connect policy check. Returning an error
+// denies the connection: no handshake packets are emitted and Dial fails
+// with an error wrapping ErrBlocked and the veto reason.
+func (s *Stack) SetConnectVeto(veto func(domain string, port uint16) error) {
+	s.connectVeto = veto
+}
+
+// BlockedConnections reports how many dials the policy denied.
+func (s *Stack) BlockedConnections() int64 { return s.blockedConnections }
+
+// Stats reports cumulative wire-byte counters.
+type Stats struct {
+	TCPWireBytes int64
+	UDPWireBytes int64
+	DNSWireBytes int64
+	PacketCount  int64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Stack) Stats() Stats {
+	return Stats{
+		TCPWireBytes: s.tcpWireBytes,
+		UDPWireBytes: s.udpWireBytes,
+		DNSWireBytes: s.dnsWireBytes,
+		PacketCount:  s.packetCount,
+	}
+}
+
+func (s *Stack) allocPort() uint16 {
+	p := s.nextPort
+	s.nextPort++
+	if s.nextPort == 0 {
+		s.nextPort = firstEphemeralPort
+	}
+	return p
+}
+
+// record timestamps a raw packet, writes it to the capture, charges
+// latency, and updates counters.
+func (s *Stack) record(raw []byte, proto uint8, isDNS bool) error {
+	s.clock.Advance(s.cfg.PacketLatency)
+	s.packetCount++
+	switch proto {
+	case pcap.ProtoTCP:
+		s.tcpWireBytes += int64(len(raw))
+	case pcap.ProtoUDP:
+		s.udpWireBytes += int64(len(raw))
+		if isDNS {
+			s.dnsWireBytes += int64(len(raw))
+		}
+	}
+	if s.capture == nil {
+		return nil
+	}
+	if err := s.capture.WritePacket(pcap.Packet{Timestamp: s.clock.Now(), Data: raw}); err != nil {
+		return fmt.Errorf("nets: recording packet: %w", err)
+	}
+	return nil
+}
+
+// resolve performs a DNS lookup, emitting the query and response datagrams
+// into the capture.
+func (s *Stack) resolve(name string) (netip.Addr, error) {
+	id := s.nextDNSID
+	s.nextDNSID++
+	srcPort := s.allocPort()
+	queryTuple := pcap.FourTuple{
+		SrcIP: s.cfg.LocalAddr, SrcPort: srcPort,
+		DstIP: s.cfg.DNSServer, DstPort: pcap.DNSPort,
+	}
+	query, err := pcap.EncodeDNS(pcap.DNSMessage{ID: id, Name: name})
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("nets: building DNS query for %s: %w", name, err)
+	}
+	raw, err := pcap.EncodeUDP(queryTuple, query)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("nets: encoding DNS query for %s: %w", name, err)
+	}
+	if err := s.record(raw, pcap.ProtoUDP, true); err != nil {
+		return netip.Addr{}, err
+	}
+
+	addr, err := s.resolver.Resolve(name)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+
+	resp, err := pcap.EncodeDNS(pcap.DNSMessage{ID: id, Response: true, Name: name, Answer: addr, TTL: 300})
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("nets: building DNS response for %s: %w", name, err)
+	}
+	raw, err = pcap.EncodeUDP(queryTuple.Reverse(), resp)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("nets: encoding DNS response for %s: %w", name, err)
+	}
+	if err := s.record(raw, pcap.ProtoUDP, true); err != nil {
+		return netip.Addr{}, err
+	}
+	return addr, nil
+}
+
+// Dial resolves the domain and establishes a TCP connection to it. The DNS
+// exchange, the three-way handshake, and the connect-hook invocation all
+// happen before Dial returns, matching post-hook semantics.
+func (s *Stack) Dial(domain string, port uint16) (*Conn, error) {
+	addr, err := s.resolve(domain)
+	if err != nil {
+		return nil, fmt.Errorf("nets: dialing %s:%d: %w", domain, port, err)
+	}
+	return s.dialAddr(domain, addr, port)
+}
+
+// DialAddr establishes a TCP connection to an explicit address without a
+// DNS exchange (used by direct-to-IP connections).
+func (s *Stack) DialAddr(addr netip.Addr, port uint16) (*Conn, error) {
+	return s.dialAddr("", addr, port)
+}
+
+func (s *Stack) dialAddr(domain string, addr netip.Addr, port uint16) (*Conn, error) {
+	if port == 0 {
+		return nil, fmt.Errorf("nets: cannot dial port 0")
+	}
+	if s.connectVeto != nil {
+		if err := s.connectVeto(domain, port); err != nil {
+			s.blockedConnections++
+			return nil, fmt.Errorf("nets: dial %s:%d: %w: %w", domain, port, ErrBlocked, err)
+		}
+	}
+	tuple := pcap.FourTuple{
+		SrcIP: s.cfg.LocalAddr, SrcPort: s.allocPort(),
+		DstIP: addr, DstPort: port,
+	}
+	c := &Conn{stack: s, tuple: tuple, domain: domain, seq: 1, peerSeq: 1}
+
+	// Three-way handshake.
+	if err := c.emit(tuple, pcap.FlagSYN, nil); err != nil {
+		return nil, err
+	}
+	if err := c.emit(tuple.Reverse(), pcap.FlagSYN|pcap.FlagACK, nil); err != nil {
+		return nil, err
+	}
+	if err := c.emit(tuple, pcap.FlagACK, nil); err != nil {
+		return nil, err
+	}
+
+	if len(s.observers) > 0 {
+		s.clock.Advance(s.instrumentDelay)
+		for _, obs := range s.observers {
+			obs(c)
+		}
+	}
+	return c, nil
+}
+
+// SendSupervisorReport emits one UDP datagram carrying a Socket Supervisor
+// report toward the collection server: the datagram is recorded in the
+// emulator capture (the paper explicitly excludes these from traffic
+// accounting, §III-E) and the payload is forwarded to the collector sink.
+func (s *Stack) SendSupervisorReport(payload []byte) error {
+	tuple := pcap.FourTuple{
+		SrcIP: s.cfg.LocalAddr, SrcPort: s.allocPort(),
+		DstIP: s.cfg.CollectorAddr, DstPort: s.cfg.CollectorPort,
+	}
+	raw, err := pcap.EncodeUDP(tuple, payload)
+	if err != nil {
+		return fmt.Errorf("nets: encoding supervisor report: %w", err)
+	}
+	if err := s.record(raw, pcap.ProtoUDP, false); err != nil {
+		return err
+	}
+	if s.udpSink != nil {
+		if err := s.udpSink(payload); err != nil {
+			return fmt.Errorf("nets: forwarding supervisor report: %w", err)
+		}
+	}
+	return nil
+}
+
+// CollectorEndpoint returns the configured collector address and port.
+func (s *Stack) CollectorEndpoint() (netip.Addr, uint16) {
+	return s.cfg.CollectorAddr, s.cfg.CollectorPort
+}
+
+// ExchangeUDP performs a plain datagram request/response exchange (NTP
+// time sync, QUIC discovery, …) — the non-DNS sliver of UDP traffic the
+// paper observes and excludes from flow analysis (§III-E: UDP is 0.52% of
+// traffic, 97% of which is DNS). The name is resolved first, emitting the
+// usual DNS exchange.
+func (s *Stack) ExchangeUDP(domain string, port uint16, reqLen, respLen int) error {
+	if port == 0 {
+		return fmt.Errorf("nets: cannot exchange on port 0")
+	}
+	if reqLen < 1 || respLen < 0 {
+		return fmt.Errorf("nets: invalid UDP exchange sizes %d/%d", reqLen, respLen)
+	}
+	addr, err := s.resolve(domain)
+	if err != nil {
+		return fmt.Errorf("nets: UDP exchange with %s: %w", domain, err)
+	}
+	tuple := pcap.FourTuple{
+		SrcIP: s.cfg.LocalAddr, SrcPort: s.allocPort(),
+		DstIP: addr, DstPort: port,
+	}
+	req := make([]byte, reqLen)
+	for i := range req {
+		req[i] = byte(i * 13)
+	}
+	raw, err := pcap.EncodeUDP(tuple, req)
+	if err != nil {
+		return fmt.Errorf("nets: encoding UDP request: %w", err)
+	}
+	if err := s.record(raw, pcap.ProtoUDP, false); err != nil {
+		return err
+	}
+	if respLen > 0 {
+		resp := make([]byte, respLen)
+		for i := range resp {
+			resp[i] = byte(i * 7)
+		}
+		raw, err := pcap.EncodeUDP(tuple.Reverse(), resp)
+		if err != nil {
+			return fmt.Errorf("nets: encoding UDP response: %w", err)
+		}
+		if err := s.record(raw, pcap.ProtoUDP, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

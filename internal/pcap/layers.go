@@ -1,0 +1,223 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+const (
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// FourTuple is a connection's socket-pair parameters: source/destination
+// IPs and ports (§II-A1). It is the join key between supervisor UDP reports
+// and TCP streams in the capture.
+type FourTuple struct {
+	SrcIP   netip.Addr `json:"src_ip"`
+	SrcPort uint16     `json:"src_port"`
+	DstIP   netip.Addr `json:"dst_ip"`
+	DstPort uint16     `json:"dst_port"`
+}
+
+// String renders the tuple as "src:port->dst:port".
+func (t FourTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d", t.SrcIP, t.SrcPort, t.DstIP, t.DstPort)
+}
+
+// Reverse returns the tuple of the opposite flow direction.
+func (t FourTuple) Reverse() FourTuple {
+	return FourTuple{SrcIP: t.DstIP, SrcPort: t.DstPort, DstIP: t.SrcIP, DstPort: t.SrcPort}
+}
+
+// Canonical returns a direction-independent representative of the
+// connection: the lexicographically smaller of t and t.Reverse(). Both
+// directions of one TCP stream share a canonical tuple.
+func (t FourTuple) Canonical() FourTuple {
+	rev := t.Reverse()
+	if t.less(rev) {
+		return t
+	}
+	return rev
+}
+
+func (t FourTuple) less(o FourTuple) bool {
+	if c := t.SrcIP.Compare(o.SrcIP); c != 0 {
+		return c < 0
+	}
+	if t.SrcPort != o.SrcPort {
+		return t.SrcPort < o.SrcPort
+	}
+	if c := t.DstIP.Compare(o.DstIP); c != 0 {
+		return c < 0
+	}
+	return t.DstPort < o.DstPort
+}
+
+// Segment is a decoded transport-layer packet.
+type Segment struct {
+	Tuple    FourTuple
+	Protocol uint8 // ProtoTCP or ProtoUDP
+	Flags    uint8 // TCP only
+	Seq      uint32
+	Ack      uint32
+	Payload  []byte
+	// WireLen is the total on-wire size (IPv4 header + transport header +
+	// payload); the paper's traffic-volume metric sums this per stream.
+	WireLen int
+}
+
+// ipChecksum computes the RFC 1071 Internet checksum.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// EncodeTCP builds a raw IPv4+TCP packet.
+func EncodeTCP(t FourTuple, flags uint8, seq, ack uint32, payload []byte) ([]byte, error) {
+	return encodeIPv4(t, ProtoTCP, func(b []byte) {
+		binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+		binary.BigEndian.PutUint32(b[4:8], seq)
+		binary.BigEndian.PutUint32(b[8:12], ack)
+		b[12] = (tcpHeaderLen / 4) << 4 // data offset
+		b[13] = flags
+		binary.BigEndian.PutUint16(b[14:16], 65535) // window
+		copy(b[tcpHeaderLen:], payload)
+		// TCP checksum over pseudo-header + segment.
+		cs := transportChecksum(t, ProtoTCP, b)
+		binary.BigEndian.PutUint16(b[16:18], cs)
+	}, tcpHeaderLen, len(payload))
+}
+
+// EncodeUDP builds a raw IPv4+UDP packet.
+func EncodeUDP(t FourTuple, payload []byte) ([]byte, error) {
+	return encodeIPv4(t, ProtoUDP, func(b []byte) {
+		binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+		binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+		binary.BigEndian.PutUint16(b[4:6], uint16(udpHeaderLen+len(payload)))
+		copy(b[udpHeaderLen:], payload)
+		cs := transportChecksum(t, ProtoUDP, b)
+		binary.BigEndian.PutUint16(b[6:8], cs)
+	}, udpHeaderLen, len(payload))
+}
+
+func encodeIPv4(t FourTuple, proto uint8, fillTransport func([]byte), transportHdrLen, payloadLen int) ([]byte, error) {
+	if !t.SrcIP.Is4() || !t.DstIP.Is4() {
+		return nil, fmt.Errorf("pcap: non-IPv4 address in tuple %s", t)
+	}
+	total := ipv4HeaderLen + transportHdrLen + payloadLen
+	if total > 65535 {
+		return nil, fmt.Errorf("pcap: packet of %d bytes exceeds IPv4 maximum", total)
+	}
+	pkt := make([]byte, total)
+	pkt[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(pkt[2:4], uint16(total))
+	pkt[8] = 64 // TTL
+	pkt[9] = proto
+	src := t.SrcIP.As4()
+	dst := t.DstIP.As4()
+	copy(pkt[12:16], src[:])
+	copy(pkt[16:20], dst[:])
+	binary.BigEndian.PutUint16(pkt[10:12], ipChecksum(pkt[:ipv4HeaderLen]))
+	fillTransport(pkt[ipv4HeaderLen:])
+	return pkt, nil
+}
+
+func transportChecksum(t FourTuple, proto uint8, segment []byte) uint16 {
+	pseudo := make([]byte, 12+len(segment))
+	src := t.SrcIP.As4()
+	dst := t.DstIP.As4()
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	copy(pseudo[12:], segment)
+	return ipChecksum(pseudo)
+}
+
+// DecodeSegment parses a raw IPv4 packet into a Segment.
+func DecodeSegment(data []byte) (Segment, error) {
+	if len(data) < ipv4HeaderLen {
+		return Segment{}, fmt.Errorf("pcap: packet of %d bytes shorter than IPv4 header", len(data))
+	}
+	if data[0]>>4 != 4 {
+		return Segment{}, fmt.Errorf("pcap: unsupported IP version %d", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(data) < ihl {
+		return Segment{}, fmt.Errorf("pcap: invalid IPv4 header length %d", ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen != len(data) {
+		return Segment{}, fmt.Errorf("pcap: IPv4 total length %d does not match capture length %d", totalLen, len(data))
+	}
+	seg := Segment{Protocol: data[9], WireLen: len(data)}
+	srcIP := netip.AddrFrom4([4]byte(data[12:16]))
+	dstIP := netip.AddrFrom4([4]byte(data[16:20]))
+	transport := data[ihl:]
+	switch seg.Protocol {
+	case ProtoTCP:
+		if len(transport) < tcpHeaderLen {
+			return Segment{}, fmt.Errorf("pcap: truncated TCP header (%d bytes)", len(transport))
+		}
+		dataOff := int(transport[12]>>4) * 4
+		if dataOff < tcpHeaderLen || len(transport) < dataOff {
+			return Segment{}, fmt.Errorf("pcap: invalid TCP data offset %d", dataOff)
+		}
+		seg.Tuple = FourTuple{
+			SrcIP:   srcIP,
+			SrcPort: binary.BigEndian.Uint16(transport[0:2]),
+			DstIP:   dstIP,
+			DstPort: binary.BigEndian.Uint16(transport[2:4]),
+		}
+		seg.Seq = binary.BigEndian.Uint32(transport[4:8])
+		seg.Ack = binary.BigEndian.Uint32(transport[8:12])
+		seg.Flags = transport[13]
+		seg.Payload = transport[dataOff:]
+	case ProtoUDP:
+		if len(transport) < udpHeaderLen {
+			return Segment{}, fmt.Errorf("pcap: truncated UDP header (%d bytes)", len(transport))
+		}
+		udpLen := int(binary.BigEndian.Uint16(transport[4:6]))
+		if udpLen != len(transport) {
+			return Segment{}, fmt.Errorf("pcap: UDP length %d does not match segment length %d", udpLen, len(transport))
+		}
+		seg.Tuple = FourTuple{
+			SrcIP:   srcIP,
+			SrcPort: binary.BigEndian.Uint16(transport[0:2]),
+			DstIP:   dstIP,
+			DstPort: binary.BigEndian.Uint16(transport[2:4]),
+		}
+		seg.Payload = transport[udpHeaderLen:]
+	default:
+		return Segment{}, fmt.Errorf("pcap: unsupported IP protocol %d", seg.Protocol)
+	}
+	return seg, nil
+}

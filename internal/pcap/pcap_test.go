@@ -1,0 +1,308 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	testSrc = netip.AddrFrom4([4]byte{10, 0, 2, 15})
+	testDst = netip.AddrFrom4([4]byte{198, 18, 0, 1})
+)
+
+func testTuple() FourTuple {
+	return FourTuple{SrcIP: testSrc, SrcPort: 40000, DstIP: testDst, DstPort: 443}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Date(2019, 7, 1, 12, 0, 0, 123456000, time.UTC)
+	var packets []Packet
+	for i := 0; i < 5; i++ {
+		raw, err := EncodeTCP(testTuple(), FlagACK, uint32(i), 0, []byte{byte(i), byte(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Packet{Timestamp: base.Add(time.Duration(i) * time.Millisecond), Data: raw}
+		packets = append(packets, p)
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(packets) {
+		t.Fatalf("read %d packets, want %d", len(got), len(packets))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, packets[i].Data) {
+			t.Errorf("packet %d data changed", i)
+		}
+		// Timestamps round to microseconds in the pcap format.
+		if got[i].Timestamp.Sub(packets[i].Timestamp) > time.Microsecond {
+			t.Errorf("packet %d timestamp drifted: %v vs %v", i, got[i].Timestamp, packets[i].Timestamp)
+		}
+	}
+}
+
+func TestEmptyCaptureIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty capture Next() = %v, want EOF", err)
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("short header should fail")
+	}
+	bad := make([]byte, 24)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestFourTupleOperations(t *testing.T) {
+	tup := testTuple()
+	rev := tup.Reverse()
+	if rev.SrcIP != tup.DstIP || rev.SrcPort != tup.DstPort {
+		t.Errorf("Reverse = %v", rev)
+	}
+	if rev.Reverse() != tup {
+		t.Error("double reverse should be identity")
+	}
+	if tup.Canonical() != rev.Canonical() {
+		t.Error("both directions must share a canonical tuple")
+	}
+	if tup.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestFourTupleCanonicalProperty(t *testing.T) {
+	check := func(a, b [4]byte, pa, pb uint16) bool {
+		tup := FourTuple{
+			SrcIP: netip.AddrFrom4(a), SrcPort: pa,
+			DstIP: netip.AddrFrom4(b), DstPort: pb,
+		}
+		return tup.Canonical() == tup.Reverse().Canonical()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCPEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+	raw, err := EncodeTCP(testTuple(), FlagPSH|FlagACK, 1000, 2000, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := DecodeSegment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Protocol != ProtoTCP {
+		t.Errorf("protocol = %d", seg.Protocol)
+	}
+	if seg.Tuple != testTuple() {
+		t.Errorf("tuple = %v", seg.Tuple)
+	}
+	if seg.Seq != 1000 || seg.Ack != 2000 {
+		t.Errorf("seq/ack = %d/%d", seg.Seq, seg.Ack)
+	}
+	if seg.Flags != FlagPSH|FlagACK {
+		t.Errorf("flags = %#x", seg.Flags)
+	}
+	if !bytes.Equal(seg.Payload, payload) {
+		t.Error("payload changed")
+	}
+	if seg.WireLen != len(raw) {
+		t.Errorf("WireLen = %d, want %d", seg.WireLen, len(raw))
+	}
+}
+
+func TestUDPEncodeDecodeRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	raw, err := EncodeUDP(testTuple(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := DecodeSegment(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Protocol != ProtoUDP {
+		t.Errorf("protocol = %d", seg.Protocol)
+	}
+	if !bytes.Equal(seg.Payload, payload) {
+		t.Error("payload changed")
+	}
+}
+
+func TestTCPRoundTripProperty(t *testing.T) {
+	check := func(flags uint8, seq, ack uint32, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		raw, err := EncodeTCP(testTuple(), flags, seq, ack, payload)
+		if err != nil {
+			return false
+		}
+		seg, err := DecodeSegment(raw)
+		if err != nil {
+			return false
+		}
+		return seg.Seq == seq && seg.Ack == ack && seg.Flags == flags &&
+			bytes.Equal(seg.Payload, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4ChecksumValid(t *testing.T) {
+	raw, err := EncodeTCP(testTuple(), FlagSYN, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recomputing the header checksum over the header with its checksum
+	// field included must yield zero (RFC 1071 verification).
+	if got := ipChecksum(raw[:20]); got != 0 {
+		t.Errorf("IPv4 header checksum verification = %#x, want 0", got)
+	}
+}
+
+func TestDecodeSegmentErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x45},                      // truncated
+		bytes.Repeat([]byte{0}, 20), // version 0
+	}
+	for _, data := range cases {
+		if _, err := DecodeSegment(data); err == nil {
+			t.Errorf("DecodeSegment(%v) should fail", data)
+		}
+	}
+	// Wrong total length.
+	raw, err := EncodeTCP(testTuple(), FlagACK, 0, 0, []byte("xx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSegment(raw[:len(raw)-1]); err == nil {
+		t.Error("total-length mismatch should fail")
+	}
+}
+
+func TestEncodeRejectsOversizedPacket(t *testing.T) {
+	if _, err := EncodeTCP(testTuple(), FlagACK, 0, 0, make([]byte, 70000)); err == nil {
+		t.Error("oversized packet should fail")
+	}
+}
+
+func TestEncodeRejectsNonIPv4(t *testing.T) {
+	tup := testTuple()
+	tup.SrcIP = netip.MustParseAddr("::1")
+	if _, err := EncodeTCP(tup, FlagACK, 0, 0, nil); err == nil {
+		t.Error("IPv6 tuple should fail")
+	}
+}
+
+func TestDNSQueryResponseRoundTrip(t *testing.T) {
+	q := DNSMessage{ID: 42, Name: "ads.example.com"}
+	raw, err := EncodeDNS(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeDNS(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != 42 || decoded.Response || decoded.Name != q.Name {
+		t.Errorf("query round trip: %+v", decoded)
+	}
+
+	r := DNSMessage{ID: 42, Response: true, Name: "ads.example.com", Answer: testDst, TTL: 300}
+	raw, err = EncodeDNS(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err = DecodeDNS(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Response || decoded.Answer != testDst || decoded.TTL != 300 {
+		t.Errorf("response round trip: %+v", decoded)
+	}
+}
+
+func TestDNSErrors(t *testing.T) {
+	if _, err := EncodeDNS(DNSMessage{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := EncodeDNS(DNSMessage{Name: "a..b"}); err == nil {
+		t.Error("empty label should fail")
+	}
+	longLabel := string(bytes.Repeat([]byte{'a'}, 64)) + ".com"
+	if _, err := EncodeDNS(DNSMessage{Name: longLabel}); err == nil {
+		t.Error("63-byte label limit should be enforced")
+	}
+	if _, err := EncodeDNS(DNSMessage{Name: "x.com", Response: true}); err == nil {
+		t.Error("response without IPv4 answer should fail")
+	}
+	if _, err := DecodeDNS([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated message should fail")
+	}
+}
+
+func TestDNSNameRoundTripProperty(t *testing.T) {
+	check := func(labels [3]uint8) bool {
+		name := ""
+		for i, l := range labels {
+			n := int(l%20) + 1
+			if i > 0 {
+				name += "."
+			}
+			name += string(bytes.Repeat([]byte{byte('a' + i)}, n))
+		}
+		raw, err := EncodeDNS(DNSMessage{ID: 1, Name: name})
+		if err != nil {
+			return false
+		}
+		decoded, err := DecodeDNS(raw)
+		return err == nil && decoded.Name == name
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterRejectsOversnapPacket(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	err := w.WritePacket(Packet{Timestamp: time.Now(), Data: make([]byte, DefaultSnapLen+1)})
+	if err == nil {
+		t.Error("packet above snap length should be rejected")
+	}
+}

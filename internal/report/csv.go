@@ -1,0 +1,106 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"libspector/internal/analysis"
+	"libspector/internal/corpus"
+)
+
+// CSV exports of the figure series, for regenerating the paper's plots
+// with external tooling (gnuplot, matplotlib, …). Each writer emits one
+// figure's data with a header row.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("report: writing csv header: %w", err)
+	}
+	for _, row := range rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing csv: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// Fig2CSV emits the app-category × library-category matrix in long form:
+// app_category, library_category, bytes.
+func Fig2CSV(w io.Writer, m *analysis.CategoryMatrix) error {
+	rows := make([][]string, 0, len(m.Bytes)*13)
+	for _, appCat := range m.AppCategoryOrder() {
+		for _, libCat := range corpus.LibraryCategories() {
+			if b := m.Bytes[appCat][libCat]; b > 0 {
+				rows = append(rows, []string{string(appCat), string(libCat), strconv.FormatInt(b, 10)})
+			}
+		}
+	}
+	return writeCSV(w, []string{"app_category", "library_category", "bytes"}, rows)
+}
+
+// Fig4CSV emits the CDF series in long form: series, value_bytes,
+// cumulative_fraction.
+func Fig4CSV(w io.Writer, series []analysis.CDFSeries) error {
+	var rows [][]string
+	for _, s := range series {
+		n := len(s.Values)
+		for i, v := range s.Values {
+			rows = append(rows, []string{
+				s.Label,
+				formatFloat(v),
+				formatFloat(float64(i+1) / float64(n)),
+			})
+		}
+	}
+	return writeCSV(w, []string{"series", "value_bytes", "cumulative_fraction"}, rows)
+}
+
+// Fig5CSV emits the ratio series in long form: series, rank, ratio.
+func Fig5CSV(w io.Writer, series []analysis.RatioSeries) error {
+	var rows [][]string
+	for _, s := range series {
+		for i, r := range s.Ratios {
+			rows = append(rows, []string{s.Label, strconv.Itoa(i), formatFloat(r)})
+		}
+	}
+	return writeCSV(w, []string{"series", "rank", "ratio"}, rows)
+}
+
+// Fig9CSV emits the heatmap in long form: library_category,
+// domain_category, bytes.
+func Fig9CSV(w io.Writer, h *analysis.Heatmap) error {
+	var rows [][]string
+	for _, lib := range corpus.LibraryCategories() {
+		for _, dom := range corpus.DomainCategories() {
+			if b := h.Bytes[lib][dom]; b > 0 {
+				rows = append(rows, []string{string(lib), string(dom), strconv.FormatInt(b, 10)})
+			}
+		}
+	}
+	return writeCSV(w, []string{"library_category", "domain_category", "bytes"}, rows)
+}
+
+// Fig10CSV emits the per-app coverage series: app_rank, coverage_percent
+// (descending, the Figure 10 presentation).
+func Fig10CSV(w io.Writer, st *analysis.CoverageStats) error {
+	sorted := make([]float64, len(st.Percents))
+	copy(sorted, st.Percents)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	rows := make([][]string, 0, len(sorted))
+	for i, v := range sorted {
+		rows = append(rows, []string{strconv.Itoa(i), formatFloat(v)})
+	}
+	return writeCSV(w, []string{"app_rank", "coverage_percent"}, rows)
+}

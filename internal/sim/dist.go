@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WeightedChoice selects index i with probability weights[i]/sum(weights).
+// Zero or negative weights never win. It panics on an empty or all-zero
+// weight vector because that indicates a miscalibrated generator profile.
+type WeightedChoice struct {
+	cumulative []float64
+	total      float64
+}
+
+// NewWeightedChoice builds a sampler over the given weights.
+func NewWeightedChoice(weights []float64) (*WeightedChoice, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("sim: weighted choice needs at least one weight")
+	}
+	w := &WeightedChoice{cumulative: make([]float64, len(weights))}
+	for i, wt := range weights {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("sim: invalid weight %v at index %d", wt, i)
+		}
+		w.total += wt
+		w.cumulative[i] = w.total
+	}
+	if w.total == 0 {
+		return nil, fmt.Errorf("sim: all %d weights are zero", len(weights))
+	}
+	return w, nil
+}
+
+// MustWeightedChoice is NewWeightedChoice that panics on error; for use with
+// compile-time-constant profile tables whose validity is asserted by tests.
+func MustWeightedChoice(weights []float64) *WeightedChoice {
+	w, err := NewWeightedChoice(weights)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Sample draws one index according to the weight vector.
+func (w *WeightedChoice) Sample(r *Rand) int {
+	x := r.Float64() * w.total
+	// The cumulative vector is sorted by construction.
+	i := sort.SearchFloat64s(w.cumulative, x)
+	if i >= len(w.cumulative) {
+		i = len(w.cumulative) - 1
+	}
+	// Skip zero-weight entries that SearchFloat64s can land on when x equals
+	// a repeated cumulative value.
+	for i < len(w.cumulative)-1 && (i == 0 && w.cumulative[i] == 0 || i > 0 && w.cumulative[i] == w.cumulative[i-1]) {
+		i++
+	}
+	return i
+}
+
+// Len reports the number of categories in the sampler.
+func (w *WeightedChoice) Len() int { return len(w.cumulative) }
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It models app/library/domain popularity, which the paper
+// observes to be highly skewed (top 25 of 4,793 2-level libraries account
+// for 72.5% of bytes).
+type Zipf struct {
+	choice *WeightedChoice
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: zipf needs n > 0, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("sim: zipf needs s > 0, got %v", s)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	choice, err := NewWeightedChoice(weights)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{choice: choice}, nil
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(r *Rand) int { return z.choice.Sample(r) }
+
+// ClampInt64 bounds v to [lo, hi].
+func ClampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the values using
+// nearest-rank on a sorted copy. It returns 0 for an empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedChoiceValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all zero", []float64{0, 0, 0}},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{1, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewWeightedChoice(tc.weights); err == nil {
+				t.Errorf("NewWeightedChoice(%v) should fail", tc.weights)
+			}
+		})
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	w, err := NewWeightedChoice([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(23)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if frac0 < 0.22 || frac0 > 0.28 {
+		t.Errorf("index 0 frequency %.3f, want ~0.25", frac0)
+	}
+}
+
+func TestWeightedChoiceSingleton(t *testing.T) {
+	w := MustWeightedChoice([]float64{5})
+	r := NewRand(1)
+	for i := 0; i < 100; i++ {
+		if got := w.Sample(r); got != 0 {
+			t.Fatalf("singleton sampler returned %d", got)
+		}
+	}
+}
+
+func TestWeightedChoiceNeverPicksZeroWeight(t *testing.T) {
+	check := func(seed uint64) bool {
+		w := MustWeightedChoice([]float64{0, 0, 1, 0, 2})
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			idx := w.Sample(r)
+			if idx != 2 && idx != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(31)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Errorf("rank 0 (%d) should dominate rank 10 (%d)", counts[0], counts[10])
+	}
+	// Rank 0 of Zipf(1.0) over 100 ranks carries ~1/H(100) ≈ 19%.
+	frac0 := float64(counts[0]) / n
+	if frac0 < 0.15 || frac0 > 0.25 {
+		t.Errorf("rank-0 frequency %.3f, want ~0.19", frac0)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1) should fail")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Error("NewZipf(10, 0) should fail")
+	}
+	if _, err := NewZipf(10, math.NaN()); err == nil {
+		t.Error("NewZipf(10, NaN) should fail")
+	}
+}
+
+func TestClampInt64(t *testing.T) {
+	cases := []struct{ v, lo, hi, want int64 }{
+		{5, 0, 10, 5},
+		{-5, 0, 10, 0},
+		{15, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := ClampInt64(tc.v, tc.lo, tc.hi); got != tc.want {
+			t.Errorf("ClampInt64(%d, %d, %d) = %d, want %d", tc.v, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+func TestClampInt64Property(t *testing.T) {
+	check := func(v int64, a, b int64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := ClampInt64(v, lo, hi)
+		return got >= lo && got <= hi && (got == v || v < lo || v > hi)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{20, 1},
+		{50, 3},
+		{100, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(vals, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// Percentile must not mutate its input.
+	if vals[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,298 @@
+// Package synth generates the synthetic world Libspector is evaluated on:
+// a domain universe proportioned like Table I, a third-party library
+// universe seeded with the corpus category database, and an app corpus
+// whose traffic behaviour is calibrated against the paper's published
+// aggregates (Figure 2 legend percentages, the Figure 9 library×domain
+// matrix, the Figure 10 coverage distribution, and the §IV-A flow-ratio
+// observations).
+//
+// Calibration, not hard-coding: the analysis pipeline never sees these
+// profiles — apps emit real packets through the simulated stack and the
+// measured figures emerge from attribution over the capture.
+package synth
+
+import (
+	"libspector/internal/corpus"
+)
+
+// libCategoryIndex maps each library category to its column in fig9MB,
+// following corpus.LibraryCategories() order.
+func libCategoryIndex(c corpus.LibraryCategory) int {
+	for i, lc := range corpus.LibraryCategories() {
+		if lc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// fig9MB is the paper's Figure 9 heatmap, transcribed verbatim: aggregate
+// data transfer in MB from each origin-library category (columns, in
+// corpus.LibraryCategories order) to each DNS domain category (rows, in
+// corpus.DomainCategories / Table I order). It serves as the ground-truth
+// joint distribution the generator samples destinations and volumes from.
+var fig9MB = [17][13]float64{
+	// Advert, AppMkt, DevAid, DevFw, DigId, GUI, GameEng, MapLBS, MobAna, Pay, SocNet, Unk, Util
+	{9.2, 0.0, 62.6, 0.1, 0.0, 0.0, 25.4, 4.1, 0.1, 0.3, 0.8, 19.1, 8.9},                  // adult
+	{3518.5, 0.1, 1855.7, 0.4, 1.6, 3.1, 223.3, 0.4, 61.2, 18.3, 13.1, 36.0, 45.7},        // advertisements
+	{3.5, 0.0, 97.3, 0.0, 1.0, 9.9, 4.9, 0.1, 190.6, 2.8, 0.8, 5.6, 3.3},                  // analytics
+	{1633.3, 5.8, 1280.0, 8.1, 82.0, 198.6, 183.3, 18.8, 40.4, 14.8, 36.5, 2221.9, 249.8}, // business_and_finance
+	{2098.8, 0.4, 711.2, 4.0, 0.1, 0.1, 465.5, 0.0, 1.0, 5.1, 23.6, 1000.6, 29.6},         // cdn
+	{23.6, 0.1, 195.4, 0.0, 0.2, 0.3, 2.2, 0.2, 19.5, 0.6, 14.2, 376.6, 14.2},             // communication
+	{4.7, 0.0, 307.8, 0.0, 0.3, 0.1, 2.2, 2.4, 2.7, 1.0, 34.6, 133.1, 7.4},                // education
+	{275.2, 0.0, 562.1, 1.3, 0.2, 1.4, 0.2, 0.5, 1.1, 25.4, 9.6, 629.3, 15.8},             // entertainment
+	{4.7, 0.0, 18.3, 0.0, 1.5, 0.0, 1515.5, 0.0, 0.0, 0.0, 1.9, 1.1, 186.0},               // games
+	{0.1, 0.0, 11.6, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 1.4, 40.3},                   // health
+	{892.5, 0.2, 615.6, 1.8, 14.7, 369.5, 245.8, 2.9, 60.8, 71.5, 93.6, 1862.3, 89.9},     // info_tech
+	{32.2, 0.0, 474.8, 3.3, 0.1, 1.4, 232.0, 1.4, 12.5, 0.9, 2.8, 88.0, 58.6},             // internet_services
+	{18.7, 0.0, 300.7, 0.1, 0.9, 0.5, 25.3, 0.5, 0.8, 32.3, 3.1, 225.0, 22.8},             // lifestyle
+	{0.0, 0.0, 9.4, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 6.5, 0.3},                     // malicious
+	{5.2, 0.0, 197.9, 0.4, 0.2, 3.7, 0.0, 0.3, 3.4, 9.4, 1.5, 110.8, 4.6},                 // news
+	{0.1, 0.0, 24.1, 0.0, 0.1, 0.0, 1.1, 0.0, 0.0, 0.1, 160.0, 1.5, 15.6},                 // social_networks
+	{177.4, 1.1, 1378.0, 4.3, 16.9, 21.5, 209.7, 28.2, 132.6, 33.6, 43.9, 1061.4, 241.9},  // unknown
+}
+
+// fig9PaperApps is the dataset size behind fig9MB; per-app volume targets
+// divide by it.
+const fig9PaperApps = 25000
+
+// columnSumMB returns the total MB a library category transferred in the
+// paper (a Figure 2 legend denominator component).
+func columnSumMB(libIdx int) float64 {
+	var sum float64
+	for row := range fig9MB {
+		sum += fig9MB[row][libIdx]
+	}
+	return sum
+}
+
+// destinationWeights returns the Figure 9 column for a library category as
+// domain-category weights (Table I row order).
+func destinationWeights(c corpus.LibraryCategory) []float64 {
+	idx := libCategoryIndex(c)
+	out := make([]float64, len(fig9MB))
+	if idx < 0 {
+		return out
+	}
+	for row := range fig9MB {
+		out[row] = fig9MB[row][idx]
+	}
+	return out
+}
+
+// presence describes how often a traffic-generating instance of a library
+// category appears in an app, and how many distinct libraries of that
+// category an app typically embeds.
+type presence struct {
+	// gameRate applies to GAME_* apps, baseRate to everything else.
+	baseRate float64
+	gameRate float64
+	maxLibs  int
+}
+
+// presenceByCategory is calibrated so that (a) 89% of apps produce some
+// AnT traffic (§IV-A), (b) advertisement traffic is most dominant in
+// gaming apps (§IV-A), and (c) game-engine traffic concentrates in GAME_*
+// categories.
+var presenceByCategory = map[corpus.LibraryCategory]presence{
+	corpus.LibAdvertisement:        {baseRate: 0.80, gameRate: 0.93, maxLibs: 4},
+	corpus.LibAppMarket:            {baseRate: 0.02, gameRate: 0.08, maxLibs: 1},
+	corpus.LibDevelopmentAid:       {baseRate: 0.92, gameRate: 0.90, maxLibs: 4},
+	corpus.LibDevelopmentFramework: {baseRate: 0.10, gameRate: 0.04, maxLibs: 1},
+	corpus.LibDigitalIdentity:      {baseRate: 0.22, gameRate: 0.12, maxLibs: 2},
+	corpus.LibGUIComponent:         {baseRate: 0.50, gameRate: 0.20, maxLibs: 3},
+	corpus.LibGameEngine:           {baseRate: 0.03, gameRate: 0.88, maxLibs: 2},
+	corpus.LibMapLBS:               {baseRate: 0.14, gameRate: 0.02, maxLibs: 1},
+	corpus.LibMobileAnalytics:      {baseRate: 0.78, gameRate: 0.85, maxLibs: 3},
+	corpus.LibPayment:              {baseRate: 0.14, gameRate: 0.18, maxLibs: 2},
+	corpus.LibSocialNetwork:        {baseRate: 0.30, gameRate: 0.25, maxLibs: 2},
+	corpus.LibUnknown:              {baseRate: 1.00, gameRate: 1.00, maxLibs: 1}, // first-party code
+	corpus.LibUtility:              {baseRate: 0.45, gameRate: 0.40, maxLibs: 3},
+}
+
+// typicalOpKB is the typical per-connection response size for a library
+// category, in KB; it sets how a per-app volume target splits into flows.
+// Game engines ship large content bundles, analytics beacons are small.
+var typicalOpKB = map[corpus.LibraryCategory]float64{
+	corpus.LibAdvertisement:        150,
+	corpus.LibAppMarket:            60,
+	corpus.LibDevelopmentAid:       22,
+	corpus.LibDevelopmentFramework: 40,
+	corpus.LibDigitalIdentity:      12,
+	corpus.LibGUIComponent:         50,
+	corpus.LibGameEngine:           420,
+	corpus.LibMapLBS:               40,
+	corpus.LibMobileAnalytics:      8,
+	corpus.LibPayment:              15,
+	corpus.LibSocialNetwork:        45,
+	corpus.LibUnknown:              200,
+	corpus.LibUtility:              55,
+}
+
+// appCategoryWeight is the sampling weight of each Play Store category in
+// the corpus. Game subcategories are individually modest but collectively
+// large, echoing the paper's dataset where GAME_* transfer exceeds all
+// other categories combined (§IV-D).
+func appCategoryWeight(c corpus.AppCategory) float64 {
+	switch {
+	case c.IsGameCategory():
+		return 1.6
+	case c == "TOOLS", c == "ENTERTAINMENT", c == "PERSONALIZATION", c == "EDUCATION":
+		return 2.2
+	case c == "MUSIC_AND_AUDIO", c == "NEWS_AND_MAGAZINES", c == "SPORTS", c == "BOOKS_AND_REFERENCE":
+		return 1.6
+	case c == "EVENTS", c == "PARENTING", c == "DATING", c == "LIBRARIES_AND_DEMO", c == "BEAUTY":
+		return 0.4
+	default:
+		return 1.0
+	}
+}
+
+// appCategoryVolumeMult scales an app's traffic volume by its Play Store
+// category, following the Figure 8 per-category averages: music and news
+// apps transfer the most per app, dating and finance the least.
+func appCategoryVolumeMult(c corpus.AppCategory) float64 {
+	switch c {
+	case "MUSIC_AND_AUDIO":
+		return 3.0
+	case "NEWS_AND_MAGAZINES":
+		return 2.7
+	case "SPORTS":
+		return 2.2
+	case "BOOKS_AND_REFERENCE", "LIBRARIES_AND_DEMO":
+		return 1.9
+	case "EDUCATION", "EVENTS", "PERSONALIZATION", "ENTERTAINMENT", "COMICS", "ART_AND_DESIGN":
+		return 1.4
+	case "TOOLS", "VIDEO_PLAYERS", "FOOD_AND_DRINK", "MEDICAL", "SOCIAL", "BEAUTY", "LIFESTYLE", "SHOPPING":
+		return 1.0
+	case "HOUSE_AND_HOME", "PHOTOGRAPHY", "HEALTH_AND_FITNESS", "TRAVEL_AND_LOCAL", "WEATHER", "COMMUNICATION":
+		return 0.8
+	case "MAPS_AND_NAVIGATION", "PRODUCTIVITY", "BUSINESS", "PARENTING", "AUTO_AND_VEHICLES":
+		return 0.55
+	case "FINANCE", "DATING":
+		return 0.35
+	default: // GAME_* handled via game-engine/ads presence plus this base.
+		if c.IsGameCategory() {
+			return 1.5
+		}
+		return 1.0
+	}
+}
+
+// AnT traffic-profile shares (§IV-A): 35% of apps produce only AnT
+// traffic, ~10% produce none, the rest mix.
+const (
+	antOnlyShare = 0.35
+	antFreeShare = 0.10
+)
+
+// antProfile classifies an app's AnT behaviour.
+type antProfile int
+
+const (
+	antMixed antProfile = iota + 1
+	antOnly
+	antFree
+)
+
+// isAnTCategory reports whether traffic of this library category counts as
+// advertisement/tracker traffic for profile suppression purposes.
+func isAnTCategory(c corpus.LibraryCategory) bool {
+	return c == corpus.LibAdvertisement || c == corpus.LibMobileAnalytics
+}
+
+// identifiableUARate is the probability that a library category stamps an
+// identifiable product User-Agent rather than the generic Dalvik one —
+// what makes the Xue/Maier-style UA baseline partially work.
+var identifiableUARate = map[corpus.LibraryCategory]float64{
+	corpus.LibAdvertisement:   0.55,
+	corpus.LibMobileAnalytics: 0.45,
+	corpus.LibSocialNetwork:   0.35,
+	corpus.LibGameEngine:      0.30,
+	corpus.LibDevelopmentAid:  0.15,
+}
+
+// httpsRate is the fraction of connections on port 443 whose payload the
+// network-only baselines cannot parse.
+const httpsRate = 0.25
+
+// coverage distribution (Figure 10): log-normal over coverage percent,
+// calibrated for a ~9.5% mean with mass between 0.01% and 100%.
+const (
+	coverageLogMeanPct = 1.70 // ln(5.5%)
+	coverageLogSigma   = 1.00
+)
+
+// Method-count distribution: the paper reports an average of 49,138
+// methods per apk. The generator scales this by Config.MethodScale so
+// laptop-scale corpora stay tractable; coverage is a ratio and is
+// preserved under scaling.
+const (
+	paperMeanMethods = 49138
+	methodLogSigma   = 0.85
+)
+
+// builtinOpRate is the probability that a run includes framework-initiated
+// connections (connectivity checks, platform services) whose stacks are
+// entirely built-in — the "*-<category>" pseudo origin-libraries of
+// Figure 3.
+const builtinOpRate = 0.50
+
+// builtinDestWeights spreads builtin-created sockets over destination
+// categories; advertisement-bound platform traffic dominates, matching the
+// "*-Advertisement" row ranking third in Figure 3.
+var builtinDestWeights = map[corpus.DomainCategory]float64{
+	corpus.DomAdvertisements:   0.40,
+	corpus.DomCDN:              0.20,
+	corpus.DomInfoTech:         0.15,
+	corpus.DomInternetServices: 0.15,
+	corpus.DomBusinessFinance:  0.10,
+}
+
+// intensityTweak compensates for systematic attribution drains (traffic of
+// LibRadar-unknown libraries voted into Unknown, builtin platform flows)
+// so measured Figure 2 shares land on the paper's values.
+var intensityTweak = map[corpus.LibraryCategory]float64{
+	corpus.LibAdvertisement:  1.12,
+	corpus.LibGameEngine:     1.00,
+	corpus.LibUnknown:        1.05,
+	corpus.LibDevelopmentAid: 1.15,
+}
+
+// requestShape describes the client-request side of a category's flows:
+// ad fetches are tiny GETs, analytics beacons are chunky POST uploads,
+// development-aid clients mix API calls with uploads.
+type requestShape struct {
+	logMean  float64 // ln(bytes)
+	logSigma float64
+	maxBytes int64
+	postRate float64
+}
+
+var requestShapeByCategory = map[corpus.LibraryCategory]requestShape{
+	corpus.LibAdvertisement:   {logMean: 5.0, logSigma: 0.5, maxBytes: 800, postRate: 0.05},  // ~150 B ad fetches
+	corpus.LibMobileAnalytics: {logMean: 6.0, logSigma: 0.6, maxBytes: 4096, postRate: 0.60}, // ~400 B beacons
+	corpus.LibDevelopmentAid:  {logMean: 6.3, logSigma: 0.8, maxBytes: 8192, postRate: 0.25},
+	corpus.LibSocialNetwork:   {logMean: 6.3, logSigma: 0.8, maxBytes: 8192, postRate: 0.40},
+	corpus.LibUnknown:         {logMean: 5.5, logSigma: 0.6, maxBytes: 2048, postRate: 0.10}, // content pulls
+}
+
+// defaultRequestShape covers the remaining categories.
+var defaultRequestShape = requestShape{logMean: 5.7, logSigma: 0.6, maxBytes: 4096, postRate: 0.10}
+
+// contentTypesByCategory is what servers stamp on responses to each
+// library category's requests: ad networks deliver creatives (images,
+// video, markup), analytics return tiny JSON acks, game engines pull
+// binary asset bundles.
+var contentTypesByCategory = map[corpus.LibraryCategory][]string{
+	corpus.LibAdvertisement:   {"image/webp", "image/gif", "video/mp4", "text/html", "application/json"},
+	corpus.LibMobileAnalytics: {"application/json"},
+	corpus.LibDevelopmentAid:  {"application/json", "image/jpeg", "application/octet-stream"},
+	corpus.LibGameEngine:      {"application/octet-stream", "application/zip"},
+	corpus.LibGUIComponent:    {"image/png", "image/jpeg"},
+	corpus.LibSocialNetwork:   {"application/json", "image/jpeg"},
+	corpus.LibUnknown:         {"application/json", "text/html", "image/jpeg", "application/octet-stream"},
+}
+
+// defaultContentTypes covers the remaining categories.
+var defaultContentTypes = []string{"application/json", "text/html"}

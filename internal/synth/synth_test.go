@@ -1,0 +1,333 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"libspector/internal/corpus"
+)
+
+func smallConfig(seed uint64, apps int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumApps = apps
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	broken := []func(*Config){
+		func(c *Config) { c.NumApps = 0 },
+		func(c *Config) { c.DomainScale = 0 },
+		func(c *Config) { c.DomainScale = 1.5 },
+		func(c *Config) { c.SyntheticLibsPerCategory = -1 },
+		func(c *Config) { c.MethodScale = 0 },
+		func(c *Config) { c.ARMOnlyRate = 1 },
+		func(c *Config) { c.VolumeScale = 0 },
+	}
+	for i, mutate := range broken {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestWorldDomainsFollowTableIProportions(t *testing.T) {
+	w, err := NewWorld(smallConfig(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCat := make(map[corpus.DomainCategory]int)
+	names := make(map[string]bool)
+	for _, d := range w.Domains {
+		byCat[d.Category]++
+		if names[d.Name] {
+			t.Errorf("duplicate domain name %s", d.Name)
+		}
+		names[d.Name] = true
+		if !d.Addr.Is4() {
+			t.Errorf("domain %s has non-IPv4 address", d.Name)
+		}
+	}
+	counts := corpus.TableIDomainCounts()
+	for _, cat := range corpus.DomainCategories() {
+		if byCat[cat] == 0 {
+			t.Errorf("category %s has no domains", cat)
+		}
+		want := int(float64(counts[cat]) * w.Config().DomainScale)
+		if want < 1 {
+			want = 1
+		}
+		if byCat[cat] != want {
+			t.Errorf("category %s has %d domains, want %d", cat, byCat[cat], want)
+		}
+	}
+	// Every domain resolves.
+	if w.Resolver.Len() != len(w.Domains) {
+		t.Errorf("resolver has %d entries for %d domains", w.Resolver.Len(), len(w.Domains))
+	}
+}
+
+func TestWorldLibraries(t *testing.T) {
+	w, err := NewWorld(smallConfig(2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Libraries) < len(corpus.SeedLibraries()) {
+		t.Fatalf("library universe smaller than the seed set")
+	}
+	prefixes := make(map[string]bool)
+	byCat := make(map[corpus.LibraryCategory]int)
+	for _, lib := range w.Libraries {
+		if prefixes[lib.Prefix] {
+			t.Errorf("duplicate library prefix %s", lib.Prefix)
+		}
+		prefixes[lib.Prefix] = true
+		byCat[lib.Category]++
+	}
+	for _, cat := range corpus.LibraryCategories() {
+		if byCat[cat] == 0 {
+			t.Errorf("no libraries in category %s", cat)
+		}
+	}
+	db := w.KnownLibraryDB()
+	if len(db) == 0 {
+		t.Fatal("empty known-library DB")
+	}
+	for prefix, cat := range db {
+		if !corpus.ValidLibraryCategory(cat) {
+			t.Errorf("db entry %s has invalid category", prefix)
+		}
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	w1, err := NewWorld(smallConfig(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWorld(smallConfig(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Domains) != len(w2.Domains) {
+		t.Fatal("domain universes differ in size")
+	}
+	for i := range w1.Domains {
+		if w1.Domains[i] != w2.Domains[i] {
+			t.Fatalf("domain %d differs: %+v vs %+v", i, w1.Domains[i], w2.Domains[i])
+		}
+	}
+	a1, err := w1.GenerateApp(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := w2.GenerateApp(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.SHA256 != a2.SHA256 {
+		t.Error("same seed and index should generate identical apks")
+	}
+}
+
+func TestGenerateAppIndependentOfOrder(t *testing.T) {
+	w, err := NewWorld(smallConfig(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generating app 5 before app 2 must not change either.
+	a5first, err := w.GenerateApp(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.GenerateApp(2); err != nil {
+		t.Fatal(err)
+	}
+	a5again, err := w.GenerateApp(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a5first.SHA256 != a5again.SHA256 {
+		t.Error("app generation depends on generation order")
+	}
+}
+
+func TestGenerateAppStructure(t *testing.T) {
+	w, err := NewWorld(smallConfig(5, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		app, err := w.GenerateApp(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.APK.Validate(); err != nil {
+			t.Errorf("app %d apk invalid: %v", i, err)
+		}
+		if err := app.Program.Validate(); err != nil {
+			t.Errorf("app %d program invalid: %v", i, err)
+		}
+		if app.SHA256 == "" || len(app.Encoded) == 0 {
+			t.Errorf("app %d missing artifact", i)
+		}
+		if app.APK.Dex.MethodCount() < 80 {
+			t.Errorf("app %d has only %d methods", i, app.APK.Dex.MethodCount())
+		}
+		// Net op domains must resolve in the world.
+		for _, act := range app.Program.Activities {
+			for _, h := range act.Handlers {
+				for _, op := range h.NetOps {
+					if _, err := w.Resolver.Resolve(op.Action.Domain); err != nil {
+						t.Errorf("app %d references unresolvable domain %s", i, op.Action.Domain)
+					}
+					if op.Action.ResponseBytes <= 0 {
+						t.Errorf("app %d has non-positive response size", i)
+					}
+				}
+			}
+		}
+		// Library code must live under the declared prefixes.
+		for _, li := range app.LibIdxs {
+			prefix := w.Libraries[li].Prefix
+			found := false
+			for _, pkg := range app.Program.Dex.Packages() {
+				if pkg == prefix || strings.HasPrefix(pkg, prefix+".") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("app %d embeds library %s but has no code under it", i, prefix)
+			}
+		}
+	}
+	if _, err := w.GenerateApp(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := w.GenerateApp(30); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}
+
+func TestAnTProfileShares(t *testing.T) {
+	w, err := NewWorld(smallConfig(6, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var only, free int
+	for i := 0; i < 400; i++ {
+		app, err := w.GenerateApp(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app.AnTOnly() {
+			only++
+		}
+		if app.AnTFree() {
+			free++
+		}
+	}
+	if frac := float64(only) / 400; frac < 0.28 || frac > 0.42 {
+		t.Errorf("AnT-only fraction %.2f, want ~0.35", frac)
+	}
+	if frac := float64(free) / 400; frac < 0.05 || frac > 0.16 {
+		t.Errorf("AnT-free fraction %.2f, want ~0.10", frac)
+	}
+}
+
+func TestARMOnlyRate(t *testing.T) {
+	cfg := smallConfig(7, 400)
+	cfg.ARMOnlyRate = 0.2
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := 0
+	for i := 0; i < 400; i++ {
+		app, err := w.GenerateApp(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !app.APK.SupportsX86() {
+			arm++
+		}
+	}
+	if frac := float64(arm) / 400; frac < 0.12 || frac > 0.28 {
+		t.Errorf("ARM-only fraction %.2f, want ~0.20", frac)
+	}
+}
+
+func TestGameAppsGetGameEngines(t *testing.T) {
+	w, err := NewWorld(smallConfig(8, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamesWith, games, othersWith, others := 0, 0, 0, 0
+	for i := 0; i < 300; i++ {
+		app, err := w.GenerateApp(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasEngine := false
+		for _, li := range app.LibIdxs {
+			if w.Libraries[li].Category == corpus.LibGameEngine {
+				hasEngine = true
+				break
+			}
+		}
+		if app.APK.Manifest.Category.IsGameCategory() {
+			games++
+			if hasEngine {
+				gamesWith++
+			}
+		} else {
+			others++
+			if hasEngine {
+				othersWith++
+			}
+		}
+	}
+	if games == 0 || others == 0 {
+		t.Fatal("corpus lacks category diversity")
+	}
+	gameRate := float64(gamesWith) / float64(games)
+	otherRate := float64(othersWith) / float64(others)
+	if gameRate < 3*otherRate {
+		t.Errorf("game-engine presence: games %.2f vs others %.2f — engines must concentrate in games",
+			gameRate, otherRate)
+	}
+}
+
+func TestDomainTruthExport(t *testing.T) {
+	w, err := NewWorld(smallConfig(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := w.DomainTruth()
+	if len(truth) != len(w.Domains) {
+		t.Errorf("truth has %d entries for %d domains", len(truth), len(w.Domains))
+	}
+	d, ok := w.DomainByName(w.Domains[0].Name)
+	if !ok || d != w.Domains[0] {
+		t.Error("DomainByName lookup failed")
+	}
+	if _, ok := w.DomainByName("no.such.domain"); ok {
+		t.Error("DomainByName should miss unknown names")
+	}
+}
+
+func TestNumApps(t *testing.T) {
+	w, err := NewWorld(smallConfig(1, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumApps() != 17 {
+		t.Errorf("NumApps = %d", w.NumApps())
+	}
+}

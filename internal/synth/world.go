@@ -1,0 +1,457 @@
+package synth
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"libspector/internal/corpus"
+	"libspector/internal/nets"
+	"libspector/internal/sim"
+)
+
+// Config parameterizes the synthetic world.
+type Config struct {
+	// Seed drives all generation; identical configs yield identical worlds.
+	Seed uint64
+	// NumApps is the corpus size (the paper: 25,000).
+	NumApps int
+	// DomainScale scales the Table I domain counts (1.0 reproduces the
+	// full 14,140-domain universe).
+	DomainScale float64
+	// SyntheticLibsPerCategory extends the seed library database with
+	// generated libraries.
+	SyntheticLibsPerCategory int
+	// MethodScale scales the paper's 49,138 mean methods per apk so
+	// laptop-scale corpora stay tractable; coverage is scale-invariant.
+	MethodScale float64
+	// ARMOnlyRate is the fraction of apps shipping only ARM native
+	// libraries, which the §III-A ABI filter excludes.
+	ARMOnlyRate float64
+	// VolumeScale scales all traffic volumes (1.0 reproduces the paper's
+	// ~1.23 MB mean per app).
+	VolumeScale float64
+}
+
+// DefaultConfig returns a laptop-scale world that preserves the paper's
+// distributions.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     42,
+		NumApps:                  500,
+		DomainScale:              0.05,
+		SyntheticLibsPerCategory: 20,
+		MethodScale:              0.03,
+		ARMOnlyRate:              0.06,
+		VolumeScale:              1.0,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.NumApps <= 0:
+		return fmt.Errorf("synth: NumApps must be positive, got %d", c.NumApps)
+	case c.DomainScale <= 0 || c.DomainScale > 1:
+		return fmt.Errorf("synth: DomainScale must be in (0,1], got %v", c.DomainScale)
+	case c.SyntheticLibsPerCategory < 0:
+		return fmt.Errorf("synth: negative SyntheticLibsPerCategory %d", c.SyntheticLibsPerCategory)
+	case c.MethodScale <= 0 || c.MethodScale > 1:
+		return fmt.Errorf("synth: MethodScale must be in (0,1], got %v", c.MethodScale)
+	case c.ARMOnlyRate < 0 || c.ARMOnlyRate >= 1:
+		return fmt.Errorf("synth: ARMOnlyRate must be in [0,1), got %v", c.ARMOnlyRate)
+	case c.VolumeScale <= 0:
+		return fmt.Errorf("synth: VolumeScale must be positive, got %v", c.VolumeScale)
+	}
+	return nil
+}
+
+// Domain is one DNS name in the universe with its ground-truth category.
+type Domain struct {
+	Name     string
+	Category corpus.DomainCategory
+	Addr     netip.Addr
+}
+
+// Library is one third-party library in the universe.
+type Library struct {
+	Prefix   string
+	Category corpus.LibraryCategory
+	// KnownToLibRadar marks libraries present in the LibRadar category
+	// database; unknown ones exercise the majority-voting heuristic.
+	KnownToLibRadar bool
+}
+
+// World is the generated universe: domains, libraries, and the derived
+// samplers app generation draws from.
+type World struct {
+	cfg Config
+
+	Domains  []Domain
+	Resolver *nets.StaticResolver
+	// domainIdxByCategory lists domain indices per category.
+	domainIdxByCategory map[corpus.DomainCategory][]int
+	domainZipf          map[corpus.DomainCategory]*sim.Zipf
+
+	Libraries []Library
+	// libIdxByCategory lists library indices per category (in popularity
+	// order: seeds first).
+	libIdxByCategory map[corpus.LibraryCategory][]int
+	libZipf          map[corpus.LibraryCategory]*sim.Zipf
+
+	destChoice    map[corpus.LibraryCategory]*sim.WeightedChoice
+	builtinChoice *sim.WeightedChoice
+	builtinCats   []corpus.DomainCategory
+	appCatChoice  *sim.WeightedChoice
+	appCats       []corpus.AppCategory
+
+	// meanCatMult normalizes appCategoryVolumeMult to mean 1 under the
+	// category sampling weights.
+	meanCatMult float64
+	// globalPresence is the corpus-wide expected presence rate per library
+	// category, used to convert paper aggregates into per-present-app
+	// volume targets.
+	globalPresence map[corpus.LibraryCategory]float64
+}
+
+// NewWorld generates the universe for the given configuration.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg:                 cfg,
+		Resolver:            nets.NewStaticResolver(),
+		domainIdxByCategory: make(map[corpus.DomainCategory][]int),
+		domainZipf:          make(map[corpus.DomainCategory]*sim.Zipf),
+		libIdxByCategory:    make(map[corpus.LibraryCategory][]int),
+		libZipf:             make(map[corpus.LibraryCategory]*sim.Zipf),
+		destChoice:          make(map[corpus.LibraryCategory]*sim.WeightedChoice),
+		globalPresence:      make(map[corpus.LibraryCategory]float64),
+	}
+	rng := sim.NewRand(cfg.Seed)
+	if err := w.buildDomains(rng.Split("domains")); err != nil {
+		return nil, err
+	}
+	if err := w.buildLibraries(rng.Split("libraries")); err != nil {
+		return nil, err
+	}
+	if err := w.buildSamplers(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Config returns the world configuration.
+func (w *World) Config() Config { return w.cfg }
+
+func (w *World) buildDomains(rng *sim.Rand) error {
+	// Seed domains first, then generated names up to the scaled Table I
+	// count per category.
+	nextIP := uint32(0)
+	allocIP := func() netip.Addr {
+		// 198.18.0.0/15 is the benchmarking range; gives us 131k hosts.
+		a := byte(18 + (nextIP>>16)&1)
+		b := byte(nextIP >> 8)
+		c := byte(nextIP)
+		nextIP++
+		return netip.AddrFrom4([4]byte{198, a, b, c})
+	}
+
+	counts := corpus.TableIDomainCounts()
+	seedsByCat := make(map[corpus.DomainCategory][]corpus.SeedDomain)
+	for _, sd := range corpus.SeedDomains() {
+		seedsByCat[sd.Category] = append(seedsByCat[sd.Category], sd)
+	}
+	tlds := []string{"com", "net", "org", "io", "co"}
+	seen := make(map[string]struct{})
+
+	for _, cat := range corpus.DomainCategories() {
+		target := int(float64(counts[cat]) * w.cfg.DomainScale)
+		if target < 1 {
+			target = 1
+		}
+		stems := corpus.DomainNameStems(cat)
+		catRng := rng.Split(string(cat))
+		names := make([]string, 0, target)
+		for _, sd := range seedsByCat[cat] {
+			if len(names) >= target {
+				break
+			}
+			names = append(names, sd.Name)
+		}
+		for len(names) < target {
+			stem := stems[catRng.Intn(len(stems))]
+			name := fmt.Sprintf("%s%s%d.example.%s",
+				stem, syllable(catRng), catRng.Intn(1000), tlds[catRng.Intn(len(tlds))])
+			if _, dup := seen[name]; dup {
+				continue
+			}
+			seen[name] = struct{}{}
+			names = append(names, name)
+		}
+		for _, name := range names {
+			d := Domain{Name: name, Category: cat, Addr: allocIP()}
+			if err := w.Resolver.Add(d.Name, d.Addr); err != nil {
+				return fmt.Errorf("synth: registering domain %s: %w", d.Name, err)
+			}
+			w.domainIdxByCategory[cat] = append(w.domainIdxByCategory[cat], len(w.Domains))
+			w.Domains = append(w.Domains, d)
+		}
+		z, err := sim.NewZipf(len(names), 1.0)
+		if err != nil {
+			return fmt.Errorf("synth: domain zipf for %s: %w", cat, err)
+		}
+		w.domainZipf[cat] = z
+	}
+	return nil
+}
+
+// vendor syllables for synthetic names.
+var syllables = []string{
+	"zen", "mo", "trak", "net", "soft", "app", "peak", "blu", "nova", "digi",
+	"meta", "qua", "vex", "orb", "lumi", "byte", "grid", "echo", "flux", "kilo",
+}
+
+func syllable(rng *sim.Rand) string {
+	return syllables[rng.Intn(len(syllables))]
+}
+
+// productBySuffix flavors synthetic library names by category.
+var productByCategory = map[corpus.LibraryCategory][]string{
+	corpus.LibAdvertisement:        {"ads", "adsdk", "banner", "promo", "mediation"},
+	corpus.LibAppMarket:            {"market", "store", "downloader"},
+	corpus.LibDevelopmentAid:       {"sdk", "http", "json", "imageloader", "cache"},
+	corpus.LibDevelopmentFramework: {"framework", "bridge", "runtime"},
+	corpus.LibDigitalIdentity:      {"auth", "login", "identity"},
+	corpus.LibGUIComponent:         {"ui", "widget", "view", "chart"},
+	corpus.LibGameEngine:           {"engine", "game", "render"},
+	corpus.LibMapLBS:               {"maps", "location", "geo"},
+	corpus.LibMobileAnalytics:      {"analytics", "tracker", "metrics", "telemetry"},
+	corpus.LibPayment:              {"pay", "billing", "wallet"},
+	corpus.LibSocialNetwork:        {"social", "share", "connect"},
+	corpus.LibUnknown:              {"misc", "core", "common"},
+	corpus.LibUtility:              {"util", "log", "job", "storage"},
+}
+
+func (w *World) buildLibraries(rng *sim.Rand) error {
+	// Seeds first: they are the popular, LibRadar-known libraries and
+	// occupy the top Zipf ranks.
+	for _, seed := range corpus.SeedLibraries() {
+		w.appendLibrary(Library{Prefix: seed.Prefix, Category: seed.Category, KnownToLibRadar: true})
+	}
+	// Synthetic extensions per category.
+	twoLevelVendors := w.twoLevelVendors()
+	seen := make(map[string]struct{}, len(w.Libraries))
+	for _, lib := range w.Libraries {
+		seen[lib.Prefix] = struct{}{}
+	}
+	for _, cat := range corpus.LibraryCategories() {
+		catRng := rng.Split(string(cat))
+		products := productByCategory[cat]
+		for i := 0; i < w.cfg.SyntheticLibsPerCategory; i++ {
+			var prefix string
+			if len(twoLevelVendors) > 0 && catRng.Bool(0.20) {
+				// Subsidiary of an existing vendor: exercises the
+				// majority-voting category prediction of §III-D.
+				vendor := twoLevelVendors[catRng.Intn(len(twoLevelVendors))]
+				prefix = vendor + "." + products[catRng.Intn(len(products))] + syllable(catRng)
+			} else {
+				tld := []string{"com", "io", "net", "co"}[catRng.Intn(4)]
+				vendor := syllable(catRng) + syllable(catRng)
+				prefix = fmt.Sprintf("%s.%s.%s", tld, vendor, products[catRng.Intn(len(products))])
+			}
+			if _, dup := seen[prefix]; dup {
+				continue
+			}
+			seen[prefix] = struct{}{}
+			w.appendLibrary(Library{
+				Prefix:          prefix,
+				Category:        cat,
+				KnownToLibRadar: catRng.Bool(0.6),
+			})
+		}
+	}
+	for cat, idxs := range w.libIdxByCategory {
+		z, err := sim.NewZipf(len(idxs), 1.1)
+		if err != nil {
+			return fmt.Errorf("synth: library zipf for %s: %w", cat, err)
+		}
+		w.libZipf[cat] = z
+	}
+	return nil
+}
+
+func (w *World) appendLibrary(lib Library) {
+	w.libIdxByCategory[lib.Category] = append(w.libIdxByCategory[lib.Category], len(w.Libraries))
+	w.Libraries = append(w.Libraries, lib)
+}
+
+// twoLevelVendors returns the distinct two-level prefixes of seed
+// libraries ("com.unity3d", "com.google", …).
+func (w *World) twoLevelVendors() []string {
+	seen := make(map[string]struct{})
+	for _, lib := range w.Libraries {
+		parts := strings.Split(lib.Prefix, ".")
+		if len(parts) >= 2 {
+			seen[parts[0]+"."+parts[1]] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *World) buildSamplers() error {
+	// Destination sampler per library category from the Figure 9 columns.
+	for _, cat := range corpus.LibraryCategories() {
+		choice, err := sim.NewWeightedChoice(destinationWeights(cat))
+		if err != nil {
+			return fmt.Errorf("synth: destination weights for %s: %w", cat, err)
+		}
+		w.destChoice[cat] = choice
+	}
+
+	// Builtin destination sampler.
+	w.builtinCats = make([]corpus.DomainCategory, 0, len(builtinDestWeights))
+	for _, cat := range corpus.DomainCategories() {
+		if _, ok := builtinDestWeights[cat]; ok {
+			w.builtinCats = append(w.builtinCats, cat)
+		}
+	}
+	weights := make([]float64, len(w.builtinCats))
+	for i, cat := range w.builtinCats {
+		weights[i] = builtinDestWeights[cat]
+	}
+	choice, err := sim.NewWeightedChoice(weights)
+	if err != nil {
+		return fmt.Errorf("synth: builtin destination weights: %w", err)
+	}
+	w.builtinChoice = choice
+
+	// App category sampler plus volume-multiplier normalization.
+	w.appCats = corpus.AppCategories()
+	catWeights := make([]float64, len(w.appCats))
+	var wSum, multSum float64
+	for i, c := range w.appCats {
+		catWeights[i] = appCategoryWeight(c)
+		wSum += catWeights[i]
+		multSum += catWeights[i] * appCategoryVolumeMult(c)
+	}
+	w.appCatChoice, err = sim.NewWeightedChoice(catWeights)
+	if err != nil {
+		return fmt.Errorf("synth: app category weights: %w", err)
+	}
+	w.meanCatMult = multSum / wSum
+
+	// Global presence per library category under the app-category mix.
+	for cat, p := range presenceByCategory {
+		var acc float64
+		for i, ac := range w.appCats {
+			rate := p.baseRate
+			if ac.IsGameCategory() {
+				rate = p.gameRate
+			}
+			acc += catWeights[i] * rate
+		}
+		w.globalPresence[cat] = acc / wSum
+	}
+	return nil
+}
+
+// perAppBaseBytes returns the traffic-volume target (bytes) for one
+// present instance-set of a library category in one average app, derived
+// from the paper's Figure 9 column sums and corrected for presence rates
+// and AnT-profile suppression.
+func (w *World) perAppBaseBytes(cat corpus.LibraryCategory) float64 {
+	idx := libCategoryIndex(cat)
+	if idx < 0 {
+		return 0
+	}
+	perApp := columnSumMB(idx) * 1e6 / fig9PaperApps
+	pres := w.globalPresence[cat]
+	if pres <= 0 {
+		return 0
+	}
+	base := perApp / pres
+	if isAnTCategory(cat) {
+		base /= 1 - antFreeShare
+	} else {
+		base /= 1 - antOnlyShare
+	}
+	return base * w.cfg.VolumeScale
+}
+
+// DomainByName finds a domain record by name.
+func (w *World) DomainByName(name string) (Domain, bool) {
+	for _, d := range w.Domains {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Domain{}, false
+}
+
+// sampleDomain draws a domain of the given category (Zipf popularity).
+func (w *World) sampleDomain(cat corpus.DomainCategory, rng *sim.Rand) Domain {
+	idxs := w.domainIdxByCategory[cat]
+	return w.Domains[idxs[w.domainZipf[cat].Sample(rng)]]
+}
+
+// sampleLibrary draws a library index of the given category.
+func (w *World) sampleLibrary(cat corpus.LibraryCategory, rng *sim.Rand) int {
+	idxs := w.libIdxByCategory[cat]
+	return idxs[w.libZipf[cat].Sample(rng)]
+}
+
+// NumApps reports the configured corpus size (dispatch.AppSource).
+func (w *World) NumApps() int { return w.cfg.NumApps }
+
+// KnownLibraryDB exports the LibRadar-known libraries of this world as a
+// category database for seeding the detector.
+func (w *World) KnownLibraryDB() map[string]corpus.LibraryCategory {
+	db := make(map[string]corpus.LibraryCategory)
+	for _, lib := range w.Libraries {
+		if lib.KnownToLibRadar {
+			db[lib.Prefix] = lib.Category
+		}
+	}
+	return db
+}
+
+// DomainTruth exports the ground-truth domain categories (for the
+// VirusTotal-style oracle).
+func (w *World) DomainTruth() map[string]corpus.DomainCategory {
+	out := make(map[string]corpus.DomainCategory, len(w.Domains))
+	for _, d := range w.Domains {
+		out[d.Name] = d.Category
+	}
+	return out
+}
+
+// sampleAnTListed returns a library of the category whose prefix is on the
+// Li et al. AnT list, preferring the sampled candidate. It falls back to a
+// linear scan of the category (seeds are listed), and to the candidate if
+// the category somehow has no listed member.
+func (w *World) sampleAnTListed(cat corpus.LibraryCategory, candidate int, rng *sim.Rand) int {
+	ant := corpus.AnTPrefixes()
+	if corpus.HasPrefixInList(w.Libraries[candidate].Prefix, ant) {
+		return candidate
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		li := w.sampleLibrary(cat, rng)
+		if corpus.HasPrefixInList(w.Libraries[li].Prefix, ant) {
+			return li
+		}
+	}
+	for _, li := range w.libIdxByCategory[cat] {
+		if corpus.HasPrefixInList(w.Libraries[li].Prefix, ant) {
+			return li
+		}
+	}
+	return candidate
+}

@@ -1,0 +1,127 @@
+package vtclient
+
+import (
+	"reflect"
+	"testing"
+
+	"libspector/internal/corpus"
+)
+
+func testTruth() map[string]corpus.DomainCategory {
+	return map[string]corpus.DomainCategory{
+		"ads.example.com":   corpus.DomAdvertisements,
+		"cdn.example.net":   corpus.DomCDN,
+		"bank.example.com":  corpus.DomBusinessFinance,
+		"mystery.example.x": corpus.DomUnknown,
+	}
+}
+
+func TestOracleDeterminism(t *testing.T) {
+	o1 := NewOracle(7, testTruth())
+	o2 := NewOracle(7, testTruth())
+	for domain := range testTruth() {
+		if !reflect.DeepEqual(o1.DomainReport(domain), o2.DomainReport(domain)) {
+			t.Errorf("oracle reports for %s differ across instances", domain)
+		}
+	}
+	o3 := NewOracle(8, testTruth())
+	different := false
+	for domain := range testTruth() {
+		if !reflect.DeepEqual(o1.DomainReport(domain), o3.DomainReport(domain)) {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("different seeds should change at least one report")
+	}
+}
+
+func TestOracleReportShape(t *testing.T) {
+	o := NewOracle(1, testTruth())
+	report := o.DomainReport("ads.example.com")
+	if len(report) != corpus.VendorCount {
+		t.Fatalf("report has %d labels, want %d", len(report), corpus.VendorCount)
+	}
+	for _, label := range report {
+		if label == "" {
+			t.Error("empty vendor label")
+		}
+	}
+}
+
+func TestServiceRecoversGroundTruthMostly(t *testing.T) {
+	// Over many domains, majority voting over the noisy vendor labels
+	// must recover the ground truth for the overwhelming majority.
+	truth := make(map[string]corpus.DomainCategory)
+	cats := corpus.DomainCategories()
+	for i := 0; i < 500; i++ {
+		cat := cats[i%len(cats)]
+		truth[domainName(i)] = cat
+	}
+	svc, err := NewService(NewOracle(3, truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	knowable := 0
+	for domain, want := range truth {
+		got := svc.Categorize(domain)
+		if want == corpus.DomUnknown {
+			if got != corpus.DomUnknown {
+				t.Errorf("unknown-category domain %s categorized as %s", domain, got)
+			}
+			continue
+		}
+		knowable++
+		if got == want {
+			correct++
+		}
+	}
+	frac := float64(correct) / float64(knowable)
+	if frac < 0.80 {
+		t.Errorf("recovery rate %.2f too low", frac)
+	}
+	if svc.CachedDomains() != len(truth) {
+		t.Errorf("cache has %d entries, want %d", svc.CachedDomains(), len(truth))
+	}
+}
+
+func domainName(i int) string {
+	return "d" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + ".example.com"
+}
+
+func TestServiceCachingAndCounts(t *testing.T) {
+	svc, err := NewService(NewOracle(7, testTruth()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := svc.Categorize("ads.example.com")
+	second := svc.Categorize("ads.example.com")
+	if first != second {
+		t.Error("categorization not stable across calls")
+	}
+	counts := svc.Counts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("counts total %d, want 1 (distinct domains)", total)
+	}
+}
+
+func TestUnlistedDomainIsUnknown(t *testing.T) {
+	svc, err := NewService(NewOracle(7, testTruth()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Categorize("never-seen.example.org"); got != corpus.DomUnknown {
+		t.Errorf("unlisted domain = %s, want unknown", got)
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(nil); err == nil {
+		t.Error("nil oracle should fail")
+	}
+}

@@ -1,0 +1,28 @@
+package xposed
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeReport hardens the datagram decoder against malformed input:
+// it must never panic, and anything it accepts must re-encode.
+func FuzzDecodeReport(f *testing.F) {
+	valid, err := sampleReport().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("LSPR"))
+	f.Add([]byte(strings.Repeat("L", 200)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		if _, err := rep.Encode(); err != nil {
+			t.Fatalf("accepted report does not re-encode: %v", err)
+		}
+	})
+}

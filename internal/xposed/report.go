@@ -1,0 +1,172 @@
+// Package xposed reimplements the role of the Xposed framework and the
+// paper's custom Socket Supervisor module (§II-B2): post hooks on
+// socket/connect, stack-trace capture at connect time, dex-based
+// translation of stack frames to method type signatures, and one UDP
+// report per socket carrying the apk checksum, the socket-pair parameters,
+// and the translated stack trace to the data-collection server.
+package xposed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"libspector/internal/pcap"
+)
+
+// Report is the per-socket record the Socket Supervisor emits: "for every
+// unique socket that the app creates, the Xposed module includes a sha256
+// checksum of the apk file and socket pair parameters along with the
+// translated stack trace" (§II-B2).
+type Report struct {
+	// APKSHA256 is the hex sha256 of the apk package.
+	APKSHA256 string `json:"apk_sha256"`
+	// Tuple is the connection's socket-pair parameters obtained via
+	// getsockname/getpeername.
+	Tuple pcap.FourTuple `json:"tuple"`
+	// ConnectedAt is the connect timestamp on the device clock.
+	ConnectedAt time.Time `json:"connected_at"`
+	// StackTrace holds the translated stack, top-first (index 0 is the
+	// socket connect frame, as in Listing 1). Frames resolvable in the
+	// app's dex are full smali type signatures; framework frames remain
+	// dotted qualified names.
+	StackTrace []string `json:"stack_trace"`
+}
+
+var reportMagic = [4]byte{'L', 'S', 'P', 'R'}
+
+const reportVersion uint16 = 1
+
+// maxReasonableFrames bounds decode allocations against corrupt input.
+const maxReasonableFrames = 4096
+
+// Encode serializes the report into the UDP datagram payload format.
+func (r *Report) Encode() ([]byte, error) {
+	sha, err := hex.DecodeString(r.APKSHA256)
+	if err != nil || len(sha) != 32 {
+		return nil, fmt.Errorf("xposed: invalid apk sha256 %q", r.APKSHA256)
+	}
+	if !r.Tuple.SrcIP.Is4() || !r.Tuple.DstIP.Is4() {
+		return nil, fmt.Errorf("xposed: report tuple %s is not IPv4", r.Tuple)
+	}
+	if len(r.StackTrace) == 0 {
+		return nil, fmt.Errorf("xposed: report has empty stack trace")
+	}
+	if len(r.StackTrace) > maxReasonableFrames {
+		return nil, fmt.Errorf("xposed: stack trace of %d frames exceeds limit %d", len(r.StackTrace), maxReasonableFrames)
+	}
+
+	var buf bytes.Buffer
+	buf.Write(reportMagic[:])
+	var scratch [binary.MaxVarintLen64]byte
+	binary.LittleEndian.PutUint16(scratch[:2], reportVersion)
+	buf.Write(scratch[:2])
+	buf.Write(sha)
+	src := r.Tuple.SrcIP.As4()
+	dst := r.Tuple.DstIP.As4()
+	buf.Write(src[:])
+	binary.LittleEndian.PutUint16(scratch[:2], r.Tuple.SrcPort)
+	buf.Write(scratch[:2])
+	buf.Write(dst[:])
+	binary.LittleEndian.PutUint16(scratch[:2], r.Tuple.DstPort)
+	buf.Write(scratch[:2])
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(r.ConnectedAt.UnixNano()))
+	buf.Write(scratch[:8])
+
+	n := binary.PutUvarint(scratch[:], uint64(len(r.StackTrace)))
+	buf.Write(scratch[:n])
+	for _, frame := range r.StackTrace {
+		n := binary.PutUvarint(scratch[:], uint64(len(frame)))
+		buf.Write(scratch[:n])
+		buf.WriteString(frame)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeReport parses a datagram payload back into a Report.
+func DecodeReport(data []byte) (*Report, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil {
+		return nil, fmt.Errorf("xposed: reading report magic: %w", err)
+	}
+	if magic != reportMagic {
+		return nil, fmt.Errorf("xposed: bad report magic %q", magic[:])
+	}
+	var version uint16
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("xposed: reading report version: %w", err)
+	}
+	if version != reportVersion {
+		return nil, fmt.Errorf("xposed: unsupported report version %d", version)
+	}
+	var sha [32]byte
+	if _, err := r.Read(sha[:]); err != nil {
+		return nil, fmt.Errorf("xposed: reading apk sha: %w", err)
+	}
+	rep := &Report{APKSHA256: hex.EncodeToString(sha[:])}
+
+	var srcIP, dstIP [4]byte
+	var srcPort, dstPort uint16
+	if _, err := r.Read(srcIP[:]); err != nil {
+		return nil, fmt.Errorf("xposed: reading src ip: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &srcPort); err != nil {
+		return nil, fmt.Errorf("xposed: reading src port: %w", err)
+	}
+	if _, err := r.Read(dstIP[:]); err != nil {
+		return nil, fmt.Errorf("xposed: reading dst ip: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &dstPort); err != nil {
+		return nil, fmt.Errorf("xposed: reading dst port: %w", err)
+	}
+	rep.Tuple = pcap.FourTuple{
+		SrcIP: netip.AddrFrom4(srcIP), SrcPort: srcPort,
+		DstIP: netip.AddrFrom4(dstIP), DstPort: dstPort,
+	}
+	var nanos uint64
+	if err := binary.Read(r, binary.LittleEndian, &nanos); err != nil {
+		return nil, fmt.Errorf("xposed: reading timestamp: %w", err)
+	}
+	rep.ConnectedAt = time.Unix(0, int64(nanos)).UTC()
+
+	frameCount, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("xposed: reading frame count: %w", err)
+	}
+	if frameCount == 0 || frameCount > maxReasonableFrames {
+		return nil, fmt.Errorf("xposed: implausible frame count %d", frameCount)
+	}
+	rep.StackTrace = make([]string, frameCount)
+	for i := range rep.StackTrace {
+		flen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("xposed: reading frame %d length: %w", i, err)
+		}
+		if flen > uint64(len(data)) {
+			return nil, fmt.Errorf("xposed: frame %d length %d exceeds datagram size", i, flen)
+		}
+		b := make([]byte, flen)
+		if _, err := readFull(r, b); err != nil {
+			return nil, fmt.Errorf("xposed: reading frame %d: %w", i, err)
+		}
+		rep.StackTrace[i] = string(b)
+	}
+	return rep, nil
+}
+
+// readFull reads exactly len(b) bytes from a bytes.Reader.
+func readFull(r *bytes.Reader, b []byte) (int, error) {
+	total := 0
+	for total < len(b) {
+		n, err := r.Read(b[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,216 @@
+// Package libspector is a reproduction of "Libspector: Context-Aware
+// Large-Scale Network Traffic Analysis of Android Applications" (DSN 2020):
+// a dynamic-analysis system that attributes every network flow of an
+// Android app to the library whose method chronologically first created
+// the socket.
+//
+// Because the original system instruments the Android Framework, this
+// library ships a faithful synthetic substrate (see DESIGN.md): a dex/apk
+// model, an ART-like runtime with method tracing, a monkey UI exerciser,
+// Xposed-style socket supervision, and a network stack emitting genuine
+// pcap captures. The attribution pipeline, the LibRadar-style library
+// categorization, the VirusTotal-style domain categorization, and every
+// figure/table of the paper's evaluation run unchanged on top.
+//
+// The top-level entry point is an Experiment:
+//
+//	exp, err := libspector.NewExperiment(libspector.DefaultConfig())
+//	if err != nil { ... }
+//	if err := exp.Run(); err != nil { ... }
+//	ds := exp.Dataset()
+//	fmt.Println(ds.Fig2CategoryTransfer().LegendShare)
+package libspector
+
+import (
+	"fmt"
+	"time"
+
+	"libspector/internal/analysis"
+	"libspector/internal/attribution"
+	"libspector/internal/dispatch"
+	"libspector/internal/emulator"
+	"libspector/internal/libradar"
+	"libspector/internal/monkey"
+	"libspector/internal/synth"
+	"libspector/internal/vtclient"
+)
+
+// Config parameterizes a full experiment: world generation, fleet
+// execution, and analysis.
+type Config struct {
+	// Seed drives every stochastic component; identical configs produce
+	// identical results byte-for-byte.
+	Seed uint64
+	// Apps is the corpus size (the paper analyzed 25,000; the default
+	// laptop-scale config uses 500).
+	Apps int
+	// Workers is the parallel worker count (0 = GOMAXPROCS).
+	Workers int
+	// MonkeyEvents and Throttle configure the UI exerciser (paper: 1,000
+	// events at 500 ms).
+	MonkeyEvents int
+	Throttle     time.Duration
+	// UseCollector routes supervisor reports over a real loopback UDP
+	// collector server.
+	UseCollector bool
+	// UseStore round-trips apks through the database server with the
+	// §III-A version-selection policy.
+	UseStore bool
+	// DomainScale, MethodScale, VolumeScale scale the synthetic world
+	// (see synth.Config).
+	DomainScale float64
+	MethodScale float64
+	VolumeScale float64
+	// ArtifactDir, when set, persists every run's raw evidence (apk,
+	// pcap, supervisor reports, method trace) for offline re-analysis.
+	ArtifactDir string
+}
+
+// DefaultConfig is the laptop-scale configuration preserving the paper's
+// distributions.
+func DefaultConfig() Config {
+	sc := synth.DefaultConfig()
+	mc := monkey.DefaultConfig()
+	return Config{
+		Seed:         sc.Seed,
+		Apps:         sc.NumApps,
+		MonkeyEvents: mc.Events,
+		Throttle:     mc.Throttle,
+		DomainScale:  sc.DomainScale,
+		MethodScale:  sc.MethodScale,
+		VolumeScale:  sc.VolumeScale,
+	}
+}
+
+// Experiment owns one end-to-end measurement: the synthetic world, the
+// LibRadar detector, the VirusTotal-style domain service, the fleet
+// results, and the analysis dataset.
+type Experiment struct {
+	cfg Config
+
+	world      *synth.World
+	detector   *libradar.Detector
+	domains    *vtclient.Service
+	attributor *attribution.Attributor
+
+	result  *dispatch.Result
+	dataset *analysis.Dataset
+}
+
+// NewExperiment generates the world and wires the pipeline components.
+func NewExperiment(cfg Config) (*Experiment, error) {
+	sc := synth.DefaultConfig()
+	sc.Seed = cfg.Seed
+	if cfg.Apps > 0 {
+		sc.NumApps = cfg.Apps
+	}
+	if cfg.DomainScale > 0 {
+		sc.DomainScale = cfg.DomainScale
+	}
+	if cfg.MethodScale > 0 {
+		sc.MethodScale = cfg.MethodScale
+	}
+	if cfg.VolumeScale > 0 {
+		sc.VolumeScale = cfg.VolumeScale
+	}
+	world, err := synth.NewWorld(sc)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: generating world: %w", err)
+	}
+	detector := libradar.SeededDetector()
+	for prefix, cat := range world.KnownLibraryDB() {
+		if err := detector.AddKnownLibrary(prefix, cat); err != nil {
+			return nil, fmt.Errorf("libspector: seeding detector: %w", err)
+		}
+	}
+	domains, err := vtclient.NewService(vtclient.NewOracle(cfg.Seed, world.DomainTruth()))
+	if err != nil {
+		return nil, fmt.Errorf("libspector: building domain service: %w", err)
+	}
+	return &Experiment{
+		cfg:        cfg,
+		world:      world,
+		detector:   detector,
+		domains:    domains,
+		attributor: attribution.NewAttributor(domains),
+	}, nil
+}
+
+// World exposes the synthetic universe (domains, libraries, app corpus).
+func (e *Experiment) World() *synth.World { return e.world }
+
+// Detector exposes the LibRadar-style library detector.
+func (e *Experiment) Detector() *libradar.Detector { return e.detector }
+
+// Domains exposes the VirusTotal-style domain categorization service.
+func (e *Experiment) Domains() *vtclient.Service { return e.domains }
+
+// Attributor exposes the traffic attributor.
+func (e *Experiment) Attributor() *attribution.Attributor { return e.attributor }
+
+// emulatorOptions derives the per-run emulator template from the config.
+func (e *Experiment) emulatorOptions() emulator.Options {
+	opts := emulator.DefaultOptions(e.cfg.Seed)
+	if e.cfg.MonkeyEvents > 0 {
+		opts.Monkey.Events = e.cfg.MonkeyEvents
+	}
+	if e.cfg.Throttle > 0 {
+		opts.Monkey.Throttle = e.cfg.Throttle
+	}
+	return opts
+}
+
+// Run executes the fleet over the whole corpus and builds the analysis
+// dataset. It is not safe to call concurrently with itself.
+func (e *Experiment) Run() error {
+	var artifacts *dispatch.ArtifactStore
+	if e.cfg.ArtifactDir != "" {
+		var err error
+		artifacts, err = dispatch.NewArtifactStore(e.cfg.ArtifactDir)
+		if err != nil {
+			return fmt.Errorf("libspector: %w", err)
+		}
+	}
+	res, err := dispatch.RunAll(e.world, e.world.Resolver, dispatch.Config{
+		Workers:      e.cfg.Workers,
+		Emulator:     e.emulatorOptions(),
+		BaseSeed:     e.cfg.Seed,
+		UseCollector: e.cfg.UseCollector,
+		UseStore:     e.cfg.UseStore,
+		Detector:     e.detector,
+		Attributor:   e.attributor,
+		Artifacts:    artifacts,
+	})
+	if err != nil {
+		return fmt.Errorf("libspector: fleet run: %w", err)
+	}
+	e.detector.Finalize(2)
+	ds, err := analysis.BuildDataset(res.Runs, e.detector, e.domains)
+	if err != nil {
+		return fmt.Errorf("libspector: building dataset: %w", err)
+	}
+	e.result = res
+	e.dataset = ds
+	return nil
+}
+
+// Result returns the raw fleet result (nil before Run).
+func (e *Experiment) Result() *dispatch.Result { return e.result }
+
+// Dataset returns the analysis dataset (nil before Run).
+func (e *Experiment) Dataset() *analysis.Dataset { return e.dataset }
+
+// RunSingleApp exercises one app of the corpus and returns its attribution
+// result without touching the experiment's aggregate state — the
+// quickstart path for inspecting a single app.
+func (e *Experiment) RunSingleApp(index int) (*attribution.RunResult, error) {
+	res, err := dispatch.RunOne(e.world, e.world.Resolver, dispatch.Config{
+		Emulator:   e.emulatorOptions(),
+		BaseSeed:   e.cfg.Seed,
+		Attributor: e.attributor,
+	}, index)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: running app %d: %w", index, err)
+	}
+	return res, nil
+}

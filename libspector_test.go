@@ -1,0 +1,185 @@
+package libspector_test
+
+import (
+	"testing"
+	"time"
+
+	"libspector"
+	"libspector/internal/corpus"
+	"libspector/internal/dispatch"
+)
+
+// smallConfig is a fast facade-level configuration.
+func smallConfig(seed uint64, apps int) libspector.Config {
+	cfg := libspector.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Apps = apps
+	cfg.MonkeyEvents = 120
+	return cfg
+}
+
+func TestExperimentEndToEnd(t *testing.T) {
+	exp, err := libspector.NewExperiment(smallConfig(41, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Dataset() != nil || exp.Result() != nil {
+		t.Error("dataset/result should be nil before Run")
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ds := exp.Dataset()
+	if ds == nil {
+		t.Fatal("nil dataset after Run")
+	}
+	totals := ds.ComputeTotals()
+	if totals.Flows == 0 || totals.DistinctApps == 0 {
+		t.Errorf("empty totals: %+v", totals)
+	}
+	if totals.BytesReceived <= totals.BytesSent {
+		t.Error("received should dominate sent")
+	}
+	m := ds.Fig2CategoryTransfer()
+	if m.Total == 0 {
+		t.Error("Fig2 empty")
+	}
+	// The detector and domain service are live and usable.
+	if got := exp.Detector().Categorize("com.unity3d.ads.android.cache"); got != corpus.LibAdvertisement {
+		t.Errorf("detector category = %s", got)
+	}
+	if exp.Domains().CachedDomains() == 0 {
+		t.Error("domain service never consulted")
+	}
+	if exp.World().NumApps() != 20 {
+		t.Errorf("world size = %d", exp.World().NumApps())
+	}
+	if exp.Attributor() == nil {
+		t.Error("nil attributor")
+	}
+}
+
+func TestRunSingleApp(t *testing.T) {
+	exp, err := libspector.NewExperiment(smallConfig(43, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	for i := 0; i < 10; i++ {
+		run, err := exp.RunSingleApp(i)
+		if err != nil {
+			continue // ARM-only exclusion
+		}
+		ok = true
+		if run.AppPackage == "" || len(run.Flows) == 0 {
+			t.Errorf("app %d: empty result", i)
+		}
+		if run.Coverage.Percent() <= 0 {
+			t.Errorf("app %d: no coverage", i)
+		}
+		break
+	}
+	if !ok {
+		t.Error("no single app ran")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := libspector.DefaultConfig()
+	if cfg.Apps != 500 {
+		t.Errorf("default apps = %d", cfg.Apps)
+	}
+	if cfg.MonkeyEvents != 1000 || cfg.Throttle != 500*time.Millisecond {
+		t.Errorf("default monkey = %d events / %v", cfg.MonkeyEvents, cfg.Throttle)
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() int64 {
+		exp, err := libspector.NewExperiment(smallConfig(47, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return exp.Dataset().ComputeTotals().TotalBytes()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("experiments with identical configs differ: %d vs %d bytes", a, b)
+	}
+}
+
+// TestExperimentWithAllOptions drives the facade with the collector, the
+// apk store, and artifact persistence all enabled.
+func TestExperimentWithAllOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("option-matrix fleet run skipped in -short mode")
+	}
+	cfg := smallConfig(53, 12)
+	cfg.UseCollector = true
+	cfg.UseStore = true
+	cfg.ArtifactDir = t.TempDir()
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := exp.Result()
+	if res.CollectorReports == 0 || res.CollectorMalformed != 0 {
+		t.Errorf("collector totals: %d reports, %d malformed", res.CollectorReports, res.CollectorMalformed)
+	}
+	// Artifacts were persisted for every analyzed run.
+	store, err := dispatch.NewArtifactStore(cfg.ArtifactDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shas, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shas) != len(res.Runs) {
+		t.Errorf("persisted %d artifacts for %d runs", len(shas), len(res.Runs))
+	}
+}
+
+// TestLargeScaleFleet exercises the pipeline at a 1,000-app scale — small
+// next to the paper's 25,000 but large enough to stress the parallel
+// dispatcher and confirm the headline shapes hold beyond the calibration
+// corpus size.
+func TestLargeScaleFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale fleet run skipped in -short mode")
+	}
+	cfg := libspector.DefaultConfig()
+	cfg.Seed = 4242
+	cfg.Apps = 1000
+	cfg.MonkeyEvents = 300
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ds := exp.Dataset()
+	totals := ds.ComputeTotals()
+	if totals.DistinctApps < 900 {
+		t.Fatalf("only %d of 1000 apps produced traffic", totals.DistinctApps)
+	}
+	m := ds.Fig2CategoryTransfer()
+	ads := m.LegendShare[corpus.LibAdvertisement]
+	if ads < 0.20 || ads > 0.36 {
+		t.Errorf("ads share at scale = %.3f, want ~0.28", ads)
+	}
+	ant := ds.Fig6AnTShares()
+	if ant.FracAnTOnly < 0.28 || ant.FracAnTOnly > 0.42 {
+		t.Errorf("AnT-only at scale = %.3f, want ~0.35", ant.FracAnTOnly)
+	}
+	cov := ds.Fig10Coverage()
+	if cov.Mean < 6 || cov.Mean > 15 {
+		t.Errorf("coverage mean at scale = %.2f, want ~9.5", cov.Mean)
+	}
+}
