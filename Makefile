@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The dispatch worker pool and the network stack are the two places where
+# goroutines share state; keep them race-clean.
+race:
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Tier-1 verification (see ROADMAP.md) plus vet and the race subset.
+verify: build vet test race

@@ -12,7 +12,9 @@ package libspector_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -607,6 +609,110 @@ func BenchmarkFleetRun(b *testing.B) {
 			b.Fatal("no runs")
 		}
 	}
+}
+
+// BenchmarkStreamingPipelinePeakMemory contrasts the retained heap of the
+// two analysis paths on a 500-app corpus: the batch path materializes every
+// RunResult before building the Dataset (O(corpus)), while the streaming
+// path folds each RunEvent into an Accumulator as it completes and lets the
+// per-run state be collected (O(aggregates)).
+func BenchmarkStreamingPipelinePeakMemory(b *testing.B) {
+	const apps = 500
+	setup := func(b *testing.B) (*synth.World, *vtclient.Service, *libradar.Detector, dispatch.Config) {
+		b.Helper()
+		cfg := synth.DefaultConfig()
+		cfg.Seed = 77
+		cfg.NumApps = apps
+		world, err := synth.NewWorld(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := vtclient.NewService(vtclient.NewOracle(77, world.DomainTruth()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := libradar.SeededDetector()
+		for prefix, cat := range world.KnownLibraryDB() {
+			if err := det.AddKnownLibrary(prefix, cat); err != nil {
+				b.Fatal(err)
+			}
+		}
+		opts := emulator.DefaultOptions(77)
+		opts.Monkey.Events = 120
+		return world, svc, det, dispatch.Config{
+			Emulator:   opts,
+			BaseSeed:   77,
+			Detector:   det,
+			Attributor: attribution.NewAttributor(svc),
+		}
+	}
+	// retained runs fn once and returns the heap bytes still live afterwards
+	// while fn's result is pinned — the corpus-proportional residue each
+	// path keeps around.
+	retained := func(fn func() interface{}) float64 {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		keep := fn()
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		runtime.KeepAlive(keep)
+		return float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		var bytesRetained float64
+		for i := 0; i < b.N; i++ {
+			world, svc, det, cfg := setup(b)
+			bytesRetained = retained(func() interface{} {
+				res, err := dispatch.RunAll(world, world.Resolver, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				det.Finalize(2)
+				ds, err := analysis.BuildDataset(res.Runs, det, svc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return []interface{}{res, ds}
+			})
+		}
+		b.ReportMetric(bytesRetained/1e6, "retained-MB")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var bytesRetained float64
+		for i := 0; i < b.N; i++ {
+			world, svc, det, cfg := setup(b)
+			bytesRetained = retained(func() interface{} {
+				acc, err := analysis.NewAccumulator(svc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events, err := dispatch.Stream(context.Background(), world, world.Resolver, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Fold events directly — no Gather, so each RunResult is
+				// unreachable as soon as the accumulator has folded it.
+				for ev := range events {
+					if ev.Kind != dispatch.EventRun {
+						continue
+					}
+					if err := acc.Observe(ev.AppIndex, ev.Run); err != nil {
+						b.Fatal(err)
+					}
+				}
+				det.Finalize(2)
+				ag, err := acc.Finish(det)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ag
+			})
+		}
+		b.ReportMetric(bytesRetained/1e6, "retained-MB")
+	})
 }
 
 // BenchmarkMonkeySeedVariance quantifies the §IV-C caveat that monkey

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"libspector/internal/apk"
@@ -36,13 +39,17 @@ type indexEntry struct {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM stop generation/verification at the next app; a
+	// partial corpus still gets a consistent index.json.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "libgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("libgen", flag.ContinueOnError)
 	var (
 		out    = fs.String("out", "", "output directory for the generated corpus")
@@ -55,15 +62,15 @@ func run(args []string) error {
 	}
 	switch {
 	case *verify != "":
-		return verifyCorpus(*verify)
+		return verifyCorpus(ctx, *verify)
 	case *out != "":
-		return generate(*out, *apps, *seed)
+		return generate(ctx, *out, *apps, *seed)
 	default:
 		return fmt.Errorf("one of -out or -verify is required")
 	}
 }
 
-func generate(dir string, apps int, seed uint64) error {
+func generate(ctx context.Context, dir string, apps int, seed uint64) error {
 	cfg := synth.DefaultConfig()
 	cfg.Seed = seed
 	cfg.NumApps = apps
@@ -74,8 +81,13 @@ func generate(dir string, apps int, seed uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("creating %s: %w", dir, err)
 	}
+	interrupted := false
 	index := make([]indexEntry, 0, apps)
 	for i := 0; i < apps; i++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		app, err := world.GenerateApp(i)
 		if err != nil {
 			return err
@@ -102,11 +114,16 @@ func generate(dir string, apps int, seed uint64) error {
 	if err := os.WriteFile(filepath.Join(dir, "index.json"), indexJSON, 0o644); err != nil {
 		return fmt.Errorf("writing index: %w", err)
 	}
+	if interrupted {
+		fmt.Printf("Interrupted: generated %d of %d apks into %s (index covers the partial corpus).\n",
+			len(index), apps, dir)
+		return nil
+	}
 	fmt.Printf("Generated %d apks into %s.\n", apps, dir)
 	return nil
 }
 
-func verifyCorpus(dir string) error {
+func verifyCorpus(ctx context.Context, dir string) error {
 	indexJSON, err := os.ReadFile(filepath.Join(dir, "index.json"))
 	if err != nil {
 		return fmt.Errorf("reading index: %w", err)
@@ -116,6 +133,9 @@ func verifyCorpus(dir string) error {
 		return fmt.Errorf("parsing index: %w", err)
 	}
 	for _, e := range index {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("verification interrupted: %w", err)
+		}
 		encoded, err := os.ReadFile(filepath.Join(dir, e.File))
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", e.File, err)

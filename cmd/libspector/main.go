@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"libspector"
@@ -22,13 +25,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the fleet context: workers stop within one
+	// in-flight app and whatever completed is still reported below. A
+	// second signal kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "libspector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("libspector", flag.ContinueOnError)
 	var (
 		apps        = fs.Int("apps", 300, "number of apps in the corpus")
@@ -67,20 +75,31 @@ func run(args []string) error {
 		return err
 	}
 	start := time.Now()
-	if err := exp.Run(); err != nil {
-		return err
-	}
-	res := exp.Result()
-	fmt.Printf("Fleet done in %s: %d runs, %d ARM-only apps skipped.\n",
-		time.Since(start).Round(time.Millisecond), len(res.Runs), res.SkippedARMOnly)
-	if cfg.UseCollector {
-		fmt.Printf("Collector received %d reports (%d malformed).\n",
-			res.CollectorReports, res.CollectorMalformed)
+	if err := exp.RunContext(ctx); err != nil {
+		if ctx.Err() == nil || exp.Dataset() == nil {
+			return err
+		}
+		// Interrupted mid-fleet: the streaming accumulator already holds
+		// everything that completed, so report the partial view.
+		fmt.Printf("Interrupted after %s — reporting partial aggregates over %d completed runs.\n",
+			time.Since(start).Round(time.Millisecond), len(exp.Result().Runs))
+	} else {
+		res := exp.Result()
+		fmt.Printf("Fleet done in %s: %d runs, %d ARM-only apps skipped.\n",
+			time.Since(start).Round(time.Millisecond), len(res.Runs), res.SkippedARMOnly)
+		if cfg.UseCollector {
+			fmt.Printf("Collector received %d reports (%d malformed).\n",
+				res.CollectorReports, res.CollectorMalformed)
+		}
 	}
 	fmt.Println()
 
+	// Figures and tables render from the streaming aggregates; the batch
+	// dataset (byte-identical on a clean run) still backs the record-level
+	// baselines below.
 	ds := exp.Dataset()
-	fmt.Println(report.Totals(ds.ComputeTotals()))
+	ag := exp.Aggregates()
+	fmt.Println(report.Totals(ag.ComputeTotals()))
 
 	// Table I over the full domain universe, as the paper categorizes
 	// every domain seen in DNS requests.
@@ -89,16 +108,16 @@ func run(args []string) error {
 	}
 	fmt.Println(report.TableI(exp.Domains().Counts()))
 
-	fmt.Println(report.Fig2(ds.Fig2CategoryTransfer()))
-	fmt.Println(report.Fig3(ds.Fig3TopOrigins(*topN), ds.Fig3TopTwoLevel(*topN)))
-	fmt.Println(report.Fig4(ds.Fig4CDF()))
-	fmt.Println(report.Fig5(ds.Fig5FlowRatios()))
-	fmt.Println(report.Fig6(ds.Fig6AnTShares()))
-	avgs := ds.Fig7Averages()
+	fmt.Println(report.Fig2(ag.Fig2CategoryTransfer()))
+	fmt.Println(report.Fig3(ag.Fig3TopOrigins(*topN), ag.Fig3TopTwoLevel(*topN)))
+	fmt.Println(report.Fig4(ag.Fig4CDF()))
+	fmt.Println(report.Fig5(ag.Fig5FlowRatios()))
+	fmt.Println(report.Fig6(ag.Fig6AnTShares()))
+	avgs := ag.Fig7Averages()
 	fmt.Println(report.Fig7(avgs))
-	fmt.Println(report.Fig8(ds.Fig8AppCategoryAverages()))
-	fmt.Println(report.Fig9(ds.Fig9Heatmap()))
-	fmt.Println(report.Fig10(ds.Fig10Coverage()))
+	fmt.Println(report.Fig8(ag.Fig8AppCategoryAverages()))
+	fmt.Println(report.Fig9(ag.Fig9Heatmap()))
+	fmt.Println(report.Fig10(ag.Fig10Coverage()))
 
 	costs := analysis.CostPerCategory(avgs, analysis.NewCostModel(),
 		corpus.LibAdvertisement, corpus.LibMobileAnalytics,
@@ -107,6 +126,6 @@ func run(args []string) error {
 	fmt.Println(report.Energy(analysis.NewEnergyModel(), avgs.PerLibrary[corpus.LibAdvertisement]))
 
 	fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
-	fmt.Println(report.PaperComparison(ds.CompareWithPaper()))
+	fmt.Println(report.PaperComparison(ag.CompareWithPaper()))
 	return nil
 }

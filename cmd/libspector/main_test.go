@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ func TestFullPipelineSmallCorpus(t *testing.T) {
 		t.Skip("fleet-backed CLI test skipped in -short mode")
 	}
 	artifacts := t.TempDir()
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-apps", "10", "-seed", "9", "-events", "150",
 		"-collector", "-store", "-artifacts", artifacts,
 	})
@@ -36,7 +37,7 @@ func TestFullPipelineSmallCorpus(t *testing.T) {
 }
 
 func TestBadFlagRejected(t *testing.T) {
-	if err := run([]string{"-apps", "notanumber"}); err == nil {
+	if err := run(context.Background(), []string{"-apps", "notanumber"}); err == nil {
 		t.Error("bad flag should fail")
 	}
 }

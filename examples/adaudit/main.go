@@ -7,10 +7,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"libspector"
 	"libspector/internal/analysis"
@@ -18,13 +21,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "adaudit:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	apps := flag.Int("apps", 60, "corpus size to audit")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	flag.Parse()
@@ -36,8 +41,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := exp.Run(); err != nil {
-		return err
+	if err := exp.RunContext(ctx); err != nil {
+		if ctx.Err() == nil || exp.Dataset() == nil {
+			return err
+		}
+		fmt.Println("Interrupted — auditing the completed prefix of the corpus.")
 	}
 	ds := exp.Dataset()
 

@@ -4,26 +4,57 @@
 // a real loopback UDP collector, and apks round-trip through the database
 // server with the §III-A selection policy.
 //
+// The fleet runs as a streaming pipeline: a progress sink prints per-app
+// events as workers complete them, and Ctrl-C reports whatever finished
+// before the interrupt instead of discarding the run.
+//
 //	go run ./examples/fleetscan [-apps 40] [-workers 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"libspector"
 	"libspector/internal/corpus"
+	"libspector/internal/dispatch"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// progress is a dispatch.Sink printing a live line per stream event.
+type progress struct {
+	done, skipped, failed int
+}
+
+func (p *progress) Consume(ev dispatch.RunEvent) error {
+	switch ev.Kind {
+	case dispatch.EventRun:
+		p.done++
+		fmt.Printf("  [%3d done] app %d: %s (%d flows)\n",
+			p.done, ev.AppIndex, ev.Run.AppPackage, len(ev.Run.Flows))
+	case dispatch.EventSkip:
+		p.skipped++
+		fmt.Printf("  [   skip ] app %d: ARM-only (§III-A ABI filter)\n", ev.AppIndex)
+	case dispatch.EventFailure:
+		p.failed++
+		fmt.Printf("  [   fail ] app %d: %v\n", ev.AppIndex, ev.Err)
+	}
+	return nil
+}
+
+func run(ctx context.Context) error {
 	apps := flag.Int("apps", 40, "corpus size")
 	workers := flag.Int("workers", 4, "parallel workers")
 	seed := flag.Uint64("seed", 42, "experiment seed")
@@ -41,8 +72,11 @@ func run() error {
 		return err
 	}
 	fmt.Printf("Scanning %d apps with %d workers (UDP collector + apk store enabled)...\n", *apps, *workers)
-	if err := exp.Run(); err != nil {
-		return err
+	if err := exp.RunContext(ctx, &progress{}); err != nil {
+		if ctx.Err() == nil || exp.Result() == nil {
+			return err
+		}
+		fmt.Println("Interrupted — reporting the completed prefix of the fleet.")
 	}
 
 	res := exp.Result()
@@ -51,16 +85,18 @@ func run() error {
 	fmt.Printf("  ARM-only skipped:    %d (§III-A ABI filter)\n", res.SkippedARMOnly)
 	fmt.Printf("  collector datagrams: %d (%d malformed)\n", res.CollectorReports, res.CollectorMalformed)
 
-	ds := exp.Dataset()
-	totals := ds.ComputeTotals()
+	// Aggregates come from the streaming accumulator — no per-flow records
+	// were retained to produce them.
+	ag := exp.Aggregates()
+	totals := ag.ComputeTotals()
 	fmt.Printf("  traffic:             %.2f MB over %d flows to %d domains\n",
 		float64(totals.TotalBytes())/1e6, totals.Flows, totals.DistinctDomains)
 	fmt.Printf("  origin-libraries:    %d\n", totals.DistinctOrigins)
 
-	cov := ds.Fig10Coverage()
+	cov := ag.Fig10Coverage()
 	fmt.Printf("  mean method coverage: %.1f%% (paper: 9.5%%)\n", cov.Mean)
 
-	m := ds.Fig2CategoryTransfer()
+	m := ag.Fig2CategoryTransfer()
 	fmt.Printf("  advertisement share:  %.1f%% of bytes (paper: 28.3%%)\n",
 		100*m.LegendShare[corpus.LibAdvertisement])
 

@@ -96,6 +96,11 @@ func (ds *Dataset) Fig6AnTShares() *AnTStats {
 		st.FracSomeAnT = float64(someAnT) / float64(apps)
 		st.FracAnTFree = float64(antFree) / float64(apps)
 	}
+	// Sort before averaging: float summation is order-dependent and perApp
+	// is a map, so an unsorted mean would differ bit-for-bit between runs
+	// (and between the batch and streaming paths).
+	sort.Sort(sort.Reverse(sort.Float64Slice(antRatios)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(clRatios)))
 	st.AnTFlowRatioMean = sim.Mean(antRatios)
 	st.CLFlowRatioMean = sim.Mean(clRatios)
 	return st

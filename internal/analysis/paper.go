@@ -66,14 +66,15 @@ func log2(x float64) float64 {
 // CompareWithPaper evaluates the headline shape targets against the
 // paper's published values.
 func (ds *Dataset) CompareWithPaper() []TargetComparison {
-	totals := ds.ComputeTotals()
-	m := ds.Fig2CategoryTransfer()
-	ratios := ds.Fig5FlowRatios()
-	ant := ds.Fig6AnTShares()
-	avgs := ds.Fig7Averages()
-	heat := ds.Fig9Heatmap()
-	cov := ds.Fig10Coverage()
+	return compareRows(ds.ComputeTotals(), ds.Fig2CategoryTransfer(), ds.Fig5FlowRatios(),
+		ds.Fig6AnTShares(), ds.Fig7Averages(), ds.Fig9Heatmap(), ds.Fig10Coverage(),
+		ds.TopShare(25, true))
+}
 
+// compareRows builds the comparison table from the already-computed
+// figures; shared by the batch Dataset and the streaming Aggregates.
+func compareRows(totals Totals, m *CategoryMatrix, ratios []RatioSeries, ant *AnTStats,
+	avgs *CategoryAverages, heat *Heatmap, cov *CoverageStats, top25TwoLevel float64) []TargetComparison {
 	cdnOverAds := 0.0
 	if ads := avgs.PerDomain[corpus.DomAdvertisements]; ads > 0 {
 		cdnOverAds = avgs.PerDomain[corpus.DomCDN] / ads
@@ -93,7 +94,7 @@ func (ds *Dataset) CompareWithPaper() []TargetComparison {
 		{Name: "Fig7 CDN/ads per-domain", Paper: PaperCDNOverAds, Measured: cdnOverAds},
 		{Name: "Fig9 ads→CDN share", Paper: PaperAdsToCDNShare, Measured: heat.ShareToDomain(corpus.LibAdvertisement, corpus.DomCDN)},
 		{Name: "Fig10 coverage mean (%)", Paper: PaperCoverageMean, Measured: cov.Mean},
-		{Name: "top-25 2-level share", Paper: PaperTop25TwoLevel, Measured: ds.TopShare(25, true)},
+		{Name: "top-25 2-level share", Paper: PaperTop25TwoLevel, Measured: top25TwoLevel},
 		{Name: "UDP traffic fraction", Paper: PaperUDPTrafficFrac, Measured: totals.UDPRatio()},
 		{Name: "DNS share of UDP", Paper: PaperDNSShareOfUDP, Measured: totals.DNSShareOfUDP()},
 	}

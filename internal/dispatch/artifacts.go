@@ -110,6 +110,17 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 	return nil
 }
 
+// Consume implements Sink: every completed run with attached evidence
+// (Config.EmitEvidence) is persisted as it streams past, making the store a
+// plain stream consumer instead of a dispatcher special case.
+func (s *ArtifactStore) Consume(ev RunEvent) error {
+	if ev.Kind != EventRun || ev.Evidence == nil {
+		return nil
+	}
+	e := ev.Evidence
+	return s.Save(e.Meta, e.APK, e.Capture, e.RawReports, e.Trace)
+}
+
 // List returns the stored run checksums, sorted.
 func (s *ArtifactStore) List() ([]string, error) {
 	entries, err := os.ReadDir(s.dir)

@@ -14,11 +14,11 @@ func TestArtifactStoreRoundTrip(t *testing.T) {
 	}
 	attr := newAttributor(t, 51, world)
 	res, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
-		Emulator:   shortOpts(51),
-		BaseSeed:   51,
-		Attributor: attr,
-		Artifacts:  store,
-	})
+		Emulator:     shortOpts(51),
+		BaseSeed:     51,
+		Attributor:   attr,
+		EmitEvidence: true,
+	}, store)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,8 @@ package dispatch
 
 import (
 	"bytes"
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"libspector/internal/attribution"
@@ -23,7 +22,9 @@ type AppSource interface {
 
 // Config parameterizes a fleet run.
 type Config struct {
-	// Workers is the parallel worker count (0 = GOMAXPROCS).
+	// Workers is the parallel worker count (0 = GOMAXPROCS). It is also
+	// the stream's backpressure budget: at most this many undelivered
+	// events are buffered before the fleet stalls.
 	Workers int
 	// Emulator is the per-run option template; each worker derives its
 	// monkey seed from BaseSeed plus the app index.
@@ -42,13 +43,16 @@ type Config struct {
 	Detector *libradar.Detector
 	// Attributor performs per-run offline analysis. Required.
 	Attributor *attribution.Attributor
-	// Artifacts, when non-nil, persists every run's raw evidence (apk,
-	// capture, reports, trace) for later offline re-analysis (§II-B3).
-	Artifacts *ArtifactStore
+	// EmitEvidence attaches each run's raw evidence (apk, capture,
+	// reports, trace) to its EventRun so persistence sinks such as
+	// ArtifactStore can save it (§II-B3). Off by default: evidence is by
+	// far the heaviest part of an event.
+	EmitEvidence bool
 	// ContinueOnError keeps the fleet running when individual app runs
 	// fail (a large-scale necessity: the paper's 25,000-app campaign
 	// cannot abort on one bad apk). Failures are reported in
-	// Result.Failures instead.
+	// Result.Failures instead; when unset the stream fails fast, cancelling
+	// remaining jobs on the first error.
 	ContinueOnError bool
 }
 
@@ -73,107 +77,29 @@ type Result struct {
 }
 
 // RunAll exercises every app in the source across the worker fleet and
-// returns the per-run attribution results in app-index order.
-func RunAll(source AppSource, resolver nets.Resolver, cfg Config) (*Result, error) {
-	if source == nil {
-		return nil, fmt.Errorf("dispatch: nil app source")
+// returns the per-run attribution results in app-index order. It is a thin
+// batch wrapper over Stream+Gather; optional sinks observe events as they
+// complete.
+func RunAll(source AppSource, resolver nets.Resolver, cfg Config, sinks ...Sink) (*Result, error) {
+	events, err := Stream(context.Background(), source, resolver, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if resolver == nil {
-		return nil, fmt.Errorf("dispatch: nil resolver")
-	}
-	if cfg.Attributor == nil {
-		return nil, fmt.Errorf("dispatch: config needs an attributor")
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	var collector *Collector
-	if cfg.UseCollector {
-		var err error
-		collector, err = NewCollector()
-		if err != nil {
-			return nil, err
-		}
-		defer func() { _ = collector.Close() }()
-	}
-	var store *Store
-	if cfg.UseStore {
-		store = NewStore()
-	}
-
-	numApps := source.NumApps()
-	runs := make([]*attribution.RunResult, numApps)
-	skipped := make([]bool, numApps)
-	errs := make([]error, numApps)
-
-	start := time.Now()
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var client *Client
-			if collector != nil {
-				var err error
-				client, err = NewClient(collector.Addr())
-				if err != nil {
-					// Mark all remaining jobs failed via the shared error
-					// below; simplest is to consume and record.
-					for i := range jobs {
-						errs[i] = err
-					}
-					return
-				}
-				defer func() { _ = client.Close() }()
-			}
-			for i := range jobs {
-				run, skip, err := runOne(source, resolver, cfg, store, collector, client, i)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				skipped[i] = skip
-				runs[i] = run
-			}
-		}()
-	}
-	for i := 0; i < numApps; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	res := &Result{Elapsed: time.Since(start)}
-	for i := 0; i < numApps; i++ {
-		if errs[i] != nil {
-			if cfg.ContinueOnError {
-				res.Failures = append(res.Failures, RunFailure{AppIndex: i, Err: errs[i]})
-				continue
-			}
-			return nil, fmt.Errorf("dispatch: app %d: %w", i, errs[i])
-		}
-		if skipped[i] {
-			res.SkippedARMOnly++
-			continue
-		}
-		res.Runs = append(res.Runs, runs[i])
-	}
-	if collector != nil {
-		res.CollectorReports, res.CollectorMalformed = collector.Totals()
+	res, err := Gather(events, sinks...)
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
 // runOne executes the full per-app worker job: pull the apk, filter by
 // ABI, feed the LibRadar pass, exercise in the emulator, and run offline
-// attribution.
-func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i int) (*attribution.RunResult, bool, error) {
+// attribution. The returned evidence is non-nil only when
+// cfg.EmitEvidence is set.
+func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i int) (*attribution.RunResult, *RunEvidence, bool, error) {
 	app, err := source.GenerateApp(i)
 	if err != nil {
-		return nil, false, fmt.Errorf("generating app: %w", err)
+		return nil, nil, false, fmt.Errorf("generating app: %w", err)
 	}
 	encoded := app.Encoded
 	sha := app.SHA256
@@ -189,23 +115,23 @@ func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, 
 			VTScanDate: pack.VTScanDate,
 		}
 		if err := store.Put(entry); err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		selected, err := store.Select(pack.Manifest.Package)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		if selected.SHA256 != sha {
-			return nil, false, fmt.Errorf("store selected unexpected version of %s", pack.Manifest.Package)
+			return nil, nil, false, fmt.Errorf("store selected unexpected version of %s", pack.Manifest.Package)
 		}
 	}
 	// ABI filter (§III-A): Libspector supports x86-compatible apps only.
 	if !pack.SupportsX86() {
-		return nil, true, nil
+		return nil, nil, true, nil
 	}
 	if cfg.Detector != nil {
 		if err := cfg.Detector.ObserveApp(pack.Manifest.Package, app.Program.Dex.Packages()); err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 	}
 
@@ -214,24 +140,28 @@ func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, 
 	if client != nil {
 		opts.ReportSink = client.Send
 	}
-	arts, err := emulator.Run(emulator.Installation{Program: app.Program, APKSHA256: sha}, resolver, opts)
+	arts, err := emulator.RunContext(ctx, emulator.Installation{Program: app.Program, APKSHA256: sha}, resolver, opts)
 	if err != nil {
-		return nil, false, fmt.Errorf("emulator run: %w", err)
+		return nil, nil, false, fmt.Errorf("emulator run: %w", err)
 	}
 	if arts.HookErrors > 0 {
-		return nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
+		return nil, nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
 	}
 
-	if cfg.Artifacts != nil {
-		meta := RunMeta{
-			Package:    pack.Manifest.Package,
-			SHA256:     sha,
-			Category:   pack.Manifest.Category,
-			Events:     arts.EventsInjected,
-			RecordedAt: time.Now().UTC(),
-		}
-		if err := cfg.Artifacts.Save(meta, encoded, arts.CaptureBytes, arts.RawReports, arts.Trace); err != nil {
-			return nil, false, err
+	var evidence *RunEvidence
+	if cfg.EmitEvidence {
+		evidence = &RunEvidence{
+			Meta: RunMeta{
+				Package:    pack.Manifest.Package,
+				SHA256:     sha,
+				Category:   pack.Manifest.Category,
+				Events:     arts.EventsInjected,
+				RecordedAt: time.Now().UTC(),
+			},
+			APK:        encoded,
+			Capture:    arts.CaptureBytes,
+			RawReports: arts.RawReports,
+			Trace:      arts.Trace,
 		}
 	}
 
@@ -247,10 +177,14 @@ func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, 
 				break
 			}
 			if time.Now().After(deadline) {
-				return nil, false, fmt.Errorf("collector received %d of %d reports for %s",
+				return nil, nil, false, fmt.Errorf("collector received %d of %d reports for %s",
 					len(got), len(arts.RawReports), pack.Manifest.Package)
 			}
-			time.Sleep(time.Millisecond)
+			select {
+			case <-ctx.Done():
+				return nil, nil, false, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
 		}
 	}
 
@@ -267,9 +201,9 @@ func runOne(source AppSource, resolver nets.Resolver, cfg Config, store *Store, 
 		CollectorPort: nets.DefaultCollectorPort,
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	return run, false, nil
+	return run, evidence, false, nil
 }
 
 // RunOne exercises a single app of the corpus outside the fleet and
@@ -279,7 +213,7 @@ func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*a
 	if cfg.Attributor == nil {
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
 	}
-	run, skipped, err := runOne(source, resolver, cfg, nil, nil, nil, index)
+	run, _, skipped, err := runOne(context.Background(), source, resolver, cfg, nil, nil, nil, index)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
 	}

@@ -1,0 +1,372 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"libspector/internal/attribution"
+	"libspector/internal/nets"
+)
+
+// The streaming pipeline: instead of materializing every RunResult for the
+// whole corpus (impossible at the paper's 25,000-app scale, §II-B), the
+// fleet emits per-app events over a bounded channel in completion order.
+// Backpressure equals the worker count — at most one undelivered result per
+// worker before the fleet stalls — and the whole pipeline is cancellable
+// through the caller's context.
+
+// EventKind discriminates stream events.
+type EventKind int
+
+const (
+	// EventRun is a completed, attributed app run.
+	EventRun EventKind = iota + 1
+	// EventSkip is an app excluded by the §III-A ABI filter.
+	EventSkip
+	// EventFailure is one failed app run.
+	EventFailure
+	// EventSummary is the final event emitted before the channel closes.
+	EventSummary
+)
+
+// String names the kind for progress displays.
+func (k EventKind) String() string {
+	switch k {
+	case EventRun:
+		return "run"
+	case EventSkip:
+		return "skip"
+	case EventFailure:
+		return "failure"
+	case EventSummary:
+		return "summary"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// RunEvidence bundles one run's raw artifacts for persistence sinks. It is
+// attached to EventRun events only when Config.EmitEvidence is set, so the
+// common analysis-only path never pays for carrying apk bytes downstream.
+type RunEvidence struct {
+	Meta       RunMeta
+	APK        []byte
+	Capture    []byte
+	RawReports [][]byte
+	Trace      map[string]struct{}
+}
+
+// StreamSummary carries the fleet-level counters; it arrives exactly once,
+// as the payload of the closing EventSummary.
+type StreamSummary struct {
+	// Completed counts successfully attributed runs.
+	Completed int
+	// SkippedARMOnly counts apps excluded by the ABI filter.
+	SkippedARMOnly int
+	// Failures lists per-app errors, sorted by app index for deterministic
+	// reporting regardless of worker interleaving.
+	Failures []RunFailure
+	// CollectorReports / CollectorMalformed are the collector's datagram
+	// totals when Config.UseCollector is set.
+	CollectorReports   int
+	CollectorMalformed int
+	// Elapsed is the wall-clock duration of the fleet run.
+	Elapsed time.Duration
+	// Err is the stream-fatal error: the context's error after a
+	// cancellation, the first (lowest-index) app error in fail-fast mode,
+	// or an infrastructure failure such as a worker failing to dial the
+	// collector. Nil after a clean drain.
+	Err error
+}
+
+// RunEvent is one per-app outcome, emitted in completion order. Exactly one
+// of Run/Err/Summary is set, according to Kind; AppIndex is valid for
+// per-app kinds (and -1 on the summary).
+type RunEvent struct {
+	Kind     EventKind
+	AppIndex int
+	// Run is the attribution result (EventRun).
+	Run *attribution.RunResult
+	// Evidence carries the raw run artifacts when Config.EmitEvidence is
+	// set (EventRun).
+	Evidence *RunEvidence
+	// Err is the per-app failure (EventFailure).
+	Err error
+	// Summary closes the stream (EventSummary).
+	Summary *StreamSummary
+}
+
+// Sink consumes stream events: live progress printers, artifact
+// persistence, incremental aggregation. Sinks are invoked sequentially from
+// the consuming goroutine, in event order.
+type Sink interface {
+	Consume(ev RunEvent) error
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(ev RunEvent) error
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(ev RunEvent) error { return f(ev) }
+
+// dialCollector dials a worker's collector client; a package variable so
+// tests can inject dial failures.
+var dialCollector = NewClient
+
+// Stream exercises every app in the source across the worker fleet and
+// returns a bounded channel of per-app events in completion order, closed
+// after a final EventSummary. The caller must drain the channel until it
+// closes (Gather does this); cancelling ctx stops the fleet promptly —
+// each worker finishes at most its one in-flight app — after which the
+// remaining buffered events and the summary are still delivered to a
+// draining consumer.
+func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg Config) (<-chan RunEvent, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if source == nil {
+		return nil, fmt.Errorf("dispatch: nil app source")
+	}
+	if resolver == nil {
+		return nil, fmt.Errorf("dispatch: nil resolver")
+	}
+	if cfg.Attributor == nil {
+		return nil, fmt.Errorf("dispatch: config needs an attributor")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var collector *Collector
+	if cfg.UseCollector {
+		var err error
+		collector, err = NewCollector()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var store *Store
+	if cfg.UseStore {
+		store = NewStore()
+	}
+
+	f := &fleetRun{
+		ctx:       ctx,
+		cfg:       cfg,
+		source:    source,
+		resolver:  resolver,
+		collector: collector,
+		store:     store,
+		// One buffered slot per worker is the backpressure budget.
+		events: make(chan RunEvent, workers),
+		stop:   make(chan struct{}),
+	}
+	go f.run(workers, source.NumApps())
+	return f.events, nil
+}
+
+// Gather drains a stream, forwarding every event to the sinks, and
+// materializes the batch Result with runs in app-index order — the bridge
+// from the streaming API back to the original batch shape. On error the
+// returned Result still holds whatever completed before the stream ended,
+// so callers can report partial aggregates after a cancellation.
+func Gather(events <-chan RunEvent, sinks ...Sink) (*Result, error) {
+	type indexedRun struct {
+		idx int
+		run *attribution.RunResult
+	}
+	var runs []indexedRun
+	var summary *StreamSummary
+	var sinkErr error
+	for ev := range events {
+		for _, s := range sinks {
+			if s == nil {
+				continue
+			}
+			if err := s.Consume(ev); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+		switch ev.Kind {
+		case EventRun:
+			runs = append(runs, indexedRun{ev.AppIndex, ev.Run})
+		case EventSummary:
+			summary = ev.Summary
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].idx < runs[j].idx })
+	res := &Result{}
+	for _, r := range runs {
+		res.Runs = append(res.Runs, r.run)
+	}
+	if summary != nil {
+		res.SkippedARMOnly = summary.SkippedARMOnly
+		res.Failures = summary.Failures
+		res.CollectorReports = summary.CollectorReports
+		res.CollectorMalformed = summary.CollectorMalformed
+		res.Elapsed = summary.Elapsed
+	}
+	switch {
+	case summary == nil:
+		return res, fmt.Errorf("dispatch: stream cancelled before its summary was delivered")
+	case summary.Err != nil:
+		return res, summary.Err
+	case sinkErr != nil:
+		return res, sinkErr
+	}
+	return res, nil
+}
+
+// fleetRun is the shared state of one streaming fleet execution.
+type fleetRun struct {
+	ctx       context.Context
+	cfg       Config
+	source    AppSource
+	resolver  nets.Resolver
+	collector *Collector
+	store     *Store
+	events    chan RunEvent
+
+	// stop is closed on the first stream-fatal error so the feeder stops
+	// handing out jobs without waiting for the caller's context.
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	fatal     error
+	fatalIdx  int
+	failures  []RunFailure
+	completed int
+	skipped   int
+}
+
+// abort records a stream-fatal error (lowest app index wins, so fail-fast
+// reporting stays deterministic when one app is bad) and stops the feeder.
+func (f *fleetRun) abort(idx int, err error) {
+	f.mu.Lock()
+	if f.fatal == nil || idx < f.fatalIdx {
+		f.fatal, f.fatalIdx = err, idx
+	}
+	f.mu.Unlock()
+	f.stopOnce.Do(func() { close(f.stop) })
+}
+
+func (f *fleetRun) stopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// emit delivers one event, giving up only when the caller's context is
+// cancelled and the consumer has stopped draining.
+func (f *fleetRun) emit(ev RunEvent) {
+	select {
+	case f.events <- ev:
+	case <-f.ctx.Done():
+		// The consumer may still be draining the cancelled stream for
+		// partial results; give the event one bounded chance to land.
+		select {
+		case f.events <- ev:
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (f *fleetRun) run(workers, numApps int) {
+	start := time.Now()
+	defer close(f.events)
+	if f.collector != nil {
+		defer func() { _ = f.collector.Close() }()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.worker(jobs)
+		}()
+	}
+feed:
+	for i := 0; i < numApps; i++ {
+		select {
+		case jobs <- i:
+		case <-f.ctx.Done():
+			break feed
+		case <-f.stop:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	f.mu.Lock()
+	sum := &StreamSummary{
+		Completed:      f.completed,
+		SkippedARMOnly: f.skipped,
+		Failures:       f.failures,
+		Elapsed:        time.Since(start),
+		Err:            f.fatal,
+	}
+	f.mu.Unlock()
+	sort.Slice(sum.Failures, func(i, j int) bool { return sum.Failures[i].AppIndex < sum.Failures[j].AppIndex })
+	if sum.Err == nil {
+		sum.Err = f.ctx.Err()
+	}
+	if f.collector != nil {
+		sum.CollectorReports, sum.CollectorMalformed = f.collector.Totals()
+	}
+	f.emit(RunEvent{Kind: EventSummary, AppIndex: -1, Summary: sum})
+}
+
+// worker pulls app indices until the jobs channel closes or the stream
+// stops. A collector-dial failure is an infrastructure fault: it aborts the
+// stream as one structured failure instead of silently consuming — and
+// thereby poisoning — every remaining job.
+func (f *fleetRun) worker(jobs <-chan int) {
+	var client *Client
+	if f.collector != nil {
+		var err error
+		client, err = dialCollector(f.collector.Addr())
+		if err != nil {
+			f.abort(-1, fmt.Errorf("dispatch: worker failed to dial collector: %w", err))
+			return
+		}
+		defer func() { _ = client.Close() }()
+	}
+	for i := range jobs {
+		if f.ctx.Err() != nil || f.stopped() {
+			return
+		}
+		run, evidence, skip, err := runOne(f.ctx, f.source, f.resolver, f.cfg, f.store, f.collector, client, i)
+		switch {
+		case err != nil:
+			f.mu.Lock()
+			f.failures = append(f.failures, RunFailure{AppIndex: i, Err: err})
+			f.mu.Unlock()
+			if !f.cfg.ContinueOnError {
+				f.abort(i, fmt.Errorf("dispatch: app %d: %w", i, err))
+			}
+			f.emit(RunEvent{Kind: EventFailure, AppIndex: i, Err: err})
+		case skip:
+			f.mu.Lock()
+			f.skipped++
+			f.mu.Unlock()
+			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
+		default:
+			f.mu.Lock()
+			f.completed++
+			f.mu.Unlock()
+			f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence})
+		}
+	}
+}

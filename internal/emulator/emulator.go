@@ -7,6 +7,7 @@ package emulator
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -185,6 +186,16 @@ func tlsLikePayload(n int) []byte {
 // monkey while recording the capture, the supervisor reports, and the
 // method trace (§II-B3).
 func Run(install Installation, resolver nets.Resolver, opts Options) (*Artifacts, error) {
+	return RunContext(context.Background(), install, resolver, opts)
+}
+
+// RunContext is Run with cancellation: the monkey loop checks ctx between
+// events, so a cancelled run stops within one event dispatch and returns
+// the context's error without its artifacts.
+func RunContext(ctx context.Context, install Installation, resolver nets.Resolver, opts Options) (*Artifacts, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if install.Program == nil {
 		return nil, fmt.Errorf("emulator: installation has no program")
 	}
@@ -278,6 +289,9 @@ func Run(install Installation, resolver nets.Resolver, opts Options) (*Artifacts
 		return nil, fmt.Errorf("emulator: launching app: %w", err)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("emulator: run cancelled: %w", err)
+		}
 		ev, ok := exerciser.Next()
 		if !ok {
 			break

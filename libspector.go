@@ -22,6 +22,7 @@
 package libspector
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,9 @@ type Config struct {
 	// ArtifactDir, when set, persists every run's raw evidence (apk,
 	// pcap, supervisor reports, method trace) for offline re-analysis.
 	ArtifactDir string
+	// ContinueOnError keeps the fleet running past individual app
+	// failures instead of failing fast on the first one.
+	ContinueOnError bool
 }
 
 // DefaultConfig is the laptop-scale configuration preserving the paper's
@@ -93,8 +97,9 @@ type Experiment struct {
 	domains    *vtclient.Service
 	attributor *attribution.Attributor
 
-	result  *dispatch.Result
-	dataset *analysis.Dataset
+	result     *dispatch.Result
+	dataset    *analysis.Dataset
+	aggregates *analysis.Aggregates
 }
 
 // NewExperiment generates the world and wires the pipeline components.
@@ -163,34 +168,62 @@ func (e *Experiment) emulatorOptions() emulator.Options {
 // Run executes the fleet over the whole corpus and builds the analysis
 // dataset. It is not safe to call concurrently with itself.
 func (e *Experiment) Run() error {
-	var artifacts *dispatch.ArtifactStore
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the fleet as a streaming pipeline under the given
+// context, folding results through an analysis.Accumulator as they
+// complete and forwarding every stream event to the optional sinks (live
+// progress, custom persistence). Cancelling ctx stops the fleet within one
+// in-flight app per worker; whatever completed before the cancellation is
+// still aggregated, so Result, Dataset, and Aggregates hold the partial
+// view alongside the returned error.
+func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) error {
+	cfg := dispatch.Config{
+		Workers:         e.cfg.Workers,
+		Emulator:        e.emulatorOptions(),
+		BaseSeed:        e.cfg.Seed,
+		UseCollector:    e.cfg.UseCollector,
+		UseStore:        e.cfg.UseStore,
+		Detector:        e.detector,
+		Attributor:      e.attributor,
+		ContinueOnError: e.cfg.ContinueOnError,
+	}
 	if e.cfg.ArtifactDir != "" {
-		var err error
-		artifacts, err = dispatch.NewArtifactStore(e.cfg.ArtifactDir)
+		artifacts, err := dispatch.NewArtifactStore(e.cfg.ArtifactDir)
 		if err != nil {
 			return fmt.Errorf("libspector: %w", err)
 		}
+		cfg.EmitEvidence = true
+		sinks = append(sinks, artifacts)
 	}
-	res, err := dispatch.RunAll(e.world, e.world.Resolver, dispatch.Config{
-		Workers:      e.cfg.Workers,
-		Emulator:     e.emulatorOptions(),
-		BaseSeed:     e.cfg.Seed,
-		UseCollector: e.cfg.UseCollector,
-		UseStore:     e.cfg.UseStore,
-		Detector:     e.detector,
-		Attributor:   e.attributor,
-		Artifacts:    artifacts,
-	})
+	acc, err := analysis.NewAccumulator(e.domains)
+	if err != nil {
+		return fmt.Errorf("libspector: %w", err)
+	}
+	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
+	res, runErr := dispatch.Gather(events, append(sinks, acc)...)
+	e.result = res
+
+	// Even after a cancellation or failure, resolve what did complete so
+	// callers can report partial aggregates.
 	e.detector.Finalize(2)
+	aggregates, err := acc.Finish(e.detector)
+	if err != nil {
+		return fmt.Errorf("libspector: finishing aggregates: %w", err)
+	}
+	e.aggregates = aggregates
 	ds, err := analysis.BuildDataset(res.Runs, e.detector, e.domains)
 	if err != nil {
 		return fmt.Errorf("libspector: building dataset: %w", err)
 	}
-	e.result = res
 	e.dataset = ds
+	if runErr != nil {
+		return fmt.Errorf("libspector: fleet run: %w", runErr)
+	}
 	return nil
 }
 
@@ -199,6 +232,11 @@ func (e *Experiment) Result() *dispatch.Result { return e.result }
 
 // Dataset returns the analysis dataset (nil before Run).
 func (e *Experiment) Dataset() *analysis.Dataset { return e.dataset }
+
+// Aggregates returns the incrementally-folded analysis aggregates (nil
+// before Run). On a clean run they match Dataset's figures byte-for-byte;
+// after a cancellation they cover the completed prefix of the fleet.
+func (e *Experiment) Aggregates() *analysis.Aggregates { return e.aggregates }
 
 // RunSingleApp exercises one app of the corpus and returns its attribution
 // result without touching the experiment's aggregate state — the

@@ -1,6 +1,9 @@
 package libspector_test
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -142,6 +145,67 @@ func TestExperimentWithAllOptions(t *testing.T) {
 	}
 	if len(shas) != len(res.Runs) {
 		t.Errorf("persisted %d artifacts for %d runs", len(shas), len(res.Runs))
+	}
+}
+
+// TestExperimentRunContextCancelled cancels a fleet mid-run through a sink
+// and checks the facade surfaces the cancellation while still exposing the
+// partial Result, Dataset, and Aggregates over the completed prefix.
+func TestExperimentRunContextCancelled(t *testing.T) {
+	const apps = 40
+	cfg := smallConfig(59, apps)
+	cfg.Workers = 2
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = exp.RunContext(ctx, dispatch.SinkFunc(func(ev dispatch.RunEvent) error {
+		if ev.Kind != dispatch.EventSummary {
+			cancel() // first per-app event stops the fleet
+		}
+		return nil
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	res, ds, ag := exp.Result(), exp.Dataset(), exp.Aggregates()
+	if res == nil || ds == nil || ag == nil {
+		t.Fatal("cancelled run must still expose partial result/dataset/aggregates")
+	}
+	if done := len(res.Runs) + res.SkippedARMOnly; done >= apps {
+		t.Errorf("cancellation did not stop the fleet: %d of %d apps visited", done, apps)
+	}
+	if ag.Runs != len(res.Runs) {
+		t.Errorf("aggregates folded %d runs, result holds %d", ag.Runs, len(res.Runs))
+	}
+	// The partial aggregates still agree with the batch view of the prefix.
+	if got, want := ag.ComputeTotals(), ds.ComputeTotals(); got != want {
+		t.Errorf("partial totals diverge: streaming %+v, batch %+v", got, want)
+	}
+}
+
+// TestExperimentAggregatesMatchDataset checks the facade-level contract
+// that Aggregates reproduces Dataset's serialized summary byte-for-byte on
+// a clean run.
+func TestExperimentAggregatesMatchDataset(t *testing.T) {
+	exp, err := libspector.NewExperiment(smallConfig(57, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var batch, stream bytes.Buffer
+	if err := exp.Dataset().Summarize(25).WriteJSON(&batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Aggregates().Summarize(25).WriteJSON(&stream); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), stream.Bytes()) {
+		t.Error("facade summaries diverge between batch and streaming paths")
 	}
 }
 
