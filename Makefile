@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+# Figure/table math, per-app offline analysis, and the end-to-end
+# attribution→analysis throughput benchmark.
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput
+
+.PHONY: build test vet race bench fuzz verify
 
 build:
 	$(GO) build ./...
@@ -16,8 +20,19 @@ test:
 race:
 	$(GO) test -race ./internal/dispatch/... ./internal/nets/...
 
+# Runs the analysis benchmarks and writes BENCH_pr2.json comparing against
+# the checked-in pre-refactor baseline (bench/baseline_pr2.txt).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr2.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -out BENCH_pr2.json < bench/current_pr2.txt
 
-# Tier-1 verification (see ROADMAP.md) plus vet and the race subset.
-verify: build vet test race
+# Fuzz smoke over the two wire-format decoders fed by untrusted bytes: the
+# pcap packet decoder and the supervisor UDP report decoder. `go test -fuzz`
+# accepts one target per invocation, hence two runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 10s ./internal/pcap
+	$(GO) test -run '^$$' -fuzz FuzzDecodeReport -fuzztime 10s ./internal/xposed
+
+# Tier-1 verification (see ROADMAP.md) plus vet, the race subset, and the
+# decoder fuzz smoke.
+verify: build vet test race fuzz

@@ -494,7 +494,7 @@ func BenchmarkAblationTopOfStack(b *testing.B) {
 // experiment.
 func collectReports(st *benchState) []*xposed.Report {
 	var out []*xposed.Report
-	for _, run := range st.ds.Runs {
+	for _, run := range st.exp.Result().Runs {
 		for _, f := range run.Flows {
 			if f.Report != nil {
 				out = append(out, f.Report)
@@ -547,8 +547,8 @@ func BenchmarkAblationCategoryVoting(b *testing.B) {
 	origins := make(map[string]struct{})
 	for i := range st.ds.Records {
 		r := &st.ds.Records[i]
-		if !r.Builtin {
-			origins[r.Origin] = struct{}{}
+		if !r.Builtin() {
+			origins[st.ds.Origin(r)] = struct{}{}
 		}
 	}
 	full := st.exp.Detector()
@@ -712,6 +712,83 @@ func BenchmarkStreamingPipelinePeakMemory(b *testing.B) {
 			})
 		}
 		b.ReportMetric(bytesRetained/1e6, "retained-MB")
+	})
+}
+
+// BenchmarkAnalysisThroughput measures the attribution→analysis hot path
+// in isolation on a 500-app corpus: folding every completed run into the
+// figure aggregates and rendering the full summary. The fleet runs once in
+// setup; each iteration re-analyzes the same runs, so ns/op and allocs/op
+// describe exactly the per-corpus analysis cost (divide by 500 for the
+// per-app numbers; apps/sec is reported directly).
+func BenchmarkAnalysisThroughput(b *testing.B) {
+	const apps = 500
+	cfg := synth.DefaultConfig()
+	cfg.NumApps = apps
+	world, err := synth.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := vtclient.NewService(vtclient.NewOracle(cfg.Seed, world.DomainTruth()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := libradar.SeededDetector()
+	for prefix, cat := range world.KnownLibraryDB() {
+		if err := det.AddKnownLibrary(prefix, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := emulator.DefaultOptions(cfg.Seed)
+	opts.Monkey.Events = 120
+	res, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+		Emulator:   opts,
+		BaseSeed:   cfg.Seed,
+		Detector:   det,
+		Attributor: attribution.NewAttributor(svc),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	det.Finalize(2)
+	runs := res.Runs
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err := analysis.BuildDataset(runs, det, svc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ds.Summarize(25).Totals.Flows == 0 {
+				b.Fatal("no flows analyzed")
+			}
+		}
+		b.ReportMetric(float64(len(runs))*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			acc, err := analysis.NewAccumulator(svc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, run := range runs {
+				if err := acc.Observe(j, run); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ag, err := acc.Finish(det)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ag.Summarize(25).Totals.Flows == 0 {
+				b.Fatal("no flows analyzed")
+			}
+		}
+		b.ReportMetric(float64(len(runs))*float64(b.N)/b.Elapsed().Seconds(), "apps/sec")
 	})
 }
 

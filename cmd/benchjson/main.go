@@ -1,0 +1,166 @@
+// benchjson converts `go test -bench` output into a JSON regression
+// document. It reads the current bench run from stdin, optionally joins a
+// checked-in baseline file, and emits one entry per benchmark with the
+// derived speed and allocation ratios — the artifact `make bench` writes as
+// BENCH_pr2.json.
+//
+//	go test -bench Foo -benchmem | go run ./cmd/benchjson -baseline bench/baseline_pr2.txt -out BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one parsed benchmark line.
+type Measurement struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry joins the current measurement of one benchmark with its baseline
+// and the derived ratios.
+type Entry struct {
+	Baseline *Measurement `json:"baseline,omitempty"`
+	Current  *Measurement `json:"current,omitempty"`
+	// Speedup is baseline ns/op over current ns/op (>1 means faster now).
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocRatio is current allocs/op over baseline allocs/op (<1 means
+	// fewer allocations now).
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to benchmark
+// names when GOMAXPROCS > 1; stripping it keeps baseline/current joins
+// stable across machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "optional baseline bench output to join")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	current, err := parseReader(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	doc := &Document{
+		Note:       "go test -bench output; ratios compare against the checked-in pre-refactor baseline",
+		Benchmarks: make(map[string]*Entry),
+	}
+	for name, m := range current {
+		doc.Benchmarks[name] = &Entry{Current: m}
+	}
+	if *baselinePath != "" {
+		baseline, err := parseFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		for name, m := range baseline {
+			e := doc.Benchmarks[name]
+			if e == nil {
+				e = &Entry{}
+				doc.Benchmarks[name] = e
+			}
+			e.Baseline = m
+		}
+	}
+	for _, e := range doc.Benchmarks {
+		if e.Baseline == nil || e.Current == nil {
+			continue
+		}
+		if e.Current.NsPerOp > 0 {
+			e.Speedup = e.Baseline.NsPerOp / e.Current.NsPerOp
+		}
+		if e.Baseline.AllocsPerOp > 0 {
+			e.AllocRatio = e.Current.AllocsPerOp / e.Baseline.AllocsPerOp
+		}
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFile(path string) (map[string]*Measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseReader(f)
+}
+
+// parseReader extracts benchmark lines ("BenchmarkName  N  v unit  v unit…")
+// from go test output, ignoring everything else.
+func parseReader(r io.Reader) (map[string]*Measurement, error) {
+	out := make(map[string]*Measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		m := &Measurement{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = val
+			case "B/op":
+				m.BytesPerOp = val
+			case "allocs/op":
+				m.AllocsPerOp = val
+			default:
+				if m.Metrics == nil {
+					m.Metrics = make(map[string]float64)
+				}
+				m.Metrics[unit] = val
+			}
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"libspector"
 	"libspector/internal/analysis"
 	"libspector/internal/corpus"
+	"libspector/internal/symtab"
 )
 
 func main() {
@@ -54,19 +55,19 @@ func run(ctx context.Context) error {
 		pkg        string
 		ant, total int64
 	}
-	byApp := make(map[string]*appShare)
+	byApp := make(map[symtab.Sym]*appShare)
 	for i := range ds.Records {
 		r := &ds.Records[i]
-		if r.Builtin {
+		if r.Builtin() {
 			continue
 		}
-		a := byApp[r.AppSHA]
+		a := byApp[r.App]
 		if a == nil {
-			a = &appShare{pkg: r.AppPackage}
-			byApp[r.AppSHA] = a
+			a = &appShare{pkg: ds.AppPackage(r)}
+			byApp[r.App] = a
 		}
 		a.total += r.TotalBytes()
-		if r.IsAnT {
+		if r.IsAnT() {
 			a.ant += r.TotalBytes()
 		}
 	}

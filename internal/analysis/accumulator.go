@@ -1,132 +1,42 @@
 package analysis
 
 import (
-	"fmt"
-	"sort"
-
 	"libspector/internal/attribution"
-	"libspector/internal/corpus"
 	"libspector/internal/dispatch"
 	"libspector/internal/libradar"
-	"libspector/internal/sim"
 )
 
 // Accumulator folds streamed run results incrementally into the dataset
 // aggregates, so a fleet of any size can be analyzed with peak memory
 // proportional to the number of distinct apps, origin-libraries, and
 // domains — O(aggregates) — instead of retaining every run and flow record
-// (O(corpus)) the way the batch Dataset does.
+// (O(corpus)).
+//
+// It is a thin shell over the shared columnar core: the batch
+// DatasetBuilder runs the very same fold, which is why the two paths
+// produce byte-identical figures on the same corpus.
 //
 // Library categories cannot be resolved mid-stream: the LibRadar detector
 // only categorizes after Finalize, which needs the whole fleet's package
-// observations. The accumulator therefore keys its per-origin aggregates by
-// origin-library string during the fold and resolves categories once, in
-// Finish. Domain categories (vtclient) are deterministic per domain, so
-// they are resolved at fold time.
+// observations. The core therefore keys its per-origin aggregates by
+// origin symbol during the fold and resolves each symbol's category once,
+// in Finish. Domain categories (vtclient) are deterministic per domain, so
+// they are resolved once per domain symbol at intern time.
 //
 // Accumulator is not safe for concurrent use; dispatch sinks are invoked
 // sequentially from the consuming goroutine, which is exactly this model.
 type Accumulator struct {
-	domains DomainCategorizer
-	antList []string
-	clList  []string
-
-	finished bool
-
-	// Totals.
-	runs          int
-	flows         int
-	unattributed  int
-	bytesSent     int64
-	bytesReceived int64
-	udpWire       int64
-	dnsWire       int64
-	tcpWire       int64
-
-	// Per-entity sent/received pairs shared by Totals (distinct counts),
-	// Fig4, Fig5, and the half-traffic concentration counts. The domain
-	// pair is stored from the server's perspective, as in Fig4.
-	perApp    map[string]*pair
-	perOrigin map[string]*pair
-	perDomain map[string]*pair
-
-	// Fig2: per app-category volume by origin, category-resolved in Finish.
-	fig2 map[corpus.AppCategory]map[originKey]int64
-
-	// Fig3 rankings.
-	rankOrigin   map[string]*rankEntry
-	rankTwoLevel map[string]*rankEntry
-
-	// Fig6 per-app AnT/common-library accumulation (non-builtin flows).
-	fig6 map[string]*antAcc
-
-	// Fig7 (library panel) and Fig9 need categories: fold per origin.
-	nbOriginBytes map[string]int64
-	fig9          map[string]map[corpus.DomainCategory]int64
-
-	// Fig7 domain panel.
-	domBytes   map[corpus.DomainCategory]int64
-	domMembers map[corpus.DomainCategory]map[string]struct{}
-
-	// Fig8.
-	fig8Bytes map[corpus.AppCategory]int64
-	fig8Apps  map[corpus.AppCategory]map[string]struct{}
-
-	// Fig10: per-run coverage, re-sorted into app-index order in Finish so
-	// completion order does not leak into the figure.
-	coverage []coverageEntry
-}
-
-type pair struct{ sent, rcvd int64 }
-
-// originKey distinguishes builtin pseudo-origins from detector-resolvable
-// libraries that could share a name.
-type originKey struct {
-	name    string
-	builtin bool
-}
-
-type rankEntry struct {
-	bytes   int64
-	builtin bool
-}
-
-type antAcc struct {
-	total, ant, cl   int64
-	antSent, antRcvd int64
-	clSent, clRcvd   int64
-}
-
-type coverageEntry struct {
-	appIndex int
-	percent  float64
-	methods  float64
+	core *core
 }
 
 // NewAccumulator builds an empty accumulator resolving domain categories
 // through the given service.
 func NewAccumulator(domains DomainCategorizer) (*Accumulator, error) {
-	if domains == nil {
-		return nil, fmt.Errorf("analysis: nil domain categorizer")
+	c, err := newCore(domains)
+	if err != nil {
+		return nil, err
 	}
-	return &Accumulator{
-		domains:       domains,
-		antList:       corpus.AnTPrefixes(),
-		clList:        corpus.CommonLibraryPrefixes(),
-		perApp:        make(map[string]*pair),
-		perOrigin:     make(map[string]*pair),
-		perDomain:     make(map[string]*pair),
-		fig2:          make(map[corpus.AppCategory]map[originKey]int64),
-		rankOrigin:    make(map[string]*rankEntry),
-		rankTwoLevel:  make(map[string]*rankEntry),
-		fig6:          make(map[string]*antAcc),
-		nbOriginBytes: make(map[string]int64),
-		fig9:          make(map[string]map[corpus.DomainCategory]int64),
-		domBytes:      make(map[corpus.DomainCategory]int64),
-		domMembers:    make(map[corpus.DomainCategory]map[string]struct{}),
-		fig8Bytes:     make(map[corpus.AppCategory]int64),
-		fig8Apps:      make(map[corpus.AppCategory]map[string]struct{}),
-	}, nil
+	return &Accumulator{core: c}, nil
 }
 
 // Consume implements dispatch.Sink: completed runs are folded in as they
@@ -141,539 +51,12 @@ func (a *Accumulator) Consume(ev dispatch.RunEvent) error {
 // Observe folds one run. The app index orders the Fig10 coverage series
 // exactly as the batch path does.
 func (a *Accumulator) Observe(appIndex int, run *attribution.RunResult) error {
-	if a.finished {
-		return fmt.Errorf("analysis: accumulator already finished")
-	}
-	if run == nil {
-		return fmt.Errorf("analysis: nil run")
-	}
-	a.runs++
-	a.udpWire += run.UDPWireBytes
-	a.dnsWire += run.DNSWireBytes
-	a.tcpWire += run.TCPWireBytes
-	a.coverage = append(a.coverage, coverageEntry{
-		appIndex: appIndex,
-		percent:  run.Coverage.Percent(),
-		methods:  float64(run.Coverage.TotalMethods),
-	})
-
-	for _, f := range run.Flows {
-		if f.Report == nil {
-			a.unattributed++
-			continue
-		}
-		total := f.BytesSent + f.BytesReceived
-		domCat := corpus.DomUnknown
-		if f.Domain != "" {
-			domCat = a.domains.Categorize(f.Domain)
-		}
-
-		a.flows++
-		a.bytesSent += f.BytesSent
-		a.bytesReceived += f.BytesReceived
-
-		row := a.fig2[run.AppCategory]
-		if row == nil {
-			row = make(map[originKey]int64)
-			a.fig2[run.AppCategory] = row
-		}
-		row[originKey{f.OriginLibrary, f.BuiltinOrigin}] += total
-
-		ro := a.rankOrigin[f.OriginLibrary]
-		if ro == nil {
-			ro = &rankEntry{}
-			a.rankOrigin[f.OriginLibrary] = ro
-		}
-		ro.bytes += total
-		ro.builtin = ro.builtin || f.BuiltinOrigin
-
-		rt := a.rankTwoLevel[f.TwoLevelLibrary]
-		if rt == nil {
-			rt = &rankEntry{}
-			a.rankTwoLevel[f.TwoLevelLibrary] = rt
-		}
-		rt.bytes += total
-		rt.builtin = rt.builtin || f.BuiltinOrigin ||
-			f.TwoLevelLibrary == "com.android" || f.TwoLevelLibrary == "com.google"
-
-		ap := getPair(a.perApp, run.AppSHA)
-		ap.sent += f.BytesSent
-		ap.rcvd += f.BytesReceived
-		op := getPair(a.perOrigin, f.OriginLibrary)
-		op.sent += f.BytesSent
-		op.rcvd += f.BytesReceived
-		if f.Domain != "" {
-			// From the domain's perspective "sent" is what the server
-			// transmitted (the app's received bytes).
-			dp := getPair(a.perDomain, f.Domain)
-			dp.sent += f.BytesReceived
-			dp.rcvd += f.BytesSent
-		}
-
-		if !f.BuiltinOrigin {
-			isAnT := corpus.HasPrefixInList(f.OriginLibrary, a.antList)
-			isCL := !isAnT && corpus.HasPrefixInList(f.OriginLibrary, a.clList)
-			acc := a.fig6[run.AppSHA]
-			if acc == nil {
-				acc = &antAcc{}
-				a.fig6[run.AppSHA] = acc
-			}
-			acc.total += total
-			if isAnT {
-				acc.ant += total
-				acc.antSent += f.BytesSent
-				acc.antRcvd += f.BytesReceived
-			}
-			if isCL {
-				acc.cl += total
-				acc.clSent += f.BytesSent
-				acc.clRcvd += f.BytesReceived
-			}
-
-			a.nbOriginBytes[f.OriginLibrary] += total
-			row9 := a.fig9[f.OriginLibrary]
-			if row9 == nil {
-				row9 = make(map[corpus.DomainCategory]int64)
-				a.fig9[f.OriginLibrary] = row9
-			}
-			row9[domCat] += total
-		}
-
-		if f.Domain != "" {
-			a.domBytes[domCat] += total
-			if a.domMembers[domCat] == nil {
-				a.domMembers[domCat] = make(map[string]struct{})
-			}
-			a.domMembers[domCat][f.Domain] = struct{}{}
-		}
-
-		a.fig8Bytes[run.AppCategory] += total
-		if a.fig8Apps[run.AppCategory] == nil {
-			a.fig8Apps[run.AppCategory] = make(map[string]struct{})
-		}
-		a.fig8Apps[run.AppCategory][run.AppSHA] = struct{}{}
-	}
-	return nil
-}
-
-func getPair(m map[string]*pair, k string) *pair {
-	p := m[k]
-	if p == nil {
-		p = &pair{}
-		m[k] = p
-	}
-	return p
+	return a.core.observe(appIndex, run, nil)
 }
 
 // Finish resolves the deferred library categories through the (finalized)
 // detector and freezes the aggregates. The accumulator rejects further
 // observations afterwards.
 func (a *Accumulator) Finish(detector *libradar.Detector) (*Aggregates, error) {
-	if detector == nil {
-		return nil, fmt.Errorf("analysis: nil detector")
-	}
-	if a.finished {
-		return nil, fmt.Errorf("analysis: accumulator already finished")
-	}
-	a.finished = true
-
-	ag := &Aggregates{
-		Runs:              a.runs,
-		UnattributedFlows: a.unattributed,
-	}
-
-	// Totals.
-	ag.totals = Totals{
-		BytesSent:       a.bytesSent,
-		BytesReceived:   a.bytesReceived,
-		Flows:           a.flows,
-		DistinctOrigins: len(a.perOrigin),
-		DistinctDomains: len(a.perDomain),
-		DistinctApps:    len(a.perApp),
-		UDPWireBytes:    a.udpWire,
-		DNSWireBytes:    a.dnsWire,
-		TCPWireBytes:    a.tcpWire,
-	}
-
-	// categorize memoizes origin→category so each origin is resolved once.
-	catCache := make(map[string]corpus.LibraryCategory)
-	categorize := func(key originKey) corpus.LibraryCategory {
-		if key.builtin {
-			// Pseudo origin-libraries have no LibRadar category.
-			return corpus.LibUnknown
-		}
-		cat, ok := catCache[key.name]
-		if !ok {
-			cat = detector.Categorize(key.name)
-			catCache[key.name] = cat
-		}
-		return cat
-	}
-
-	// Figure 2.
-	m := &CategoryMatrix{
-		Bytes:       make(map[corpus.AppCategory]map[corpus.LibraryCategory]int64),
-		LegendShare: make(map[corpus.LibraryCategory]float64),
-	}
-	perLib := make(map[corpus.LibraryCategory]int64)
-	for appCat, origins := range a.fig2 {
-		row := make(map[corpus.LibraryCategory]int64)
-		m.Bytes[appCat] = row
-		for key, b := range origins {
-			cat := categorize(key)
-			row[cat] += b
-			perLib[cat] += b
-			m.Total += b
-		}
-	}
-	if m.Total > 0 {
-		for cat, b := range perLib {
-			m.LegendShare[cat] = float64(b) / float64(m.Total)
-		}
-	}
-	ag.fig2 = m
-
-	// Figure 3 rankings (full; truncated per call).
-	ag.fig3Origins = rankedFrom(a.rankOrigin)
-	ag.fig3TwoLevel = rankedFrom(a.rankTwoLevel)
-
-	// Figure 4 CDFs.
-	ag.fig4 = []CDFSeries{
-		extractCDF("App: Sent", a.perApp, true),
-		extractCDF("App: Received", a.perApp, false),
-		extractCDF("Lib: Sent", a.perOrigin, true),
-		extractCDF("Lib: Received", a.perOrigin, false),
-		extractCDF("DNS: Sent", a.perDomain, true),
-		extractCDF("DNS: Received", a.perDomain, false),
-	}
-
-	// Figure 5 ratios.
-	ag.fig5 = []RatioSeries{
-		buildRatios("Apps", a.perApp),
-		buildRatios("Libs", a.perOrigin),
-		buildRatios("DNS", a.perDomain),
-	}
-
-	// Figure 6.
-	ag.fig6 = finishAnT(a.fig6)
-
-	// Figure 7.
-	avgs := &CategoryAverages{
-		PerLibrary: make(map[corpus.LibraryCategory]float64),
-		PerDomain:  make(map[corpus.DomainCategory]float64),
-	}
-	libBytes := make(map[corpus.LibraryCategory]int64)
-	libMembers := make(map[corpus.LibraryCategory]map[string]struct{})
-	for origin, b := range a.nbOriginBytes {
-		cat := categorize(originKey{name: origin})
-		libBytes[cat] += b
-		if libMembers[cat] == nil {
-			libMembers[cat] = make(map[string]struct{})
-		}
-		libMembers[cat][origin] = struct{}{}
-	}
-	for cat, b := range libBytes {
-		if n := len(libMembers[cat]); n > 0 {
-			avgs.PerLibrary[cat] = float64(b) / float64(n)
-		}
-	}
-	for cat, b := range a.domBytes {
-		if n := len(a.domMembers[cat]); n > 0 {
-			avgs.PerDomain[cat] = float64(b) / float64(n)
-		}
-	}
-	ag.fig7 = avgs
-
-	// Figure 8.
-	ag.fig8 = make(map[corpus.AppCategory]float64, len(a.fig8Bytes))
-	for cat, b := range a.fig8Bytes {
-		if n := len(a.fig8Apps[cat]); n > 0 {
-			ag.fig8[cat] = float64(b) / float64(n)
-		}
-	}
-
-	// Figure 9.
-	h := &Heatmap{Bytes: make(map[corpus.LibraryCategory]map[corpus.DomainCategory]int64)}
-	for origin, doms := range a.fig9 {
-		cat := categorize(originKey{name: origin})
-		row := h.Bytes[cat]
-		if row == nil {
-			row = make(map[corpus.DomainCategory]int64)
-			h.Bytes[cat] = row
-		}
-		for dom, b := range doms {
-			row[dom] += b
-		}
-	}
-	ag.fig9 = h
-
-	// Figure 10, in app-index order like the batch path's run order.
-	sort.Slice(a.coverage, func(i, j int) bool { return a.coverage[i].appIndex < a.coverage[j].appIndex })
-	cov := &CoverageStats{}
-	var methods []float64
-	for _, c := range a.coverage {
-		cov.Percents = append(cov.Percents, c.percent)
-		methods = append(methods, c.methods)
-	}
-	cov.Mean = sim.Mean(cov.Percents)
-	cov.MeanMethods = sim.Mean(methods)
-	var above, aboveMethods int
-	for i := range cov.Percents {
-		if cov.Percents[i] > cov.Mean {
-			above++
-		}
-		if methods[i] > cov.MeanMethods {
-			aboveMethods++
-		}
-	}
-	if n := len(cov.Percents); n > 0 {
-		cov.FracAboveMean = float64(above) / float64(n)
-		cov.FracAboveMeanMethods = float64(aboveMethods) / float64(n)
-	}
-	ag.fig10 = cov
-
-	// Half-traffic concentration.
-	ag.half = HalfTrafficCounts{
-		Apps:    halfCountPairs(a.perApp),
-		Origins: halfCountPairs(a.perOrigin),
-		Domains: halfCountPairs(a.perDomain),
-	}
-	return ag, nil
-}
-
-// rankedFrom renders a fold map as the Fig3 ranking (volume desc, name asc).
-func rankedFrom(m map[string]*rankEntry) []RankedLibrary {
-	out := make([]RankedLibrary, 0, len(m))
-	for name, e := range m {
-		out = append(out, RankedLibrary{Name: name, Bytes: e.bytes, Builtin: e.builtin})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
-		}
-		return out[i].Name < out[j].Name
-	})
-	return out
-}
-
-func extractCDF(label string, m map[string]*pair, sent bool) CDFSeries {
-	vals := make([]float64, 0, len(m))
-	for _, p := range m {
-		if sent {
-			vals = append(vals, float64(p.sent))
-		} else {
-			vals = append(vals, float64(p.rcvd))
-		}
-	}
-	sort.Float64s(vals)
-	return CDFSeries{Label: label, Values: vals}
-}
-
-func buildRatios(label string, m map[string]*pair) RatioSeries {
-	ratios := make([]float64, 0, len(m))
-	for _, p := range m {
-		if p.sent == 0 && label != "DNS" || p.rcvd == 0 && label == "DNS" {
-			continue
-		}
-		var ratio float64
-		if label == "DNS" {
-			ratio = float64(p.sent) / float64(p.rcvd)
-		} else {
-			ratio = float64(p.rcvd) / float64(p.sent)
-		}
-		ratios = append(ratios, ratio)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
-	return RatioSeries{Label: label, Ratios: ratios, Mean: sim.Mean(ratios)}
-}
-
-func finishAnT(perApp map[string]*antAcc) *AnTStats {
-	st := &AnTStats{}
-	var antOnly, someAnT, antFree, apps int
-	var antRatios, clRatios []float64
-	for _, a := range perApp {
-		if a.total == 0 {
-			continue
-		}
-		apps++
-		st.AnTShares = append(st.AnTShares, float64(a.ant)/float64(a.total))
-		st.CLShares = append(st.CLShares, float64(a.cl)/float64(a.total))
-		switch {
-		case a.ant == a.total:
-			antOnly++
-			someAnT++
-		case a.ant > 0:
-			someAnT++
-		default:
-			antFree++
-		}
-		if a.antSent > 0 {
-			antRatios = append(antRatios, float64(a.antRcvd)/float64(a.antSent))
-		}
-		if a.clSent > 0 {
-			clRatios = append(clRatios, float64(a.clRcvd)/float64(a.clSent))
-		}
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(st.AnTShares)))
-	sort.Sort(sort.Reverse(sort.Float64Slice(st.CLShares)))
-	if apps > 0 {
-		st.FracAnTOnly = float64(antOnly) / float64(apps)
-		st.FracSomeAnT = float64(someAnT) / float64(apps)
-		st.FracAnTFree = float64(antFree) / float64(apps)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(antRatios)))
-	sort.Sort(sort.Reverse(sort.Float64Slice(clRatios)))
-	st.AnTFlowRatioMean = sim.Mean(antRatios)
-	st.CLFlowRatioMean = sim.Mean(clRatios)
-	return st
-}
-
-// halfCountPairs is ComputeHalfTraffic over the folded per-entity pairs.
-func halfCountPairs(m map[string]*pair) int {
-	vols := make([]int64, 0, len(m))
-	var total int64
-	for k, p := range m {
-		if k == "" {
-			continue
-		}
-		v := p.sent + p.rcvd
-		vols = append(vols, v)
-		total += v
-	}
-	sort.Slice(vols, func(i, j int) bool { return vols[i] > vols[j] })
-	var acc int64
-	for i, v := range vols {
-		acc += v
-		if acc*2 >= total {
-			return i + 1
-		}
-	}
-	return len(vols)
-}
-
-// Aggregates is the frozen, category-resolved output of an Accumulator. It
-// mirrors the Dataset's figure/table API so reporting code can run over
-// either, and on the same corpus the two produce byte-identical output.
-type Aggregates struct {
-	// Runs counts the folded runs.
-	Runs int
-	// UnattributedFlows counts flows without a supervisor report.
-	UnattributedFlows int
-
-	totals       Totals
-	fig2         *CategoryMatrix
-	fig3Origins  []RankedLibrary
-	fig3TwoLevel []RankedLibrary
-	fig4         []CDFSeries
-	fig5         []RatioSeries
-	fig6         *AnTStats
-	fig7         *CategoryAverages
-	fig8         map[corpus.AppCategory]float64
-	fig9         *Heatmap
-	fig10        *CoverageStats
-	half         HalfTrafficCounts
-}
-
-// ComputeTotals returns the §IV-A headline totals.
-func (ag *Aggregates) ComputeTotals() Totals { return ag.totals }
-
-// Fig2CategoryTransfer returns the Figure 2 matrix.
-func (ag *Aggregates) Fig2CategoryTransfer() *CategoryMatrix { return ag.fig2 }
-
-// Fig3TopOrigins ranks origin-libraries by transfer volume.
-func (ag *Aggregates) Fig3TopOrigins(n int) []RankedLibrary { return truncateRanked(ag.fig3Origins, n) }
-
-// Fig3TopTwoLevel ranks 2-level libraries by transfer volume.
-func (ag *Aggregates) Fig3TopTwoLevel(n int) []RankedLibrary {
-	return truncateRanked(ag.fig3TwoLevel, n)
-}
-
-func truncateRanked(full []RankedLibrary, n int) []RankedLibrary {
-	if n > 0 && len(full) > n {
-		return full[:n:n]
-	}
-	return full
-}
-
-// TopShare computes the transfer share of the top-n ranking entries.
-func (ag *Aggregates) TopShare(n int, twoLevel bool) float64 {
-	ranked := ag.fig3Origins
-	if twoLevel {
-		ranked = ag.fig3TwoLevel
-	}
-	var total, top int64
-	for i, r := range ranked {
-		total += r.Bytes
-		if i < n {
-			top += r.Bytes
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(top) / float64(total)
-}
-
-// Fig4CDF returns the six Figure 4 series.
-func (ag *Aggregates) Fig4CDF() []CDFSeries { return ag.fig4 }
-
-// Fig5FlowRatios returns the three Figure 5 curves.
-func (ag *Aggregates) Fig5FlowRatios() []RatioSeries { return ag.fig5 }
-
-// Fig6AnTShares returns the Figure 6 prevalence statistics.
-func (ag *Aggregates) Fig6AnTShares() *AnTStats { return ag.fig6 }
-
-// Fig7Averages returns the Figure 7 per-category averages.
-func (ag *Aggregates) Fig7Averages() *CategoryAverages { return ag.fig7 }
-
-// Fig8AppCategoryAverages returns bytes per app for each category.
-func (ag *Aggregates) Fig8AppCategoryAverages() map[corpus.AppCategory]float64 { return ag.fig8 }
-
-// Fig9Heatmap returns the library×domain category matrix.
-func (ag *Aggregates) Fig9Heatmap() *Heatmap { return ag.fig9 }
-
-// Fig10Coverage returns the per-app coverage statistics.
-func (ag *Aggregates) Fig10Coverage() *CoverageStats { return ag.fig10 }
-
-// ComputeHalfTraffic returns the §IV-A concentration counts.
-func (ag *Aggregates) ComputeHalfTraffic() HalfTrafficCounts { return ag.half }
-
-// CompareWithPaper evaluates the headline shape targets against the
-// paper's published values.
-func (ag *Aggregates) CompareWithPaper() []TargetComparison {
-	return compareRows(ag.totals, ag.fig2, ag.fig5, ag.fig6, ag.fig7, ag.fig9, ag.fig10, ag.TopShare(25, true))
-}
-
-// Summarize renders the full evaluation summary, byte-identical to the
-// batch Dataset's Summarize on the same corpus.
-func (ag *Aggregates) Summarize(topN int) *Summary {
-	if topN <= 0 {
-		topN = 25
-	}
-	return &Summary{
-		Totals:               ag.totals,
-		Fig2LegendShare:      ag.fig2.LegendShare,
-		Fig2AppCategoryBytes: ag.fig2.Bytes,
-		Fig3TopOrigins:       ag.Fig3TopOrigins(topN),
-		Fig3TopTwoLevel:      ag.Fig3TopTwoLevel(topN),
-		Fig5RatioMeans: map[string]float64{
-			"apps": ag.fig5[0].Mean,
-			"libs": ag.fig5[1].Mean,
-			"dns":  ag.fig5[2].Mean,
-		},
-		Fig6AnTOnlyFrac:    ag.fig6.FracAnTOnly,
-		Fig6SomeAnTFrac:    ag.fig6.FracSomeAnT,
-		Fig6AnTFreeFrac:    ag.fig6.FracAnTFree,
-		Fig6AnTFlowRatio:   ag.fig6.AnTFlowRatioMean,
-		Fig6CLFlowRatio:    ag.fig6.CLFlowRatioMean,
-		Fig7PerLibrary:     ag.fig7.PerLibrary,
-		Fig7PerDomain:      ag.fig7.PerDomain,
-		Fig8PerAppCategory: ag.fig8,
-		Fig9Heatmap:        ag.fig9.Bytes,
-		Fig10CoverageMean:  ag.fig10.Mean,
-		Fig10MeanMethods:   ag.fig10.MeanMethods,
-		Fig10AppsMeasured:  len(ag.fig10.Percents),
-		Fig10FracAboveMean: ag.fig10.FracAboveMean,
-		HalfTraffic:        ag.half,
-	}
+	return a.core.finish(detector)
 }

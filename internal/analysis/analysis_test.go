@@ -104,19 +104,19 @@ func TestBuildDatasetRecords(t *testing.T) {
 	for i := range ds.Records {
 		r := &ds.Records[i]
 		switch {
-		case r.Origin == "com.vungle.publisher" && vungle == nil:
+		case ds.Origin(r) == "com.vungle.publisher" && vungle == nil:
 			vungle = r
-		case r.Builtin:
+		case r.Builtin():
 			builtin = r
 		}
 	}
-	if vungle == nil || !vungle.IsAnT || vungle.LibCategory != corpus.LibAdvertisement {
+	if vungle == nil || !vungle.IsAnT() || ds.LibCategory(vungle) != corpus.LibAdvertisement {
 		t.Errorf("vungle record wrong: %+v", vungle)
 	}
-	if vungle.TwoLevel != "com.vungle" {
-		t.Errorf("vungle two-level = %q", vungle.TwoLevel)
+	if ds.TwoLevel(vungle) != "com.vungle" {
+		t.Errorf("vungle two-level = %q", ds.TwoLevel(vungle))
 	}
-	if builtin == nil || builtin.LibCategory != corpus.LibUnknown || builtin.IsAnT {
+	if builtin == nil || ds.LibCategory(builtin) != corpus.LibUnknown || builtin.IsAnT() {
 		t.Errorf("builtin record wrong: %+v", builtin)
 	}
 }

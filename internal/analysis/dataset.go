@@ -3,15 +3,23 @@
 // matrices, top-library rankings, CDFs, flow ratios, AnT prevalence,
 // lib×domain heatmaps, coverage statistics, and the §IV-D user-cost and
 // energy models.
+//
+// All aggregation math lives in one columnar core keyed by interned symbol
+// IDs (internal/symtab). The streaming Accumulator and the batch Dataset
+// are two shells over that core; strings are resolved back out of the
+// symbol tables only at the edges (record accessors, reporting, export), so
+// symbol IDs never appear in rendered or exported output.
 package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"libspector/internal/attribution"
 	"libspector/internal/corpus"
+	"libspector/internal/dispatch"
 	"libspector/internal/libradar"
-	"libspector/internal/nets"
+	"libspector/internal/symtab"
 )
 
 // DomainCategorizer resolves domains to generic categories (implemented by
@@ -20,44 +28,153 @@ type DomainCategorizer interface {
 	Categorize(domain string) corpus.DomainCategory
 }
 
-// FlowRecord is one attributed flow flattened for aggregation.
+// RecordFlags packs a FlowRecord's boolean facts.
+type RecordFlags uint8
+
+const (
+	// FlagBuiltin marks pseudo origin-libraries attributed to platform
+	// code rather than a detector-resolvable library.
+	FlagBuiltin RecordFlags = 1 << iota
+	// FlagAnT marks non-builtin origins on the Li et al. AnT list.
+	FlagAnT
+	// FlagCommonLib marks non-builtin origins on the common-library list
+	// (disjoint from AnT, which takes precedence).
+	FlagCommonLib
+)
+
+// FlowRecord is one attributed flow in compact symbol form. All entity
+// references are symbol IDs into the owning Dataset's tables; use the
+// Dataset accessors (AppSHA, Origin, Domain, …) to resolve strings and
+// categories. Sixteen bytes of strings-per-flow in the old record layout
+// become four-byte symbols here, which is what lets a Dataset hold
+// corpus-scale record sets.
 type FlowRecord struct {
-	AppSHA      string             `json:"app_sha"`
-	AppPackage  string             `json:"app_package"`
-	AppCategory corpus.AppCategory `json:"app_category"`
+	App      symtab.Sym
+	AppCat   symtab.Sym
+	Origin   symtab.Sym
+	TwoLevel symtab.Sym
+	Domain   symtab.Sym
 
-	Origin      string                 `json:"origin"`
-	TwoLevel    string                 `json:"two_level"`
-	Builtin     bool                   `json:"builtin"`
-	LibCategory corpus.LibraryCategory `json:"lib_category"`
+	// HTTP context extracted from the flow's first request/response
+	// payloads ("" / None when not parseable HTTP, e.g. TLS).
+	UserAgent   symtab.Sym
+	HTTPHost    symtab.Sym
+	ContentType symtab.Sym
 
-	Domain         string                `json:"domain"`
-	DomainCategory corpus.DomainCategory `json:"domain_category"`
+	BytesSent     int64
+	BytesReceived int64
 
-	BytesSent     int64 `json:"bytes_sent"`
-	BytesReceived int64 `json:"bytes_received"`
-
-	IsAnT       bool `json:"is_ant"`
-	IsCommonLib bool `json:"is_common_lib"`
-
-	// UserAgent and HTTPHost are what a purely network-focused analysis
-	// can read out of the flow's first request ("" when the payload is
-	// not parseable HTTP, e.g. TLS).
-	UserAgent string `json:"user_agent"`
-	HTTPHost  string `json:"http_host"`
-	// ContentType is the response MIME type ("" when not parseable).
-	ContentType string `json:"content_type"`
+	Flags RecordFlags
 }
 
 // TotalBytes is the flow's combined volume.
 func (r *FlowRecord) TotalBytes() int64 { return r.BytesSent + r.BytesReceived }
 
-// Dataset is the analysis-ready view over a fleet run.
+// Builtin reports whether the flow's origin is a platform pseudo-library.
+func (r *FlowRecord) Builtin() bool { return r.Flags&FlagBuiltin != 0 }
+
+// IsAnT reports membership of the origin in the AnT list.
+func (r *FlowRecord) IsAnT() bool { return r.Flags&FlagAnT != 0 }
+
+// IsCommonLib reports membership of the origin in the common-library list.
+func (r *FlowRecord) IsCommonLib() bool { return r.Flags&FlagCommonLib != 0 }
+
+// Dataset is the analysis-ready view over a fleet run: the materialized
+// per-flow records plus the frozen aggregates computed by the shared core.
+// Unlike earlier revisions it does not retain the runs themselves — what
+// the figures need (coverage, run counts, wire bytes) is folded into the
+// aggregates, so memory stays proportional to the record set.
 type Dataset struct {
-	Runs    []*attribution.RunResult
 	Records []FlowRecord
 	// UnattributedFlows counts flows without a supervisor report.
 	UnattributedFlows int
+
+	syms   *Symbols
+	agg    *Aggregates
+	appPkg []symtab.Sym // app sym → package-name sym (strings table)
+}
+
+// DatasetBuilder materializes a Dataset incrementally. It implements
+// dispatch.Sink, so the batch view can be built in one pass over the run
+// stream — the same pass the Accumulator folds — instead of retaining runs
+// for a second sweep.
+type DatasetBuilder struct {
+	core    *core
+	records []FlowRecord
+	order   []int // appIndex per record, for deterministic final order
+	appPkg  []symtab.Sym
+}
+
+// NewDatasetBuilder builds an empty builder resolving domain categories
+// through the given service.
+func NewDatasetBuilder(domains DomainCategorizer) (*DatasetBuilder, error) {
+	c, err := newCore(domains)
+	if err != nil {
+		return nil, err
+	}
+	return &DatasetBuilder{core: c}, nil
+}
+
+// Consume implements dispatch.Sink.
+func (b *DatasetBuilder) Consume(ev dispatch.RunEvent) error {
+	if ev.Kind != dispatch.EventRun || ev.Run == nil {
+		return nil
+	}
+	return b.Observe(ev.AppIndex, ev.Run)
+}
+
+// Observe folds one run and materializes its attributed flows.
+func (b *DatasetBuilder) Observe(appIndex int, run *attribution.RunResult) error {
+	pkgSym := symtab.None
+	interned := false
+	return b.core.observe(appIndex, run, func(rec *FlowRecord, f *attribution.Flow) {
+		if !interned {
+			interned = true
+			pkgSym = b.core.syms.strings.Intern(run.AppPackage)
+		}
+		for len(b.appPkg) <= int(rec.App) {
+			b.appPkg = append(b.appPkg, symtab.None)
+		}
+		b.appPkg[rec.App] = pkgSym
+		if f.UserAgent != "" {
+			rec.UserAgent = b.core.syms.strings.Intern(f.UserAgent)
+		}
+		if f.HTTPHost != "" {
+			rec.HTTPHost = b.core.syms.strings.Intern(f.HTTPHost)
+		}
+		if f.ContentType != "" {
+			rec.ContentType = b.core.syms.strings.Intern(f.ContentType)
+		}
+		b.records = append(b.records, *rec)
+		b.order = append(b.order, appIndex)
+	})
+}
+
+// Finish freezes the aggregates and returns the Dataset. Records are
+// ordered by app index (stably, preserving flow order within a run), so a
+// streamed build yields the same Dataset as a batch build regardless of
+// completion order.
+func (b *DatasetBuilder) Finish(detector *libradar.Detector) (*Dataset, error) {
+	ag, err := b.core.finish(detector)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(b.records))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return b.order[idx[i]] < b.order[idx[j]] })
+	recs := make([]FlowRecord, len(b.records))
+	for i, j := range idx {
+		recs[i] = b.records[j]
+	}
+	return &Dataset{
+		Records:           recs,
+		UnattributedFlows: b.core.unattributed,
+		syms:              b.core.syms,
+		agg:               ag,
+		appPkg:            b.appPkg,
+	}, nil
 }
 
 // BuildDataset flattens fleet results, resolving library categories via the
@@ -66,62 +183,74 @@ func BuildDataset(runs []*attribution.RunResult, detector *libradar.Detector, do
 	if detector == nil {
 		return nil, fmt.Errorf("analysis: nil detector")
 	}
-	if domains == nil {
-		return nil, fmt.Errorf("analysis: nil domain categorizer")
+	b, err := NewDatasetBuilder(domains)
+	if err != nil {
+		return nil, err
 	}
-	antList := corpus.AnTPrefixes()
-	clList := corpus.CommonLibraryPrefixes()
-
-	ds := &Dataset{Runs: runs}
-	for _, run := range runs {
-		for _, f := range run.Flows {
-			if f.Report == nil {
-				ds.UnattributedFlows++
-				continue
-			}
-			rec := FlowRecord{
-				AppSHA:        run.AppSHA,
-				AppPackage:    run.AppPackage,
-				AppCategory:   run.AppCategory,
-				Origin:        f.OriginLibrary,
-				TwoLevel:      f.TwoLevelLibrary,
-				Builtin:       f.BuiltinOrigin,
-				Domain:        f.Domain,
-				BytesSent:     f.BytesSent,
-				BytesReceived: f.BytesReceived,
-			}
-			if f.Domain != "" {
-				rec.DomainCategory = domains.Categorize(f.Domain)
-			} else {
-				rec.DomainCategory = corpus.DomUnknown
-			}
-			if f.BuiltinOrigin {
-				// Pseudo origin-libraries have no LibRadar category.
-				rec.LibCategory = corpus.LibUnknown
-			} else {
-				rec.LibCategory = detector.Categorize(f.OriginLibrary)
-				rec.IsAnT = corpus.HasPrefixInList(f.OriginLibrary, antList)
-				// The AnT and common-library sets are contrasted in
-				// Figure 6; membership is disjoint, with the AnT list
-				// taking precedence (gms.ads is AnT, not plain gms).
-				rec.IsCommonLib = !rec.IsAnT && corpus.HasPrefixInList(f.OriginLibrary, clList)
-			}
-			if len(f.FirstClientPayload) > 0 {
-				if info, err := nets.ParseHTTPRequest(f.FirstClientPayload); err == nil {
-					rec.UserAgent = info.UserAgent
-					rec.HTTPHost = info.Host
-				}
-			}
-			if len(f.FirstServerPayload) > 0 {
-				if info, err := nets.ParseHTTPResponse(f.FirstServerPayload); err == nil {
-					rec.ContentType = info.ContentType
-				}
-			}
-			ds.Records = append(ds.Records, rec)
+	for i, run := range runs {
+		if err := b.Observe(i, run); err != nil {
+			return nil, err
 		}
 	}
-	return ds, nil
+	return b.Finish(detector)
 }
+
+// ---------------------------------------------------------------------------
+// String/category resolution — the edge where symbol IDs become strings.
+
+// AppSHA resolves a record's app identifier.
+func (ds *Dataset) AppSHA(r *FlowRecord) string { return ds.syms.apps.String(r.App) }
+
+// AppPackage resolves a record's app package name.
+func (ds *Dataset) AppPackage(r *FlowRecord) string {
+	return ds.syms.strings.String(ds.appPkg[r.App])
+}
+
+// AppCategory resolves a record's Play Store app category.
+func (ds *Dataset) AppCategory(r *FlowRecord) corpus.AppCategory {
+	return ds.syms.appCategory(r.AppCat)
+}
+
+// Origin resolves a record's origin-library name.
+func (ds *Dataset) Origin(r *FlowRecord) string { return ds.syms.origins.String(r.Origin) }
+
+// TwoLevel resolves a record's 2-level library name.
+func (ds *Dataset) TwoLevel(r *FlowRecord) string { return ds.syms.twoLevels.String(r.TwoLevel) }
+
+// Domain resolves a record's DNS name ("" when the flow had none).
+func (ds *Dataset) Domain(r *FlowRecord) string { return ds.syms.domains.String(r.Domain) }
+
+// UserAgent resolves a record's HTTP User-Agent ("" when not parseable).
+func (ds *Dataset) UserAgent(r *FlowRecord) string { return ds.syms.strings.String(r.UserAgent) }
+
+// HTTPHost resolves a record's HTTP Host header ("" when not parseable).
+func (ds *Dataset) HTTPHost(r *FlowRecord) string { return ds.syms.strings.String(r.HTTPHost) }
+
+// ContentType resolves a record's response MIME type ("" when not
+// parseable).
+func (ds *Dataset) ContentType(r *FlowRecord) string { return ds.syms.strings.String(r.ContentType) }
+
+// LibCategory resolves a record's origin-library category. Builtin pseudo
+// origins have no LibRadar category.
+func (ds *Dataset) LibCategory(r *FlowRecord) corpus.LibraryCategory {
+	if r.Builtin() {
+		return corpus.LibUnknown
+	}
+	return ds.agg.originCats[r.Origin]
+}
+
+// DomainCategory resolves a record's domain category (DomUnknown for flows
+// without a DNS name).
+func (ds *Dataset) DomainCategory(r *FlowRecord) corpus.DomainCategory {
+	return ds.syms.domainCategoryOf(r.Domain)
+}
+
+// Aggregates exposes the frozen figure/table aggregates computed alongside
+// the records.
+func (ds *Dataset) Aggregates() *Aggregates { return ds.agg }
+
+// ---------------------------------------------------------------------------
+// Totals.
 
 // Totals summarizes the dataset (§IV-A opening paragraph).
 type Totals struct {
@@ -157,30 +286,47 @@ func (t Totals) DNSShareOfUDP() float64 {
 	return float64(t.DNSWireBytes) / float64(t.UDPWireBytes)
 }
 
-// ComputeTotals aggregates the headline dataset totals.
-func (ds *Dataset) ComputeTotals() Totals {
-	var t Totals
-	origins := make(map[string]struct{})
-	domains := make(map[string]struct{})
-	apps := make(map[string]struct{})
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		t.BytesSent += r.BytesSent
-		t.BytesReceived += r.BytesReceived
-		t.Flows++
-		origins[r.Origin] = struct{}{}
-		if r.Domain != "" {
-			domains[r.Domain] = struct{}{}
-		}
-		apps[r.AppSHA] = struct{}{}
-	}
-	t.DistinctOrigins = len(origins)
-	t.DistinctDomains = len(domains)
-	t.DistinctApps = len(apps)
-	for _, run := range ds.Runs {
-		t.UDPWireBytes += run.UDPWireBytes
-		t.DNSWireBytes += run.DNSWireBytes
-		t.TCPWireBytes += run.TCPWireBytes
-	}
-	return t
+// ---------------------------------------------------------------------------
+// Figure/table API — delegates to the shared aggregates, so the batch and
+// streaming paths literally run the same math.
+
+// ComputeTotals returns the §IV-A headline totals.
+func (ds *Dataset) ComputeTotals() Totals { return ds.agg.ComputeTotals() }
+
+// Fig2CategoryTransfer returns the Figure 2 matrix.
+func (ds *Dataset) Fig2CategoryTransfer() *CategoryMatrix { return ds.agg.Fig2CategoryTransfer() }
+
+// Fig3TopOrigins ranks origin-libraries by transfer volume.
+func (ds *Dataset) Fig3TopOrigins(n int) []RankedLibrary { return ds.agg.Fig3TopOrigins(n) }
+
+// Fig3TopTwoLevel ranks 2-level libraries by transfer volume.
+func (ds *Dataset) Fig3TopTwoLevel(n int) []RankedLibrary { return ds.agg.Fig3TopTwoLevel(n) }
+
+// TopShare computes the transfer share of the top-n ranking entries.
+func (ds *Dataset) TopShare(n int, twoLevel bool) float64 { return ds.agg.TopShare(n, twoLevel) }
+
+// Fig4CDF returns the six Figure 4 series.
+func (ds *Dataset) Fig4CDF() []CDFSeries { return ds.agg.Fig4CDF() }
+
+// Fig5FlowRatios returns the three Figure 5 curves.
+func (ds *Dataset) Fig5FlowRatios() []RatioSeries { return ds.agg.Fig5FlowRatios() }
+
+// Fig6AnTShares returns the Figure 6 prevalence statistics.
+func (ds *Dataset) Fig6AnTShares() *AnTStats { return ds.agg.Fig6AnTShares() }
+
+// Fig7Averages returns the Figure 7 per-category averages.
+func (ds *Dataset) Fig7Averages() *CategoryAverages { return ds.agg.Fig7Averages() }
+
+// Fig8AppCategoryAverages returns bytes per app for each category.
+func (ds *Dataset) Fig8AppCategoryAverages() map[corpus.AppCategory]float64 {
+	return ds.agg.Fig8AppCategoryAverages()
 }
+
+// Fig9Heatmap returns the library×domain category matrix.
+func (ds *Dataset) Fig9Heatmap() *Heatmap { return ds.agg.Fig9Heatmap() }
+
+// Fig10Coverage returns the per-app coverage statistics.
+func (ds *Dataset) Fig10Coverage() *CoverageStats { return ds.agg.Fig10Coverage() }
+
+// ComputeHalfTraffic returns the §IV-A concentration counts.
+func (ds *Dataset) ComputeHalfTraffic() HalfTrafficCounts { return ds.agg.ComputeHalfTraffic() }

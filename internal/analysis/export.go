@@ -55,43 +55,8 @@ type Summary struct {
 	HalfTraffic HalfTrafficCounts `json:"half_traffic"`
 }
 
-// Summarize computes the full summary over the dataset.
-func (ds *Dataset) Summarize(topN int) *Summary {
-	if topN <= 0 {
-		topN = 25
-	}
-	m := ds.Fig2CategoryTransfer()
-	ratios := ds.Fig5FlowRatios()
-	ant := ds.Fig6AnTShares()
-	avgs := ds.Fig7Averages()
-	cov := ds.Fig10Coverage()
-	return &Summary{
-		Totals:               ds.ComputeTotals(),
-		Fig2LegendShare:      m.LegendShare,
-		Fig2AppCategoryBytes: m.Bytes,
-		Fig3TopOrigins:       ds.Fig3TopOrigins(topN),
-		Fig3TopTwoLevel:      ds.Fig3TopTwoLevel(topN),
-		Fig5RatioMeans: map[string]float64{
-			"apps": ratios[0].Mean,
-			"libs": ratios[1].Mean,
-			"dns":  ratios[2].Mean,
-		},
-		Fig6AnTOnlyFrac:    ant.FracAnTOnly,
-		Fig6SomeAnTFrac:    ant.FracSomeAnT,
-		Fig6AnTFreeFrac:    ant.FracAnTFree,
-		Fig6AnTFlowRatio:   ant.AnTFlowRatioMean,
-		Fig6CLFlowRatio:    ant.CLFlowRatioMean,
-		Fig7PerLibrary:     avgs.PerLibrary,
-		Fig7PerDomain:      avgs.PerDomain,
-		Fig8PerAppCategory: ds.Fig8AppCategoryAverages(),
-		Fig9Heatmap:        ds.Fig9Heatmap().Bytes,
-		Fig10CoverageMean:  cov.Mean,
-		Fig10MeanMethods:   cov.MeanMethods,
-		Fig10AppsMeasured:  len(cov.Percents),
-		Fig10FracAboveMean: cov.FracAboveMean,
-		HalfTraffic:        ds.ComputeHalfTraffic(),
-	}
-}
+// Summarize computes the full summary over the dataset's aggregates.
+func (ds *Dataset) Summarize(topN int) *Summary { return ds.agg.Summarize(topN) }
 
 // WriteJSON serializes the summary as indented JSON.
 func (s *Summary) WriteJSON(w io.Writer) error {

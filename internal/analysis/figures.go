@@ -7,6 +7,11 @@ import (
 	"libspector/internal/sim"
 )
 
+// This file holds the figure/table result types and their pure rendering
+// helpers. The aggregation math that fills them lives in one place — the
+// columnar core (core.go) — reached through either the streaming
+// Accumulator or the batch Dataset.
+
 // ---------------------------------------------------------------------------
 // Figure 2: data transfer of origin-library categories per app category.
 
@@ -19,32 +24,6 @@ type CategoryMatrix struct {
 	LegendShare map[corpus.LibraryCategory]float64
 	// Total is the overall transferred volume.
 	Total int64
-}
-
-// Fig2CategoryTransfer computes the Figure 2 matrix.
-func (ds *Dataset) Fig2CategoryTransfer() *CategoryMatrix {
-	m := &CategoryMatrix{
-		Bytes:       make(map[corpus.AppCategory]map[corpus.LibraryCategory]int64),
-		LegendShare: make(map[corpus.LibraryCategory]float64),
-	}
-	perLib := make(map[corpus.LibraryCategory]int64)
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		row := m.Bytes[r.AppCategory]
-		if row == nil {
-			row = make(map[corpus.LibraryCategory]int64)
-			m.Bytes[r.AppCategory] = row
-		}
-		row[r.LibCategory] += r.TotalBytes()
-		perLib[r.LibCategory] += r.TotalBytes()
-		m.Total += r.TotalBytes()
-	}
-	if m.Total > 0 {
-		for cat, b := range perLib {
-			m.LegendShare[cat] = float64(b) / float64(m.Total)
-		}
-	}
-	return m
 }
 
 // AppCategoryOrder returns app categories sorted by descending aggregate
@@ -87,67 +66,6 @@ type RankedLibrary struct {
 	Builtin bool
 }
 
-// Fig3TopOrigins ranks origin-libraries by transfer volume.
-func (ds *Dataset) Fig3TopOrigins(n int) []RankedLibrary {
-	return ds.topBy(n, func(r *FlowRecord) (string, bool) { return r.Origin, r.Builtin })
-}
-
-// Fig3TopTwoLevel ranks 2-level libraries by transfer volume.
-func (ds *Dataset) Fig3TopTwoLevel(n int) []RankedLibrary {
-	return ds.topBy(n, func(r *FlowRecord) (string, bool) {
-		return r.TwoLevel, r.Builtin || r.TwoLevel == "com.android" || r.TwoLevel == "com.google"
-	})
-}
-
-func (ds *Dataset) topBy(n int, key func(*FlowRecord) (string, bool)) []RankedLibrary {
-	bytes := make(map[string]int64)
-	builtin := make(map[string]bool)
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		k, isBuiltin := key(r)
-		bytes[k] += r.TotalBytes()
-		if isBuiltin {
-			builtin[k] = true
-		}
-	}
-	out := make([]RankedLibrary, 0, len(bytes))
-	for name, b := range bytes {
-		out = append(out, RankedLibrary{Name: name, Bytes: b, Builtin: builtin[name]})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
-		}
-		return out[i].Name < out[j].Name
-	})
-	if n > 0 && len(out) > n {
-		out = out[:n]
-	}
-	return out
-}
-
-// TopShare computes the transfer share of the top-n entries of a grouping
-// (e.g. "top 25 2-level libraries account for 72.5% of bytes").
-func (ds *Dataset) TopShare(n int, twoLevel bool) float64 {
-	var ranked []RankedLibrary
-	if twoLevel {
-		ranked = ds.Fig3TopTwoLevel(0)
-	} else {
-		ranked = ds.Fig3TopOrigins(0)
-	}
-	var total, top int64
-	for i, r := range ranked {
-		total += r.Bytes
-		if i < n {
-			top += r.Bytes
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(top) / float64(total)
-}
-
 // ---------------------------------------------------------------------------
 // Figure 4: CDFs of sent/received flow sizes for apps, origin-libraries,
 // and DNS domains.
@@ -171,125 +89,19 @@ func (s CDFSeries) At(x float64) float64 {
 	return float64(i) / float64(len(s.Values))
 }
 
-// Fig4CDF computes the six Figure 4 series.
-func (ds *Dataset) Fig4CDF() []CDFSeries {
-	type pair struct{ sent, rcvd int64 }
-	perApp := make(map[string]*pair)
-	perLib := make(map[string]*pair)
-	perDom := make(map[string]*pair)
-	get := func(m map[string]*pair, k string) *pair {
-		p := m[k]
-		if p == nil {
-			p = &pair{}
-			m[k] = p
-		}
-		return p
-	}
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		a := get(perApp, r.AppSHA)
-		a.sent += r.BytesSent
-		a.rcvd += r.BytesReceived
-		l := get(perLib, r.Origin)
-		l.sent += r.BytesSent
-		l.rcvd += r.BytesReceived
-		if r.Domain != "" {
-			// From the domain's perspective "sent" is what the server
-			// transmitted (the app's received bytes).
-			d := get(perDom, r.Domain)
-			d.sent += r.BytesReceived
-			d.rcvd += r.BytesSent
-		}
-	}
-	series := make([]CDFSeries, 0, 6)
-	extract := func(label string, m map[string]*pair, sent bool) CDFSeries {
-		vals := make([]float64, 0, len(m))
-		for _, p := range m {
-			if sent {
-				vals = append(vals, float64(p.sent))
-			} else {
-				vals = append(vals, float64(p.rcvd))
-			}
-		}
-		sort.Float64s(vals)
-		return CDFSeries{Label: label, Values: vals}
-	}
-	series = append(series,
-		extract("App: Sent", perApp, true),
-		extract("App: Received", perApp, false),
-		extract("Lib: Sent", perLib, true),
-		extract("Lib: Received", perLib, false),
-		extract("DNS: Sent", perDom, true),
-		extract("DNS: Received", perDom, false),
-	)
-	return series
-}
-
 // ---------------------------------------------------------------------------
 // Figure 5: transfer-flow ratios.
 
 // RatioSeries is the per-entity received/sent ratio distribution of one
-// entity kind, sorted descending as in Figure 5, plus its mean.
+// entity kind, sorted descending as in Figure 5, plus its mean. For apps
+// and origin-libraries the ratio is received/sent (they receive more than
+// they send); for DNS domains it is transmitted/received from the server's
+// perspective — the same quantity, which the paper reports as "domains
+// send 104 times more data than received".
 type RatioSeries struct {
 	Label  string
 	Ratios []float64
 	Mean   float64
-}
-
-// Fig5FlowRatios computes the three Figure 5 curves. For apps and
-// origin-libraries the ratio is received/sent (they receive more than they
-// send); for DNS domains it is transmitted/received from the server's
-// perspective — the same quantity, which the paper reports as "domains
-// send 104 times more data than received".
-func (ds *Dataset) Fig5FlowRatios() []RatioSeries {
-	type pair struct{ sent, rcvd int64 }
-	perApp := make(map[string]*pair)
-	perLib := make(map[string]*pair)
-	perDom := make(map[string]*pair)
-	get := func(m map[string]*pair, k string) *pair {
-		p := m[k]
-		if p == nil {
-			p = &pair{}
-			m[k] = p
-		}
-		return p
-	}
-	for i := range ds.Records {
-		r := &ds.Records[i]
-		a := get(perApp, r.AppSHA)
-		a.sent += r.BytesSent
-		a.rcvd += r.BytesReceived
-		l := get(perLib, r.Origin)
-		l.sent += r.BytesSent
-		l.rcvd += r.BytesReceived
-		if r.Domain != "" {
-			d := get(perDom, r.Domain)
-			d.sent += r.BytesReceived
-			d.rcvd += r.BytesSent
-		}
-	}
-	build := func(label string, m map[string]*pair) RatioSeries {
-		ratios := make([]float64, 0, len(m))
-		for _, p := range m {
-			if p.sent == 0 && label != "DNS" || p.rcvd == 0 && label == "DNS" {
-				continue
-			}
-			var ratio float64
-			if label == "DNS" {
-				ratio = float64(p.sent) / float64(p.rcvd)
-			} else {
-				ratio = float64(p.rcvd) / float64(p.sent)
-			}
-			ratios = append(ratios, ratio)
-		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
-		return RatioSeries{Label: label, Ratios: ratios, Mean: sim.Mean(ratios)}
-	}
-	return []RatioSeries{
-		build("Apps", perApp),
-		build("Libs", perLib),
-		build("DNS", perDom),
-	}
 }
 
 // TopDecileRatioMean returns the mean ratio of the top 10% of a ratio
@@ -304,4 +116,127 @@ func TopDecileRatioMean(s RatioSeries) float64 {
 		n = 1
 	}
 	return sim.Mean(s.Ratios[:n])
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: AnT and common-library transfer-ratio prevalence.
+
+// AnTStats is the Figure 6 aggregation plus the §IV-A prevalence numbers.
+// Only app-attributed (non-builtin) flows participate, since the AnT/CL
+// lists describe app libraries.
+type AnTStats struct {
+	// AnTShares / CLShares are the per-app ratios of AnT (respectively
+	// common-library) bytes over total attributed app bytes, sorted
+	// descending.
+	AnTShares []float64
+	CLShares  []float64
+	// FracAnTOnly is the fraction of traffic-producing apps whose traffic
+	// is entirely AnT (paper: 35%).
+	FracAnTOnly float64
+	// FracSomeAnT is the fraction with any AnT traffic (paper: 89%).
+	FracSomeAnT float64
+	// FracAnTFree is the fraction with zero AnT traffic (paper: ~10%).
+	FracAnTFree float64
+	// AnTFlowRatioMean / CLFlowRatioMean are the received/sent ratios of
+	// AnT and common libraries (paper: 54.8 vs 24.4).
+	AnTFlowRatioMean float64
+	CLFlowRatioMean  float64
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: average transfer per origin-library category and per domain
+// category.
+
+// CategoryAverages holds per-category averages.
+type CategoryAverages struct {
+	// PerLibrary[cat] is bytes per distinct origin-library of the category.
+	PerLibrary map[corpus.LibraryCategory]float64
+	// PerDomain[cat] is bytes per distinct domain of the category.
+	PerDomain map[corpus.DomainCategory]float64
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: library-category × domain-category heatmap.
+
+// Heatmap is the Figure 9 matrix in bytes.
+type Heatmap struct {
+	// Bytes[libCategory][domainCategory].
+	Bytes map[corpus.LibraryCategory]map[corpus.DomainCategory]int64
+}
+
+// ShareToDomain returns the fraction of a library category's traffic bound
+// for a domain category ("advertisement libraries send ~29% of their
+// traffic to CDN servers").
+func (h *Heatmap) ShareToDomain(lib corpus.LibraryCategory, dom corpus.DomainCategory) float64 {
+	row := h.Bytes[lib]
+	var total int64
+	for _, b := range row {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[dom]) / float64(total)
+}
+
+// naturalDomain maps each library category to the domain category a naive
+// 1-to-1 model would predict its traffic lands on.
+var naturalDomain = map[corpus.LibraryCategory]corpus.DomainCategory{
+	corpus.LibAdvertisement:   corpus.DomAdvertisements,
+	corpus.LibMobileAnalytics: corpus.DomAnalytics,
+	corpus.LibGameEngine:      corpus.DomGames,
+	corpus.LibSocialNetwork:   corpus.DomSocialNetworks,
+	corpus.LibPayment:         corpus.DomBusinessFinance,
+	corpus.LibDigitalIdentity: corpus.DomInternetServices,
+}
+
+// DiagonalShare quantifies the paper's RQ2 finding: the fraction of
+// traffic from library categories with a "natural" destination category
+// that actually lands there. A value near 1 would mean a strict 1-to-1
+// correlation; the paper (and this reproduction) find far less.
+func (h *Heatmap) DiagonalShare() float64 {
+	var total, diagonal int64
+	for lib, dom := range naturalDomain {
+		for d, b := range h.Bytes[lib] {
+			total += b
+			if d == dom {
+				diagonal += b
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diagonal) / float64(total)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: method coverage.
+
+// CoverageStats summarizes the per-app coverage distribution (§IV-C).
+type CoverageStats struct {
+	// Percents is the per-app coverage percentage, app order.
+	Percents []float64
+	// Mean is the average coverage (paper: 9.5%).
+	Mean float64
+	// FracAboveMean is the fraction of apps above the mean (paper: 40.5%).
+	FracAboveMean float64
+	// MeanMethods is the average dex method count (paper: 49,138).
+	MeanMethods float64
+	// FracAboveMeanMethods is the fraction of apps with more methods than
+	// average (paper: 27.3%).
+	FracAboveMeanMethods float64
+}
+
+// ---------------------------------------------------------------------------
+// Half-traffic concentration (§IV-A: "top 5,057 apps, 2,299 origin-
+// libraries and 4,010 DNS domains are associated with half of the total
+// data transfer").
+
+// HalfTrafficCounts reports how many top entities of each kind account for
+// 50% of the transfer volume.
+type HalfTrafficCounts struct {
+	Apps    int
+	Origins int
+	Domains int
 }

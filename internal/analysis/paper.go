@@ -65,14 +65,10 @@ func log2(x float64) float64 {
 
 // CompareWithPaper evaluates the headline shape targets against the
 // paper's published values.
-func (ds *Dataset) CompareWithPaper() []TargetComparison {
-	return compareRows(ds.ComputeTotals(), ds.Fig2CategoryTransfer(), ds.Fig5FlowRatios(),
-		ds.Fig6AnTShares(), ds.Fig7Averages(), ds.Fig9Heatmap(), ds.Fig10Coverage(),
-		ds.TopShare(25, true))
-}
+func (ds *Dataset) CompareWithPaper() []TargetComparison { return ds.agg.CompareWithPaper() }
 
 // compareRows builds the comparison table from the already-computed
-// figures; shared by the batch Dataset and the streaming Aggregates.
+// figures.
 func compareRows(totals Totals, m *CategoryMatrix, ratios []RatioSeries, ant *AnTStats,
 	avgs *CategoryAverages, heat *Heatmap, cov *CoverageStats, top25TwoLevel float64) []TargetComparison {
 	cdnOverAds := 0.0

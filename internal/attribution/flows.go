@@ -45,6 +45,15 @@ type Flow struct {
 	FirstSeen time.Time
 	LastSeen  time.Time
 
+	// UserAgent and HTTPHost are what a purely network-focused analysis
+	// can read out of the flow's first request ("" when the payload is
+	// not parseable HTTP, e.g. TLS); ContentType is the response MIME
+	// type. AnalyzeRun extracts them once from the stored payload
+	// snippets.
+	UserAgent   string
+	HTTPHost    string
+	ContentType string
+
 	// Report is the matched Socket Supervisor report (nil if the join
 	// found none).
 	Report *xposed.Report

@@ -7,6 +7,7 @@ import (
 
 	"libspector/internal/corpus"
 	"libspector/internal/dex"
+	"libspector/internal/nets"
 	"libspector/internal/xposed"
 )
 
@@ -71,6 +72,21 @@ func (a *Attributor) AnalyzeRun(in RunInput) (*RunResult, error) {
 	join, err := a.Attribute(capture, in.Reports, in.AppSHA)
 	if err != nil {
 		return nil, fmt.Errorf("attribution: attributing %s: %w", in.AppPackage, err)
+	}
+	// Extract the HTTP context here, on the parallel per-run path, so the
+	// single-threaded analysis fold never touches payload bytes.
+	for _, f := range capture.Flows {
+		if len(f.FirstClientPayload) > 0 {
+			if info, err := nets.ParseHTTPRequest(f.FirstClientPayload); err == nil {
+				f.UserAgent = info.UserAgent
+				f.HTTPHost = info.Host
+			}
+		}
+		if len(f.FirstServerPayload) > 0 {
+			if info, err := nets.ParseHTTPResponse(f.FirstServerPayload); err == nil {
+				f.ContentType = info.ContentType
+			}
+		}
 	}
 	res := &RunResult{
 		AppSHA:              in.AppSHA,

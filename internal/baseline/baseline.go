@@ -148,7 +148,7 @@ func (c Comparison) CDNShare() float64 {
 func CompareUA(ds *analysis.Dataset) Comparison {
 	ua := NewUAClassifier()
 	return compare(ds, func(r *analysis.FlowRecord) bool {
-		return ua.IsAdTraffic(r.UserAgent)
+		return ua.IsAdTraffic(ds.UserAgent(r))
 	})
 }
 
@@ -156,7 +156,7 @@ func CompareUA(ds *analysis.Dataset) Comparison {
 func CompareHostname(ds *analysis.Dataset) Comparison {
 	host := NewHostnameClassifier()
 	return compare(ds, func(r *analysis.FlowRecord) bool {
-		return host.IsAdTraffic(r.Domain)
+		return host.IsAdTraffic(ds.Domain(r))
 	})
 }
 
@@ -165,12 +165,12 @@ func compare(ds *analysis.Dataset, baselineSaysAd func(*analysis.FlowRecord) boo
 	host := NewHostnameClassifier()
 	for i := range ds.Records {
 		r := &ds.Records[i]
-		if r.Builtin {
+		if r.Builtin() {
 			continue
 		}
 		vol := r.TotalBytes()
 		c.TotalBytes += vol
-		contextAd := r.IsAnT
+		contextAd := r.IsAnT()
 		baselineAd := baselineSaysAd(r)
 		if contextAd {
 			c.ContextAnTBytes += vol
@@ -188,7 +188,7 @@ func compare(ds *analysis.Dataset, baselineSaysAd func(*analysis.FlowRecord) boo
 		}
 		// Known-library traffic landing on CDN hosts is what a pure DNS
 		// categorization would file under "cdn".
-		if r.LibCategory != corpus.LibUnknown && host.IsCDN(r.Domain) {
+		if ds.LibCategory(r) != corpus.LibUnknown && host.IsCDN(ds.Domain(r)) {
 			c.KnownLibCDNBytes += vol
 		}
 	}
@@ -226,6 +226,6 @@ func (c *ContentTypeClassifier) IsAdTraffic(contentType string, responseBytes in
 func CompareContentType(ds *analysis.Dataset) Comparison {
 	ct := NewContentTypeClassifier()
 	return compare(ds, func(r *analysis.FlowRecord) bool {
-		return ct.IsAdTraffic(r.ContentType, r.BytesReceived)
+		return ct.IsAdTraffic(ds.ContentType(r), r.BytesReceived)
 	})
 }

@@ -4,8 +4,11 @@ import (
 	"testing"
 
 	"libspector/internal/analysis"
+	"libspector/internal/attribution"
 	"libspector/internal/corpus"
+	"libspector/internal/libradar"
 	"libspector/internal/nets"
+	"libspector/internal/xposed"
 )
 
 func TestUAClassifier(t *testing.T) {
@@ -69,31 +72,61 @@ func TestHostnameClassifier(t *testing.T) {
 	}
 }
 
-// buildDataset constructs records directly (the analysis package exposes
-// the struct for this purpose).
-func buildDataset(records []analysis.FlowRecord) *analysis.Dataset {
-	return &analysis.Dataset{Records: records}
+// unknownDomains categorizes every domain as unknown; the baselines
+// classify from the raw strings, not from categories.
+type unknownDomains struct{}
+
+func (unknownDomains) Categorize(string) corpus.DomainCategory { return corpus.DomUnknown }
+
+// mkFlow builds one attributed flow with the network-only context fields a
+// baseline classifier reads.
+func mkFlow(origin, domain, userAgent, contentType string, builtin bool, sent, rcvd int64) *attribution.Flow {
+	return &attribution.Flow{
+		Domain:          domain,
+		BytesSent:       sent,
+		BytesReceived:   rcvd,
+		UserAgent:       userAgent,
+		ContentType:     contentType,
+		Report:          &xposed.Report{},
+		OriginLibrary:   origin,
+		TwoLevelLibrary: origin,
+		BuiltinOrigin:   builtin,
+	}
+}
+
+// buildDataset runs the real analysis build over one synthetic run.
+func buildDataset(t *testing.T, flows ...*attribution.Flow) *analysis.Dataset {
+	t.Helper()
+	detector := libradar.NewDetector(map[string]corpus.LibraryCategory{
+		"com.vungle.publisher": corpus.LibAdvertisement,
+	})
+	run := &attribution.RunResult{
+		AppSHA:      "sha-a",
+		AppPackage:  "com.app.a",
+		AppCategory: "TOOLS",
+		Flows:       flows,
+	}
+	ds, err := analysis.BuildDataset([]*attribution.RunResult{run}, detector, unknownDomains{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
 }
 
 func TestComparisonMetrics(t *testing.T) {
-	records := []analysis.FlowRecord{
+	ds := buildDataset(t,
 		// Context AnT flow with an identifiable UA on an ad host: both
 		// baselines catch it.
-		{Origin: "com.vungle.publisher", IsAnT: true, LibCategory: corpus.LibAdvertisement,
-			Domain: "ads.example.com", UserAgent: "Vungle/6.2", BytesSent: 100, BytesReceived: 900},
+		mkFlow("com.vungle.publisher", "ads.example.com", "Vungle/6.2", "", false, 100, 900),
 		// Context AnT flow with a generic UA to a CDN host: both miss it,
 		// and a DNS-based analysis would file it under "cdn".
-		{Origin: "com.vungle.publisher", IsAnT: true, LibCategory: corpus.LibAdvertisement,
-			Domain: "cdn.example.net", UserAgent: nets.DefaultUserAgent, BytesSent: 100, BytesReceived: 1900},
+		mkFlow("com.vungle.publisher", "cdn.example.net", nets.DefaultUserAgent, "", false, 100, 1900),
 		// Non-AnT flow on an ad-looking hostname: hostname baseline is
 		// spuriously positive.
-		{Origin: "com.app.news", IsAnT: false, LibCategory: corpus.LibUnknown,
-			Domain: "promo.example.com", UserAgent: nets.DefaultUserAgent, BytesSent: 50, BytesReceived: 450},
+		mkFlow("com.app.news", "promo.example.com", nets.DefaultUserAgent, "", false, 50, 450),
 		// Builtin flow must be ignored entirely.
-		{Origin: "*-Advertisement", Builtin: true, Domain: "ads.example.com",
-			BytesSent: 10, BytesReceived: 90},
-	}
-	ds := buildDataset(records)
+		mkFlow("*-Advertisement", "ads.example.com", "", "", true, 10, 90),
+	)
 
 	ua := CompareUA(ds)
 	if ua.TotalBytes != 1000+2000+500 {
@@ -158,13 +191,11 @@ func TestContentTypeClassifier(t *testing.T) {
 }
 
 func TestCompareContentType(t *testing.T) {
-	records := []analysis.FlowRecord{
-		{Origin: "com.vungle.publisher", IsAnT: true, LibCategory: corpus.LibAdvertisement,
-			Domain: "cdn.example.net", ContentType: "image/webp", BytesSent: 100, BytesReceived: 200_000},
-		{Origin: "com.app.gallery", IsAnT: false, LibCategory: corpus.LibUnknown,
-			Domain: "img.example.com", ContentType: "image/jpeg", BytesSent: 100, BytesReceived: 200_000},
-	}
-	c := CompareContentType(buildDataset(records))
+	ds := buildDataset(t,
+		mkFlow("com.vungle.publisher", "cdn.example.net", "", "image/webp", false, 100, 200_000),
+		mkFlow("com.app.gallery", "img.example.com", "", "image/jpeg", false, 100, 200_000),
+	)
+	c := CompareContentType(ds)
 	// The creative on the CDN is caught even though UA/hostname would
 	// miss it; the first-party jpeg is correctly not flagged.
 	if c.AgreedBytes != 200_100 {

@@ -101,8 +101,10 @@ type RunEvent struct {
 }
 
 // Sink consumes stream events: live progress printers, artifact
-// persistence, incremental aggregation. Sinks are invoked sequentially from
-// the consuming goroutine, in event order.
+// persistence, incremental aggregation (analysis.Accumulator,
+// analysis.DatasetBuilder). Sinks are invoked sequentially from the
+// consuming goroutine, in event order — a Sink may therefore use
+// single-goroutine state such as a symtab.Table without locking.
 type Sink interface {
 	Consume(ev RunEvent) error
 }

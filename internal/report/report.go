@@ -1,6 +1,8 @@
 // Package report renders the analysis results as aligned text tables and
 // series — one renderer per table/figure of the paper, consumed by the
-// cmd/libspector and cmd/libreport binaries.
+// cmd/libspector and cmd/libreport binaries. Renderers consume only
+// resolved strings and category types from analysis figure values; the
+// interned symbol IDs of the analysis core never reach this layer.
 package report
 
 import (

@@ -1,0 +1,65 @@
+// Package symtab implements dense string interning for the analysis hot
+// path. Every entity the aggregation core touches per flow — app SHAs,
+// origin-libraries, 2-level libraries, domains — is interned once into a
+// Table and handled as a compact uint32 Sym afterwards, so per-flow work is
+// slice indexing instead of string hashing, and per-symbol facts (category,
+// list membership) are resolved exactly once at intern time via the
+// on-intern hook.
+package symtab
+
+// Sym is a dense symbol ID: an index into the owning Table. IDs are
+// assigned in intern order starting at 0 and are only meaningful relative
+// to their Table — they must never leak into rendered or exported output.
+type Sym uint32
+
+// None is the pre-interned empty string, present in every Table. It doubles
+// as the "absent" marker (e.g. a flow without a DNS name).
+const None Sym = 0
+
+// Table interns strings to dense Syms. It is not safe for concurrent use;
+// the analysis fold runs on a single consuming goroutine, which is exactly
+// this model.
+type Table struct {
+	ids  map[string]Sym
+	strs []string
+	// onIntern, when set, runs once per new symbol (including the
+	// pre-interned empty string), in symbol order. Fact columns appended
+	// by the hook therefore stay index-aligned with the table.
+	onIntern func(Sym, string)
+}
+
+// NewTable builds a table with "" pre-interned as None. The optional
+// onIntern hook resolves per-symbol facts exactly once.
+func NewTable(onIntern func(Sym, string)) *Table {
+	t := &Table{ids: make(map[string]Sym), onIntern: onIntern}
+	t.Intern("")
+	return t
+}
+
+// Intern returns the symbol for s, assigning the next dense ID on first
+// sight.
+func (t *Table) Intern(s string) Sym {
+	if sym, ok := t.ids[s]; ok {
+		return sym
+	}
+	sym := Sym(len(t.strs))
+	t.ids[s] = sym
+	t.strs = append(t.strs, s)
+	if t.onIntern != nil {
+		t.onIntern(sym, s)
+	}
+	return sym
+}
+
+// Lookup returns the symbol for s without interning it.
+func (t *Table) Lookup(s string) (Sym, bool) {
+	sym, ok := t.ids[s]
+	return sym, ok
+}
+
+// String resolves a symbol back to its string. Panics on a symbol that was
+// never interned here, like any out-of-range slice index.
+func (t *Table) String(sym Sym) string { return t.strs[sym] }
+
+// Len is the number of interned symbols, including the pre-interned "".
+func (t *Table) Len() int { return len(t.strs) }

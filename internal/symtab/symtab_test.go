@@ -1,0 +1,63 @@
+package symtab
+
+import "testing"
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	tab := NewTable(nil)
+	if tab.Len() != 1 {
+		t.Fatalf("fresh table length = %d, want 1 (pre-interned \"\")", tab.Len())
+	}
+	if got := tab.Intern(""); got != None {
+		t.Errorf("Intern(\"\") = %d, want None", got)
+	}
+	a := tab.Intern("com.vungle")
+	b := tab.Intern("com.unity3d")
+	if a != 1 || b != 2 {
+		t.Errorf("syms = %d, %d, want 1, 2", a, b)
+	}
+	if got := tab.Intern("com.vungle"); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if tab.Len() != 3 {
+		t.Errorf("length = %d, want 3", tab.Len())
+	}
+	if tab.String(a) != "com.vungle" || tab.String(None) != "" {
+		t.Error("String does not round-trip")
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	tab := NewTable(nil)
+	if _, ok := tab.Lookup("absent"); ok {
+		t.Error("Lookup found a never-interned string")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Lookup grew the table to %d", tab.Len())
+	}
+	sym := tab.Intern("present")
+	if got, ok := tab.Lookup("present"); !ok || got != sym {
+		t.Errorf("Lookup = %d, %v, want %d, true", got, ok, sym)
+	}
+}
+
+func TestOnInternRunsOncePerSymbolInOrder(t *testing.T) {
+	var seen []string
+	tab := NewTable(func(sym Sym, s string) {
+		if int(sym) != len(seen) {
+			t.Errorf("hook sym = %d at position %d", sym, len(seen))
+		}
+		seen = append(seen, s)
+	})
+	tab.Intern("x")
+	tab.Intern("y")
+	tab.Intern("x")
+	want := []string{"", "x", "y"}
+	if len(seen) != len(want) {
+		t.Fatalf("hook ran %d times, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("hook[%d] = %q, want %q", i, seen[i], want[i])
+		}
+	}
+}

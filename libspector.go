@@ -172,12 +172,14 @@ func (e *Experiment) Run() error {
 }
 
 // RunContext executes the fleet as a streaming pipeline under the given
-// context, folding results through an analysis.Accumulator as they
+// context, folding results through an analysis.DatasetBuilder as they
 // complete and forwarding every stream event to the optional sinks (live
-// progress, custom persistence). Cancelling ctx stops the fleet within one
-// in-flight app per worker; whatever completed before the cancellation is
-// still aggregated, so Result, Dataset, and Aggregates hold the partial
-// view alongside the returned error.
+// progress, custom persistence). One pass builds both the record set and
+// the figure aggregates — there is no second sweep over retained runs.
+// Cancelling ctx stops the fleet within one in-flight app per worker;
+// whatever completed before the cancellation is still aggregated, so
+// Result, Dataset, and Aggregates hold the partial view alongside the
+// returned error.
 func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) error {
 	cfg := dispatch.Config{
 		Workers:         e.cfg.Workers,
@@ -197,7 +199,7 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		cfg.EmitEvidence = true
 		sinks = append(sinks, artifacts)
 	}
-	acc, err := analysis.NewAccumulator(e.domains)
+	builder, err := analysis.NewDatasetBuilder(e.domains)
 	if err != nil {
 		return fmt.Errorf("libspector: %w", err)
 	}
@@ -205,22 +207,18 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 	if err != nil {
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
-	res, runErr := dispatch.Gather(events, append(sinks, acc)...)
+	res, runErr := dispatch.Gather(events, append(sinks, builder)...)
 	e.result = res
 
 	// Even after a cancellation or failure, resolve what did complete so
 	// callers can report partial aggregates.
 	e.detector.Finalize(2)
-	aggregates, err := acc.Finish(e.detector)
-	if err != nil {
-		return fmt.Errorf("libspector: finishing aggregates: %w", err)
-	}
-	e.aggregates = aggregates
-	ds, err := analysis.BuildDataset(res.Runs, e.detector, e.domains)
+	ds, err := builder.Finish(e.detector)
 	if err != nil {
 		return fmt.Errorf("libspector: building dataset: %w", err)
 	}
 	e.dataset = ds
+	e.aggregates = ds.Aggregates()
 	if runErr != nil {
 		return fmt.Errorf("libspector: fleet run: %w", runErr)
 	}
