@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # The dispatch worker pool and the network stack are the two places where
-# goroutines share state; keep them race-clean.
+# goroutines share state; the fault injector is consulted concurrently by
+# every worker. Keep all three race-clean.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/nets/...
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/...
 
 # Runs the analysis benchmarks and writes BENCH_pr2.json comparing against
 # the checked-in pre-refactor baseline (bench/baseline_pr2.txt).

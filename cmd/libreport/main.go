@@ -130,9 +130,12 @@ func reanalyze(exp *libspector.Experiment, dir string) (*analysis.Dataset, error
 	if err != nil {
 		return nil, err
 	}
-	shas, err := store.List()
+	shas, incomplete, err := store.List()
 	if err != nil {
 		return nil, err
+	}
+	if len(incomplete) > 0 {
+		fmt.Fprintf(os.Stderr, "libreport: skipping %d incomplete artifact entries: %v\n", len(incomplete), incomplete)
 	}
 	for _, sha := range shas {
 		stored, err := store.Load(sha)

@@ -21,6 +21,7 @@ import (
 	"libspector/internal/analysis"
 	"libspector/internal/baseline"
 	"libspector/internal/corpus"
+	"libspector/internal/faults"
 	"libspector/internal/report"
 )
 
@@ -39,20 +40,31 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("libspector", flag.ContinueOnError)
 	var (
-		apps        = fs.Int("apps", 300, "number of apps in the corpus")
-		seed        = fs.Uint64("seed", 42, "experiment seed")
-		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		events      = fs.Int("events", 1000, "monkey events per app")
-		throttleMS  = fs.Int("throttle", 500, "monkey throttle between events (ms, virtual)")
-		collector   = fs.Bool("collector", false, "route supervisor reports through a real UDP collector")
-		store       = fs.Bool("store", false, "round-trip apks through the database server")
-		domainScale = fs.Float64("domain-scale", 0.05, "fraction of the paper's 14,140-domain universe")
-		methodScale = fs.Float64("method-scale", 0.03, "fraction of the paper's 49,138 mean methods per apk")
-		volumeScale = fs.Float64("volume-scale", 1.0, "traffic volume scale (1.0 = paper's ~1.23 MB/app)")
-		topN        = fs.Int("top", 15, "entries in the Figure 3 rankings")
-		artifactDir = fs.String("artifacts", "", "persist per-run raw evidence (apk/pcap/reports/trace) into this directory")
+		apps            = fs.Int("apps", 300, "number of apps in the corpus")
+		seed            = fs.Uint64("seed", 42, "experiment seed")
+		workers         = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		events          = fs.Int("events", 1000, "monkey events per app")
+		throttleMS      = fs.Int("throttle", 500, "monkey throttle between events (ms, virtual)")
+		collector       = fs.Bool("collector", false, "route supervisor reports through a real UDP collector")
+		store           = fs.Bool("store", false, "round-trip apks through the database server")
+		domainScale     = fs.Float64("domain-scale", 0.05, "fraction of the paper's 14,140-domain universe")
+		methodScale     = fs.Float64("method-scale", 0.03, "fraction of the paper's 49,138 mean methods per apk")
+		volumeScale     = fs.Float64("volume-scale", 1.0, "traffic volume scale (1.0 = paper's ~1.23 MB/app)")
+		topN            = fs.Int("top", 15, "entries in the Figure 3 rankings")
+		artifactDir     = fs.String("artifacts", "", "persist per-run raw evidence (apk/pcap/reports/trace) into this directory")
+		continueOnError = fs.Bool("continue-on-error", false, "keep the fleet running past individual app failures")
+		runTimeout      = fs.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
+		maxAttempts     = fs.Int("max-attempts", 1, "run attempts per app before giving up (retries with backoff)")
+		retryBackoff    = fs.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry (charged to a virtual clock)")
+		faultRate       = fs.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on their first attempt [0,1]")
+		faultPoison     = fs.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
+		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	classes, err := faults.ParseClasses(*faultClasses)
+	if err != nil {
 		return err
 	}
 
@@ -68,6 +80,13 @@ func run(ctx context.Context, args []string) error {
 	cfg.MethodScale = *methodScale
 	cfg.VolumeScale = *volumeScale
 	cfg.ArtifactDir = *artifactDir
+	cfg.ContinueOnError = *continueOnError
+	cfg.RunTimeout = *runTimeout
+	cfg.MaxAttempts = *maxAttempts
+	cfg.RetryBackoff = *retryBackoff
+	cfg.FaultRate = *faultRate
+	cfg.FaultPoisonRate = *faultPoison
+	cfg.FaultClasses = classes
 
 	fmt.Printf("Generating world (seed=%d, %d apps) and running the fleet...\n", cfg.Seed, cfg.Apps)
 	exp, err := libspector.NewExperiment(cfg)
@@ -88,8 +107,22 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("Fleet done in %s: %d runs, %d ARM-only apps skipped.\n",
 			time.Since(start).Round(time.Millisecond), len(res.Runs), res.SkippedARMOnly)
 		if cfg.UseCollector {
-			fmt.Printf("Collector received %d reports (%d malformed).\n",
-				res.CollectorReports, res.CollectorMalformed)
+			fmt.Printf("Collector received %d reports (%d malformed, %d dropped).\n",
+				res.CollectorReports, res.CollectorMalformed, res.CollectorDropped)
+		}
+	}
+	if res := exp.Result(); res != nil {
+		acct := res.Accounting
+		if len(res.Failures) > 0 || len(res.Quarantined) > 0 || acct.NotRun > 0 {
+			fmt.Printf("Degraded fleet: %d failed, %d quarantined, %d never run — coverage %.1f%% of the analyzable corpus.\n",
+				acct.Failed, acct.Quarantined, acct.NotRun, 100*acct.Coverage())
+			for _, q := range res.Quarantined {
+				fmt.Printf("  quarantined app %d after %d attempts: %v\n", q.AppIndex, q.Attempts, q.LastErr)
+			}
+			if acct.Retried > 0 {
+				fmt.Printf("  %d apps recovered by retries (%d attempts total, %s backoff charged).\n",
+					acct.Retried, acct.Attempts, acct.Backoff)
+			}
 		}
 	}
 	fmt.Println()

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"libspector"
 	"libspector/internal/corpus"
@@ -35,7 +36,7 @@ func main() {
 
 // progress is a dispatch.Sink printing a live line per stream event.
 type progress struct {
-	done, skipped, failed int
+	done, skipped, failed, quarantined int
 }
 
 func (p *progress) Consume(ev dispatch.RunEvent) error {
@@ -50,6 +51,10 @@ func (p *progress) Consume(ev dispatch.RunEvent) error {
 	case dispatch.EventFailure:
 		p.failed++
 		fmt.Printf("  [   fail ] app %d: %v\n", ev.AppIndex, ev.Err)
+	case dispatch.EventQuarantine:
+		p.quarantined++
+		fmt.Printf("  [quarant.] app %d after %d attempts: %v\n",
+			ev.AppIndex, ev.Quarantine.Attempts, ev.Err)
 	}
 	return nil
 }
@@ -58,6 +63,11 @@ func run(ctx context.Context) error {
 	apps := flag.Int("apps", 40, "corpus size")
 	workers := flag.Int("workers", 4, "parallel workers")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	faultRate := flag.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on the first attempt [0,1]")
+	faultPoison := flag.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
+	maxAttempts := flag.Int("max-attempts", 1, "run attempts per app before quarantine")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry")
 	flag.Parse()
 
 	cfg := libspector.DefaultConfig()
@@ -66,6 +76,24 @@ func run(ctx context.Context) error {
 	cfg.Seed = *seed
 	cfg.UseCollector = true // real UDP collection server
 	cfg.UseStore = true     // database-server round trip per apk
+	cfg.FaultRate = *faultRate
+	cfg.FaultPoisonRate = *faultPoison
+	cfg.MaxAttempts = *maxAttempts
+	cfg.RunTimeout = *runTimeout
+	cfg.RetryBackoff = *retryBackoff
+	if *faultRate > 0 {
+		// A faulted fleet must keep going and retry; otherwise the first
+		// injected fault would abort the whole scan.
+		cfg.ContinueOnError = true
+		if cfg.MaxAttempts < 2 {
+			cfg.MaxAttempts = 2
+		}
+		if cfg.RunTimeout == 0 {
+			// Generous next to a normal sub-second run, but short enough
+			// that a stalled demo app doesn't dominate the fleet's wall time.
+			cfg.RunTimeout = 10 * time.Second
+		}
+	}
 
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
@@ -83,7 +111,14 @@ func run(ctx context.Context) error {
 	fmt.Printf("Fleet finished in %s.\n", res.Elapsed.Round(1e6))
 	fmt.Printf("  runs completed:      %d\n", len(res.Runs))
 	fmt.Printf("  ARM-only skipped:    %d (§III-A ABI filter)\n", res.SkippedARMOnly)
-	fmt.Printf("  collector datagrams: %d (%d malformed)\n", res.CollectorReports, res.CollectorMalformed)
+	fmt.Printf("  collector datagrams: %d (%d malformed, %d dropped)\n",
+		res.CollectorReports, res.CollectorMalformed, res.CollectorDropped)
+	acct := res.Accounting
+	if acct.Quarantined > 0 || acct.Failed > 0 || acct.NotRun > 0 || acct.Retried > 0 {
+		fmt.Printf("  degradation: %d failed, %d quarantined, %d never run; %d recovered by retry (%d attempts, %s backoff)\n",
+			acct.Failed, acct.Quarantined, acct.NotRun, acct.Retried, acct.Attempts, acct.Backoff)
+		fmt.Printf("  coverage:    %.1f%% of the analyzable corpus\n", 100*acct.Coverage())
+	}
 
 	// Aggregates come from the streaming accumulator — no per-flow records
 	// were retained to produce them.

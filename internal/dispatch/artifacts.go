@@ -6,9 +6,11 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"libspector/internal/apk"
@@ -60,15 +62,24 @@ func NewArtifactStore(dir string) (*ArtifactStore, error) {
 // Dir returns the store root.
 func (s *ArtifactStore) Dir() string { return s.dir }
 
-// Save persists one run's raw evidence.
+// Save persists one run's raw evidence atomically: everything is written
+// into a hidden temp directory first, then renamed into place, so a crash
+// (or an injected fault) mid-save can never leave a partial run directory
+// that passes for a complete one.
 func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports [][]byte, trace map[string]struct{}) error {
 	if meta.SHA256 == "" {
 		return fmt.Errorf("dispatch: artifact save without sha")
 	}
-	runDir := filepath.Join(s.dir, meta.SHA256)
-	if err := os.MkdirAll(runDir, 0o755); err != nil {
-		return fmt.Errorf("dispatch: creating run dir: %w", err)
+	runDir, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return fmt.Errorf("dispatch: creating run temp dir: %w", err)
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			_ = os.RemoveAll(runDir)
+		}
+	}()
 	metaJSON, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dispatch: marshaling meta: %w", err)
@@ -107,6 +118,24 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 	if err := os.WriteFile(filepath.Join(runDir, "trace.txt"), traceBuf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("dispatch: writing trace: %w", err)
 	}
+
+	// MkdirTemp creates the directory 0o700; open it up to match the old
+	// in-place layout before publishing.
+	if err := os.Chmod(runDir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: chmod run dir: %w", err)
+	}
+	target := filepath.Join(s.dir, meta.SHA256)
+	if err := os.Rename(runDir, target); err != nil {
+		// Re-saving the same sha: rename onto a non-empty directory fails
+		// on POSIX, so clear the stale run and publish again.
+		if rmErr := os.RemoveAll(target); rmErr != nil {
+			return fmt.Errorf("dispatch: replacing run dir: %w", rmErr)
+		}
+		if err := os.Rename(runDir, target); err != nil {
+			return fmt.Errorf("dispatch: publishing run dir: %w", err)
+		}
+	}
+	committed = true
 	return nil
 }
 
@@ -121,20 +150,50 @@ func (s *ArtifactStore) Consume(ev RunEvent) error {
 	return s.Save(e.Meta, e.APK, e.Capture, e.RawReports, e.Trace)
 }
 
-// List returns the stored run checksums, sorted.
-func (s *ArtifactStore) List() ([]string, error) {
+// tmpPrefix marks in-flight Save directories; anything still carrying it is
+// an abandoned partial save.
+const tmpPrefix = ".tmp-run-"
+
+// runFiles is the complete set a run directory must hold.
+var runFiles = [...]string{"meta.json", "app.apk", "capture.pcap", "reports.bin", "trace.txt"}
+
+// List returns the stored run checksums, sorted, split into complete runs
+// and incomplete entries (abandoned temp dirs, or run dirs missing any
+// artifact file). Incomplete entries are reported rather than silently
+// skipped so a torn store is visible to its operator.
+func (s *ArtifactStore) List() (complete, incomplete []string, err error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("dispatch: listing artifacts: %w", err)
+		return nil, nil, fmt.Errorf("dispatch: listing artifacts: %w", err)
 	}
-	out := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() && len(e.Name()) == 64 {
-			out = append(out, e.Name())
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			incomplete = append(incomplete, name)
+			continue
+		}
+		if len(name) != 64 {
+			continue
+		}
+		whole := true
+		for _, f := range runFiles {
+			if _, statErr := os.Stat(filepath.Join(s.dir, name, f)); statErr != nil {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			complete = append(complete, name)
+		} else {
+			incomplete = append(incomplete, name)
 		}
 	}
-	sort.Strings(out)
-	return out, nil
+	sort.Strings(complete)
+	sort.Strings(incomplete)
+	return complete, incomplete, nil
 }
 
 // StoredRun is one run loaded back from disk.
@@ -190,7 +249,9 @@ func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 			return nil, fmt.Errorf("dispatch: report length %d exceeds remaining %d bytes", n, r.Len())
 		}
 		raw := make([]byte, n)
-		if _, err := r.Read(raw); err != nil {
+		// io.ReadFull, not Read: a bare Read may return fewer bytes than
+		// requested without error, silently leaving the report truncated.
+		if _, err := io.ReadFull(r, raw); err != nil {
 			return nil, fmt.Errorf("dispatch: reading report body: %w", err)
 		}
 		rep, err := xposed.DecodeReport(raw)
@@ -225,7 +286,7 @@ func (s *ArtifactStore) Reanalyze(attributor *attribution.Attributor) ([]*attrib
 	if attributor == nil {
 		return nil, fmt.Errorf("dispatch: nil attributor")
 	}
-	shas, err := s.List()
+	shas, _, err := s.List()
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,12 @@
 package dispatch_test
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"libspector/internal/dispatch"
 )
@@ -23,9 +28,12 @@ func TestArtifactStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	shas, err := store.List()
+	shas, incomplete, err := store.List()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(incomplete) != 0 {
+		t.Fatalf("clean store reports incomplete entries: %v", incomplete)
 	}
 	if len(shas) != len(res.Runs) {
 		t.Fatalf("stored %d runs, executed %d", len(shas), len(res.Runs))
@@ -91,8 +99,168 @@ func TestArtifactStoreValidation(t *testing.T) {
 	if _, err := store.Reanalyze(nil); err == nil {
 		t.Error("nil attributor should fail")
 	}
-	shas, err := store.List()
-	if err != nil || len(shas) != 0 {
-		t.Errorf("empty store List = %v, %v", shas, err)
+	shas, incomplete, err := store.List()
+	if err != nil || len(shas) != 0 || len(incomplete) != 0 {
+		t.Errorf("empty store List = %v, %v, %v", shas, incomplete, err)
+	}
+}
+
+// fakeRunFiles builds minimal Save inputs for store-shape tests that never
+// Load the content back.
+func fakeRunFiles(sha string) (dispatch.RunMeta, []byte, []byte, [][]byte, map[string]struct{}) {
+	meta := dispatch.RunMeta{
+		Package:    "com.fake.app",
+		SHA256:     sha,
+		Events:     10,
+		RecordedAt: time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC),
+	}
+	return meta, []byte("apk"), []byte("pcap"), [][]byte{[]byte("r1"), []byte("r2")}, map[string]struct{}{"sig": {}}
+}
+
+// TestArtifactStoreSaveIsAtomic: a Save never leaves temp residue, and
+// re-saving the same checksum replaces the previous run in place.
+func TestArtifactStoreSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	store, err := dispatch.NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha := strings.Repeat("a", 64)
+	meta, apkB, capture, reports, trace := fakeRunFiles(sha)
+	if err := store.Save(meta, apkB, capture, reports, trace); err != nil {
+		t.Fatal(err)
+	}
+	// Re-save with different capture bytes: must replace, not fail on the
+	// existing directory.
+	if err := store.Save(meta, apkB, []byte("pcap-v2"), reports, trace); err != nil {
+		t.Fatalf("re-save over an existing run failed: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, sha, "capture.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("pcap-v2")) {
+		t.Errorf("re-save did not replace capture: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp residue left behind: %s", e.Name())
+		}
+	}
+	complete, incomplete, err := store.List()
+	if err != nil || len(complete) != 1 || len(incomplete) != 0 {
+		t.Errorf("List = %v, %v, %v", complete, incomplete, err)
+	}
+}
+
+// TestArtifactStoreListReportsIncomplete: partial run directories and
+// abandoned temp dirs are surfaced as incomplete, not silently mixed into
+// the complete set, and Reanalyze skips them.
+func TestArtifactStoreListReportsIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	store, err := dispatch.NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := strings.Repeat("b", 64)
+	meta, apkB, capture, reports, trace := fakeRunFiles(good)
+	if err := store.Save(meta, apkB, capture, reports, trace); err != nil {
+		t.Fatal(err)
+	}
+	// A torn run directory: right name shape, missing most files — what a
+	// pre-atomic Save could leave after a crash.
+	torn := strings.Repeat("c", 64)
+	if err := os.MkdirAll(filepath.Join(dir, torn), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, torn, "meta.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An abandoned temp dir from an interrupted Save.
+	if err := os.MkdirAll(filepath.Join(dir, ".tmp-run-dead"), 0o700); err != nil {
+		t.Fatal(err)
+	}
+
+	complete, incomplete, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(complete) != 1 || complete[0] != good {
+		t.Errorf("complete = %v, want [%s]", complete, good)
+	}
+	if len(incomplete) != 2 {
+		t.Errorf("incomplete = %v, want the torn dir and the temp dir", incomplete)
+	}
+	world := smallWorld(t, 107, 1)
+	runs, err := store.Reanalyze(newAttributor(t, 107, world))
+	// The single complete entry holds fake bytes, so Reanalyze fails on it —
+	// but it must fail on the COMPLETE entry, not the incomplete ones.
+	if err == nil {
+		t.Fatalf("Reanalyze of fake content succeeded: %v", runs)
+	}
+	if !strings.Contains(err.Error(), good) {
+		t.Errorf("Reanalyze error should cite the complete entry: %v", err)
+	}
+}
+
+// TestArtifactStoreSameSeedByteIdentical: the end-to-end determinism
+// guarantee — two fleets from the same seed persist byte-identical
+// artifact trees, meta.json included.
+func TestArtifactStoreSameSeedByteIdentical(t *testing.T) {
+	persist := func(dir string) {
+		world := smallWorld(t, 109, 5)
+		store, err := dispatch.NewArtifactStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dispatch.RunAll(world, world.Resolver, dispatch.Config{
+			Workers:      2,
+			Emulator:     shortOpts(109),
+			BaseSeed:     109,
+			Attributor:   newAttributor(t, 109, world),
+			EmitEvidence: true,
+		}, store); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	persist(dirA)
+	persist(dirB)
+
+	var files []string
+	if err := filepath.Walk(dirA, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			rel, err := filepath.Rel(dirA, path)
+			if err != nil {
+				return err
+			}
+			files = append(files, rel)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("first run persisted nothing")
+	}
+	for _, rel := range files {
+		a, err := os.ReadFile(filepath.Join(dirA, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, rel))
+		if err != nil {
+			t.Fatalf("run B missing %s: %v", rel, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between same-seed runs", rel)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"net"
@@ -18,8 +19,10 @@ type Collector struct {
 
 	mu        sync.Mutex
 	bySHA     map[string][]*xposed.Report
+	seen      map[string]map[[sha256.Size]byte]struct{}
 	total     int
 	malformed int
+	dropped   int
 }
 
 // NewCollector starts a collector on an ephemeral loopback port.
@@ -29,7 +32,11 @@ func NewCollector() (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: starting collector: %w", err)
 	}
-	c := &Collector{conn: conn, bySHA: make(map[string][]*xposed.Report)}
+	c := &Collector{
+		conn:  conn,
+		bySHA: make(map[string][]*xposed.Report),
+		seen:  make(map[string]map[[sha256.Size]byte]struct{}),
+	}
 	c.wg.Add(1)
 	go c.receiveLoop()
 	return c, nil
@@ -45,6 +52,11 @@ func (c *Collector) receiveLoop() {
 			if errors.Is(err, net.ErrClosed) {
 				return
 			}
+			// Any other read error loses a datagram; count it so the loss
+			// shows up in Totals instead of vanishing silently.
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
 			continue
 		}
 		payload := make([]byte, n)
@@ -54,7 +66,23 @@ func (c *Collector) receiveLoop() {
 		if err != nil {
 			c.malformed++
 		} else {
-			c.bySHA[report.APKSHA256] = append(c.bySHA[report.APKSHA256], report)
+			// Group each distinct payload once per apk. The supervisor never
+			// sends two identical datagrams within a run (each report carries
+			// its connection's unique socket pair), so a duplicate can only
+			// be residue from a failed attempt whose deterministic retry
+			// resends byte-identical reports — grouping either copy, exactly
+			// once, converges the group to the clean run's report set
+			// regardless of arrival order. The wire total stays cumulative.
+			key := sha256.Sum256(payload)
+			group, ok := c.seen[report.APKSHA256]
+			if !ok {
+				group = make(map[[sha256.Size]byte]struct{})
+				c.seen[report.APKSHA256] = group
+			}
+			if _, dup := group[key]; !dup {
+				group[key] = struct{}{}
+				c.bySHA[report.APKSHA256] = append(c.bySHA[report.APKSHA256], report)
+			}
 			c.total++
 		}
 		c.mu.Unlock()
@@ -70,6 +98,16 @@ func (c *Collector) Addr() *net.UDPAddr {
 	return addr
 }
 
+// Forget discards the reports grouped under an apk checksum. Retry
+// attempts call it so a failed attempt's datagrams don't pollute the
+// retried run's attribution input; the wire totals stay cumulative.
+func (c *Collector) Forget(sha string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.bySHA, sha)
+	delete(c.seen, sha)
+}
+
 // ReportsFor returns the reports received for an apk checksum.
 func (c *Collector) ReportsFor(sha string) []*xposed.Report {
 	c.mu.Lock()
@@ -80,11 +118,12 @@ func (c *Collector) ReportsFor(sha string) []*xposed.Report {
 	return out
 }
 
-// Totals reports (received, malformed) datagram counts.
-func (c *Collector) Totals() (int, int) {
+// Totals reports (received, malformed, dropped) datagram counts: decoded
+// reports, undecodable payloads, and read errors that lost a datagram.
+func (c *Collector) Totals() (received, malformed, dropped int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.total, c.malformed
+	return c.total, c.malformed, c.dropped
 }
 
 // Close stops the receive loop and releases the socket.

@@ -156,14 +156,27 @@ func TestCollectorReceivesAndGroupsReports(t *testing.T) {
 		ConnectedAt: time.Now().UTC(),
 		StackTrace:  []string{"java.net.Socket.connect", "com.app.X.load"},
 	}
-	payload, err := report.Encode()
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Five distinct reports (each connection has its own source port), as a
+	// real run produces.
+	var first []byte
 	for i := 0; i < 5; i++ {
+		r := *report
+		r.Tuple.SrcPort = report.Tuple.SrcPort + uint16(i)
+		payload, err := r.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = payload
+		}
 		if err := client.Send(payload); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// A byte-identical duplicate (retry residue) is counted on the wire but
+	// not grouped twice.
+	if err := client.Send(first); err != nil {
+		t.Fatal(err)
 	}
 	// Malformed datagram must be counted, not crash the loop.
 	if err := client.Send([]byte("garbage")); err != nil {
@@ -172,24 +185,40 @@ func TestCollectorReceivesAndGroupsReports(t *testing.T) {
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		total, malformed := c.Totals()
-		if total == 5 && malformed == 1 {
+		total, malformed, dropped := c.Totals()
+		if total == 6 && malformed == 1 && dropped == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("collector totals = %d/%d, want 5/1", total, malformed)
+			t.Fatalf("collector totals = %d/%d/%d, want 6/1/0", total, malformed, dropped)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	got := c.ReportsFor(report.APKSHA256)
 	if len(got) != 5 {
-		t.Fatalf("ReportsFor = %d reports", len(got))
+		t.Fatalf("ReportsFor = %d reports, want 5 (duplicate payload must not group twice)", len(got))
 	}
 	if got[0].Tuple != report.Tuple {
 		t.Error("collected report tuple differs")
 	}
 	if len(c.ReportsFor("unknownsha")) != 0 {
 		t.Error("unknown sha should have no reports")
+	}
+	// Forget clears both the group and the dedupe memory: a resent payload
+	// regroups from scratch.
+	c.Forget(report.APKSHA256)
+	if len(c.ReportsFor(report.APKSHA256)) != 0 {
+		t.Error("Forget left grouped reports behind")
+	}
+	if err := client.Send(first); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(c.ReportsFor(report.APKSHA256)) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("resend after Forget grouped %d reports, want 1", len(c.ReportsFor(report.APKSHA256)))
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"libspector/internal/attribution"
 	"libspector/internal/dex"
 	"libspector/internal/emulator"
+	"libspector/internal/faults"
 	"libspector/internal/libradar"
 	"libspector/internal/nets"
 	"libspector/internal/synth"
@@ -54,12 +55,86 @@ type Config struct {
 	// Result.Failures instead; when unset the stream fails fast, cancelling
 	// remaining jobs on the first error.
 	ContinueOnError bool
+	// RunTimeout bounds each run attempt's wall-clock duration; an attempt
+	// that exceeds it (e.g. a hung emulator) is cancelled and counts as a
+	// failed attempt. Zero means no per-run deadline.
+	RunTimeout time.Duration
+	// MaxAttempts is the per-app attempt budget. Values <= 1 keep the
+	// original single-attempt behaviour; larger values retry failed runs
+	// with exponential backoff, and — in ContinueOnError mode — quarantine
+	// apps that exhaust the budget instead of listing them as failures.
+	MaxAttempts int
+	// RetryBackoff is the base delay between attempts, doubled on each
+	// retry (attempt n waits RetryBackoff << (n-1)). Zero retries
+	// immediately.
+	RetryBackoff time.Duration
+	// Clock, when set, absorbs retry backoff by advancing this virtual
+	// clock instead of sleeping, so deterministic experiments (and tests)
+	// never wait on wall time. The clock is owned by the fleet — do not
+	// share it with an emulator run. Nil backs off in real time.
+	Clock *nets.Clock
+	// Faults injects deterministic run faults (internal/faults); nil
+	// disables injection.
+	Faults *faults.Injector
 }
 
 // RunFailure records one failed app run in ContinueOnError mode.
 type RunFailure struct {
 	AppIndex int
 	Err      error
+	// Attempts is how many run attempts the app consumed before failing.
+	Attempts int
+}
+
+// QuarantinedApp records one app that exhausted its retry budget in
+// ContinueOnError mode: the fleet gave up on it without aborting, and the
+// record says exactly how.
+type QuarantinedApp struct {
+	AppIndex int
+	// Attempts is the number of run attempts consumed (== MaxAttempts
+	// unless the fleet was cancelled mid-retry).
+	Attempts int
+	// LastErr is the error of the final attempt.
+	LastErr error
+}
+
+// Accounting is the fleet's graceful-degradation ledger: every app of the
+// corpus is accounted for as completed, skipped, quarantined, failed, or
+// not run, so analysis figures can state what fraction of the corpus they
+// cover instead of silently presenting a partial view as total.
+type Accounting struct {
+	// TotalApps is the corpus size handed to the fleet.
+	TotalApps int
+	// Completed counts successfully attributed runs.
+	Completed int
+	// SkippedARMOnly counts apps excluded by the §III-A ABI filter.
+	SkippedARMOnly int
+	// Quarantined counts apps that exhausted the retry budget.
+	Quarantined int
+	// Failed counts apps in Result.Failures (single-attempt failures, and
+	// every failure in fail-fast mode).
+	Failed int
+	// NotRun counts apps never attempted (fleet cancelled or aborted).
+	NotRun int
+	// Attempts is the total number of run attempts, across retries.
+	Attempts int
+	// Retried counts apps that completed only after at least one failed
+	// attempt — losses a single-attempt fleet would have suffered.
+	Retried int
+	// Backoff is the total retry backoff charged (virtual time when
+	// Config.Clock is set, wall time otherwise).
+	Backoff time.Duration
+}
+
+// Coverage reports the fraction of the analyzable corpus (total minus the
+// ABI-filtered apps, which are excluded by design rather than lost) whose
+// runs completed. Figures built from a degraded fleet should cite it.
+func (a Accounting) Coverage() float64 {
+	denom := a.TotalApps - a.SkippedARMOnly
+	if denom <= 0 {
+		return 1
+	}
+	return float64(a.Completed) / float64(denom)
 }
 
 // Result aggregates a fleet run.
@@ -68,10 +143,16 @@ type Result struct {
 	SkippedARMOnly int
 	// Failures holds per-app errors when ContinueOnError is set.
 	Failures []RunFailure
-	// CollectorReports / CollectorMalformed are the collector's datagram
-	// totals when UseCollector is set.
+	// Quarantined lists apps that exhausted the retry budget
+	// (ContinueOnError with MaxAttempts > 1), sorted by app index.
+	Quarantined []QuarantinedApp
+	// Accounting is the corpus-coverage ledger for the run.
+	Accounting Accounting
+	// CollectorReports / CollectorMalformed / CollectorDropped are the
+	// collector's datagram totals when UseCollector is set.
 	CollectorReports   int
 	CollectorMalformed int
+	CollectorDropped   int
 	// Elapsed is the wall-clock duration of the fleet run.
 	Elapsed time.Duration
 }
@@ -92,11 +173,45 @@ func RunAll(source AppSource, resolver nets.Resolver, cfg Config, sinks ...Sink)
 	return res, nil
 }
 
+// applyFaultPlan maps a fault plan onto the emulator's hook points. Every
+// magnitude derives deterministically from the plan's parameter, so the
+// same seed always tears the same run in the same place.
+func applyFaultPlan(opts *emulator.Options, plan faults.Plan) {
+	if !plan.Faulted() {
+		return
+	}
+	events := uint64(opts.Monkey.Events)
+	if events == 0 {
+		events = 1
+	}
+	switch plan.Class {
+	case faults.EmulatorAbort:
+		opts.AbortAfterEvents = 1 + int(plan.Param%events)
+	case faults.StallRun:
+		opts.StallAfterEvents = int(plan.Param % events)
+		if opts.StallAfterEvents == 0 {
+			opts.StallAfterEvents = 1
+		}
+	case faults.CaptureTruncate:
+		// 1–15 trailing bytes: always mid-record (the smallest pcap
+		// record is 16 header + ≥20 payload bytes), so the tear is
+		// guaranteed to surface as a parse error, never as a silently
+		// shorter capture.
+		opts.TruncateCaptureTail = 1 + int(plan.Param%15)
+	case faults.DatagramDrop:
+		opts.DropDatagramEvery = 1 + int(plan.Param%3)
+	case faults.HookFault:
+		opts.HookFaultReports = 1 + int(plan.Param%4)
+	}
+}
+
 // runOne executes the full per-app worker job: pull the apk, filter by
 // ABI, feed the LibRadar pass, exercise in the emulator, and run offline
 // attribution. The returned evidence is non-nil only when
-// cfg.EmitEvidence is set.
-func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i int) (*attribution.RunResult, *RunEvidence, bool, error) {
+// cfg.EmitEvidence is set. attempt is 1-based; retries re-enter with the
+// same index and a higher attempt so fault injection can distinguish
+// transient from poison faults.
+func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i, attempt int) (*attribution.RunResult, *RunEvidence, bool, error) {
 	app, err := source.GenerateApp(i)
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("generating app: %w", err)
@@ -129,7 +244,10 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	if !pack.SupportsX86() {
 		return nil, nil, true, nil
 	}
-	if cfg.Detector != nil {
+	if cfg.Detector != nil && attempt == 1 {
+		// Observe only on the first attempt: ObserveApp accumulates
+		// per-app prefix counts, and a retried app must not be counted
+		// twice.
 		if err := cfg.Detector.ObserveApp(pack.Manifest.Package, app.Program.Dex.Packages()); err != nil {
 			return nil, nil, false, err
 		}
@@ -140,6 +258,17 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	if client != nil {
 		opts.ReportSink = client.Send
 	}
+	if collector != nil && attempt > 1 {
+		// Drop the failed attempt's datagrams so they don't pollute this
+		// attempt's attribution input. Stragglers that drain in after the
+		// reset are harmless: the collector groups each distinct payload
+		// once, and a deterministic retry resends byte-identical reports,
+		// so either copy converges the group to exactly this run's set.
+		collector.Forget(sha)
+	}
+	if cfg.Faults != nil {
+		applyFaultPlan(&opts, cfg.Faults.For(i, attempt))
+	}
 	arts, err := emulator.RunContext(ctx, emulator.Installation{Program: app.Program, APKSHA256: sha}, resolver, opts)
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("emulator run: %w", err)
@@ -147,16 +276,25 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	if arts.HookErrors > 0 {
 		return nil, nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
 	}
+	if delivered := len(arts.RawReports); delivered < arts.ReportsSent {
+		// Sequence-gap detection: the supervisor numbers its datagrams, so
+		// in-flight loss shows up as delivered < sent instead of silently
+		// shrinking the attribution input.
+		return nil, nil, false, fmt.Errorf("run lost %d supervisor datagrams (%d sent, %d delivered)",
+			arts.ReportsSent-delivered, arts.ReportsSent, delivered)
+	}
 
 	var evidence *RunEvidence
 	if cfg.EmitEvidence {
 		evidence = &RunEvidence{
 			Meta: RunMeta{
-				Package:    pack.Manifest.Package,
-				SHA256:     sha,
-				Category:   pack.Manifest.Category,
-				Events:     arts.EventsInjected,
-				RecordedAt: time.Now().UTC(),
+				Package:  pack.Manifest.Package,
+				SHA256:   sha,
+				Category: pack.Manifest.Category,
+				Events:   arts.EventsInjected,
+				// The run's virtual clock, not wall time: identical seeds
+				// must produce byte-identical meta.json.
+				RecordedAt: arts.FinishedAt.UTC(),
 			},
 			APK:        encoded,
 			Capture:    arts.CaptureBytes,
@@ -172,9 +310,17 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		deadline := time.Now().Add(5 * time.Second)
 		for {
 			got := collector.ReportsFor(sha)
-			if len(got) >= len(arts.RawReports) {
+			if len(got) == len(arts.RawReports) {
 				reports = got
 				break
+			}
+			if len(got) > len(arts.RawReports) {
+				// The collector dedupes payloads per apk, so an overshoot
+				// means residue that is NOT byte-identical to this run's
+				// reports — a determinism violation. Fail the attempt loudly
+				// instead of attributing from a polluted report set.
+				return nil, nil, false, fmt.Errorf("collector holds %d reports for %s, run sent %d (non-identical attempt residue)",
+					len(got), pack.Manifest.Package, len(arts.RawReports))
 			}
 			if time.Now().After(deadline) {
 				return nil, nil, false, fmt.Errorf("collector received %d of %d reports for %s",
@@ -213,7 +359,7 @@ func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*a
 	if cfg.Attributor == nil {
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
 	}
-	run, _, skipped, err := runOne(context.Background(), source, resolver, cfg, nil, nil, nil, index)
+	run, _, skipped, err := runOne(context.Background(), source, resolver, cfg, nil, nil, nil, index, 1)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
 	}

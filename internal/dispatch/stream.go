@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"libspector/internal/attribution"
+	"libspector/internal/faults"
 	"libspector/internal/nets"
 )
 
@@ -29,6 +30,9 @@ const (
 	EventSkip
 	// EventFailure is one failed app run.
 	EventFailure
+	// EventQuarantine is an app that exhausted its retry budget in
+	// ContinueOnError mode.
+	EventQuarantine
 	// EventSummary is the final event emitted before the channel closes.
 	EventSummary
 )
@@ -42,6 +46,8 @@ func (k EventKind) String() string {
 		return "skip"
 	case EventFailure:
 		return "failure"
+	case EventQuarantine:
+		return "quarantine"
 	case EventSummary:
 		return "summary"
 	default:
@@ -70,10 +76,17 @@ type StreamSummary struct {
 	// Failures lists per-app errors, sorted by app index for deterministic
 	// reporting regardless of worker interleaving.
 	Failures []RunFailure
-	// CollectorReports / CollectorMalformed are the collector's datagram
-	// totals when Config.UseCollector is set.
+	// Quarantined lists apps that exhausted the retry budget
+	// (ContinueOnError with MaxAttempts > 1), sorted by app index.
+	Quarantined []QuarantinedApp
+	// Accounting is the corpus-coverage ledger: every app accounted for as
+	// completed, skipped, quarantined, failed, or not run.
+	Accounting Accounting
+	// CollectorReports / CollectorMalformed / CollectorDropped are the
+	// collector's datagram totals when Config.UseCollector is set.
 	CollectorReports   int
 	CollectorMalformed int
+	CollectorDropped   int
 	// Elapsed is the wall-clock duration of the fleet run.
 	Elapsed time.Duration
 	// Err is the stream-fatal error: the context's error after a
@@ -94,8 +107,11 @@ type RunEvent struct {
 	// Evidence carries the raw run artifacts when Config.EmitEvidence is
 	// set (EventRun).
 	Evidence *RunEvidence
-	// Err is the per-app failure (EventFailure).
+	// Err is the per-app failure (EventFailure, EventQuarantine — the
+	// final attempt's error).
 	Err error
+	// Quarantine carries the quarantine record (EventQuarantine).
+	Quarantine *QuarantinedApp
 	// Summary closes the stream (EventSummary).
 	Summary *StreamSummary
 }
@@ -138,6 +154,11 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	}
 	if cfg.Attributor == nil {
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
+	}
+	if cfg.Faults != nil && cfg.Faults.Enabled(faults.StallRun) && cfg.RunTimeout <= 0 {
+		// A stalled run never returns on its own; refusing the config up
+		// front beats a fleet that silently hangs forever.
+		return nil, fmt.Errorf("dispatch: stall-run faults need a RunTimeout to reclaim hung workers")
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -209,8 +230,11 @@ func Gather(events <-chan RunEvent, sinks ...Sink) (*Result, error) {
 	if summary != nil {
 		res.SkippedARMOnly = summary.SkippedARMOnly
 		res.Failures = summary.Failures
+		res.Quarantined = summary.Quarantined
+		res.Accounting = summary.Accounting
 		res.CollectorReports = summary.CollectorReports
 		res.CollectorMalformed = summary.CollectorMalformed
+		res.CollectorDropped = summary.CollectorDropped
 		res.Elapsed = summary.Elapsed
 	}
 	switch {
@@ -239,12 +263,20 @@ type fleetRun struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
-	mu        sync.Mutex
-	fatal     error
-	fatalIdx  int
-	failures  []RunFailure
-	completed int
-	skipped   int
+	mu          sync.Mutex
+	fatal       error
+	fatalIdx    int
+	failures    []RunFailure
+	quarantined []QuarantinedApp
+	completed   int
+	skipped     int
+	attempts    int
+	retried     int
+	backoff     time.Duration
+
+	// clockMu serializes backoff advances on the shared retry clock;
+	// nets.Clock itself is not safe for concurrent use.
+	clockMu sync.Mutex
 }
 
 // abort records a stream-fatal error (lowest app index wins, so fail-fast
@@ -312,20 +344,37 @@ feed:
 	wg.Wait()
 
 	f.mu.Lock()
+	acct := Accounting{
+		TotalApps:      numApps,
+		Completed:      f.completed,
+		SkippedARMOnly: f.skipped,
+		Quarantined:    len(f.quarantined),
+		Failed:         len(f.failures),
+		Attempts:       f.attempts,
+		Retried:        f.retried,
+		Backoff:        f.backoff,
+	}
+	acct.NotRun = numApps - acct.Completed - acct.SkippedARMOnly - acct.Quarantined - acct.Failed
+	if acct.NotRun < 0 {
+		acct.NotRun = 0
+	}
 	sum := &StreamSummary{
 		Completed:      f.completed,
 		SkippedARMOnly: f.skipped,
 		Failures:       f.failures,
+		Quarantined:    f.quarantined,
+		Accounting:     acct,
 		Elapsed:        time.Since(start),
 		Err:            f.fatal,
 	}
 	f.mu.Unlock()
 	sort.Slice(sum.Failures, func(i, j int) bool { return sum.Failures[i].AppIndex < sum.Failures[j].AppIndex })
+	sort.Slice(sum.Quarantined, func(i, j int) bool { return sum.Quarantined[i].AppIndex < sum.Quarantined[j].AppIndex })
 	if sum.Err == nil {
 		sum.Err = f.ctx.Err()
 	}
 	if f.collector != nil {
-		sum.CollectorReports, sum.CollectorMalformed = f.collector.Totals()
+		sum.CollectorReports, sum.CollectorMalformed, sum.CollectorDropped = f.collector.Totals()
 	}
 	f.emit(RunEvent{Kind: EventSummary, AppIndex: -1, Summary: sum})
 }
@@ -349,26 +398,120 @@ func (f *fleetRun) worker(jobs <-chan int) {
 		if f.ctx.Err() != nil || f.stopped() {
 			return
 		}
-		run, evidence, skip, err := runOne(f.ctx, f.source, f.resolver, f.cfg, f.store, f.collector, client, i)
+		f.runApp(client, i)
+	}
+}
+
+// runApp drives one app through its attempt budget: run, and on failure
+// retry with exponential backoff until the budget is spent. Exhausting the
+// budget quarantines the app in ContinueOnError mode (the fleet keeps
+// going, the app is reported with its attempt count and last error) and
+// aborts the stream otherwise.
+func (f *fleetRun) runApp(client *Client, i int) {
+	maxAttempts := f.cfg.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	attemptsUsed := 0
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		ctx, cancel := f.attemptCtx()
+		run, evidence, skip, err := runOne(ctx, f.source, f.resolver, f.cfg, f.store, f.collector, client, i, attempt)
+		cancel()
+		attemptsUsed = attempt
+		f.mu.Lock()
+		f.attempts++
+		f.mu.Unlock()
 		switch {
-		case err != nil:
-			f.mu.Lock()
-			f.failures = append(f.failures, RunFailure{AppIndex: i, Err: err})
-			f.mu.Unlock()
-			if !f.cfg.ContinueOnError {
-				f.abort(i, fmt.Errorf("dispatch: app %d: %w", i, err))
-			}
-			f.emit(RunEvent{Kind: EventFailure, AppIndex: i, Err: err})
-		case skip:
+		case err == nil && skip:
 			f.mu.Lock()
 			f.skipped++
 			f.mu.Unlock()
 			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
-		default:
+			return
+		case err == nil:
 			f.mu.Lock()
 			f.completed++
+			if attempt > 1 {
+				f.retried++
+			}
 			f.mu.Unlock()
 			f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence})
+			return
 		}
+		lastErr = err
+		if f.ctx.Err() != nil {
+			// The fleet is being cancelled: the attempt failed because (or
+			// regardless) of it, and retrying against a dead context would
+			// only burn the budget on context errors.
+			break
+		}
+		if attempt < maxAttempts && !f.backoffWait(attempt) {
+			break
+		}
+	}
+	// Budget exhausted (or cancelled mid-retry). Quarantine is meaningful
+	// only when the fleet keeps running and actually retried; a
+	// single-attempt or fail-fast fleet reports plain failures, preserving
+	// the original semantics.
+	if f.cfg.ContinueOnError && maxAttempts > 1 {
+		q := QuarantinedApp{AppIndex: i, Attempts: attemptsUsed, LastErr: lastErr}
+		f.mu.Lock()
+		f.quarantined = append(f.quarantined, q)
+		f.mu.Unlock()
+		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: lastErr, Quarantine: &q})
+		return
+	}
+	f.mu.Lock()
+	f.failures = append(f.failures, RunFailure{AppIndex: i, Err: lastErr, Attempts: attemptsUsed})
+	f.mu.Unlock()
+	if !f.cfg.ContinueOnError {
+		f.abort(i, fmt.Errorf("dispatch: app %d: %w", i, lastErr))
+	}
+	f.emit(RunEvent{Kind: EventFailure, AppIndex: i, Err: lastErr})
+}
+
+// attemptCtx derives one attempt's context, applying the per-run deadline
+// when configured.
+func (f *fleetRun) attemptCtx() (context.Context, context.CancelFunc) {
+	if f.cfg.RunTimeout > 0 {
+		return context.WithTimeout(f.ctx, f.cfg.RunTimeout)
+	}
+	return context.WithCancel(f.ctx)
+}
+
+// backoffWait charges the delay before the next attempt: RetryBackoff
+// doubled per completed attempt. With a virtual retry clock configured the
+// wait is advanced on the clock (serialized — nets.Clock is not safe for
+// concurrent use) instead of slept, so deterministic experiments never
+// block on wall time. Returns false when the fleet was cancelled while
+// waiting.
+func (f *fleetRun) backoffWait(attempt int) bool {
+	if f.cfg.RetryBackoff <= 0 {
+		return f.ctx.Err() == nil && !f.stopped()
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := f.cfg.RetryBackoff << shift
+	f.mu.Lock()
+	f.backoff += d
+	f.mu.Unlock()
+	if f.cfg.Clock != nil {
+		f.clockMu.Lock()
+		f.cfg.Clock.Advance(d)
+		f.clockMu.Unlock()
+		return f.ctx.Err() == nil && !f.stopped()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return !f.stopped()
+	case <-f.ctx.Done():
+		return false
+	case <-f.stop:
+		return false
 	}
 }

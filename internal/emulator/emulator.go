@@ -15,6 +15,7 @@ import (
 
 	"libspector/internal/art"
 	"libspector/internal/borderpatrol"
+	"libspector/internal/faults"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
 	"libspector/internal/pcap"
@@ -64,6 +65,27 @@ type Options struct {
 	// InstrumentationDelay overrides the per-connect hook cost; zero uses
 	// DefaultInstrumentationDelay.
 	InstrumentationDelay time.Duration
+
+	// Fault-injection hook points (internal/faults). Zero values disable
+	// injection; the dispatch layer derives these from its fault plan.
+
+	// AbortAfterEvents crashes the run with an injected-fault error once
+	// that many monkey events have been dispatched.
+	AbortAfterEvents int
+	// StallAfterEvents parks the run — blocking until the context is
+	// cancelled — once that many events have been dispatched: a hung
+	// emulator only a per-run deadline can reclaim.
+	StallAfterEvents int
+	// TruncateCaptureTail removes that many trailing bytes from the
+	// in-memory capture, leaving the torn pcap a crashed worker writes.
+	// It applies only when no external Capture writer is set.
+	TruncateCaptureTail int
+	// DropDatagramEvery loses every Nth supervisor datagram on the wire
+	// (1 = all of them); detected by the sent-vs-delivered gap.
+	DropDatagramEvery int
+	// HookFaultReports makes the supervisor's first N report attempts fail
+	// as hook errors.
+	HookFaultReports int
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -95,8 +117,18 @@ type Artifacts struct {
 	EventsInjected int
 	// VirtualDuration is how much device time the run spanned.
 	VirtualDuration time.Duration
+	// FinishedAt is the virtual-clock instant the run completed; derived
+	// artifacts (artifact-store metadata) timestamp with it so identical
+	// seeds produce byte-identical outputs.
+	FinishedAt time.Time
 	// HookErrors counts supervisor failures (should be zero).
 	HookErrors int
+	// ReportsSent is the supervisor's count of report datagrams emitted;
+	// comparing it with len(RawReports) detects in-flight datagram loss.
+	ReportsSent int
+	// DroppedDatagrams counts supervisor datagrams lost to the injected
+	// wire fault (should be zero on a clean run).
+	DroppedDatagrams int64
 	// BlockedConnections counts dials denied by the enforcement policy.
 	BlockedConnections int64
 	// Violations are the policy denials, when a policy was installed.
@@ -262,9 +294,17 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		if err != nil {
 			return nil, fmt.Errorf("emulator: %w", err)
 		}
+		supervisor.FailFirstReports(opts.HookFaultReports)
 		framework.Register(supervisor)
 		framework.Bind(stack)
 		stack.SetInstrumentationDelay(opts.InstrumentationDelay)
+		if every := opts.DropDatagramEvery; every > 0 {
+			stack.SetDatagramLoss(func(i int) bool { return i%every == 0 })
+		}
+		defer func() {
+			artifacts.ReportsSent = int(supervisor.ReportsSent())
+			artifacts.DroppedDatagrams = stack.DroppedDatagrams()
+		}()
 		stack.SetUDPSink(func(payload []byte) error {
 			raw := append([]byte(nil), payload...)
 			artifacts.RawReports = append(artifacts.RawReports, raw)
@@ -292,6 +332,17 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("emulator: run cancelled: %w", err)
 		}
+		if n := opts.StallAfterEvents; n > 0 && artifacts.EventsInjected >= n {
+			// A hung emulator: nothing progresses until the caller's
+			// deadline or cancellation reclaims the worker.
+			<-ctx.Done()
+			return nil, fmt.Errorf("emulator: run stalled after %d events (%w): %w",
+				artifacts.EventsInjected, faults.ErrInjected, ctx.Err())
+		}
+		if n := opts.AbortAfterEvents; n > 0 && artifacts.EventsInjected >= n {
+			return nil, fmt.Errorf("emulator: run aborted after %d events: %w",
+				artifacts.EventsInjected, faults.ErrInjected)
+		}
 		ev, ok := exerciser.Next()
 		if !ok {
 			break
@@ -309,6 +360,7 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 	artifacts.Trace = profiler.UniqueMethods()
 	artifacts.NetStats = stack.Stats()
 	artifacts.VirtualDuration = clock.Now().Sub(opts.StartTime)
+	artifacts.FinishedAt = clock.Now()
 	artifacts.ProfilerUniqueMethods = profiler.UniqueCount()
 	artifacts.ProfilerTotalCalls = profiler.TotalInvocations()
 	artifacts.ProfilerDroppedEntries = profiler.DroppedInvocations()
@@ -320,7 +372,14 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		artifacts.Violations = enforcer.Violations()
 	}
 	if captureBuf != nil {
-		artifacts.CaptureBytes = captureBuf.Bytes()
+		capBytes := captureBuf.Bytes()
+		if cut := opts.TruncateCaptureTail; cut > 0 {
+			if cut > len(capBytes) {
+				cut = len(capBytes)
+			}
+			capBytes = capBytes[:len(capBytes)-cut]
+		}
+		artifacts.CaptureBytes = capBytes
 	}
 	return artifacts, nil
 }

@@ -1,0 +1,160 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Rate: 0.3, PoisonRate: 0.4}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		// The decision must not depend on call order or attempt history:
+		// ask b out of order and a twice.
+		pa := a.For(i, 1)
+		pb := b.For(199-i, 1)
+		_ = pb
+		if again := a.For(i, 1); pa != again {
+			t.Fatalf("app %d: repeated query differs: %+v vs %+v", i, pa, again)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		if pa, pb := a.For(i, 1), b.For(i, 1); pa != pb {
+			t.Fatalf("app %d: injectors disagree: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestInjectorRate(t *testing.T) {
+	inj, err := New(Config{Seed: 11, Rate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	faulted := 0
+	for i := 0; i < n; i++ {
+		if inj.For(i, 1).Faulted() {
+			faulted++
+		}
+	}
+	if faulted < n/10 || faulted > (3*n)/10 {
+		t.Fatalf("rate 0.2 faulted %d of %d apps", faulted, n)
+	}
+
+	none, err := New(Config{Seed: 11, Rate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if none.For(i, 1).Faulted() {
+			t.Fatalf("rate 0 faulted app %d", i)
+		}
+	}
+	all, err := New(Config{Seed: 11, Rate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !all.For(i, 1).Faulted() {
+			t.Fatalf("rate 1 left app %d clean", i)
+		}
+	}
+}
+
+func TestInjectorAttemptGating(t *testing.T) {
+	transient, err := New(Config{Seed: 3, Rate: 1, PoisonRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison, err := New(Config{Seed: 3, Rate: 1, PoisonRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if !transient.For(i, 1).Faulted() {
+			t.Fatalf("transient app %d clean on attempt 1", i)
+		}
+		if transient.For(i, 2).Faulted() {
+			t.Fatalf("transient app %d still faulted on attempt 2", i)
+		}
+		p1, p2 := poison.For(i, 1), poison.For(i, 2)
+		if !p1.Faulted() || !p2.Faulted() {
+			t.Fatalf("poison app %d not faulted on both attempts", i)
+		}
+		if p1 != p2 {
+			t.Fatalf("poison app %d plan differs across attempts: %+v vs %+v", i, p1, p2)
+		}
+		if !p1.Poison {
+			t.Fatalf("poison app %d plan not marked poison", i)
+		}
+	}
+}
+
+func TestInjectorClassRestriction(t *testing.T) {
+	inj, err := New(Config{Seed: 5, Rate: 1, Classes: []Class{CaptureTruncate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Enabled(CaptureTruncate) || inj.Enabled(StallRun) {
+		t.Fatal("Enabled does not reflect the class restriction")
+	}
+	for i := 0; i < 100; i++ {
+		if c := inj.For(i, 1).Class; c != CaptureTruncate {
+			t.Fatalf("app %d got class %v, want capture-truncate", i, c)
+		}
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	if _, err := New(Config{Rate: -0.1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := New(Config{Rate: 1.5}); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := New(Config{PoisonRate: 2}); err == nil {
+		t.Error("poison rate > 1 accepted")
+	}
+	if _, err := New(Config{Classes: []Class{Class(99)}}); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses("")
+	if err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	got, err = ParseClasses("stall-run, hook-fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != StallRun || got[1] != HookFault {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := ParseClasses("no-such-fault"); err == nil {
+		t.Error("unknown class name accepted")
+	}
+	// Every class round-trips through its flag name.
+	for _, c := range AllClasses {
+		back, err := ParseClasses(c.String())
+		if err != nil || len(back) != 1 || back[0] != c {
+			t.Errorf("class %v does not round-trip: %v, %v", c, back, err)
+		}
+	}
+}
+
+func TestErrInjectedWraps(t *testing.T) {
+	wrapped := fmt.Errorf("emulator run: %w", ErrInjected)
+	if !errors.Is(wrapped, ErrInjected) {
+		t.Error("errors.Is does not see through wrapping")
+	}
+}

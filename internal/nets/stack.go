@@ -75,6 +75,15 @@ type Stack struct {
 	// udpSink forwards supervisor report payloads to the collection server
 	// (in addition to the capture record of the datagram).
 	udpSink func(payload []byte) error
+	// datagramLoss, when set, simulates wire loss of supervisor datagrams
+	// (internal/faults hook point): a true return for a 0-based datagram
+	// index records the packet in the capture — the bytes did leave the
+	// device — but never delivers it to the sink.
+	datagramLoss func(index int) bool
+	// supervisorSent counts supervisor datagrams emitted (including lost
+	// ones); droppedDatagrams counts the lost subset.
+	supervisorSent   int
+	droppedDatagrams int64
 	// connectVeto, when set, can deny a connection before the handshake —
 	// the attachment point for BorderPatrol-style policy enforcement
 	// (§IV-E). A veto error aborts the dial.
@@ -144,6 +153,15 @@ func (s *Stack) SetInstrumentationDelay(d time.Duration) { s.instrumentDelay = d
 
 // SetUDPSink installs the forwarding function for supervisor datagrams.
 func (s *Stack) SetUDPSink(sink func(payload []byte) error) { s.udpSink = sink }
+
+// SetDatagramLoss installs a fault hook dropping supervisor datagrams on
+// the wire: drop is consulted with the 0-based index of each datagram and
+// a true return loses it between the device and the collector sink.
+func (s *Stack) SetDatagramLoss(drop func(index int) bool) { s.datagramLoss = drop }
+
+// DroppedDatagrams reports how many supervisor datagrams were lost to the
+// injected wire fault.
+func (s *Stack) DroppedDatagrams() int64 { return s.droppedDatagrams }
 
 // SetConnectVeto installs a pre-connect policy check. Returning an error
 // denies the connection: no handshake packets are emitted and Dial fails
@@ -314,6 +332,14 @@ func (s *Stack) SendSupervisorReport(payload []byte) error {
 	}
 	if err := s.record(raw, pcap.ProtoUDP, false); err != nil {
 		return err
+	}
+	idx := s.supervisorSent
+	s.supervisorSent++
+	if s.datagramLoss != nil && s.datagramLoss(idx) {
+		// Lost on the wire: the capture has the egress record, the
+		// collector never sees the payload, and the sender cannot tell.
+		s.droppedDatagrams++
+		return nil
 	}
 	if s.udpSink != nil {
 		if err := s.udpSink(payload); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"libspector/internal/art"
 	"libspector/internal/dex"
+	"libspector/internal/faults"
 	"libspector/internal/nets"
 )
 
@@ -74,6 +75,11 @@ type Supervisor struct {
 	stack      *nets.Stack
 
 	reportsSent int64
+	// failFirst injects hook faults (internal/faults hook point): the
+	// first failFirst report attempts error out before encoding, the way a
+	// flaky instrumentation layer fails. attempted counts every attempt.
+	failFirst int
+	attempted int64
 }
 
 var _ Module = (*Supervisor)(nil)
@@ -102,8 +108,17 @@ func (s *Supervisor) Name() string { return "libspector-socket-supervisor" }
 // ReportsSent reports how many UDP reports have been emitted.
 func (s *Supervisor) ReportsSent() int64 { return s.reportsSent }
 
+// FailFirstReports injects supervisor hook faults: the first n report
+// attempts fail instead of sending. The framework records each failure as
+// a hook error without breaking the app's connection.
+func (s *Supervisor) FailFirstReports(n int) { s.failFirst = n }
+
 // OnSocketConnected implements Module: build and send the report.
 func (s *Supervisor) OnSocketConnected(conn *nets.Conn, stackTrace []art.Frame) error {
+	s.attempted++
+	if s.failFirst > 0 && s.attempted <= int64(s.failFirst) {
+		return fmt.Errorf("xposed: supervisor hook fault on report %d: %w", s.attempted, faults.ErrInjected)
+	}
 	if len(stackTrace) == 0 {
 		return fmt.Errorf("xposed: connect hook fired with empty stack")
 	}

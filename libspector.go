@@ -30,8 +30,10 @@ import (
 	"libspector/internal/attribution"
 	"libspector/internal/dispatch"
 	"libspector/internal/emulator"
+	"libspector/internal/faults"
 	"libspector/internal/libradar"
 	"libspector/internal/monkey"
+	"libspector/internal/nets"
 	"libspector/internal/synth"
 	"libspector/internal/vtclient"
 )
@@ -68,6 +70,27 @@ type Config struct {
 	// ContinueOnError keeps the fleet running past individual app
 	// failures instead of failing fast on the first one.
 	ContinueOnError bool
+	// RunTimeout bounds each run attempt's wall-clock duration (0 = no
+	// per-run deadline).
+	RunTimeout time.Duration
+	// MaxAttempts is the per-app attempt budget; values > 1 retry failed
+	// runs with exponential backoff and, with ContinueOnError, quarantine
+	// apps that exhaust the budget.
+	MaxAttempts int
+	// RetryBackoff is the base delay between attempts, doubled per retry.
+	// Backoff is charged to a fleet-owned virtual clock, so same-seed
+	// experiments stay deterministic and never sleep on wall time.
+	RetryBackoff time.Duration
+	// FaultRate, when positive, enables the internal/faults injector: that
+	// fraction of apps suffer a deterministic, seed-derived fault on their
+	// first run attempt. [0, 1].
+	FaultRate float64
+	// FaultPoisonRate is the fraction of faulted apps whose fault repeats
+	// on every attempt (retry-proof), exercising the quarantine path. [0, 1].
+	FaultPoisonRate float64
+	// FaultClasses restricts injection to the listed classes; empty means
+	// all classes.
+	FaultClasses []faults.Class
 }
 
 // DefaultConfig is the laptop-scale configuration preserving the paper's
@@ -190,6 +213,26 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		Detector:        e.detector,
 		Attributor:      e.attributor,
 		ContinueOnError: e.cfg.ContinueOnError,
+		RunTimeout:      e.cfg.RunTimeout,
+		MaxAttempts:     e.cfg.MaxAttempts,
+		RetryBackoff:    e.cfg.RetryBackoff,
+	}
+	if e.cfg.RetryBackoff > 0 {
+		// Retry backoff advances a fleet-owned virtual clock instead of
+		// sleeping, keeping same-seed experiments deterministic and fast.
+		cfg.Clock = nets.NewClock(time.Unix(0, 0).UTC())
+	}
+	if e.cfg.FaultRate > 0 {
+		inj, err := faults.New(faults.Config{
+			Seed:       e.cfg.Seed,
+			Rate:       e.cfg.FaultRate,
+			PoisonRate: e.cfg.FaultPoisonRate,
+			Classes:    e.cfg.FaultClasses,
+		})
+		if err != nil {
+			return fmt.Errorf("libspector: %w", err)
+		}
+		cfg.Faults = inj
 	}
 	if e.cfg.ArtifactDir != "" {
 		artifacts, err := dispatch.NewArtifactStore(e.cfg.ArtifactDir)

@@ -139,9 +139,12 @@ func TestExperimentWithAllOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	shas, err := store.List()
+	shas, incomplete, err := store.List()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(incomplete) != 0 {
+		t.Errorf("store reports incomplete entries: %v", incomplete)
 	}
 	if len(shas) != len(res.Runs) {
 		t.Errorf("persisted %d artifacts for %d runs", len(shas), len(res.Runs))
@@ -245,5 +248,69 @@ func TestLargeScaleFleet(t *testing.T) {
 	cov := ds.Fig10Coverage()
 	if cov.Mean < 6 || cov.Mean > 15 {
 		t.Errorf("coverage mean at scale = %.2f, want ~9.5", cov.Mean)
+	}
+}
+
+// TestExperimentWithFaultInjection drives the facade's fault knobs: a fully
+// transient-faulted fleet with one retry must recover every app, match the
+// clean run's analysis exactly, and report the degradation ledger.
+func TestExperimentWithFaultInjection(t *testing.T) {
+	const apps = 12
+	clean, err := libspector.NewExperiment(smallConfig(67, apps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := smallConfig(67, apps)
+	// More workers than cores: stalled attempts wait out their RunTimeout
+	// blocked, so overlapping them keeps the test fast.
+	cfg.Workers = 4
+	cfg.ContinueOnError = true
+	cfg.MaxAttempts = 2
+	cfg.RetryBackoff = time.Second
+	cfg.RunTimeout = 5 * time.Second
+	cfg.FaultRate = 1
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := exp.Run(); err != nil {
+		t.Fatalf("transient-faulted experiment failed: %v", err)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("backoff leaked into wall time: %s", wall)
+	}
+	res := exp.Result()
+	acct := res.Accounting
+	if acct.Retried == 0 || acct.Backoff == 0 {
+		t.Fatalf("no retries recorded: %+v", acct)
+	}
+	if acct.Quarantined != 0 || acct.Failed != 0 || acct.NotRun != 0 {
+		t.Fatalf("transient faults should all recover: %+v", acct)
+	}
+	if len(res.Runs) != len(clean.Result().Runs) {
+		t.Fatalf("faulted fleet completed %d runs, clean %d", len(res.Runs), len(clean.Result().Runs))
+	}
+	a, b := clean.Dataset().ComputeTotals(), exp.Dataset().ComputeTotals()
+	if a != b {
+		t.Errorf("faulted totals differ from clean run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestExperimentFaultConfigValidation: a bad fault rate is rejected before
+// the fleet starts.
+func TestExperimentFaultConfigValidation(t *testing.T) {
+	cfg := smallConfig(71, 4)
+	cfg.FaultRate = 1.5
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err == nil {
+		t.Fatal("fault rate 1.5 accepted")
 	}
 }
