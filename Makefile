@@ -15,17 +15,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# The dispatch worker pool and the network stack are the two places where
-# goroutines share state; the fault injector is consulted concurrently by
-# every worker. Keep all three race-clean.
+# The dispatch worker pool, the network stack, and the fault injector share
+# state across worker goroutines; the obs registry is hammered concurrently
+# by every instrumentation site. Keep all four race-clean.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/...
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/...
 
-# Runs the analysis benchmarks and writes BENCH_pr2.json comparing against
-# the checked-in pre-refactor baseline (bench/baseline_pr2.txt).
+# Runs the analysis benchmarks and writes BENCH_pr4.json: ratios against the
+# checked-in pre-refactor baseline (bench/baseline_pr2.txt) plus a
+# speedup_vs_prev diff against the recorded PR 2 run (BENCH_pr2.json).
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr2.txt
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -out BENCH_pr2.json < bench/current_pr2.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr4.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr2.json -out BENCH_pr4.json < bench/current_pr4.txt
 
 # Fuzz smoke over the two wire-format decoders fed by untrusted bytes: the
 # pcap packet decoder and the supervisor UDP report decoder. `go test -fuzz`

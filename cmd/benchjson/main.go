@@ -1,10 +1,11 @@
 // benchjson converts `go test -bench` output into a JSON regression
 // document. It reads the current bench run from stdin, optionally joins a
-// checked-in baseline file, and emits one entry per benchmark with the
-// derived speed and allocation ratios — the artifact `make bench` writes as
-// BENCH_pr2.json.
+// checked-in baseline file and/or a previous benchjson document, and emits
+// one entry per benchmark with the derived speed and allocation ratios —
+// the artifact `make bench` writes as BENCH_pr4.json.
 //
-//	go test -bench Foo -benchmem | go run ./cmd/benchjson -baseline bench/baseline_pr2.txt -out BENCH_pr2.json
+//	go test -bench Foo -benchmem | go run ./cmd/benchjson \
+//	    -baseline bench/baseline_pr2.txt -prev BENCH_pr2.json -out BENCH_pr4.json
 package main
 
 import (
@@ -38,6 +39,9 @@ type Entry struct {
 	// AllocRatio is current allocs/op over baseline allocs/op (<1 means
 	// fewer allocations now).
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+	// SpeedupVsPrev is the previous document's ns/op over current ns/op
+	// (>1 means faster than the last recorded run) when -prev is given.
+	SpeedupVsPrev float64 `json:"speedup_vs_prev,omitempty"`
 }
 
 // Document is the emitted JSON shape.
@@ -53,6 +57,7 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	baselinePath := flag.String("baseline", "", "optional baseline bench output to join")
+	prevPath := flag.String("prev", "", "optional previous benchjson document to diff against")
 	outPath := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -92,6 +97,19 @@ func main() {
 			e.AllocRatio = e.Current.AllocsPerOp / e.Baseline.AllocsPerOp
 		}
 	}
+	if *prevPath != "" {
+		prev, err := parsePrevDocument(*prevPath)
+		if err != nil {
+			fatal(err)
+		}
+		for name, e := range doc.Benchmarks {
+			p, ok := prev[name]
+			if !ok || e.Current == nil || e.Current.NsPerOp <= 0 {
+				continue
+			}
+			e.SpeedupVsPrev = p / e.Current.NsPerOp
+		}
+	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -105,6 +123,26 @@ func main() {
 	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// parsePrevDocument reads an earlier benchjson document and returns each
+// benchmark's recorded current ns/op, keyed by name.
+func parsePrevDocument(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing previous document %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(doc.Benchmarks))
+	for name, e := range doc.Benchmarks {
+		if e != nil && e.Current != nil && e.Current.NsPerOp > 0 {
+			out[name] = e.Current.NsPerOp
+		}
+	}
+	return out, nil
 }
 
 func parseFile(path string) (map[string]*Measurement, error) {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	libspector [-apps N] [-seed S] [-workers W] [-events E] [-collector] [-store]
+//	           [-metrics-addr :8321] [-trace-out traces.jsonl]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"libspector/internal/baseline"
 	"libspector/internal/corpus"
 	"libspector/internal/faults"
+	"libspector/internal/obs"
 	"libspector/internal/report"
 )
 
@@ -59,6 +61,8 @@ func run(ctx context.Context, args []string) error {
 		faultRate       = fs.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on their first attempt [0,1]")
 		faultPoison     = fs.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
 		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault")
+		metricsAddr     = fs.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
+		traceOut        = fs.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +92,22 @@ func run(ctx context.Context, args []string) error {
 	cfg.FaultPoisonRate = *faultPoison
 	cfg.FaultClasses = classes
 
+	// Deterministic virtual telemetry by default, so same-flag runs stay
+	// byte-identical (modulo the wall-clock line); opting into the live ops
+	// endpoint switches to wall-clock telemetry, which adds the wall-only
+	// series (drain polls, attribution latency) to the snapshot.
+	tel := obs.NewVirtual(nil)
+	if *metricsAddr != "" {
+		tel = obs.New()
+		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics())
+		if err != nil {
+			return fmt.Errorf("starting ops endpoint: %w", err)
+		}
+		defer ops.Close()
+		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
+	}
+	cfg.Telemetry = tel
+
 	fmt.Printf("Generating world (seed=%d, %d apps) and running the fleet...\n", cfg.Seed, cfg.Apps)
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
@@ -106,10 +126,6 @@ func run(ctx context.Context, args []string) error {
 		res := exp.Result()
 		fmt.Printf("Fleet done in %s: %d runs, %d ARM-only apps skipped.\n",
 			time.Since(start).Round(time.Millisecond), len(res.Runs), res.SkippedARMOnly)
-		if cfg.UseCollector {
-			fmt.Printf("Collector received %d reports (%d malformed, %d dropped).\n",
-				res.CollectorReports, res.CollectorMalformed, res.CollectorDropped)
-		}
 	}
 	if res := exp.Result(); res != nil {
 		acct := res.Accounting
@@ -124,6 +140,17 @@ func run(ctx context.Context, args []string) error {
 					acct.Retried, acct.Attempts, acct.Backoff)
 			}
 		}
+	}
+	// The fleet, collector, and attribution series all render from the one
+	// telemetry snapshot — the collector's Totals now surface here instead
+	// of a hand-rolled summary line.
+	fmt.Println()
+	fmt.Println(obs.Render(tel.Metrics().Snapshot()))
+	if *traceOut != "" {
+		if err := tel.Tracer().WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+		fmt.Printf("Wrote %d spans to %s.\n", tel.Tracer().SpanCount(), *traceOut)
 	}
 	fmt.Println()
 

@@ -23,6 +23,7 @@ import (
 	"libspector"
 	"libspector/internal/corpus"
 	"libspector/internal/dispatch"
+	"libspector/internal/obs"
 )
 
 func main() {
@@ -68,6 +69,8 @@ func run(ctx context.Context) error {
 	maxAttempts := flag.Int("max-attempts", 1, "run attempts per app before quarantine")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
+	traceOut := flag.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
 	flag.Parse()
 
 	cfg := libspector.DefaultConfig()
@@ -95,6 +98,21 @@ func run(ctx context.Context) error {
 		}
 	}
 
+	// Deterministic virtual telemetry by default; the live ops endpoint
+	// switches to wall-clock telemetry, adding the wall-only series to the
+	// snapshot (see DESIGN.md §6).
+	tel := obs.NewVirtual(nil)
+	if *metricsAddr != "" {
+		tel = obs.New()
+		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics())
+		if err != nil {
+			return fmt.Errorf("starting ops endpoint: %w", err)
+		}
+		defer ops.Close()
+		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
+	}
+	cfg.Telemetry = tel
+
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
 		return err
@@ -109,10 +127,11 @@ func run(ctx context.Context) error {
 
 	res := exp.Result()
 	fmt.Printf("Fleet finished in %s.\n", res.Elapsed.Round(1e6))
-	fmt.Printf("  runs completed:      %d\n", len(res.Runs))
-	fmt.Printf("  ARM-only skipped:    %d (§III-A ABI filter)\n", res.SkippedARMOnly)
-	fmt.Printf("  collector datagrams: %d (%d malformed, %d dropped)\n",
-		res.CollectorReports, res.CollectorMalformed, res.CollectorDropped)
+	// Fleet counts, collector datagram totals, and attribution joins all
+	// come from the telemetry snapshot now; only derived analysis figures
+	// keep bespoke lines below.
+	fmt.Println()
+	fmt.Println(obs.Render(tel.Metrics().Snapshot()))
 	acct := res.Accounting
 	if acct.Quarantined > 0 || acct.Failed > 0 || acct.NotRun > 0 || acct.Retried > 0 {
 		fmt.Printf("  degradation: %d failed, %d quarantined, %d never run; %d recovered by retry (%d attempts, %s backoff)\n",
@@ -145,5 +164,11 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("  join health: %d unmatched flows, %d unmatched reports, %d checksum mismatches\n",
 		unmatchedFlows, unmatchedReports, mismatches)
+	if *traceOut != "" {
+		if err := tel.Tracer().WriteFile(*traceOut); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+		fmt.Printf("  wrote %d spans to %s\n", tel.Tracer().SpanCount(), *traceOut)
+	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"libspector/internal/corpus"
 	"libspector/internal/dex"
 	"libspector/internal/libradar"
+	"libspector/internal/obs"
 	"libspector/internal/xposed"
 )
 
@@ -31,7 +32,14 @@ type Attributor struct {
 	// the first, the naive alternative the paper's design implicitly
 	// rejects.
 	TopOfStack bool
+	// tel receives join/attribution counters; workers share one attributor,
+	// so it must be set before any run starts. nil disables the mirror.
+	tel *obs.Telemetry
 }
+
+// SetTelemetry routes attribution counters into a metrics registry. Call
+// before the fleet starts; nil disables the mirror.
+func (a *Attributor) SetTelemetry(tel *obs.Telemetry) { a.tel = tel }
 
 // NewAttributor creates an attributor.
 func NewAttributor(domainCats DomainCategorizer) *Attributor {
@@ -151,7 +159,20 @@ func (a *Attributor) Attribute(capture *CaptureSummary, reports []*xposed.Report
 			stats.UnmatchedFlows++
 		} else {
 			stats.MatchedFlows++
+			if f.BuiltinOrigin {
+				a.tel.Counter(obs.MAttribBuiltin).Inc()
+				a.tel.Counter(obs.MAttribBuiltinClass(f.OriginLibrary)).Inc()
+			} else {
+				a.tel.Counter(obs.MAttribLibrary).Inc()
+			}
 		}
+	}
+	if tel := a.tel; tel != nil {
+		tel.Counter(obs.MAttribFlows).Add(int64(len(capture.Flows)))
+		tel.Counter(obs.MAttribAttributed).Add(int64(stats.MatchedFlows))
+		tel.Counter(obs.MAttribUnmatchedFlows).Add(int64(stats.UnmatchedFlows))
+		tel.Counter(obs.MAttribUnmatchedReports).Add(int64(stats.UnmatchedReports))
+		tel.Counter(obs.MAttribChecksumMismatch).Add(int64(stats.ChecksumMismatch))
 	}
 	return stats, nil
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"time"
 
 	"libspector/internal/corpus"
 	"libspector/internal/dex"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 	"libspector/internal/xposed"
 )
 
@@ -65,6 +67,15 @@ func (a *Attributor) AnalyzeRun(in RunInput) (*RunResult, error) {
 	if in.Capture == nil {
 		return nil, fmt.Errorf("attribution: run input has no capture")
 	}
+	if a.tel != nil && !a.tel.Virtual() {
+		// Wall latency of the §II-B3 offline path. Recorded only in wall
+		// mode so deterministic snapshots carry no machine-dependent series.
+		start := time.Now()
+		defer func() {
+			a.tel.Histogram(obs.MAttribWallUS, obs.LatencyBucketsUS).
+				Observe(time.Since(start).Microseconds())
+		}()
+	}
 	capture, err := ParseCapture(in.Capture, in.LocalAddr, in.CollectorAddr, in.CollectorPort)
 	if err != nil {
 		return nil, fmt.Errorf("attribution: analyzing %s: %w", in.AppPackage, err)
@@ -103,5 +114,7 @@ func (a *Attributor) AnalyzeRun(in RunInput) (*RunResult, error) {
 	if in.Disassembly != nil {
 		res.Coverage = ComputeCoverage(in.Trace, in.Disassembly)
 	}
+	a.tel.Histogram(obs.MAttribFlowsPerRun, obs.CountBuckets).
+		Observe(int64(len(capture.Flows)))
 	return res, nil
 }

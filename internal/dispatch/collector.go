@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"libspector/internal/obs"
 	"libspector/internal/xposed"
 )
 
@@ -16,6 +17,10 @@ import (
 type Collector struct {
 	conn *net.UDPConn
 	wg   sync.WaitGroup
+	// tel mirrors the datagram totals into live telemetry counters so
+	// the ops endpoint shows loss while the fleet is still running.
+	// Set before the receive loop starts; nil disables the mirror.
+	tel *obs.Telemetry
 
 	mu        sync.Mutex
 	bySHA     map[string][]*xposed.Report
@@ -25,8 +30,9 @@ type Collector struct {
 	dropped   int
 }
 
-// NewCollector starts a collector on an ephemeral loopback port.
-func NewCollector() (*Collector, error) {
+// NewCollector starts a collector on an ephemeral loopback port. tel,
+// when non-nil, receives the datagram counter series live.
+func NewCollector(tel *obs.Telemetry) (*Collector, error) {
 	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
 	conn, err := net.ListenUDP("udp4", addr)
 	if err != nil {
@@ -34,6 +40,7 @@ func NewCollector() (*Collector, error) {
 	}
 	c := &Collector{
 		conn:  conn,
+		tel:   tel,
 		bySHA: make(map[string][]*xposed.Report),
 		seen:  make(map[string]map[[sha256.Size]byte]struct{}),
 	}
@@ -57,11 +64,17 @@ func (c *Collector) receiveLoop() {
 			c.mu.Lock()
 			c.dropped++
 			c.mu.Unlock()
+			c.tel.Counter(obs.MCollectorDropped).Inc()
 			continue
 		}
 		payload := make([]byte, n)
 		copy(payload, buf[:n])
 		report, err := xposed.DecodeReport(payload)
+		if err != nil {
+			c.tel.Counter(obs.MCollectorMalformed).Inc()
+		} else {
+			c.tel.Counter(obs.MCollectorReceived).Inc()
+		}
 		c.mu.Lock()
 		if err != nil {
 			c.malformed++

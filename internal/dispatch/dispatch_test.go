@@ -139,7 +139,7 @@ func TestStoreValidation(t *testing.T) {
 }
 
 func TestCollectorReceivesAndGroupsReports(t *testing.T) {
-	c, err := NewCollector()
+	c, err := NewCollector(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"libspector/internal/attribution"
@@ -12,6 +13,7 @@ import (
 	"libspector/internal/faults"
 	"libspector/internal/libradar"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 	"libspector/internal/synth"
 )
 
@@ -76,6 +78,11 @@ type Config struct {
 	// Faults injects deterministic run faults (internal/faults); nil
 	// disables injection.
 	Faults *faults.Injector
+	// Telemetry receives fleet metrics and per-run stage spans
+	// (internal/obs); nil disables instrumentation entirely. Wall-only
+	// measurements are suppressed when the telemetry is virtual, so
+	// deterministic experiments snapshot byte-identically.
+	Telemetry *obs.Telemetry
 }
 
 // RunFailure records one failed app run in ContinueOnError mode.
@@ -205,13 +212,78 @@ func applyFaultPlan(opts *emulator.Options, plan faults.Plan) {
 	}
 }
 
+// fleetClock serializes access to the fleet's shared virtual clock:
+// nets.Clock itself is not safe for concurrent use, and every worker
+// charges retry backoff and collector-drain waits to the same clock. A
+// nil *fleetClock means no virtual clock is configured.
+type fleetClock struct {
+	mu sync.Mutex
+	c  *nets.Clock
+}
+
+func newFleetClock(c *nets.Clock) *fleetClock {
+	if c == nil {
+		return nil
+	}
+	return &fleetClock{c: c}
+}
+
+// Advance charges d to the virtual clock.
+func (fc *fleetClock) Advance(d time.Duration) {
+	if fc == nil {
+		return
+	}
+	fc.mu.Lock()
+	fc.c.Advance(d)
+	fc.mu.Unlock()
+}
+
+// Now reads the virtual clock.
+func (fc *fleetClock) Now() time.Time {
+	if fc == nil {
+		return time.Time{}
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.c.Now()
+}
+
+// collectorDrainBudget bounds how long one attempt waits for the
+// collector to drain its datagrams: virtual time when the fleet has a
+// virtual clock, wall time otherwise. A package variable so tests can
+// exercise the timeout without a five-second stall.
+var collectorDrainBudget = 5 * time.Second
+
+// collectorDrainPoll is the interval between drain checks. Polls always
+// sleep wall time (datagrams arrive in real time regardless of the
+// virtual clock), but with a virtual clock configured each poll is also
+// charged to it, keeping the timeout budget machine-independent.
+const collectorDrainPoll = time.Millisecond
+
+// runEnv bundles the per-worker execution state one app run needs:
+// configuration, the worker's collector client, the fleet's shared
+// virtual clock, and telemetry. The zero extras (nil clk/tel/collector)
+// give the standalone RunOne path.
+type runEnv struct {
+	source    AppSource
+	resolver  nets.Resolver
+	cfg       Config
+	store     *Store
+	collector *Collector
+	client    *Client
+	clk       *fleetClock
+	tel       *obs.Telemetry
+}
+
 // runOne executes the full per-app worker job: pull the apk, filter by
 // ABI, feed the LibRadar pass, exercise in the emulator, and run offline
 // attribution. The returned evidence is non-nil only when
 // cfg.EmitEvidence is set. attempt is 1-based; retries re-enter with the
 // same index and a higher attempt so fault injection can distinguish
-// transient from poison faults.
-func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg Config, store *Store, collector *Collector, client *Client, i, attempt int) (*attribution.RunResult, *RunEvidence, bool, error) {
+// transient from poison faults. parent, when non-nil, is the run's
+// dispatch span; the stages hang their child spans off it.
+func (env *runEnv) runOne(ctx context.Context, i, attempt int, parent *obs.Span) (*attribution.RunResult, *RunEvidence, bool, error) {
+	source, resolver, cfg, store, collector, client := env.source, env.resolver, env.cfg, env.store, env.collector, env.client
 	app, err := source.GenerateApp(i)
 	if err != nil {
 		return nil, nil, false, fmt.Errorf("generating app: %w", err)
@@ -255,6 +327,8 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 
 	opts := cfg.Emulator
 	opts.Seed = cfg.BaseSeed + uint64(i)*2654435761
+	opts.Telemetry = env.tel
+	opts.Span = parent
 	if client != nil {
 		opts.ReportSink = client.Send
 	}
@@ -306,8 +380,16 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	reports := arts.Reports
 	if collector != nil {
 		// Wait for the collector to drain this app's datagrams; UDP on
-		// loopback is reliable but asynchronous.
-		deadline := time.Now().Add(5 * time.Second)
+		// loopback is reliable but asynchronous. The deadline budget is
+		// charged to the fleet's virtual clock when one is configured —
+		// each poll advances it by the poll interval and the timeout
+		// triggers after a fixed number of charged polls — so the wait's
+		// accounting is machine-independent, matching the determinism
+		// discipline of retry backoff. Without a virtual clock the budget
+		// is plain wall time.
+		drain := parent.Child(obs.SpanDrain, env.tel.Now())
+		var waited time.Duration
+		wallDeadline := time.Now().Add(collectorDrainBudget)
 		for {
 			got := collector.ReportsFor(sha)
 			if len(got) == len(arts.RawReports) {
@@ -319,21 +401,41 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 				// means residue that is NOT byte-identical to this run's
 				// reports — a determinism violation. Fail the attempt loudly
 				// instead of attributing from a polluted report set.
+				drain.Attr("outcome", "overshoot").End(env.tel.Now())
 				return nil, nil, false, fmt.Errorf("collector holds %d reports for %s, run sent %d (non-identical attempt residue)",
 					len(got), pack.Manifest.Package, len(arts.RawReports))
 			}
-			if time.Now().After(deadline) {
+			if env.clk != nil {
+				env.clk.Advance(collectorDrainPoll)
+				waited += collectorDrainPoll
+			}
+			if !env.tel.Virtual() {
+				// Poll counts depend on real datagram arrival timing, so
+				// the series is wall-only: a deterministic snapshot never
+				// contains it.
+				env.tel.Counter(obs.MFleetDrainPolls).Inc()
+			}
+			timedOut := waited > collectorDrainBudget
+			if env.clk == nil {
+				timedOut = time.Now().After(wallDeadline)
+			}
+			if timedOut {
+				env.tel.Counter(obs.MFleetDrainTimeouts).Inc()
+				drain.Attr("outcome", "timeout").End(env.tel.Now())
 				return nil, nil, false, fmt.Errorf("collector received %d of %d reports for %s",
 					len(got), len(arts.RawReports), pack.Manifest.Package)
 			}
 			select {
 			case <-ctx.Done():
+				drain.Attr("outcome", "cancelled").End(env.tel.Now())
 				return nil, nil, false, ctx.Err()
-			case <-time.After(time.Millisecond):
+			case <-time.After(collectorDrainPoll):
 			}
 		}
+		drain.AttrInt("reports", int64(len(reports))).End(env.tel.Now())
 	}
 
+	attrSpan := parent.Child(obs.SpanAttribution, env.tel.Now())
 	run, err := cfg.Attributor.AnalyzeRun(attribution.RunInput{
 		AppSHA:        sha,
 		AppPackage:    pack.Manifest.Package,
@@ -347,8 +449,12 @@ func runOne(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		CollectorPort: nets.DefaultCollectorPort,
 	})
 	if err != nil {
+		attrSpan.Attr("outcome", "error").End(env.tel.Now())
 		return nil, nil, false, err
 	}
+	attrSpan.AttrInt("flows", int64(len(run.Flows))).
+		AttrInt("matched", int64(run.Join.MatchedFlows)).
+		End(env.tel.Now())
 	return run, evidence, false, nil
 }
 
@@ -359,7 +465,8 @@ func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*a
 	if cfg.Attributor == nil {
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
 	}
-	run, _, skipped, err := runOne(context.Background(), source, resolver, cfg, nil, nil, nil, index, 1)
+	env := &runEnv{source: source, resolver: resolver, cfg: cfg, tel: cfg.Telemetry}
+	run, _, skipped, err := env.runOne(context.Background(), index, 1, nil)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
 	}

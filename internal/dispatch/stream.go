@@ -11,6 +11,7 @@ import (
 	"libspector/internal/attribution"
 	"libspector/internal/faults"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 )
 
 // The streaming pipeline: instead of materializing every RunResult for the
@@ -168,7 +169,7 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	var collector *Collector
 	if cfg.UseCollector {
 		var err error
-		collector, err = NewCollector()
+		collector, err = NewCollector(cfg.Telemetry)
 		if err != nil {
 			return nil, err
 		}
@@ -185,9 +186,24 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		resolver:  resolver,
 		collector: collector,
 		store:     store,
+		clk:       newFleetClock(cfg.Clock),
+		tel:       cfg.Telemetry,
 		// One buffered slot per worker is the backpressure budget.
 		events: make(chan RunEvent, workers),
 		stop:   make(chan struct{}),
+	}
+	f.tel.Gauge(obs.MFleetWorkers).Set(int64(workers))
+	f.tel.Gauge(obs.MFleetWorkersBusy)
+	f.tel.Counter(obs.MFleetApps).Add(int64(source.NumApps()))
+	// Pre-register the outcome and loss series so a live /debug/vars
+	// snapshot carries them at zero before the first event lands.
+	for _, name := range []string{
+		obs.MFleetCompleted, obs.MFleetSkipped, obs.MFleetFailed,
+		obs.MFleetQuarantined, obs.MFleetAttempts, obs.MFleetRetries,
+		obs.MFleetBackoffMS, obs.MCollectorReceived, obs.MCollectorMalformed,
+		obs.MCollectorDropped,
+	} {
+		f.tel.Counter(name)
 	}
 	go f.run(workers, source.NumApps())
 	return f.events, nil
@@ -263,6 +279,13 @@ type fleetRun struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// clk wraps cfg.Clock behind a mutex: the virtual clock absorbs
+	// retry backoff and collector-drain waits from every worker. Nil
+	// when no virtual clock is configured.
+	clk *fleetClock
+	// tel is the fleet's telemetry (nil-safe when unset).
+	tel *obs.Telemetry
+
 	mu          sync.Mutex
 	fatal       error
 	fatalIdx    int
@@ -273,10 +296,6 @@ type fleetRun struct {
 	attempts    int
 	retried     int
 	backoff     time.Duration
-
-	// clockMu serializes backoff advances on the shared retry clock;
-	// nets.Clock itself is not safe for concurrent use.
-	clockMu sync.Mutex
 }
 
 // abort records a stream-fatal error (lowest app index wins, so fail-fast
@@ -394,39 +413,69 @@ func (f *fleetRun) worker(jobs <-chan int) {
 		}
 		defer func() { _ = client.Close() }()
 	}
+	env := &runEnv{
+		source:    f.source,
+		resolver:  f.resolver,
+		cfg:       f.cfg,
+		store:     f.store,
+		collector: f.collector,
+		client:    client,
+		clk:       f.clk,
+		tel:       f.tel,
+	}
+	busy := f.tel.Gauge(obs.MFleetWorkersBusy)
 	for i := range jobs {
 		if f.ctx.Err() != nil || f.stopped() {
 			return
 		}
-		f.runApp(client, i)
+		busy.Add(1)
+		f.runApp(env, i)
+		busy.Add(-1)
 	}
 }
+
+// TraceID names one app's trace: zero-padded so traces sort by app
+// index in the serialized JSONL.
+func TraceID(i int) string { return fmt.Sprintf("app-%05d", i) }
 
 // runApp drives one app through its attempt budget: run, and on failure
 // retry with exponential backoff until the budget is spent. Exhausting the
 // budget quarantines the app in ContinueOnError mode (the fleet keeps
 // going, the app is reported with its attempt count and last error) and
 // aborts the stream otherwise.
-func (f *fleetRun) runApp(client *Client, i int) {
+func (f *fleetRun) runApp(env *runEnv, i int) {
 	maxAttempts := f.cfg.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
+	}
+	// The app's dispatch root span covers every attempt, the backoff
+	// between them, and the stage children runOne hangs off it. Host-side
+	// timestamps come from the telemetry time source (a fixed epoch in
+	// deterministic mode), so the trace serializes byte-identically under
+	// a virtual clock.
+	root := f.tel.Trace(TraceID(i)).Span(obs.SpanDispatch, f.tel.Now())
+	root.AttrInt("app", int64(i))
+	finish := func(outcome string, attempts int) {
+		root.Attr("outcome", outcome).AttrInt("attempts", int64(attempts)).End(f.tel.Now())
 	}
 	var lastErr error
 	attemptsUsed := 0
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		ctx, cancel := f.attemptCtx()
-		run, evidence, skip, err := runOne(ctx, f.source, f.resolver, f.cfg, f.store, f.collector, client, i, attempt)
+		run, evidence, skip, err := env.runOne(ctx, i, attempt, root)
 		cancel()
 		attemptsUsed = attempt
 		f.mu.Lock()
 		f.attempts++
 		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetAttempts).Inc()
 		switch {
 		case err == nil && skip:
 			f.mu.Lock()
 			f.skipped++
 			f.mu.Unlock()
+			f.tel.Counter(obs.MFleetSkipped).Inc()
+			finish("skip", attemptsUsed)
 			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
 			return
 		case err == nil:
@@ -436,6 +485,11 @@ func (f *fleetRun) runApp(client *Client, i int) {
 				f.retried++
 			}
 			f.mu.Unlock()
+			f.tel.Counter(obs.MFleetCompleted).Inc()
+			if attempt > 1 {
+				f.tel.Counter(obs.MFleetRetries).Inc()
+			}
+			finish("run", attemptsUsed)
 			f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence})
 			return
 		}
@@ -459,12 +513,16 @@ func (f *fleetRun) runApp(client *Client, i int) {
 		f.mu.Lock()
 		f.quarantined = append(f.quarantined, q)
 		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetQuarantined).Inc()
+		finish("quarantine", attemptsUsed)
 		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: lastErr, Quarantine: &q})
 		return
 	}
 	f.mu.Lock()
 	f.failures = append(f.failures, RunFailure{AppIndex: i, Err: lastErr, Attempts: attemptsUsed})
 	f.mu.Unlock()
+	f.tel.Counter(obs.MFleetFailed).Inc()
+	finish("failure", attemptsUsed)
 	if !f.cfg.ContinueOnError {
 		f.abort(i, fmt.Errorf("dispatch: app %d: %w", i, lastErr))
 	}
@@ -498,10 +556,9 @@ func (f *fleetRun) backoffWait(attempt int) bool {
 	f.mu.Lock()
 	f.backoff += d
 	f.mu.Unlock()
-	if f.cfg.Clock != nil {
-		f.clockMu.Lock()
-		f.cfg.Clock.Advance(d)
-		f.clockMu.Unlock()
+	f.tel.Counter(obs.MFleetBackoffMS).Add(d.Milliseconds())
+	if f.clk != nil {
+		f.clk.Advance(d)
 		return f.ctx.Err() == nil && !f.stopped()
 	}
 	t := time.NewTimer(d)

@@ -18,6 +18,7 @@ import (
 	"libspector/internal/faults"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 	"libspector/internal/pcap"
 	"libspector/internal/sim"
 	"libspector/internal/xposed"
@@ -86,6 +87,17 @@ type Options struct {
 	// HookFaultReports makes the supervisor's first N report attempts fail
 	// as hook errors.
 	HookFaultReports int
+
+	// Telemetry, when set, receives the run's metrics (internal/obs):
+	// event/report counters, wire-byte totals, and the virtual-duration
+	// histogram. Nil disables instrumentation.
+	Telemetry *obs.Telemetry
+	// Span, when set, is the run's dispatch span; the emulator hangs the
+	// per-stage child spans (emulator-boot, monkey-run,
+	// xposed-supervision, pcap-capture) off it. Stage spans are timed on
+	// the run's own virtual clock, so they are deterministic under a
+	// fixed seed regardless of host scheduling.
+	Span *obs.Span
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -247,6 +259,13 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		opts.StartTime = time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC)
 	}
 
+	opts.Telemetry.Counter(obs.MEmulatorRuns).Inc()
+	// The boot span covers image composition: network stack, runtime,
+	// instrumentation, and the app launch. Like every stage span below it
+	// is timed on the run's own virtual clock, so a same-seed run always
+	// serializes the same trace.
+	boot := opts.Span.Child(obs.SpanEmulatorBoot, opts.StartTime)
+
 	var captureBuf *bytes.Buffer
 	captureTarget := opts.Capture
 	if captureTarget == nil {
@@ -260,6 +279,7 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		Clock:         clock,
 		Capture:       capture,
 		PacketLatency: opts.PacketLatency,
+		Telemetry:     opts.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("emulator: building network stack: %w", err)
@@ -290,10 +310,12 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		if err != nil {
 			return nil, fmt.Errorf("emulator: %w", err)
 		}
+		framework.SetTelemetry(opts.Telemetry)
 		supervisor, err := xposed.NewSupervisor(install.APKSHA256, install.Program.Dex, stack)
 		if err != nil {
 			return nil, fmt.Errorf("emulator: %w", err)
 		}
+		supervisor.SetTelemetry(opts.Telemetry)
 		supervisor.FailFirstReports(opts.HookFaultReports)
 		framework.Register(supervisor)
 		framework.Bind(stack)
@@ -328,6 +350,9 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 	if err := runtime.Launch(); err != nil {
 		return nil, fmt.Errorf("emulator: launching app: %w", err)
 	}
+	boot.Attr("instrumented", fmt.Sprintf("%t", opts.Instrumented)).End(clock.Now())
+	monkeyStart := clock.Now()
+	monkeySpan := opts.Span.Child(obs.SpanMonkeyRun, monkeyStart)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("emulator: run cancelled: %w", err)
@@ -353,6 +378,7 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		}
 		artifacts.EventsInjected++
 	}
+	monkeySpan.AttrInt("events", int64(artifacts.EventsInjected)).End(clock.Now())
 	if err := capture.Flush(); err != nil {
 		return nil, fmt.Errorf("emulator: flushing capture: %w", err)
 	}
@@ -380,6 +406,33 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 			capBytes = capBytes[:len(capBytes)-cut]
 		}
 		artifacts.CaptureBytes = capBytes
+	}
+	if tel := opts.Telemetry; tel != nil {
+		// Supervision and capture span the whole exercised interval; both
+		// are reconstructed here because their activity interleaves with
+		// the monkey loop rather than following it.
+		if opts.Instrumented {
+			opts.Span.Child(obs.SpanXposed, monkeyStart).
+				AttrInt("reports_sent", int64(artifacts.ReportsSent)).
+				AttrInt("hook_errors", int64(artifacts.HookErrors)).
+				AttrInt("dropped_datagrams", artifacts.DroppedDatagrams).
+				End(clock.Now())
+		}
+		opts.Span.Child(obs.SpanPcapCapture, opts.StartTime).
+			AttrInt("capture_bytes", int64(len(artifacts.CaptureBytes))).
+			AttrInt("packets", artifacts.NetStats.PacketCount).
+			End(clock.Now())
+
+		tel.Counter(obs.MEmulatorEvents).Add(int64(artifacts.EventsInjected))
+		tel.Histogram(obs.MRunVirtualMS, obs.DurationBucketsMS).
+			Observe(artifacts.VirtualDuration.Milliseconds())
+		// Wire-byte totals fold in once per run from the stack's counters
+		// (the packet path itself stays uninstrumented).
+		tel.Counter(obs.MNetsTCPBytes).Add(artifacts.NetStats.TCPWireBytes)
+		tel.Counter(obs.MNetsUDPBytes).Add(artifacts.NetStats.UDPWireBytes)
+		tel.Counter(obs.MNetsDNSBytes).Add(artifacts.NetStats.DNSWireBytes)
+		tel.Counter(obs.MNetsPackets).Add(artifacts.NetStats.PacketCount)
+		tel.Counter(obs.MNetsCaptureBytes).Add(int64(len(artifacts.CaptureBytes)))
 	}
 	return artifacts, nil
 }

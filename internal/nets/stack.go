@@ -6,6 +6,7 @@ import (
 	"net/netip"
 	"time"
 
+	"libspector/internal/obs"
 	"libspector/internal/pcap"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	PacketLatency time.Duration
 	// MSS is the TCP maximum segment size (DefaultMSS when zero).
 	MSS int
+	// Telemetry, when set, receives the stack's loss/veto series live
+	// (internal/obs): supervisor datagrams dropped on the wire and
+	// policy-blocked dials. Cumulative wire-byte counters are folded in
+	// by the emulator from Stats at run end instead, so the stack's hot
+	// packet path stays free of per-packet counter traffic.
+	Telemetry *obs.Telemetry
 }
 
 // Stack is the emulated device's network stack.
@@ -143,8 +150,8 @@ func (s *Stack) Clock() *Clock { return s.clock }
 func (s *Stack) LocalAddr() netip.Addr { return s.cfg.LocalAddr }
 
 // OnConnect registers a connect post-hook observer.
-func (s *Stack) OnConnect(obs ConnectObserver) {
-	s.observers = append(s.observers, obs)
+func (s *Stack) OnConnect(observe ConnectObserver) {
+	s.observers = append(s.observers, observe)
 }
 
 // SetInstrumentationDelay sets the per-connect virtual latency charged for
@@ -288,6 +295,7 @@ func (s *Stack) dialAddr(domain string, addr netip.Addr, port uint16) (*Conn, er
 	if s.connectVeto != nil {
 		if err := s.connectVeto(domain, port); err != nil {
 			s.blockedConnections++
+			s.cfg.Telemetry.Counter(obs.MNetsBlockedConns).Inc()
 			return nil, fmt.Errorf("nets: dial %s:%d: %w: %w", domain, port, ErrBlocked, err)
 		}
 	}
@@ -310,8 +318,8 @@ func (s *Stack) dialAddr(domain string, addr netip.Addr, port uint16) (*Conn, er
 
 	if len(s.observers) > 0 {
 		s.clock.Advance(s.instrumentDelay)
-		for _, obs := range s.observers {
-			obs(c)
+		for _, observe := range s.observers {
+			observe(c)
 		}
 	}
 	return c, nil
@@ -339,6 +347,7 @@ func (s *Stack) SendSupervisorReport(payload []byte) error {
 		// Lost on the wire: the capture has the egress record, the
 		// collector never sees the payload, and the sender cannot tell.
 		s.droppedDatagrams++
+		s.cfg.Telemetry.Counter(obs.MNetsDroppedGrams).Inc()
 		return nil
 	}
 	if s.udpSink != nil {

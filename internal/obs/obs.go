@@ -1,0 +1,107 @@
+// Package obs is the pipeline's telemetry core: a concurrent metrics
+// registry (counters, gauges, fixed-bucket histograms), per-run span
+// tracing with parent/child spans over the pipeline stages, and a live
+// ops endpoint serving an expvar-style JSON snapshot plus pprof.
+//
+// The package is dependency-free (standard library only) so every layer
+// of the pipeline — dispatch, emulator, nets, xposed, attribution,
+// analysis — can import it without cycles.
+//
+// Determinism is a first-class requirement: the fleet's experiments are
+// byte-reproducible under a fixed seed and virtual clock, and the
+// telemetry they emit must be too. Three rules make that hold:
+//
+//  1. Histograms observe int64 values (microseconds, counts, bytes), so
+//     accumulation is commutative — concurrent workers observing in any
+//     order produce the same sums, unlike float addition.
+//  2. Span timestamps come from a TimeSource. In virtual mode
+//     (NewVirtual) the source is deterministic — the emulator's per-run
+//     nets.Clock for in-run stages, a fixed epoch for host-side stages —
+//     so repeated same-seed runs serialize byte-identical traces.
+//  3. Trace output is sorted: traces by id, spans by per-trace creation
+//     order (single-owner, hence deterministic), never by wall arrival.
+//
+// Wall-only measurements (host-side latency histograms) are recorded
+// only in wall mode, so a deterministic run's snapshot never contains a
+// machine-dependent value.
+package obs
+
+import "time"
+
+// TimeSource yields timestamps for host-side spans and timers. A
+// nets.Clock's Now method satisfies it, as does time.Now.
+type TimeSource func() time.Time
+
+// Telemetry bundles the registry, the tracer, and the host-side time
+// source threaded through the pipeline. A nil *Telemetry is fully inert:
+// every method is nil-safe and instrumentation call sites need no
+// guards.
+type Telemetry struct {
+	metrics *Registry
+	tracer  *Tracer
+	now     TimeSource
+	virtual bool
+}
+
+// New creates wall-clock telemetry: host-side spans and timers read
+// time.Now, and wall-latency histograms are recorded.
+func New() *Telemetry {
+	return &Telemetry{metrics: NewRegistry(), tracer: NewTracer(), now: time.Now}
+}
+
+// NewVirtual creates deterministic telemetry: host-side spans read the
+// given source (typically a fixed epoch or the fleet's virtual clock)
+// and wall-only measurements are suppressed, so same-seed runs produce
+// byte-identical snapshots and traces.
+func NewVirtual(now TimeSource) *Telemetry {
+	if now == nil {
+		epoch := time.Unix(0, 0).UTC()
+		now = func() time.Time { return epoch }
+	}
+	return &Telemetry{metrics: NewRegistry(), tracer: NewTracer(), now: now, virtual: true}
+}
+
+// Metrics returns the registry (nil on nil telemetry).
+func (t *Telemetry) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.metrics
+}
+
+// Tracer returns the tracer (nil on nil telemetry).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Now reads the host-side time source.
+func (t *Telemetry) Now() time.Time {
+	if t == nil || t.now == nil {
+		return time.Now()
+	}
+	return t.now()
+}
+
+// Virtual reports whether the telemetry is in deterministic mode, in
+// which wall-only measurements must not be recorded.
+func (t *Telemetry) Virtual() bool { return t != nil && t.virtual }
+
+// Counter returns the named registry counter (nil, inert, on nil
+// telemetry).
+func (t *Telemetry) Counter(name string) *Counter { return t.Metrics().Counter(name) }
+
+// Gauge returns the named registry gauge (nil, inert, on nil telemetry).
+func (t *Telemetry) Gauge(name string) *Gauge { return t.Metrics().Gauge(name) }
+
+// Histogram returns the named registry histogram (nil, inert, on nil
+// telemetry). See Registry.Histogram for bounds semantics.
+func (t *Telemetry) Histogram(name string, bounds []int64) *Histogram {
+	return t.Metrics().Histogram(name, bounds)
+}
+
+// Trace returns the tracer's trace for the given id, creating it on
+// first use (nil, inert, on nil telemetry).
+func (t *Telemetry) Trace(id string) *Trace { return t.Tracer().Trace(id) }

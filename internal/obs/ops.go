@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the live ops endpoint: an expvar-style JSON snapshot of
+// the registry at /debug/vars, the net/http/pprof suite under
+// /debug/pprof/, and a trivial /healthz. It binds its own listener so
+// ":0" works (tests, parallel fleets) and reports the resolved address.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps starts the ops endpoint on addr (e.g. "127.0.0.1:9090" or
+// ":0") serving the given registry. The server runs until Close.
+func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		out, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out = append(out, '\n')
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// The pprof handlers are registered explicitly instead of via the
+	// package's DefaultServeMux side effect, so importing obs never
+	// mutates global state.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &OpsServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the resolved listen address (host:port).
+func (s *OpsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *OpsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

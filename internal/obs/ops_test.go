@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestOpsEndpoint(t *testing.T) {
+	tel := New()
+	tel.Counter(MFleetCompleted).Add(12)
+	tel.Gauge(MFleetWorkersBusy).Set(3)
+	srv, err := ServeOps("127.0.0.1:0", tel.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("vars is not well-formed snapshot JSON: %v\n%s", err, body)
+	}
+	if snap.Counters[MFleetCompleted] != 12 || snap.Gauges[MFleetWorkersBusy] != 3 {
+		t.Fatalf("snapshot did not round-trip: %+v", snap)
+	}
+
+	for _, path := range []string{"/healthz", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. All methods are safe for
+// concurrent use and nil-safe (a nil counter is inert), so call sites
+// never need a telemetry guard.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored — counters
+// never move backwards).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 level (workers busy, queue depth).
+// Safe for concurrent use; nil gauges are inert.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket int64 distribution. Bounds are inclusive
+// upper bounds; an observation lands in the first bucket whose bound it
+// does not exceed, or in the trailing overflow bucket. Observations,
+// sums, and extrema are integers, so accumulation is commutative and a
+// snapshot is byte-deterministic regardless of worker interleaving.
+type Histogram struct {
+	bounds []int64
+
+	mu     sync.Mutex
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// Observe records one value. Safe for concurrent use; nil histograms
+// are inert.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one
+// entry per bound plus a trailing overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Registry is a concurrent get-or-create namespace of counters, gauges,
+// and histograms. A nil registry is inert: every lookup returns a nil
+// instrument whose methods are no-ops.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// sorted inclusive upper bounds on first use. Later calls ignore bounds
+// (the first registration wins), so call sites can share a literal.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is the registry's frozen state. Maps marshal with sorted
+// keys under encoding/json, so two snapshots holding equal values
+// serialize to identical bytes — the property the determinism golden
+// tests assert.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. Instruments are read individually
+// (each under its own lock), so a snapshot taken during a live run is a
+// consistent-enough view for operations, and one taken after a fleet
+// drains is exact.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		h.mu.Lock()
+		hs := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+		}
+		h.mu.Unlock()
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// ExpBuckets builds n exponentially growing inclusive upper bounds
+// starting at start and multiplying by factor — the shape latency
+// histograms want (e.g. ExpBuckets(1, 2, 12) covers 1..2048 units).
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	out := make([]int64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}

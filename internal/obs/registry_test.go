@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("runs") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("busy")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	wantCounts := []int64{2, 2, 0, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5122 || s.Min != 1 || s.Max != 5000 {
+		t.Fatalf("count/sum/min/max = %d/%d/%d/%d", s.Count, s.Sum, s.Min, s.Max)
+	}
+	if mean := s.Mean(); mean != 5122.0/5 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestNilTelemetryIsInert(t *testing.T) {
+	var tel *Telemetry
+	tel.Counter("x").Inc()
+	tel.Gauge("y").Set(3)
+	tel.Histogram("z", CountBuckets).Observe(1)
+	sp := tel.Trace("t").Span("s", time.Time{})
+	sp.Child("c", time.Time{}).Attr("k", "v").End(time.Time{})
+	if tel.Virtual() {
+		t.Fatal("nil telemetry reports virtual")
+	}
+	if tel.Now().IsZero() {
+		t.Fatal("nil telemetry Now should fall back to wall clock")
+	}
+	var reg *Registry
+	s := reg.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestSnapshotByteDeterminism drives two registries through the same
+// operations from differently-interleaved goroutines and asserts the
+// serialized snapshots are byte-identical — the property the fleet
+// golden test relies on.
+func TestSnapshotByteDeterminism(t *testing.T) {
+	build := func(order []int) []byte {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for _, w := range order {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.Counter(MFleetCompleted).Add(int64(w))
+				r.Histogram(MRunVirtualMS, DurationBucketsMS).Observe(int64(w * 17))
+				r.Gauge(MFleetWorkersBusy).Add(1)
+				r.Gauge(MFleetWorkersBusy).Add(-1)
+			}()
+		}
+		wg.Wait()
+		out, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := build([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	b := build([]int{8, 7, 6, 5, 4, 3, 2, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestRegistryConcurrentHammer exercises the registry from many
+// goroutines at once; run under -race (make race) it proves the
+// registry is safe for concurrent workers.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", "d"}
+			for i := 0; i < iters; i++ {
+				name := names[(w+i)%len(names)]
+				r.Counter(name).Inc()
+				r.Gauge(name).Add(1)
+				r.Histogram(name, CountBuckets).Observe(int64(i % 32))
+				if i%64 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for _, v := range s.Counters {
+		total += v
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	for name, h := range s.Histograms {
+		if h.Count == 0 {
+			t.Fatalf("histogram %s empty", name)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	want := []int64{1, 2, 4, 8, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render formats a snapshot as the aligned text block the CLIs print in
+// place of their old hand-rolled Printf summaries. Keys sort
+// alphabetically, so the block doubles as a stable, diffable fleet
+// summary.
+func Render(s Snapshot) string {
+	var b strings.Builder
+	b.WriteString("Telemetry snapshot\n")
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		writeAligned(&b, s.Counters)
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("  gauges:\n")
+		writeAligned(&b, s.Gauges)
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("  histograms:\n")
+		names := make([]string, 0, len(s.Histograms))
+		width := 0
+		for name := range s.Histograms {
+			names = append(names, name)
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "    %-*s  count=%d sum=%d min=%d max=%d mean=%.1f\n",
+				width, name, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func writeAligned(b *strings.Builder, m map[string]int64) {
+	names := make([]string, 0, len(m))
+	width := 0
+	for name := range m {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(b, "    %-*s  %d\n", width, name, m[name])
+	}
+}

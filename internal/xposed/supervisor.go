@@ -7,6 +7,7 @@ import (
 	"libspector/internal/dex"
 	"libspector/internal/faults"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 )
 
 // Module is an Xposed module: it receives the framework's hook callbacks.
@@ -27,6 +28,7 @@ type Framework struct {
 	thread  *art.Thread
 	// hookErrs collects module failures; hooks must never break the app.
 	hookErrs []error
+	tel      *obs.Telemetry
 }
 
 // NewFramework creates an empty framework bound to the runtime thread whose
@@ -37,6 +39,10 @@ func NewFramework(thread *art.Thread) (*Framework, error) {
 	}
 	return &Framework{thread: thread}, nil
 }
+
+// SetTelemetry routes hook-error counts into a metrics registry. Call
+// before Bind; nil disables the mirror.
+func (f *Framework) SetTelemetry(tel *obs.Telemetry) { f.tel = tel }
 
 // Register installs a module.
 func (f *Framework) Register(m Module) {
@@ -52,6 +58,7 @@ func (f *Framework) Bind(stack *nets.Stack) {
 				// A module failure must not break the app's connection;
 				// record it for the experiment log instead.
 				f.hookErrs = append(f.hookErrs, fmt.Errorf("xposed: module %s: %w", m.Name(), err))
+				f.tel.Counter(obs.MXposedHookErrors).Inc()
 			}
 		}
 	})
@@ -73,6 +80,7 @@ type Supervisor struct {
 	apkSHA256  string
 	translator *dex.SignatureTranslator
 	stack      *nets.Stack
+	tel        *obs.Telemetry
 
 	reportsSent int64
 	// failFirst injects hook faults (internal/faults hook point): the
@@ -107,6 +115,10 @@ func (s *Supervisor) Name() string { return "libspector-socket-supervisor" }
 
 // ReportsSent reports how many UDP reports have been emitted.
 func (s *Supervisor) ReportsSent() int64 { return s.reportsSent }
+
+// SetTelemetry routes the sent-report count into a metrics registry.
+// nil disables the mirror.
+func (s *Supervisor) SetTelemetry(tel *obs.Telemetry) { s.tel = tel }
 
 // FailFirstReports injects supervisor hook faults: the first n report
 // attempts fail instead of sending. The framework records each failure as
@@ -147,5 +159,6 @@ func (s *Supervisor) OnSocketConnected(conn *nets.Conn, stackTrace []art.Frame) 
 		return fmt.Errorf("xposed: sending report for %s: %w", conn.Tuple(), err)
 	}
 	s.reportsSent++
+	s.tel.Counter(obs.MXposedReports).Inc()
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"libspector/internal/libradar"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 	"libspector/internal/synth"
 	"libspector/internal/vtclient"
 )
@@ -91,6 +92,14 @@ type Config struct {
 	// FaultClasses restricts injection to the listed classes; empty means
 	// all classes.
 	FaultClasses []faults.Class
+	// Telemetry, when set, receives the experiment's metrics and per-run
+	// span traces (internal/obs): fleet outcome counters, collector
+	// datagram totals, attribution joins, and one trace per app covering
+	// dispatch → boot → monkey → supervision → capture → attribution →
+	// analysis fold. Construct with obs.New() for a live wall-clock view
+	// (servable via obs.ServeOps) or obs.NewVirtual(nil) for
+	// byte-deterministic snapshots under a fixed seed.
+	Telemetry *obs.Telemetry
 }
 
 // DefaultConfig is the laptop-scale configuration preserving the paper's
@@ -155,12 +164,14 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("libspector: building domain service: %w", err)
 	}
+	attributor := attribution.NewAttributor(domains)
+	attributor.SetTelemetry(cfg.Telemetry)
 	return &Experiment{
 		cfg:        cfg,
 		world:      world,
 		detector:   detector,
 		domains:    domains,
-		attributor: attribution.NewAttributor(domains),
+		attributor: attributor,
 	}, nil
 }
 
@@ -216,6 +227,7 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		RunTimeout:      e.cfg.RunTimeout,
 		MaxAttempts:     e.cfg.MaxAttempts,
 		RetryBackoff:    e.cfg.RetryBackoff,
+		Telemetry:       e.cfg.Telemetry,
 	}
 	if e.cfg.RetryBackoff > 0 {
 		// Retry backoff advances a fleet-owned virtual clock instead of
@@ -250,7 +262,7 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 	if err != nil {
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
-	res, runErr := dispatch.Gather(events, append(sinks, builder)...)
+	res, runErr := dispatch.Gather(events, append(sinks, e.foldSink(builder))...)
 	e.result = res
 
 	// Even after a cancellation or failure, resolve what did complete so
@@ -266,6 +278,25 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		return fmt.Errorf("libspector: fleet run: %w", runErr)
 	}
 	return nil
+}
+
+// foldSink wraps the dataset builder so each completed run's analysis
+// fold is traced and counted. The fold runs on the consuming goroutine
+// after the worker's dispatch span ended (the event channel orders the
+// handoff), so the span lands on the app's trace without locking.
+func (e *Experiment) foldSink(builder *analysis.DatasetBuilder) dispatch.Sink {
+	tel := e.cfg.Telemetry
+	return dispatch.SinkFunc(func(ev dispatch.RunEvent) error {
+		if tel == nil || ev.Kind != dispatch.EventRun || ev.Run == nil {
+			return builder.Consume(ev)
+		}
+		span := tel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, tel.Now())
+		err := builder.Consume(ev)
+		span.AttrInt("flows", int64(len(ev.Run.Flows))).End(tel.Now())
+		tel.Counter(obs.MAnalysisFolds).Inc()
+		tel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
+		return err
+	})
 }
 
 // Result returns the raw fleet result (nil before Run).
@@ -287,6 +318,7 @@ func (e *Experiment) RunSingleApp(index int) (*attribution.RunResult, error) {
 		Emulator:   e.emulatorOptions(),
 		BaseSeed:   e.cfg.Seed,
 		Attributor: e.attributor,
+		Telemetry:  e.cfg.Telemetry,
 	}, index)
 	if err != nil {
 		return nil, fmt.Errorf("libspector: running app %d: %w", index, err)
