@@ -1,8 +1,8 @@
 GO ?= go
 
-# Figure/table math, per-app offline analysis, and the end-to-end
-# attribution→analysis throughput benchmark.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput
+# Figure/table math, per-app offline analysis, the end-to-end
+# attribution→analysis throughput benchmark, and the journal append path.
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput|BenchmarkJournalAppend
 
 .PHONY: build test vet race bench fuzz verify
 
@@ -15,25 +15,29 @@ vet:
 test:
 	$(GO) test ./...
 
-# The dispatch worker pool, the network stack, and the fault injector share
-# state across worker goroutines; the obs registry is hammered concurrently
-# by every instrumentation site. Keep all four race-clean.
+# The dispatch worker pool, the network stack, the fault injector, and the
+# campaign journal share state across worker goroutines; the obs registry is
+# hammered concurrently by every instrumentation site. Keep all five
+# race-clean.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/...
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/... ./internal/journal/...
 
-# Runs the analysis benchmarks and writes BENCH_pr4.json: ratios against the
+# Runs the analysis benchmarks and writes BENCH_pr5.json: ratios against the
 # checked-in pre-refactor baseline (bench/baseline_pr2.txt) plus a
-# speedup_vs_prev diff against the recorded PR 2 run (BENCH_pr2.json).
+# speedup_vs_prev diff against the recorded PR 4 run (BENCH_pr4.json).
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr4.txt
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr2.json -out BENCH_pr4.json < bench/current_pr4.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr5.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr4.json -out BENCH_pr5.json < bench/current_pr5.txt
 
-# Fuzz smoke over the two wire-format decoders fed by untrusted bytes: the
-# pcap packet decoder and the supervisor UDP report decoder. `go test -fuzz`
-# accepts one target per invocation, hence two runs.
+# Fuzz smoke over the wire-format decoders fed by untrusted bytes — the pcap
+# packet decoder, the supervisor UDP report decoder, the journal replay
+# reader, and the artifact meta decoder. `go test -fuzz` accepts one target
+# per invocation, hence one run each.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 10s ./internal/pcap
 	$(GO) test -run '^$$' -fuzz FuzzDecodeReport -fuzztime 10s ./internal/xposed
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
+	$(GO) test -run '^$$' -fuzz FuzzArtifactMeta -fuzztime 10s ./internal/dispatch
 
 # Tier-1 verification (see ROADMAP.md) plus vet, the race subset, and the
 # decoder fuzz smoke.

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"libspector/internal/dex"
 	"libspector/internal/dispatch"
 	"libspector/internal/emulator"
+	"libspector/internal/journal"
 	"libspector/internal/libradar"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
@@ -876,5 +878,33 @@ func BenchmarkAblationInputGenerator(b *testing.B) {
 			}
 			b.ReportMetric(covSum/float64(cfg.NumApps), "coverage-%")
 		})
+	}
+}
+
+// BenchmarkJournalAppend measures the campaign WAL's append path under the
+// default fsync batch: one run-started plus one run-completed record per
+// op, the exact write load one fleet run generates. ns/op here bounds the
+// journal's drag on fleet throughput.
+func BenchmarkJournalAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	w, err := journal.Create(path, journal.Header{Seed: 1, Fingerprint: "bench", Apps: b.N}, journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = w.Close() }()
+	const sha = "a94a8fe5ccb19ba61c4c0873d391e987982fbbd3a94a8fe5ccb19ba61c4c0873"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunStarted(i); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.RunCompleted(i, journal.OutcomeRun, sha, 1, 0, 0, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
 	}
 }

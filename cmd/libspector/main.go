@@ -6,7 +6,9 @@
 // Usage:
 //
 //	libspector [-apps N] [-seed S] [-workers W] [-events E] [-collector] [-store]
+//	           [-journal campaign.wal] [-resume]
 //	           [-metrics-addr :8321] [-trace-out traces.jsonl]
+//	libspector audit -artifacts DIR [-journal campaign.wal]
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -22,10 +25,80 @@ import (
 	"libspector/internal/analysis"
 	"libspector/internal/baseline"
 	"libspector/internal/corpus"
+	"libspector/internal/dispatch"
 	"libspector/internal/faults"
+	"libspector/internal/journal"
 	"libspector/internal/obs"
 	"libspector/internal/report"
 )
+
+// runAudit implements "libspector audit": verify every stored run's
+// evidence (apk checksum, reports framing, meta integrity) and, when a
+// journal is given, cross-check each journaled completion against the
+// store. Exits non-zero when anything fails verification, so the command
+// slots into scripts as a pre-resume gate.
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("libspector audit", flag.ContinueOnError)
+	dir := fs.String("artifacts", "", "artifact store directory to audit (required)")
+	journalPath := fs.String("journal", "", "campaign journal to cross-check against the store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("audit: -artifacts is required")
+	}
+	store, err := dispatch.NewArtifactStore(*dir)
+	if err != nil {
+		return err
+	}
+	rep, err := store.Audit()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Audited %d stored runs: %d ok, %d corrupt, %d incomplete.\n",
+		len(rep.OK)+len(rep.Corrupt), len(rep.OK), len(rep.Corrupt), len(rep.Incomplete))
+	for _, e := range rep.Corrupt {
+		fmt.Printf("  corrupt    %s: %v\n", e.SHA, e.Err)
+	}
+	for _, sha := range rep.Incomplete {
+		fmt.Printf("  incomplete %s\n", sha)
+	}
+	var unbacked int
+	if *journalPath != "" {
+		replay, err := journal.Read(*journalPath)
+		if err != nil {
+			return fmt.Errorf("audit: %w", err)
+		}
+		if replay.TornBytes > 0 {
+			fmt.Printf("Journal has a torn %d-byte tail (crash mid-append; resume truncates it).\n", replay.TornBytes)
+		}
+		apps := make([]int, 0, len(replay.Outcomes))
+		for app := range replay.Outcomes {
+			apps = append(apps, app)
+		}
+		sort.Ints(apps)
+		var completed int
+		for _, app := range apps {
+			rec := replay.Outcomes[app]
+			if rec.Outcome != journal.OutcomeRun || rec.ArtifactSHA == "" {
+				continue
+			}
+			completed++
+			if err := store.Verify(rec.ArtifactSHA); err != nil {
+				unbacked++
+				fmt.Printf("  journal app %d: evidence %s fails verification: %v\n", app, rec.ArtifactSHA, err)
+			}
+		}
+		fmt.Printf("Cross-checked %d journaled completions against the store; %d lack intact evidence.\n",
+			completed, unbacked)
+	}
+	if !rep.Clean() || unbacked > 0 {
+		return fmt.Errorf("audit: %d corrupt, %d incomplete, %d journaled runs without intact evidence",
+			len(rep.Corrupt), len(rep.Incomplete), unbacked)
+	}
+	fmt.Println("Store is clean.")
+	return nil
+}
 
 func main() {
 	// SIGINT/SIGTERM cancel the fleet context: workers stop within one
@@ -40,6 +113,9 @@ func main() {
 }
 
 func run(ctx context.Context, args []string) error {
+	if len(args) > 0 && args[0] == "audit" {
+		return runAudit(args[1:])
+	}
 	fs := flag.NewFlagSet("libspector", flag.ContinueOnError)
 	var (
 		apps            = fs.Int("apps", 300, "number of apps in the corpus")
@@ -54,13 +130,15 @@ func run(ctx context.Context, args []string) error {
 		volumeScale     = fs.Float64("volume-scale", 1.0, "traffic volume scale (1.0 = paper's ~1.23 MB/app)")
 		topN            = fs.Int("top", 15, "entries in the Figure 3 rankings")
 		artifactDir     = fs.String("artifacts", "", "persist per-run raw evidence (apk/pcap/reports/trace) into this directory")
+		journalPath     = fs.String("journal", "", "append a checksummed write-ahead log of campaign progress to this file")
+		resume          = fs.Bool("resume", false, "replay the -journal log and continue the campaign instead of restarting (requires the same -artifacts store)")
 		continueOnError = fs.Bool("continue-on-error", false, "keep the fleet running past individual app failures")
 		runTimeout      = fs.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
 		maxAttempts     = fs.Int("max-attempts", 1, "run attempts per app before giving up (retries with backoff)")
 		retryBackoff    = fs.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry (charged to a virtual clock)")
 		faultRate       = fs.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on their first attempt [0,1]")
 		faultPoison     = fs.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
-		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault")
+		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault; opt-in crash classes: journal-crash,journal-tear,artifact-flip")
 		metricsAddr     = fs.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
 		traceOut        = fs.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
 	)
@@ -84,6 +162,11 @@ func run(ctx context.Context, args []string) error {
 	cfg.MethodScale = *methodScale
 	cfg.VolumeScale = *volumeScale
 	cfg.ArtifactDir = *artifactDir
+	cfg.Journal = *journalPath
+	cfg.Resume = *resume
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
 	cfg.ContinueOnError = *continueOnError
 	cfg.RunTimeout = *runTimeout
 	cfg.MaxAttempts = *maxAttempts

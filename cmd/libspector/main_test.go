@@ -41,3 +41,63 @@ func TestBadFlagRejected(t *testing.T) {
 		t.Error("bad flag should fail")
 	}
 }
+
+func TestResumeRequiresJournal(t *testing.T) {
+	if err := run(context.Background(), []string{"-resume"}); err == nil {
+		t.Error("-resume without -journal should fail")
+	}
+}
+
+func TestAuditRequiresArtifacts(t *testing.T) {
+	if err := run(context.Background(), []string{"audit"}); err == nil {
+		t.Error("audit without -artifacts should fail")
+	}
+}
+
+// TestJournalResumeAuditCLI walks the operator loop end to end: journaled
+// campaign, audit passes, evidence damaged, audit fails, resume repairs,
+// audit passes again.
+func TestJournalResumeAuditCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-backed CLI test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	artifacts := filepath.Join(dir, "artifacts")
+	wal := filepath.Join(dir, "campaign.wal")
+	campaign := []string{
+		"-apps", "8", "-seed", "11", "-events", "120",
+		"-artifacts", artifacts, "-journal", wal,
+	}
+	ctx := context.Background()
+	if err := run(ctx, campaign); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	audit := []string{"audit", "-artifacts", artifacts, "-journal", wal}
+	if err := run(ctx, audit); err != nil {
+		t.Fatalf("audit of a clean store: %v", err)
+	}
+
+	entries, err := os.ReadDir(artifacts)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no artifacts persisted: %v", err)
+	}
+	victim := filepath.Join(artifacts, entries[0].Name(), "app.apk")
+	blob, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/3] ^= 0x08
+	if err := os.WriteFile(victim, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, audit); err == nil {
+		t.Fatal("audit missed a flipped apk bit")
+	}
+
+	if err := run(ctx, append(campaign, "-resume")); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := run(ctx, audit); err != nil {
+		t.Errorf("audit after repairing resume: %v", err)
+	}
+}

@@ -67,6 +67,9 @@ func run(ctx context.Context) error {
 	faultRate := flag.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on the first attempt [0,1]")
 	faultPoison := flag.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
 	maxAttempts := flag.Int("max-attempts", 1, "run attempts per app before quarantine")
+	artifactDir := flag.String("artifacts", "", "persist per-run raw evidence into this directory")
+	journalPath := flag.String("journal", "", "append a checksummed write-ahead log of campaign progress to this file")
+	resume := flag.Bool("resume", false, "replay the -journal log and continue instead of restarting (requires the same -artifacts store)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
@@ -79,6 +82,12 @@ func run(ctx context.Context) error {
 	cfg.Seed = *seed
 	cfg.UseCollector = true // real UDP collection server
 	cfg.UseStore = true     // database-server round trip per apk
+	cfg.ArtifactDir = *artifactDir
+	cfg.Journal = *journalPath
+	cfg.Resume = *resume
+	if *resume && *journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
 	cfg.FaultRate = *faultRate
 	cfg.FaultPoisonRate = *faultPoison
 	cfg.MaxAttempts = *maxAttempts

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -17,9 +18,23 @@ import (
 	"libspector/internal/attribution"
 	"libspector/internal/corpus"
 	"libspector/internal/dex"
+	"libspector/internal/faults"
 	"libspector/internal/nets"
 	"libspector/internal/xposed"
 )
+
+// ErrCorruptArtifact marks stored evidence whose content fails integrity
+// verification — an apk whose sha256 no longer matches its directory key,
+// undecodable metadata, or torn report framing. Callers separate it from
+// plain I/O errors with errors.Is; resume requeues the affected run
+// instead of attributing from silently wrong evidence.
+var ErrCorruptArtifact = errors.New("dispatch: corrupt artifact")
+
+// corruptf wraps a content-integrity failure of one stored run with the
+// typed sentinel.
+func corruptf(sha, format string, args ...any) error {
+	return fmt.Errorf("%w %s: %s", ErrCorruptArtifact, sha, fmt.Sprintf(format, args...))
+}
 
 // Artifact persistence: the paper's workers send each run's packet capture
 // and method trace "to a central database for later evaluation" (§II-B3).
@@ -46,6 +61,9 @@ type RunMeta struct {
 // ArtifactStore reads and writes run artifacts under a root directory.
 type ArtifactStore struct {
 	dir string
+	// faults, when armed via SetFaults, injects silent bit rot into stored
+	// apks for crash-recovery testing (faults.ArtifactFlip).
+	faults *faults.Injector
 }
 
 // NewArtifactStore creates the root directory if needed.
@@ -147,7 +165,20 @@ func (s *ArtifactStore) Consume(ev RunEvent) error {
 		return nil
 	}
 	e := ev.Evidence
-	return s.Save(e.Meta, e.APK, e.Capture, e.RawReports, e.Trace)
+	if err := s.Save(e.Meta, e.APK, e.Capture, e.RawReports, e.Trace); err != nil {
+		return err
+	}
+	if s.faults != nil && s.faults.Enabled(faults.ArtifactFlip) {
+		// First-attempt plan only: the flip models post-commit disk rot,
+		// not a retryable run fault, so it must not depend on how many
+		// attempts the run itself took.
+		if plan := s.faults.For(ev.AppIndex, 1); plan.Class == faults.ArtifactFlip {
+			if err := s.flipStoredBit(e.Meta.SHA256, plan.Param); err != nil {
+				return fmt.Errorf("dispatch: injecting artifact flip: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // tmpPrefix marks in-flight Save directories; anything still carrying it is
@@ -205,7 +236,54 @@ type StoredRun struct {
 	Trace   map[string]struct{}
 }
 
-// Load reads one run's artifacts back.
+// decodeMeta parses and validates one stored meta.json against its run
+// directory key. Content failures wrap ErrCorruptArtifact.
+func decodeMeta(data []byte, sha string) (RunMeta, error) {
+	var meta RunMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return RunMeta{}, corruptf(sha, "parsing meta: %v", err)
+	}
+	if meta.SHA256 != sha {
+		return RunMeta{}, corruptf(sha, "meta sha %s does not match directory key", meta.SHA256)
+	}
+	if meta.Package == "" {
+		return RunMeta{}, corruptf(sha, "meta has no package name")
+	}
+	return meta, nil
+}
+
+// decodeReports parses a reports.bin image: length-prefixed supervisor
+// datagrams. Framing or decode failures wrap ErrCorruptArtifact.
+func decodeReports(data []byte, sha string) ([]*xposed.Report, error) {
+	var out []*xposed.Report
+	r := bytes.NewReader(data)
+	for r.Len() > 0 {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, corruptf(sha, "reading report length: %v", err)
+		}
+		if n > uint64(r.Len()) {
+			return nil, corruptf(sha, "report length %d exceeds remaining %d bytes", n, r.Len())
+		}
+		raw := make([]byte, n)
+		// io.ReadFull, not Read: a bare Read may return fewer bytes than
+		// requested without error, silently leaving the report truncated.
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return nil, corruptf(sha, "reading report body: %v", err)
+		}
+		rep, err := xposed.DecodeReport(raw)
+		if err != nil {
+			return nil, corruptf(sha, "decoding stored report: %v", err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Load reads one run's artifacts back, verifying the on-disk apk's
+// sha256 against its directory key. Content-integrity failures wrap the
+// typed ErrCorruptArtifact so callers never mistake bit rot for an I/O
+// hiccup — and never analyze silently wrong evidence.
 func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 	runDir := filepath.Join(s.dir, sha)
 	metaJSON, err := os.ReadFile(filepath.Join(runDir, "meta.json"))
@@ -213,11 +291,8 @@ func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 		return nil, fmt.Errorf("dispatch: reading meta: %w", err)
 	}
 	run := &StoredRun{}
-	if err := json.Unmarshal(metaJSON, &run.Meta); err != nil {
-		return nil, fmt.Errorf("dispatch: parsing meta: %w", err)
-	}
-	if run.Meta.SHA256 != sha {
-		return nil, fmt.Errorf("dispatch: meta sha %s does not match directory %s", run.Meta.SHA256, sha)
+	if run.Meta, err = decodeMeta(metaJSON, sha); err != nil {
+		return nil, err
 	}
 
 	apkBytes, err := os.ReadFile(filepath.Join(runDir, "app.apk"))
@@ -225,10 +300,10 @@ func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 		return nil, fmt.Errorf("dispatch: reading apk: %w", err)
 	}
 	if got := apk.Checksum(apkBytes); got != sha {
-		return nil, fmt.Errorf("dispatch: stored apk checksum %s does not match %s", got, sha)
+		return nil, corruptf(sha, "stored apk checksum %s does not match directory key", got)
 	}
 	if run.APK, err = apk.Decode(apkBytes); err != nil {
-		return nil, fmt.Errorf("dispatch: decoding stored apk: %w", err)
+		return nil, corruptf(sha, "decoding stored apk: %v", err)
 	}
 
 	if run.Capture, err = os.ReadFile(filepath.Join(runDir, "capture.pcap")); err != nil {
@@ -239,26 +314,8 @@ func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: reading reports: %w", err)
 	}
-	r := bytes.NewReader(reportBytes)
-	for r.Len() > 0 {
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("dispatch: reading report length: %w", err)
-		}
-		if n > uint64(r.Len()) {
-			return nil, fmt.Errorf("dispatch: report length %d exceeds remaining %d bytes", n, r.Len())
-		}
-		raw := make([]byte, n)
-		// io.ReadFull, not Read: a bare Read may return fewer bytes than
-		// requested without error, silently leaving the report truncated.
-		if _, err := io.ReadFull(r, raw); err != nil {
-			return nil, fmt.Errorf("dispatch: reading report body: %w", err)
-		}
-		rep, err := xposed.DecodeReport(raw)
-		if err != nil {
-			return nil, fmt.Errorf("dispatch: decoding stored report: %w", err)
-		}
-		run.Reports = append(run.Reports, rep)
+	if run.Reports, err = decodeReports(reportBytes, sha); err != nil {
+		return nil, err
 	}
 
 	traceFile, err := os.Open(filepath.Join(runDir, "trace.txt"))
@@ -278,6 +335,105 @@ func (s *ArtifactStore) Load(sha string) (*StoredRun, error) {
 		return nil, fmt.Errorf("dispatch: scanning trace: %w", err)
 	}
 	return run, nil
+}
+
+// Verify audits one stored run without decoding the apk into a program:
+// every artifact file must exist, the apk must hash to the directory key,
+// the metadata must parse and agree with the key, and the report framing
+// must decode. Missing files surface as plain errors; content damage
+// wraps ErrCorruptArtifact.
+func (s *ArtifactStore) Verify(sha string) error {
+	runDir := filepath.Join(s.dir, sha)
+	for _, f := range runFiles {
+		if _, err := os.Stat(filepath.Join(runDir, f)); err != nil {
+			return fmt.Errorf("dispatch: artifact %s missing %s: %w", sha, f, err)
+		}
+	}
+	metaJSON, err := os.ReadFile(filepath.Join(runDir, "meta.json"))
+	if err != nil {
+		return fmt.Errorf("dispatch: reading meta: %w", err)
+	}
+	if _, err := decodeMeta(metaJSON, sha); err != nil {
+		return err
+	}
+	apkBytes, err := os.ReadFile(filepath.Join(runDir, "app.apk"))
+	if err != nil {
+		return fmt.Errorf("dispatch: reading apk: %w", err)
+	}
+	if got := apk.Checksum(apkBytes); got != sha {
+		return corruptf(sha, "stored apk checksum %s does not match directory key", got)
+	}
+	reportBytes, err := os.ReadFile(filepath.Join(runDir, "reports.bin"))
+	if err != nil {
+		return fmt.Errorf("dispatch: reading reports: %w", err)
+	}
+	if _, err := decodeReports(reportBytes, sha); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AuditEntry is one damaged store entry in an AuditReport.
+type AuditEntry struct {
+	SHA string
+	Err error
+}
+
+// AuditReport is the store-wide integrity verdict.
+type AuditReport struct {
+	// OK lists entries that passed verification, sorted.
+	OK []string
+	// Corrupt lists entries whose content failed verification, sorted by
+	// sha; each Err wraps ErrCorruptArtifact for content damage.
+	Corrupt []AuditEntry
+	// Incomplete lists abandoned temp dirs and run dirs missing artifact
+	// files (from List), sorted.
+	Incomplete []string
+}
+
+// Clean reports whether the audit found nothing wrong.
+func (r *AuditReport) Clean() bool {
+	return len(r.Corrupt) == 0 && len(r.Incomplete) == 0
+}
+
+// Audit verifies every entry of the store and returns the typed
+// corruption report — the offline integrity sweep behind the
+// `libspector audit` subcommand and the resume cross-check.
+func (s *ArtifactStore) Audit() (*AuditReport, error) {
+	complete, incomplete, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	report := &AuditReport{Incomplete: incomplete}
+	for _, sha := range complete {
+		if err := s.Verify(sha); err != nil {
+			report.Corrupt = append(report.Corrupt, AuditEntry{SHA: sha, Err: err})
+		} else {
+			report.OK = append(report.OK, sha)
+		}
+	}
+	return report, nil
+}
+
+// SetFaults arms the store's crash-class fault hook: after a Save
+// triggered by an EventRun whose app's plan is faults.ArtifactFlip, one
+// bit of the stored apk is flipped in place — silent bit rot for the
+// audit and resume paths to detect.
+func (s *ArtifactStore) SetFaults(inj *faults.Injector) { s.faults = inj }
+
+// flipStoredBit corrupts one stored apk byte, deterministically derived
+// from the plan parameter.
+func (s *ArtifactStore) flipStoredBit(sha string, param uint64) error {
+	path := filepath.Join(s.dir, sha, "app.apk")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	data[param%uint64(len(data))] ^= 1 << ((param >> 32) % 8)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // Reanalyze runs the offline analysis over every stored run — the "later

@@ -1,0 +1,45 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzArtifactMeta hammers the meta.json decoder with arbitrary bytes: it
+// must never panic, must reject any meta whose sha disagrees with the
+// directory key, and every rejection must carry the typed corruption
+// sentinel.
+func FuzzArtifactMeta(f *testing.F) {
+	sha := strings.Repeat("a", 64)
+	valid, err := json.Marshal(RunMeta{
+		Package:    "com.example.app",
+		SHA256:     sha,
+		Events:     500,
+		RecordedAt: time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("{}"))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"sha256":"` + strings.Repeat("b", 64) + `","package":"x"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, err := decodeMeta(data, sha)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptArtifact) {
+				t.Fatalf("decodeMeta rejection untyped: %v", err)
+			}
+			return
+		}
+		if meta.SHA256 != sha {
+			t.Fatalf("accepted meta with sha %q for key %q", meta.SHA256, sha)
+		}
+		if meta.Package == "" {
+			t.Fatal("accepted meta without package")
+		}
+	})
+}

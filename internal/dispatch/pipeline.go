@@ -11,6 +11,7 @@ import (
 	"libspector/internal/dex"
 	"libspector/internal/emulator"
 	"libspector/internal/faults"
+	"libspector/internal/journal"
 	"libspector/internal/libradar"
 	"libspector/internal/nets"
 	"libspector/internal/obs"
@@ -83,6 +84,25 @@ type Config struct {
 	// measurements are suppressed when the telemetry is virtual, so
 	// deterministic experiments snapshot byte-identically.
 	Telemetry *obs.Telemetry
+	// Journal, when set, durably records every campaign lifecycle event —
+	// run started, run completed (after the collector drain), run
+	// quarantined — so a killed campaign can resume instead of restarting
+	// from app #1. A journal append failure is stream-fatal: a durability
+	// log that silently drops records is worse than none.
+	Journal *journal.Writer
+	// Resume, when set, is the replayed journal of the interrupted
+	// campaign: apps with a recorded terminal outcome are folded back into
+	// the stream (completed runs reconstructed from Artifacts, their
+	// evidence cross-checked against the recorded sha) instead of re-run,
+	// and in-flight apps are requeued. The caller is responsible for
+	// verifying the journal header against the campaign configuration
+	// first (journal.Header.Match).
+	Resume *journal.Replay
+	// Artifacts is the store completed runs are reconstructed from on
+	// resume. Required when Resume records any completed run; runs whose
+	// evidence is missing or corrupt (ErrCorruptArtifact) are requeued
+	// live rather than trusted.
+	Artifacts *ArtifactStore
 }
 
 // RunFailure records one failed app run in ContinueOnError mode.
@@ -280,9 +300,12 @@ type runEnv struct {
 // attribution. The returned evidence is non-nil only when
 // cfg.EmitEvidence is set. attempt is 1-based; retries re-enter with the
 // same index and a higher attempt so fault injection can distinguish
-// transient from poison faults. parent, when non-nil, is the run's
-// dispatch span; the stages hang their child spans off it.
-func (env *runEnv) runOne(ctx context.Context, i, attempt int, parent *obs.Span) (*attribution.RunResult, *RunEvidence, bool, error) {
+// transient from poison faults. requeued marks a run handed back by
+// resume: the collector may hold the dead campaign's datagrams for this
+// apk, which must be forgotten exactly like a failed attempt's. parent,
+// when non-nil, is the run's dispatch span; the stages hang their child
+// spans off it.
+func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, parent *obs.Span) (*attribution.RunResult, *RunEvidence, bool, error) {
 	source, resolver, cfg, store, collector, client := env.source, env.resolver, env.cfg, env.store, env.collector, env.client
 	app, err := source.GenerateApp(i)
 	if err != nil {
@@ -332,12 +355,14 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, parent *obs.Span)
 	if client != nil {
 		opts.ReportSink = client.Send
 	}
-	if collector != nil && attempt > 1 {
-		// Drop the failed attempt's datagrams so they don't pollute this
-		// attempt's attribution input. Stragglers that drain in after the
-		// reset are harmless: the collector groups each distinct payload
-		// once, and a deterministic retry resends byte-identical reports,
-		// so either copy converges the group to exactly this run's set.
+	if collector != nil && (attempt > 1 || requeued) {
+		// Drop the failed attempt's datagrams — or, for a run requeued by
+		// resume, whatever the interrupted campaign left behind — so they
+		// don't pollute this attempt's attribution input. Stragglers that
+		// drain in after the reset are harmless: the collector groups each
+		// distinct payload once, and a deterministic retry resends
+		// byte-identical reports, so either copy converges the group to
+		// exactly this run's set.
 		collector.Forget(sha)
 	}
 	if cfg.Faults != nil {
@@ -466,7 +491,7 @@ func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*a
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
 	}
 	env := &runEnv{source: source, resolver: resolver, cfg: cfg, tel: cfg.Telemetry}
-	run, _, skipped, err := env.runOne(context.Background(), index, 1, nil)
+	run, _, skipped, err := env.runOne(context.Background(), index, 1, false, nil)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
 	}

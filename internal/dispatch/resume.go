@@ -1,0 +1,172 @@
+package dispatch
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"libspector/internal/attribution"
+	"libspector/internal/dex"
+	"libspector/internal/journal"
+	"libspector/internal/nets"
+	"libspector/internal/obs"
+)
+
+// Resume: replaying journaled outcomes back into a restarted stream.
+//
+// A resumed campaign must end byte-identical to an uninterrupted same-seed
+// run, so a replayed app follows the live path everywhere the live path
+// has observable effects — the detector sees the same ObserveApp calls,
+// the accounting ledger and obs counters fold the same attempts/backoff,
+// and completed runs re-enter the stream as EventRun with results
+// reconstructed from their stored evidence (the same offline analysis the
+// live run performed, over the same bytes). The one thing a replay never
+// does is trust silently: the stored apk is re-hashed against the
+// journal-recorded sha, and any missing or corrupt evidence demotes the
+// replay to a live requeued run.
+
+// replayApp folds one journaled terminal outcome back into the stream
+// without re-running the app.
+func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
+	root := f.tel.Trace(TraceID(i)).Span(obs.SpanDispatch, f.tel.Now())
+	root.AttrInt("app", int64(i)).Attr("resume", "replay")
+	finish := func(outcome string) {
+		root.Attr("outcome", outcome).AttrInt("attempts", int64(rec.Attempts)).End(f.tel.Now())
+	}
+	if rec.Outcome == journal.OutcomeRun {
+		run, err := f.reconstructRun(env, i, rec)
+		if err != nil {
+			// The journal says done but the evidence doesn't back it up:
+			// requeue the run live rather than fabricate a result. The
+			// requeued run re-saves fresh evidence over the damaged entry.
+			root.Attr("outcome", "requeue").Attr("reason", err.Error()).End(f.tel.Now())
+			f.tel.Counter(obs.MResumeRequeued).Inc()
+			f.runApp(env, i, true)
+			return
+		}
+		f.foldReplayed(rec)
+		f.mu.Lock()
+		f.completed++
+		if rec.Attempts > 1 {
+			f.retried++
+		}
+		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetCompleted).Inc()
+		if rec.Attempts > 1 {
+			f.tel.Counter(obs.MFleetRetries).Inc()
+		}
+		finish("run")
+		f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run})
+		return
+	}
+	// Non-run outcomes replay without touching the store, but still feed
+	// the detector exactly as their live first attempt did.
+	if rec.Outcome == journal.OutcomeFailed || rec.Quarantined {
+		f.observeReplayed(env, i)
+	}
+	f.foldReplayed(rec)
+	switch {
+	case rec.Outcome == journal.OutcomeSkip:
+		f.mu.Lock()
+		f.skipped++
+		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetSkipped).Inc()
+		finish("skip")
+		f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
+	case rec.Quarantined:
+		q := QuarantinedApp{AppIndex: i, Attempts: rec.Attempts, LastErr: errors.New(rec.Error)}
+		f.mu.Lock()
+		f.quarantined = append(f.quarantined, q)
+		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetQuarantined).Inc()
+		finish("quarantine")
+		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: q.LastErr, Quarantine: &q})
+	default:
+		// A replayed failure is historical: it never aborts the stream,
+		// even in fail-fast mode — the operator chose to resume past it.
+		err := errors.New(rec.Error)
+		f.mu.Lock()
+		f.failures = append(f.failures, RunFailure{AppIndex: i, Err: err, Attempts: rec.Attempts})
+		f.mu.Unlock()
+		f.tel.Counter(obs.MFleetFailed).Inc()
+		finish("failure")
+		f.emit(RunEvent{Kind: EventFailure, AppIndex: i, Err: err})
+	}
+}
+
+// foldReplayed charges one journaled outcome's retry accounting to the
+// fleet ledger and metrics, so resumed totals match an uninterrupted run.
+func (f *fleetRun) foldReplayed(rec journal.AppOutcome) {
+	f.mu.Lock()
+	f.attempts += rec.Attempts
+	f.backoff += rec.Backoff
+	f.mu.Unlock()
+	f.tel.Counter(obs.MFleetAttempts).Add(int64(rec.Attempts))
+	f.tel.Counter(obs.MFleetBackoffMS).Add(rec.BackoffMS)
+	f.tel.Counter(obs.MResumeReplayed).Inc()
+}
+
+// observeReplayed feeds the detector the replayed app's package prefixes,
+// mirroring the live first attempt (which observes after the ABI filter
+// and before the emulator run — so failed and quarantined apps were
+// observed too). Generation failures are tolerated: if the app cannot be
+// generated now, it could not have been observed then either.
+func (f *fleetRun) observeReplayed(env *runEnv, i int) {
+	if f.cfg.Detector == nil {
+		return
+	}
+	app, err := env.source.GenerateApp(i)
+	if err != nil || !app.APK.SupportsX86() {
+		return
+	}
+	_ = f.cfg.Detector.ObserveApp(app.APK.Manifest.Package, app.Program.Dex.Packages())
+}
+
+// reconstructRun rebuilds a completed run's attribution result from the
+// artifact store: regenerate the app (the corpus is deterministic),
+// cross-check the journal-recorded sha against both the regenerated apk
+// and the stored evidence, feed the detector, and re-run the same offline
+// analysis over the stored bytes. Any integrity failure is returned for
+// the caller to requeue.
+func (f *fleetRun) reconstructRun(env *runEnv, i int, rec journal.AppOutcome) (*attribution.RunResult, error) {
+	cfg := f.cfg
+	app, err := env.source.GenerateApp(i)
+	if err != nil {
+		return nil, fmt.Errorf("regenerating app: %w", err)
+	}
+	if rec.ArtifactSHA == "" {
+		return nil, fmt.Errorf("journaled run has no artifact sha")
+	}
+	if rec.ArtifactSHA != app.SHA256 {
+		return nil, fmt.Errorf("journaled sha %s does not match regenerated apk %s", rec.ArtifactSHA, app.SHA256)
+	}
+	stored, err := cfg.Artifacts.Load(rec.ArtifactSHA)
+	if err != nil {
+		return nil, fmt.Errorf("loading evidence: %w", err)
+	}
+	pack := app.APK
+	if cfg.Detector != nil {
+		if err := cfg.Detector.ObserveApp(pack.Manifest.Package, app.Program.Dex.Packages()); err != nil {
+			return nil, err
+		}
+	}
+	attrSpan := f.tel.Trace(TraceID(i)).Span(obs.SpanAttribution, f.tel.Now())
+	run, err := cfg.Attributor.AnalyzeRun(attribution.RunInput{
+		AppSHA:        app.SHA256,
+		AppPackage:    pack.Manifest.Package,
+		AppCategory:   pack.Manifest.Category,
+		Capture:       bytes.NewReader(stored.Capture),
+		Reports:       stored.Reports,
+		Trace:         stored.Trace,
+		Disassembly:   dex.DisassembleFile(app.Program.Dex),
+		LocalAddr:     nets.DefaultLocalAddr,
+		CollectorAddr: nets.DefaultCollectorAddr,
+		CollectorPort: nets.DefaultCollectorPort,
+	})
+	if err != nil {
+		attrSpan.Attr("outcome", "error").End(f.tel.Now())
+		return nil, fmt.Errorf("reattributing stored evidence: %w", err)
+	}
+	attrSpan.AttrInt("flows", int64(len(run.Flows))).End(f.tel.Now())
+	return run, nil
+}

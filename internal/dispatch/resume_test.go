@@ -1,0 +1,563 @@
+package dispatch_test
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"libspector/internal/dispatch"
+	"libspector/internal/faults"
+	"libspector/internal/journal"
+)
+
+// journaledCampaign bundles everything one durable fleet run needs.
+type journaledCampaign struct {
+	seed    uint64
+	apps    int
+	workers int
+	store   *dispatch.ArtifactStore
+}
+
+// config assembles the campaign's dispatch config. w journals the run; rep
+// (and the artifact store) drive resume when non-nil.
+func (c *journaledCampaign) config(t *testing.T, w *journal.Writer, rep *journal.Replay, inj *faults.Injector) dispatch.Config {
+	t.Helper()
+	world := smallWorld(t, c.seed, c.apps)
+	workers := c.workers
+	if workers == 0 {
+		workers = 3
+	}
+	// No collector: its UDP drain can time out under host load, retrying
+	// an app nondeterministically — fine for a real campaign (retries
+	// absorb it), fatal for a byte-identity comparison. The in-process
+	// report path is deterministic; collector interplay with resume is
+	// covered by TestRequeuedRunForgetsStaleCollectorState.
+	cfg := dispatch.Config{
+		Workers:         workers,
+		Emulator:        shortOpts(c.seed),
+		BaseSeed:        c.seed,
+		UseStore:        true,
+		Attributor:      newAttributor(t, c.seed, world),
+		EmitEvidence:    true,
+		ContinueOnError: true,
+		MaxAttempts:     3,
+		RetryBackoff:    time.Second,
+		Clock:           retryClock(),
+		Faults:          inj,
+		Journal:         w,
+		Resume:          rep,
+	}
+	if rep != nil {
+		cfg.Artifacts = c.store
+	}
+	return cfg
+}
+
+func (c *journaledCampaign) run(t *testing.T, w *journal.Writer, rep *journal.Replay, inj *faults.Injector) (*dispatch.Result, error) {
+	t.Helper()
+	world := smallWorld(t, c.seed, c.apps)
+	return dispatch.RunAll(world, world.Resolver, c.config(t, w, rep, inj), c.store)
+}
+
+func (c *journaledCampaign) header() journal.Header {
+	return journal.Header{Seed: c.seed, Fingerprint: "test-fp", Apps: c.apps}
+}
+
+// sameOutcome asserts a resumed campaign's externally visible results are
+// byte-identical to the uninterrupted baseline: runs, the accounting
+// ledger, and the failure/quarantine rosters (compared by index, attempt
+// count, and error text — a replayed error is reconstructed from its
+// recorded text, so pointer identity never holds).
+func sameOutcome(t *testing.T, base, got *dispatch.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(base.Runs, got.Runs) {
+		t.Errorf("resumed runs differ from uninterrupted baseline (%d vs %d runs)", len(got.Runs), len(base.Runs))
+	}
+	if base.Accounting != got.Accounting {
+		t.Errorf("accounting differs:\nbase    %+v\nresumed %+v", base.Accounting, got.Accounting)
+	}
+	if base.SkippedARMOnly != got.SkippedARMOnly {
+		t.Errorf("skips differ: base %d, resumed %d", base.SkippedARMOnly, got.SkippedARMOnly)
+	}
+	if len(base.Failures) != len(got.Failures) {
+		t.Fatalf("failures differ: base %d, resumed %d", len(base.Failures), len(got.Failures))
+	}
+	for i := range base.Failures {
+		b, g := base.Failures[i], got.Failures[i]
+		if b.AppIndex != g.AppIndex || b.Attempts != g.Attempts || b.Err.Error() != g.Err.Error() {
+			t.Errorf("failure %d differs: base %+v, resumed %+v", i, b, g)
+		}
+	}
+	if len(base.Quarantined) != len(got.Quarantined) {
+		t.Fatalf("quarantines differ: base %d, resumed %d", len(base.Quarantined), len(got.Quarantined))
+	}
+	for i := range base.Quarantined {
+		b, g := base.Quarantined[i], got.Quarantined[i]
+		if b.AppIndex != g.AppIndex || b.Attempts != g.Attempts || b.LastErr.Error() != g.LastErr.Error() {
+			t.Errorf("quarantine %d differs: base %+v, resumed %+v", i, b, g)
+		}
+	}
+}
+
+// recordBoundaries parses the journal's framing and returns the byte
+// offset after each complete record.
+func recordBoundaries(data []byte) []int64 {
+	var offs []int64
+	var off int64
+	for off+8 <= int64(len(data)) {
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		end := off + 8 + length
+		if end > int64(len(data)) {
+			break
+		}
+		off = end
+		offs = append(offs, off)
+	}
+	return offs
+}
+
+// TestJournalRecordsCampaignLifecycle: a journaled campaign leaves a
+// replayable log whose outcome census matches the accounting ledger, with
+// every completed run's artifact sha present in the store.
+func TestJournalRecordsCampaignLifecycle(t *testing.T) {
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 151, apps: 10, store: store}
+	inj := newInjector(t, faults.Config{Seed: 151, Rate: 0.5, PoisonRate: 0.4,
+		Classes: []faults.Class{faults.EmulatorAbort, faults.DatagramDrop}})
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	w, err := journal.Create(path, c.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.run(t, w, nil, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := journal.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornBytes != 0 || len(rep.InFlight) != 0 {
+		t.Fatalf("clean campaign left torn bytes %d, in-flight %v", rep.TornBytes, rep.InFlight)
+	}
+	if got := rep.Header; got.Match(c.header()) != nil {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(rep.Outcomes) != c.apps {
+		t.Fatalf("journal holds %d outcomes, want %d", len(rep.Outcomes), c.apps)
+	}
+	var completed, skipped, quarantined, failed int
+	complete, _, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := make(map[string]bool, len(complete))
+	for _, sha := range complete {
+		stored[sha] = true
+	}
+	for app, rec := range rep.Outcomes {
+		switch {
+		case rec.Quarantined:
+			quarantined++
+			if rec.Error == "" {
+				t.Errorf("app %d quarantined without error text", app)
+			}
+		case rec.Outcome == journal.OutcomeRun:
+			completed++
+			if !stored[rec.ArtifactSHA] {
+				t.Errorf("app %d journaled sha %s not in store", app, rec.ArtifactSHA)
+			}
+		case rec.Outcome == journal.OutcomeSkip:
+			skipped++
+		case rec.Outcome == journal.OutcomeFailed:
+			failed++
+		}
+	}
+	acct := res.Accounting
+	if completed != acct.Completed || skipped != acct.SkippedARMOnly ||
+		quarantined != acct.Quarantined || failed != acct.Failed {
+		t.Errorf("journal census run/skip/quarantine/fail = %d/%d/%d/%d, ledger %d/%d/%d/%d",
+			completed, skipped, quarantined, failed,
+			acct.Completed, acct.SkippedARMOnly, acct.Quarantined, acct.Failed)
+	}
+}
+
+// TestResumeAtEveryRecordBoundaryByteIdentical is the kill sweep: a
+// campaign killed after any record — simulated by truncating the journal
+// at each boundary — must resume to results byte-identical to the
+// uninterrupted same-seed run.
+func TestResumeAtEveryRecordBoundaryByteIdentical(t *testing.T) {
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 157, apps: 10, store: store}
+	inj := newInjector(t, faults.Config{Seed: 157, Rate: 0.5, PoisonRate: 0.3,
+		Classes: []faults.Class{faults.EmulatorAbort}})
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.journal")
+	w, err := journal.Create(basePath, c.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.run(t, w, nil, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := recordBoundaries(data)
+	if len(boundaries) < 2*c.apps {
+		t.Fatalf("only %d journal records for %d apps", len(boundaries), c.apps)
+	}
+
+	for k, cut := range boundaries {
+		path := filepath.Join(dir, "cut.journal")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rw, rep, err := journal.Recover(path, journal.Options{SyncEvery: 1})
+		if err != nil {
+			t.Fatalf("boundary %d: recover: %v", k, err)
+		}
+		if err := rep.Header.Match(c.header()); err != nil {
+			t.Fatalf("boundary %d: %v", k, err)
+		}
+		res, err := c.run(t, rw, rep, inj)
+		if err != nil {
+			t.Fatalf("boundary %d (%d records replayed): resume failed: %v", k, rep.Records, err)
+		}
+		if err := rw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, base, res)
+		if t.Failed() {
+			t.Fatalf("boundary %d (%d records replayed, %d outcomes) diverged", k, rep.Records, len(rep.Outcomes))
+		}
+		// The resumed journal must itself replay to the full campaign.
+		after, err := journal.Read(path)
+		if err != nil {
+			t.Fatalf("boundary %d: resumed journal unreadable: %v", k, err)
+		}
+		if len(after.Outcomes) != c.apps || len(after.InFlight) != 0 {
+			t.Fatalf("boundary %d: resumed journal holds %d outcomes, %d in flight",
+				k, len(after.Outcomes), len(after.InFlight))
+		}
+	}
+}
+
+// TestJournalCrashFaultResumesClean drives the journal-crash class end to
+// end: the campaign dies between the journal append and the evidence
+// commit, and the resumed campaign — crash faults disabled, as an
+// operator would — requeues the orphaned runs and converges to the clean
+// baseline.
+func TestJournalCrashFaultResumesClean(t *testing.T) {
+	baseStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 163, apps: 8, store: baseStore}
+	base, err := c.run(t, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := &journaledCampaign{seed: 163, apps: 8, store: crashStore}
+	path := filepath.Join(t.TempDir(), "crash.journal")
+	w, err := journal.Create(path, crashed.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(t, faults.Config{Seed: 163, Rate: 1,
+		Classes: []faults.Class{faults.JournalCrash}})
+	_, err = crashed.run(t, w, nil, inj)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("crash fault did not kill the campaign: %v", err)
+	}
+	_ = w.Close()
+
+	rw, rep, err := journal.Recover(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The journal claims completions whose evidence never reached the
+	// store — resume must requeue them, not fabricate results.
+	orphans := 0
+	for _, rec := range rep.Outcomes {
+		if rec.Outcome == journal.OutcomeRun {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Fatal("crash fault journaled no orphaned completions")
+	}
+	res, err := crashed.run(t, rw, rep, nil)
+	if err != nil {
+		t.Fatalf("resume after journal-crash failed: %v", err)
+	}
+	_ = rw.Close()
+	sameOutcome(t, base, res)
+}
+
+// TestJournalTearFaultResumesClean drives the torn-write class: the
+// campaign dies mid-append, recovery truncates the torn frame, and the
+// interrupted app — started but never terminally recorded — is requeued.
+func TestJournalTearFaultResumesClean(t *testing.T) {
+	baseStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 167, apps: 8, store: baseStore}
+	base, err := c.run(t, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tornStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := &journaledCampaign{seed: 167, apps: 8, store: tornStore}
+	path := filepath.Join(t.TempDir(), "torn.journal")
+	w, err := journal.Create(path, torn.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := newInjector(t, faults.Config{Seed: 167, Rate: 1,
+		Classes: []faults.Class{faults.JournalTear}})
+	_, err = torn.run(t, w, nil, inj)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("tear fault did not kill the campaign: %v", err)
+	}
+	_ = w.Close()
+
+	rep0, err := journal.Read(path)
+	if err != nil {
+		t.Fatalf("torn journal must replay (torn tail is recoverable): %v", err)
+	}
+	if rep0.TornBytes == 0 {
+		t.Fatal("tear fault left no torn tail")
+	}
+	rw, rep, err := journal.Recover(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := torn.run(t, rw, rep, nil)
+	if err != nil {
+		t.Fatalf("resume after torn write failed: %v", err)
+	}
+	_ = rw.Close()
+	sameOutcome(t, base, res)
+}
+
+// TestResumeRequeuesCorruptEvidence is the acceptance path: a bit flipped
+// in stored evidence after the campaign is caught by the audit, and a
+// resume re-runs exactly that app — repairing the store — instead of
+// attributing from rotten bytes.
+func TestResumeRequeuesCorruptEvidence(t *testing.T) {
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 173, apps: 8, store: store}
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	w, err := journal.Create(path, c.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.run(t, w, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	complete, _, err := store.List()
+	if err != nil || len(complete) == 0 {
+		t.Fatalf("List = %v, %v", complete, err)
+	}
+	victim := complete[0]
+	flipByte(t, store, victim, "app.apk", 42)
+
+	report, err := store.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Corrupt) != 1 || report.Corrupt[0].SHA != victim {
+		t.Fatalf("audit = %+v, want exactly the flipped entry", report.Corrupt)
+	}
+
+	rw, rep, err := journal.Recover(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.run(t, rw, rep, nil)
+	if err != nil {
+		t.Fatalf("resume over corrupt evidence failed: %v", err)
+	}
+	_ = rw.Close()
+	sameOutcome(t, base, res)
+
+	// The requeued run re-saved fresh evidence: the store is whole again.
+	report, err = store.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Errorf("resume left the store damaged: %+v", report)
+	}
+}
+
+// TestResume500AppKillByteIdentical kills a 500-app campaign at an
+// arbitrary record boundary and asserts the resumed campaign matches the
+// uninterrupted baseline — the paper-scale durability guarantee.
+func TestResume500AppKillByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-app resume campaign skipped in -short")
+	}
+	store, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 179, apps: 500, workers: 8, store: store}
+	inj := newInjector(t, faults.Config{Seed: 179, Rate: 0.2, PoisonRate: 0.2,
+		Classes: []faults.Class{faults.EmulatorAbort, faults.HookFault}})
+
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.journal")
+	w, err := journal.Create(basePath, c.header(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.run(t, w, nil, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := recordBoundaries(data)
+	// An arbitrary mid-campaign kill point: roughly two thirds through the
+	// record stream, cutting through in-flight and completed apps alike.
+	cut := boundaries[2*len(boundaries)/3]
+	path := filepath.Join(dir, "killed.journal")
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rw, rep, err := journal.Recover(path, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.run(t, rw, rep, inj)
+	if err != nil {
+		t.Fatalf("500-app resume failed: %v", err)
+	}
+	_ = rw.Close()
+	sameOutcome(t, base, res)
+	if len(rep.Outcomes) == 0 {
+		t.Error("kill point replayed no outcomes — sweep degenerated to a full re-run")
+	}
+}
+
+// TestCancelledCampaignResumesClean: a SIGINT-style cancellation makes
+// every in-flight attempt fail with a context error. Those failures are
+// the shutdown's artifact, not the apps' history — journaling them as
+// terminal outcomes would make every resume replay a "context canceled"
+// failure forever. The killed apps must stay in-flight in the journal,
+// and the resumed campaign must land byte-identical to an uninterrupted
+// same-seed run.
+func TestCancelledCampaignResumesClean(t *testing.T) {
+	baseStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &journaledCampaign{seed: 197, apps: 12, store: baseStore}
+	base, err := c.run(t, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killStore, err := dispatch.NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := &journaledCampaign{seed: 197, apps: 12, store: killStore}
+	path := filepath.Join(t.TempDir(), "cancel.journal")
+	w, err := journal.Create(path, killed.header(), journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := smallWorld(t, killed.seed, killed.apps)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events, err := dispatch.Stream(ctx, world, world.Resolver, killed.config(t, w, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs int
+	_, runErr := dispatch.Gather(events, killStore, dispatch.SinkFunc(func(ev dispatch.RunEvent) error {
+		if ev.Kind == dispatch.EventRun {
+			if runs++; runs == 3 {
+				cancel()
+			}
+		}
+		return nil
+	}))
+	if runErr == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No terminal record may have been fabricated from the cancellation.
+	rw, rep, err := journal.Recover(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, rec := range rep.Outcomes {
+		if strings.Contains(rec.Error, "context canceled") {
+			t.Errorf("app %d journaled the shutdown as its outcome: %q", app, rec.Error)
+		}
+	}
+	if len(rep.Outcomes) >= killed.apps {
+		t.Fatalf("cancellation left no work to resume (%d outcomes)", len(rep.Outcomes))
+	}
+
+	resumed, err := killed.run(t, rw, rep, nil)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sameOutcome(t, base, resumed)
+}

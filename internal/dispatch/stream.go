@@ -10,6 +10,7 @@ import (
 
 	"libspector/internal/attribution"
 	"libspector/internal/faults"
+	"libspector/internal/journal"
 	"libspector/internal/nets"
 	"libspector/internal/obs"
 )
@@ -161,6 +162,15 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		// front beats a fleet that silently hangs forever.
 		return nil, fmt.Errorf("dispatch: stall-run faults need a RunTimeout to reclaim hung workers")
 	}
+	if cfg.Resume != nil && cfg.Artifacts == nil {
+		for _, rec := range cfg.Resume.Outcomes {
+			if rec.Outcome == journal.OutcomeRun {
+				// Completed runs are reconstructed from stored evidence, not
+				// re-run; without the store their results are unrecoverable.
+				return nil, fmt.Errorf("dispatch: resuming journaled runs needs the artifact store")
+			}
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -204,6 +214,10 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		obs.MCollectorDropped,
 	} {
 		f.tel.Counter(name)
+	}
+	if cfg.Resume != nil {
+		f.tel.Counter(obs.MResumeReplayed)
+		f.tel.Counter(obs.MResumeRequeued)
 	}
 	go f.run(workers, source.NumApps())
 	return f.events, nil
@@ -333,6 +347,16 @@ func (f *fleetRun) emit(ev RunEvent) {
 	}
 }
 
+// job is one unit of worker work: an app index, plus — when resuming —
+// either its journaled terminal outcome (replay instead of re-running) or
+// a requeue marker (the crash caught it in flight; run it live and clear
+// any stale collector state first).
+type job struct {
+	idx      int
+	rec      *journal.AppOutcome
+	requeued bool
+}
+
 func (f *fleetRun) run(workers, numApps int) {
 	start := time.Now()
 	defer close(f.events)
@@ -340,7 +364,7 @@ func (f *fleetRun) run(workers, numApps int) {
 		defer func() { _ = f.collector.Close() }()
 	}
 
-	jobs := make(chan int)
+	jobs := make(chan job)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -351,8 +375,17 @@ func (f *fleetRun) run(workers, numApps int) {
 	}
 feed:
 	for i := 0; i < numApps; i++ {
+		j := job{idx: i}
+		if f.cfg.Resume != nil {
+			if rec, done := f.cfg.Resume.Outcomes[i]; done {
+				r := rec
+				j.rec = &r
+			} else if f.cfg.Resume.InFlight[i] {
+				j.requeued = true
+			}
+		}
 		select {
-		case jobs <- i:
+		case jobs <- j:
 		case <-f.ctx.Done():
 			break feed
 		case <-f.stop:
@@ -402,7 +435,7 @@ feed:
 // stops. A collector-dial failure is an infrastructure fault: it aborts the
 // stream as one structured failure instead of silently consuming — and
 // thereby poisoning — every remaining job.
-func (f *fleetRun) worker(jobs <-chan int) {
+func (f *fleetRun) worker(jobs <-chan job) {
 	var client *Client
 	if f.collector != nil {
 		var err error
@@ -424,12 +457,16 @@ func (f *fleetRun) worker(jobs <-chan int) {
 		tel:       f.tel,
 	}
 	busy := f.tel.Gauge(obs.MFleetWorkersBusy)
-	for i := range jobs {
+	for j := range jobs {
 		if f.ctx.Err() != nil || f.stopped() {
 			return
 		}
 		busy.Add(1)
-		f.runApp(env, i)
+		if j.rec != nil {
+			f.replayApp(env, j.idx, *j.rec)
+		} else {
+			f.runApp(env, j.idx, j.requeued)
+		}
 		busy.Add(-1)
 	}
 }
@@ -438,15 +475,65 @@ func (f *fleetRun) worker(jobs <-chan int) {
 // index in the serialized JSONL.
 func TraceID(i int) string { return fmt.Sprintf("app-%05d", i) }
 
+// journalAppend records one lifecycle event. An append failure is
+// stream-fatal: continuing past it would leave a journal that lies about
+// campaign history, so the fleet aborts instead. Returns false when the
+// caller must stop.
+func (f *fleetRun) journalAppend(err error) bool {
+	if err == nil {
+		return true
+	}
+	f.abort(-1, fmt.Errorf("dispatch: journal append: %w", err))
+	return false
+}
+
+// crashFault fires the journal crash classes on a run that just
+// completed: JournalCrash records the completion durably, then dies
+// before the event (and therefore its evidence) reaches any sink — the
+// journal says done, the store disagrees. JournalTear dies mid-append,
+// leaving a torn frame for recovery to truncate. Both abort the stream
+// the way a killed process would; returns true when the run was consumed
+// by a crash.
+func (f *fleetRun) crashFault(i, attempts int, sha string, backoff time.Duration, backoffMS int64) bool {
+	if f.cfg.Journal == nil || f.cfg.Faults == nil {
+		return false
+	}
+	// Attempt 1 on purpose: the crash models the host dying after the
+	// run, not a retryable run fault, so it must not evaporate just
+	// because the run itself needed a retry.
+	plan := f.cfg.Faults.For(i, 1)
+	switch plan.Class {
+	case faults.JournalCrash:
+		_ = f.cfg.Journal.RunCompleted(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "")
+		_ = f.cfg.Journal.Sync()
+		f.abort(i, fmt.Errorf("dispatch: app %d: journal-crash %w after commit", i, faults.ErrInjected))
+		return true
+	case faults.JournalTear:
+		f.cfg.Journal.InjectTear()
+		err := f.cfg.Journal.RunCompleted(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "")
+		f.abort(i, fmt.Errorf("dispatch: app %d: journal-tear %w: %v", i, faults.ErrInjected, err))
+		return true
+	}
+	return false
+}
+
 // runApp drives one app through its attempt budget: run, and on failure
 // retry with exponential backoff until the budget is spent. Exhausting the
 // budget quarantines the app in ContinueOnError mode (the fleet keeps
 // going, the app is reported with its attempt count and last error) and
-// aborts the stream otherwise.
-func (f *fleetRun) runApp(env *runEnv, i int) {
+// aborts the stream otherwise. With a journal configured, the app's
+// lifecycle is recorded durably: started before the first attempt, its
+// terminal outcome — with the retry accounting it consumed — after the
+// collector drain. requeued marks a run handed back by resume.
+func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 	maxAttempts := f.cfg.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
+	}
+	if f.cfg.Journal != nil {
+		if !f.journalAppend(f.cfg.Journal.RunStarted(i)) {
+			return
+		}
 	}
 	// The app's dispatch root span covers every attempt, the backoff
 	// between them, and the stage children runOne hangs off it. Host-side
@@ -460,9 +547,14 @@ func (f *fleetRun) runApp(env *runEnv, i int) {
 	}
 	var lastErr error
 	attemptsUsed := 0
+	// Per-app backoff tallies mirror the fleet totals so the journal can
+	// replicate exactly what this app charged (BackoffMS carries the
+	// per-wait millisecond truncation the live metrics counter applies).
+	var appBackoff time.Duration
+	var appBackoffMS int64
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		ctx, cancel := f.attemptCtx()
-		run, evidence, skip, err := env.runOne(ctx, i, attempt, root)
+		run, evidence, skip, err := env.runOne(ctx, i, attempt, requeued, root)
 		cancel()
 		attemptsUsed = attempt
 		f.mu.Lock()
@@ -471,6 +563,11 @@ func (f *fleetRun) runApp(env *runEnv, i int) {
 		f.tel.Counter(obs.MFleetAttempts).Inc()
 		switch {
 		case err == nil && skip:
+			if f.cfg.Journal != nil {
+				if !f.journalAppend(f.cfg.Journal.RunCompleted(i, journal.OutcomeSkip, "", attemptsUsed, appBackoff, appBackoffMS, "")) {
+					return
+				}
+			}
 			f.mu.Lock()
 			f.skipped++
 			f.mu.Unlock()
@@ -479,6 +576,14 @@ func (f *fleetRun) runApp(env *runEnv, i int) {
 			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
 			return
 		case err == nil:
+			if f.crashFault(i, attemptsUsed, run.AppSHA, appBackoff, appBackoffMS) {
+				return
+			}
+			if f.cfg.Journal != nil {
+				if !f.journalAppend(f.cfg.Journal.RunCompleted(i, journal.OutcomeRun, run.AppSHA, attemptsUsed, appBackoff, appBackoffMS, "")) {
+					return
+				}
+			}
 			f.mu.Lock()
 			f.completed++
 			if attempt > 1 {
@@ -500,15 +605,34 @@ func (f *fleetRun) runApp(env *runEnv, i int) {
 			// only burn the budget on context errors.
 			break
 		}
-		if attempt < maxAttempts && !f.backoffWait(attempt) {
-			break
+		if attempt < maxAttempts {
+			d, ms, ok := f.backoffWait(attempt)
+			appBackoff += d
+			appBackoffMS += ms
+			if !ok {
+				break
+			}
 		}
 	}
 	// Budget exhausted (or cancelled mid-retry). Quarantine is meaningful
 	// only when the fleet keeps running and actually retried; a
 	// single-attempt or fail-fast fleet reports plain failures, preserving
 	// the original semantics.
+	//
+	// A failure observed while the fleet is being cancelled is the
+	// shutdown's artifact, not the app's history: journaling it as a
+	// terminal outcome would make every resume replay a "context
+	// canceled" failure forever. Skip the terminal record — the started
+	// record leaves the app in-flight, so resume re-runs it.
+	interrupted := f.ctx.Err() != nil
 	if f.cfg.ContinueOnError && maxAttempts > 1 {
+		if f.cfg.Journal != nil && !interrupted {
+			// Persisted so poison apps stay quarantined across restarts
+			// instead of burning the resumed fleet's budget again.
+			if !f.journalAppend(f.cfg.Journal.RunQuarantined(i, attemptsUsed, appBackoff, appBackoffMS, lastErr.Error())) {
+				return
+			}
+		}
 		q := QuarantinedApp{AppIndex: i, Attempts: attemptsUsed, LastErr: lastErr}
 		f.mu.Lock()
 		f.quarantined = append(f.quarantined, q)
@@ -517,6 +641,11 @@ func (f *fleetRun) runApp(env *runEnv, i int) {
 		finish("quarantine", attemptsUsed)
 		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: lastErr, Quarantine: &q})
 		return
+	}
+	if f.cfg.Journal != nil && !interrupted {
+		if !f.journalAppend(f.cfg.Journal.RunCompleted(i, journal.OutcomeFailed, "", attemptsUsed, appBackoff, appBackoffMS, lastErr.Error())) {
+			return
+		}
 	}
 	f.mu.Lock()
 	f.failures = append(f.failures, RunFailure{AppIndex: i, Err: lastErr, Attempts: attemptsUsed})
@@ -542,11 +671,12 @@ func (f *fleetRun) attemptCtx() (context.Context, context.CancelFunc) {
 // doubled per completed attempt. With a virtual retry clock configured the
 // wait is advanced on the clock (serialized — nets.Clock is not safe for
 // concurrent use) instead of slept, so deterministic experiments never
-// block on wall time. Returns false when the fleet was cancelled while
-// waiting.
-func (f *fleetRun) backoffWait(attempt int) bool {
+// block on wall time. Returns the charged duration and the milliseconds
+// charged to the metrics counter (the journal replicates both), and false
+// when the fleet was cancelled while waiting.
+func (f *fleetRun) backoffWait(attempt int) (time.Duration, int64, bool) {
 	if f.cfg.RetryBackoff <= 0 {
-		return f.ctx.Err() == nil && !f.stopped()
+		return 0, 0, f.ctx.Err() == nil && !f.stopped()
 	}
 	shift := attempt - 1
 	if shift > 16 {
@@ -556,19 +686,20 @@ func (f *fleetRun) backoffWait(attempt int) bool {
 	f.mu.Lock()
 	f.backoff += d
 	f.mu.Unlock()
-	f.tel.Counter(obs.MFleetBackoffMS).Add(d.Milliseconds())
+	ms := d.Milliseconds()
+	f.tel.Counter(obs.MFleetBackoffMS).Add(ms)
 	if f.clk != nil {
 		f.clk.Advance(d)
-		return f.ctx.Err() == nil && !f.stopped()
+		return d, ms, f.ctx.Err() == nil && !f.stopped()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return !f.stopped()
+		return d, ms, !f.stopped()
 	case <-f.ctx.Done():
-		return false
+		return d, ms, false
 	case <-f.stop:
-		return false
+		return d, ms, false
 	}
 }

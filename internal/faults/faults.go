@@ -49,8 +49,31 @@ const (
 	HookFault
 )
 
-// AllClasses lists every fault class, in declaration order.
+// Crash classes attack campaign durability rather than individual runs:
+// they model the process dying or the disk rotting at the worst possible
+// moment, and exist to exercise the journal/resume/audit recovery path.
+// They live outside AllClasses so run-fault campaigns keep their existing
+// deterministic class selection; enable them explicitly via
+// Config.Classes or -fault-classes.
+const (
+	// JournalCrash kills the campaign between the journal's run-completed
+	// append and the stream's event emission — the journal says done, the
+	// downstream sinks never saw the run.
+	JournalCrash Class = iota + 100
+	// JournalTear crashes mid-append, leaving a torn final record for
+	// recovery to truncate.
+	JournalTear
+	// ArtifactFlip silently flips one bit of a stored apk after commit —
+	// the disk-rot class only an integrity audit can catch.
+	ArtifactFlip
+)
+
+// AllClasses lists every per-run fault class, in declaration order. Crash
+// classes are deliberately excluded; see CrashClasses.
 var AllClasses = []Class{EmulatorAbort, StallRun, CaptureTruncate, DatagramDrop, HookFault}
+
+// CrashClasses lists the campaign-durability fault classes.
+var CrashClasses = []Class{JournalCrash, JournalTear, ArtifactFlip}
 
 // String names the class as used by -fault-classes flags.
 func (c Class) String() string {
@@ -65,6 +88,12 @@ func (c Class) String() string {
 		return "datagram-drop"
 	case HookFault:
 		return "hook-fault"
+	case JournalCrash:
+		return "journal-crash"
+	case JournalTear:
+		return "journal-tear"
+	case ArtifactFlip:
+		return "artifact-flip"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -81,7 +110,7 @@ func ParseClasses(list string) ([]Class, error) {
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
 		var found bool
-		for _, c := range AllClasses {
+		for _, c := range append(append([]Class(nil), AllClasses...), CrashClasses...) {
 			if c.String() == name {
 				out = append(out, c)
 				found = true
@@ -148,7 +177,7 @@ func New(cfg Config) (*Injector, error) {
 	}
 	for _, c := range classes {
 		var known bool
-		for _, k := range AllClasses {
+		for _, k := range append(append([]Class(nil), AllClasses...), CrashClasses...) {
 			if c == k {
 				known = true
 				break

@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// fuzzSeedImage builds a small valid journal image for the fuzz corpus.
+func fuzzSeedImage(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	path := dir + "/seed.journal"
+	w, err := Create(path, Header{Seed: 42, Fingerprint: "fp", Apps: 3}, Options{SyncEvery: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	_ = w.RunStarted(0)
+	_ = w.RunCompleted(0, OutcomeRun, "sha-0", 2, time.Second, 1000, "")
+	_ = w.RunStarted(1)
+	_ = w.RunQuarantined(1, 3, 0, 0, "boom")
+	_ = w.RunStarted(2)
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzJournalReplay hammers the replay reader with arbitrary bytes: it
+// must never panic, every reported ValidLen must be a replayable prefix,
+// and recovery must be idempotent — replaying the valid prefix again
+// yields the same record count with no torn tail.
+func FuzzJournalReplay(f *testing.F) {
+	seed := fuzzSeedImage(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReplayBytes(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNoHeader) && !errors.As(err, &ce) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if r.ValidLen < 0 || r.ValidLen > int64(len(data)) {
+			t.Fatalf("valid length %d outside [0, %d]", r.ValidLen, len(data))
+		}
+		if r.TornBytes != int64(len(data))-r.ValidLen {
+			t.Fatalf("torn bytes %d != %d - %d", r.TornBytes, len(data), r.ValidLen)
+		}
+		// Recovery idempotence: the valid prefix replays identically and
+		// cleanly.
+		again, err := ReplayBytes(data[:r.ValidLen])
+		if err != nil {
+			t.Fatalf("valid prefix failed to replay: %v", err)
+		}
+		if again.Records != r.Records || again.TornBytes != 0 {
+			t.Fatalf("prefix replay drifted: %d/%d records, %d torn", again.Records, r.Records, again.TornBytes)
+		}
+	})
+}

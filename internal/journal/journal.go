@@ -1,0 +1,515 @@
+// Package journal is the campaign's durable write-ahead log. The paper's
+// measurement runs 25,000 apps over roughly three months on a worker
+// fleet (§II-B3, §III) — a timescale where host reboots, OOM kills, and
+// disk faults are certainties — yet a crash must not restart the campaign
+// from app #1. The journal records one append-only, checksummed record
+// per campaign lifecycle event (campaign header, run-started,
+// run-completed, run-quarantined) so a restarted dispatcher can replay
+// exactly what the dead one had finished and resume from there.
+//
+// Durability discipline:
+//
+//   - Every record is framed as [length uint32][crc32c uint32][payload]
+//     (little-endian, CRC32C Castagnoli over the payload), so torn writes
+//     and bit rot are detectable per record.
+//   - Appends are buffered and fsynced in batches (Options.SyncEvery);
+//     the header, explicit Sync calls, and Close always reach the disk.
+//   - The replay reader tolerates a torn tail — a record cut short by a
+//     crash mid-write is dropped and the file is truncatable at the last
+//     good record — but corruption strictly *before* the tail (a bad
+//     record with valid bytes after it) is a typed, non-recoverable
+//     error: the journal's history itself is damaged and silently
+//     dropping interior records would fabricate campaign state.
+//
+// The package is dependency-free (standard library only) so every layer
+// can import it without cycles.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Typed errors. ErrCorrupt marks mid-file corruption (a damaged record
+// followed by more journal data — unrecoverable without fabricating
+// history); ErrNoHeader a journal whose first record is not a campaign
+// header; ErrFingerprintMismatch a resume attempt against a journal
+// recorded under a different seed or configuration; ErrTornWrite an
+// injected torn append (the writer's crash-fault hook).
+var (
+	ErrCorrupt             = errors.New("journal: corrupt record")
+	ErrNoHeader            = errors.New("journal: missing campaign header")
+	ErrFingerprintMismatch = errors.New("journal: campaign fingerprint mismatch")
+	ErrTornWrite           = errors.New("journal: torn write injected")
+)
+
+// CorruptError carries the location of mid-file corruption. It wraps
+// ErrCorrupt for errors.Is.
+type CorruptError struct {
+	// Offset is the byte offset of the damaged record's frame.
+	Offset int64
+	// Record is the zero-based index of the damaged record.
+	Record int
+	// Reason describes what failed (crc mismatch, oversized frame,
+	// undecodable payload, ...).
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: corrupt record %d at offset %d: %s", e.Record, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// castagnoli is the CRC32C table shared by writer and reader.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderSize is the per-record framing overhead: length + crc32c.
+const frameHeaderSize = 8
+
+// maxRecordSize bounds one record's payload; anything larger in a frame
+// header is corruption, not a record (the largest legitimate record is a
+// few hundred bytes of JSON).
+const maxRecordSize = 1 << 20
+
+// Type discriminates journal records.
+type Type string
+
+const (
+	// TypeCampaign is the mandatory first record: campaign identity.
+	TypeCampaign Type = "campaign"
+	// TypeStarted marks a run handed to a worker.
+	TypeStarted Type = "started"
+	// TypeCompleted marks a run that finished (outcome run, skip, or
+	// failed) after the collector drain.
+	TypeCompleted Type = "completed"
+	// TypeQuarantined marks an app that exhausted its retry budget.
+	TypeQuarantined Type = "quarantined"
+)
+
+// Outcome is the terminal state of one app recorded by a TypeCompleted
+// record.
+type Outcome string
+
+const (
+	// OutcomeRun is a successfully attributed run (artifact sha recorded).
+	OutcomeRun Outcome = "run"
+	// OutcomeSkip is an app excluded by the §III-A ABI filter.
+	OutcomeSkip Outcome = "skip"
+	// OutcomeFailed is an app whose final attempt failed without
+	// quarantine (single-attempt or fail-fast fleets).
+	OutcomeFailed Outcome = "failed"
+)
+
+// Header identifies a campaign: the seed, the configuration fingerprint
+// (a hash over every config field that shapes results), and the corpus
+// size. Resume refuses a journal whose header does not match the
+// restarted campaign's.
+type Header struct {
+	Seed        uint64 `json:"seed"`
+	Fingerprint string `json:"fingerprint"`
+	Apps        int    `json:"apps"`
+}
+
+// Match checks campaign identity, returning ErrFingerprintMismatch
+// (wrapped with the differing fields) when the journal belongs to a
+// different seed/flag-set.
+func (h Header) Match(want Header) error {
+	if h == want {
+		return nil
+	}
+	return fmt.Errorf("%w: journal has seed=%d apps=%d fingerprint=%s, campaign has seed=%d apps=%d fingerprint=%s",
+		ErrFingerprintMismatch, h.Seed, h.Apps, h.Fingerprint, want.Seed, want.Apps, want.Fingerprint)
+}
+
+// Record is one journal entry. Only the fields relevant to its Type are
+// set; the JSON encoding omits the rest.
+type Record struct {
+	Type Type `json:"type"`
+
+	// Campaign header fields (TypeCampaign).
+	Seed        uint64 `json:"seed,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Apps        int    `json:"apps,omitempty"`
+
+	// Per-app fields.
+	App     int     `json:"app,omitempty"`
+	Outcome Outcome `json:"outcome,omitempty"`
+	// ArtifactSHA is the run's apk sha256 — the artifact store directory
+	// key — for OutcomeRun records, so resume can cross-check the
+	// evidence on disk.
+	ArtifactSHA string `json:"artifact_sha,omitempty"`
+	// Attempts, BackoffNS, and BackoffMS replicate the run's retry
+	// accounting so a resumed campaign's ledger and metrics fold to the
+	// same totals as an uninterrupted one (BackoffMS mirrors the
+	// per-wait truncation the live metrics counter applies).
+	Attempts  int   `json:"attempts,omitempty"`
+	BackoffNS int64 `json:"backoff_ns,omitempty"`
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// Error is the final attempt's error text (failed/quarantined).
+	Error string `json:"error,omitempty"`
+}
+
+// Options parameterizes a Writer.
+type Options struct {
+	// SyncEvery batches fsyncs: the file is synced after every N appended
+	// records (and always on Sync/Close). 0 uses DefaultSyncEvery; 1
+	// syncs every record.
+	SyncEvery int
+}
+
+// DefaultSyncEvery is the fsync batch size when Options.SyncEvery is 0:
+// small enough that a host crash loses at most a few seconds of
+// progress, large enough that the journal never bounds fleet throughput.
+const DefaultSyncEvery = 16
+
+// Writer appends records to a journal file. It is safe for concurrent
+// use by the fleet's workers.
+type Writer struct {
+	mu        sync.Mutex
+	f         *os.File
+	buf       *bufio.Writer
+	syncEvery int
+	unsynced  int
+	broken    error
+	tearNext  bool
+}
+
+// Create truncates (or creates) the journal at path and writes the
+// campaign header as its first, immediately-synced record.
+func Create(path string, hdr Header, opts Options) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", path, err)
+	}
+	w := newWriter(f, opts)
+	if err := w.Append(Record{Type: TypeCampaign, Seed: hdr.Seed, Fingerprint: hdr.Fingerprint, Apps: hdr.Apps}); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Recover replays an existing journal, truncates any torn tail left by a
+// crash mid-append, and reopens the file for appending — the restart
+// path. Mid-file corruption is not recoverable and surfaces as a
+// *CorruptError.
+func Recover(path string, opts Options) (*Writer, *Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	replay, err := ReplayBytes(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: reopening %s: %w", path, err)
+	}
+	if replay.TornBytes > 0 {
+		if err := f.Truncate(replay.ValidLen); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(replay.ValidLen, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("journal: seeking to valid end: %w", err)
+	}
+	return newWriter(f, opts), replay, nil
+}
+
+func newWriter(f *os.File, opts Options) *Writer {
+	se := opts.SyncEvery
+	if se <= 0 {
+		se = DefaultSyncEvery
+	}
+	return &Writer{f: f, buf: bufio.NewWriter(f), syncEvery: se}
+}
+
+// Append frames, checksums, and writes one record, fsyncing when the
+// batch budget is spent. A Writer that has seen a write error refuses
+// further appends: a durability log that silently drops records is worse
+// than none.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	var frame [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	if w.tearNext {
+		// Injected crash mid-write: flush a partial frame — the header
+		// plus roughly half the payload — straight to disk, then fail as
+		// the dying process would. The writer stays broken.
+		w.tearNext = false
+		torn := append(frame[:], payload[:len(payload)/2]...)
+		if _, err := w.buf.Write(torn); err == nil {
+			_ = w.buf.Flush()
+			_ = w.f.Sync()
+		}
+		w.broken = ErrTornWrite
+		return w.broken
+	}
+	if _, err := w.buf.Write(frame[:]); err != nil {
+		w.broken = fmt.Errorf("journal: writing frame: %w", err)
+		return w.broken
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		w.broken = fmt.Errorf("journal: writing payload: %w", err)
+		return w.broken
+	}
+	w.unsynced++
+	if w.unsynced >= w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// RunStarted records an app handed to a worker.
+func (w *Writer) RunStarted(app int) error {
+	return w.Append(Record{Type: TypeStarted, App: app})
+}
+
+// RunCompleted records a finished run: its outcome, the artifact sha
+// backing it (OutcomeRun), and the retry accounting it consumed.
+func (w *Writer) RunCompleted(app int, outcome Outcome, artifactSHA string, attempts int, backoff time.Duration, backoffMS int64, errText string) error {
+	return w.Append(Record{
+		Type: TypeCompleted, App: app, Outcome: outcome, ArtifactSHA: artifactSHA,
+		Attempts: attempts, BackoffNS: int64(backoff), BackoffMS: backoffMS, Error: errText,
+	})
+}
+
+// RunQuarantined records an app that exhausted its retry budget, so it
+// stays quarantined across restarts instead of poisoning the resumed
+// fleet again.
+func (w *Writer) RunQuarantined(app, attempts int, backoff time.Duration, backoffMS int64, errText string) error {
+	return w.Append(Record{
+		Type: TypeQuarantined, App: app,
+		Attempts: attempts, BackoffNS: int64(backoff), BackoffMS: backoffMS, Error: errText,
+	})
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.buf.Flush(); err != nil {
+		w.broken = fmt.Errorf("journal: flushing: %w", err)
+		return w.broken
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = fmt.Errorf("journal: fsync: %w", err)
+		return w.broken
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// InjectTear arms the crash-fault hook: the next Append writes a
+// deliberately torn frame (header plus half the payload), fails with
+// ErrTornWrite, and breaks the writer — the deterministic stand-in for a
+// process killed mid-write.
+func (w *Writer) InjectTear() {
+	w.mu.Lock()
+	w.tearNext = true
+	w.mu.Unlock()
+}
+
+// Close syncs and releases the file. A broken writer still closes the
+// descriptor.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var syncErr error
+	if w.broken == nil {
+		syncErr = w.syncLocked()
+	}
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// AppOutcome is the replayed terminal state of one app.
+type AppOutcome struct {
+	// Outcome is OutcomeRun/OutcomeSkip/OutcomeFailed for completed
+	// records and "" for quarantines (Quarantined is set instead).
+	Outcome Outcome
+	// Quarantined reports a TypeQuarantined record.
+	Quarantined bool
+	// ArtifactSHA is the recorded evidence key (OutcomeRun only).
+	ArtifactSHA string
+	// Attempts/Backoff/BackoffMS replicate the run's retry accounting.
+	Attempts  int
+	Backoff   time.Duration
+	BackoffMS int64
+	// Error is the recorded failure text (failed/quarantined).
+	Error string
+}
+
+// Replay is the reconstructed campaign state after reading a journal.
+type Replay struct {
+	// Header is the campaign identity record.
+	Header Header
+	// Outcomes maps app index to its last recorded terminal state; an
+	// app re-run after a corrupt-evidence requeue keeps only its newest
+	// record (last record wins).
+	Outcomes map[int]AppOutcome
+	// InFlight lists apps with a started record but no terminal record —
+	// runs the crash interrupted, which resume must requeue.
+	InFlight map[int]bool
+	// Records is the number of intact records replayed.
+	Records int
+	// ValidLen is the byte offset after the last intact record; Recover
+	// truncates the file here.
+	ValidLen int64
+	// TornBytes is the size of the dropped torn tail (0 for a clean
+	// journal).
+	TornBytes int64
+}
+
+// Read replays the journal file at path. A torn tail is tolerated and
+// reported via Replay.TornBytes; mid-file corruption returns a
+// *CorruptError.
+func Read(path string) (*Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	return ReplayBytes(data)
+}
+
+// ReplayBytes replays a journal image from memory (the fuzz and test
+// entry point backing Read).
+func ReplayBytes(data []byte) (*Replay, error) {
+	r := &Replay{
+		Outcomes: make(map[int]AppOutcome),
+		InFlight: make(map[int]bool),
+	}
+	sawHeader := false
+	var off int64
+	total := int64(len(data))
+	for off < total {
+		rest := total - off
+		if rest < frameHeaderSize {
+			// A frame header cut short can only be a torn tail.
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		end := off + frameHeaderSize + length
+		if length > maxRecordSize {
+			// An absurd length is not a record. If the claimed record
+			// would run past EOF it is indistinguishable from a torn
+			// header, so treat it as the tail; a bounded bad frame with
+			// data after it is interior corruption.
+			if end >= total {
+				break
+			}
+			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("frame length %d exceeds limit %d", length, maxRecordSize)}
+		}
+		if end > total {
+			// Payload cut short: torn tail.
+			break
+		}
+		payload := data[off+frameHeaderSize : end]
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			if end == total {
+				// The final record's checksum fails: a write torn inside
+				// the payload's final sectors. Recoverable.
+				break
+			}
+			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("crc %08x != recorded %08x", got, wantCRC)}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The checksum held, so these exact bytes were appended:
+			// an undecodable payload is corruption (or a version skew),
+			// never a tear.
+			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("undecodable payload: %v", err)}
+		}
+		if err := r.apply(rec, off, sawHeader); err != nil {
+			return nil, err
+		}
+		sawHeader = true
+		r.Records++
+		off = end
+	}
+	if !sawHeader {
+		return nil, ErrNoHeader
+	}
+	r.ValidLen = off
+	r.TornBytes = total - off
+	return r, nil
+}
+
+// apply folds one record into the replay state.
+func (r *Replay) apply(rec Record, off int64, sawHeader bool) error {
+	if !sawHeader {
+		if rec.Type != TypeCampaign {
+			return ErrNoHeader
+		}
+		r.Header = Header{Seed: rec.Seed, Fingerprint: rec.Fingerprint, Apps: rec.Apps}
+		return nil
+	}
+	switch rec.Type {
+	case TypeCampaign:
+		return &CorruptError{Offset: off, Record: r.Records, Reason: "duplicate campaign header"}
+	case TypeStarted:
+		if _, done := r.Outcomes[rec.App]; !done {
+			r.InFlight[rec.App] = true
+		} else {
+			// A restart requeued an app with a stale terminal record;
+			// the newer started supersedes it until its own terminal
+			// record lands.
+			delete(r.Outcomes, rec.App)
+			r.InFlight[rec.App] = true
+		}
+	case TypeCompleted:
+		r.Outcomes[rec.App] = AppOutcome{
+			Outcome: rec.Outcome, ArtifactSHA: rec.ArtifactSHA,
+			Attempts: rec.Attempts, Backoff: time.Duration(rec.BackoffNS), BackoffMS: rec.BackoffMS,
+			Error: rec.Error,
+		}
+		delete(r.InFlight, rec.App)
+	case TypeQuarantined:
+		r.Outcomes[rec.App] = AppOutcome{
+			Quarantined: true,
+			Attempts:    rec.Attempts, Backoff: time.Duration(rec.BackoffNS), BackoffMS: rec.BackoffMS,
+			Error: rec.Error,
+		}
+		delete(r.InFlight, rec.App)
+	default:
+		return &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("unknown record type %q", rec.Type)}
+	}
+	return nil
+}

@@ -1,0 +1,439 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeCampaign appends a small, representative campaign to a fresh
+// journal and returns its path and the on-disk image.
+func writeCampaign(t *testing.T, dir string, opts Options) (string, []byte) {
+	t.Helper()
+	path := filepath.Join(dir, "campaign.journal")
+	w, err := Create(path, Header{Seed: 42, Fingerprint: "fp-42", Apps: 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := 0; app < 5; app++ {
+		if err := w.RunStarted(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.RunCompleted(0, OutcomeRun, "sha-0", 1, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunCompleted(1, OutcomeSkip, "", 1, 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunCompleted(2, OutcomeRun, "sha-2", 3, 3*time.Second, 3000, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunQuarantined(3, 3, 3*time.Second, 3000, "injected fault"); err != nil {
+		t.Fatal(err)
+	}
+	// App 4 stays in flight: started, never completed.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, _ := writeCampaign(t, t.TempDir(), Options{})
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header != (Header{Seed: 42, Fingerprint: "fp-42", Apps: 5}) {
+		t.Fatalf("header = %+v", r.Header)
+	}
+	if r.TornBytes != 0 {
+		t.Fatalf("clean journal reports %d torn bytes", r.TornBytes)
+	}
+	if r.Records != 10 {
+		t.Fatalf("replayed %d records, want 10", r.Records)
+	}
+	if got := r.Outcomes[0]; got.Outcome != OutcomeRun || got.ArtifactSHA != "sha-0" || got.Attempts != 1 {
+		t.Fatalf("app 0 outcome = %+v", got)
+	}
+	if got := r.Outcomes[1]; got.Outcome != OutcomeSkip || got.ArtifactSHA != "" {
+		t.Fatalf("app 1 outcome = %+v", got)
+	}
+	if got := r.Outcomes[2]; got.Attempts != 3 || got.Backoff != 3*time.Second || got.BackoffMS != 3000 {
+		t.Fatalf("app 2 retry accounting = %+v", got)
+	}
+	if got := r.Outcomes[3]; !got.Quarantined || got.Error != "injected fault" {
+		t.Fatalf("app 3 quarantine = %+v", got)
+	}
+	if !r.InFlight[4] || len(r.InFlight) != 1 {
+		t.Fatalf("in-flight = %v, want {4}", r.InFlight)
+	}
+}
+
+// TestTornTailTruncationSweep cuts the journal at every byte offset: every
+// prefix must replay without error (a tail tear is recoverable by
+// construction — no cut can fabricate interior corruption), and the
+// replayed record count must be monotone in the cut point.
+func TestTornTailTruncationSweep(t *testing.T) {
+	_, data := writeCampaign(t, t.TempDir(), Options{})
+	prevRecords := -1
+	for cut := len(data); cut > 0; cut-- {
+		r, err := ReplayBytes(data[:cut])
+		if errors.Is(err, ErrNoHeader) {
+			// The cut reached into the header record itself; nothing
+			// shorter can replay either.
+			if prevRecords > 1 {
+				t.Fatalf("cut %d lost the header after %d records had replayed", cut, prevRecords)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if r.ValidLen > int64(cut) {
+			t.Fatalf("cut %d: valid length %d beyond the data", cut, r.ValidLen)
+		}
+		if prevRecords != -1 && r.Records > prevRecords {
+			t.Fatalf("cut %d replayed %d records, longer prefix had %d", cut, r.Records, prevRecords)
+		}
+		prevRecords = r.Records
+	}
+}
+
+// TestMidFileCorruptionIsTyped flips one payload byte of an interior
+// record: replay must refuse with a *CorruptError wrapping ErrCorrupt,
+// never silently truncate history.
+func TestMidFileCorruptionIsTyped(t *testing.T) {
+	_, data := writeCampaign(t, t.TempDir(), Options{})
+	// Corrupt a payload byte inside the second record (the first record
+	// starts at 0; its frame is 8 + len bytes).
+	firstLen := binary.LittleEndian.Uint32(data[0:4])
+	off := int(8 + firstLen + 8 + 2) // second record, two bytes into its payload
+	mutated := append([]byte(nil), data...)
+	mutated[off] ^= 0x40
+	_, err := ReplayBytes(mutated)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior bit flip produced %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Record != 1 {
+		t.Fatalf("corrupt error = %#v, want record 1", err)
+	}
+
+	// The same flip on the final record is indistinguishable from a torn
+	// write and must recover by dropping it.
+	lastStart := lastRecordOffset(t, data)
+	mutated = append([]byte(nil), data...)
+	mutated[lastStart+8+1] ^= 0x40
+	r, err := ReplayBytes(mutated)
+	if err != nil {
+		t.Fatalf("final-record flip should recover as a torn tail: %v", err)
+	}
+	if r.ValidLen != int64(lastStart) || r.TornBytes == 0 {
+		t.Fatalf("torn tail not dropped: validLen=%d tornBytes=%d lastStart=%d", r.ValidLen, r.TornBytes, lastStart)
+	}
+}
+
+// lastRecordOffset walks the frames to the final record's start.
+func lastRecordOffset(t *testing.T, data []byte) int {
+	t.Helper()
+	off, last := 0, 0
+	for off+8 <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if off+8+length > len(data) {
+			break
+		}
+		last = off
+		off += 8 + length
+	}
+	if off != len(data) {
+		t.Fatal("journal image does not end on a record boundary")
+	}
+	return last
+}
+
+// TestOversizedFrameHandling: an absurd length field whose claimed record
+// still fits inside the file is interior corruption; one that runs past
+// EOF is indistinguishable from a torn header and recovers as a tail.
+func TestOversizedFrameHandling(t *testing.T) {
+	_, data := writeCampaign(t, t.TempDir(), Options{})
+	firstLen := binary.LittleEndian.Uint32(data[0:4])
+	header := data[:8+firstLen]
+
+	// Bounded oversized frame: header record, then a frame claiming an
+	// over-limit payload that nevertheless fits in the bytes that follow.
+	bounded := append([]byte(nil), header...)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(maxRecordSize+1))
+	bounded = append(bounded, frame[:]...)
+	bounded = append(bounded, make([]byte, maxRecordSize+2)...)
+	if _, err := ReplayBytes(bounded); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bounded oversized frame produced %v, want ErrCorrupt", err)
+	}
+
+	// The same frame at EOF with its claimed payload missing reads as a
+	// torn tail.
+	torn := append(append([]byte(nil), header...), frame[:]...)
+	r, err := ReplayBytes(torn)
+	if err != nil {
+		t.Fatalf("oversized frame at EOF should recover as a tear: %v", err)
+	}
+	if r.Records != 1 || r.TornBytes != 8 {
+		t.Fatalf("tear recovery replayed %d records, %d torn bytes", r.Records, r.TornBytes)
+	}
+}
+
+func TestMissingHeaderRejected(t *testing.T) {
+	if _, err := ReplayBytes(nil); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("empty journal: %v, want ErrNoHeader", err)
+	}
+	// A journal whose first record is not a campaign header is refused.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hdr.journal")
+	w, err := Create(path, Header{Seed: 1, Fingerprint: "fp", Apps: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunStarted(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := binary.LittleEndian.Uint32(data[0:4])
+	if _, err := ReplayBytes(data[8+firstLen:]); !errors.Is(err, ErrNoHeader) {
+		t.Fatalf("headerless journal: %v, want ErrNoHeader", err)
+	}
+}
+
+func TestHeaderMatch(t *testing.T) {
+	h := Header{Seed: 42, Fingerprint: "fp-a", Apps: 10}
+	if err := h.Match(h); err != nil {
+		t.Fatalf("identical headers rejected: %v", err)
+	}
+	for _, other := range []Header{
+		{Seed: 43, Fingerprint: "fp-a", Apps: 10},
+		{Seed: 42, Fingerprint: "fp-b", Apps: 10},
+		{Seed: 42, Fingerprint: "fp-a", Apps: 11},
+	} {
+		if err := h.Match(other); !errors.Is(err, ErrFingerprintMismatch) {
+			t.Fatalf("header %+v accepted against %+v: %v", h, other, err)
+		}
+	}
+}
+
+// TestRecoverTruncatesTornTailAndAppends: the restart path. A journal
+// with a torn tail must reopen cleanly, drop the tear, and accept new
+// records whose replay includes both halves of the campaign.
+func TestRecoverTruncatesTornTailAndAppends(t *testing.T) {
+	dir := t.TempDir()
+	path, data := writeCampaign(t, dir, Options{})
+	// Tear the tail: chop the final record in half.
+	lastStart := lastRecordOffset(t, data)
+	torn := data[:lastStart+(len(data)-lastStart)/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, replay, err := Recover(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.TornBytes == 0 || replay.ValidLen != int64(lastStart) {
+		t.Fatalf("recover replay = validLen %d, torn %d; want validLen %d", replay.ValidLen, replay.TornBytes, lastStart)
+	}
+	// The torn record was app 3's quarantine; after recovery it must be
+	// back in flight... it never had a started record dropped, so it
+	// stays pending via its earlier started record.
+	if _, done := replay.Outcomes[3]; done {
+		t.Fatal("torn quarantine record still replayed as terminal")
+	}
+	if !replay.InFlight[3] {
+		t.Fatal("app with torn terminal record not requeued as in-flight")
+	}
+	// Append the quarantine again, as the resumed campaign would.
+	if err := w.RunQuarantined(3, 3, 0, 0, "injected fault"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TornBytes != 0 {
+		t.Fatalf("recovered journal still torn: %d bytes", r2.TornBytes)
+	}
+	if got := r2.Outcomes[3]; !got.Quarantined {
+		t.Fatalf("re-appended quarantine missing: %+v", got)
+	}
+}
+
+// TestInjectTearProducesRecoverableTail: the crash-fault hook must leave
+// exactly the artifact the reader's torn-tail path recovers from.
+func TestInjectTearProducesRecoverableTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tear.journal")
+	w, err := Create(path, Header{Seed: 7, Fingerprint: "fp", Apps: 2}, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.RunStarted(0); err != nil {
+		t.Fatal(err)
+	}
+	w.InjectTear()
+	if err := w.RunCompleted(0, OutcomeRun, "sha-0", 1, 0, 0, ""); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn append returned %v, want ErrTornWrite", err)
+	}
+	// The writer is broken for good, like the process it stands in for.
+	if err := w.RunStarted(1); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("broken writer accepted another record: %v", err)
+	}
+	_ = w.Close()
+
+	_, replay, err := Recover(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.TornBytes == 0 {
+		t.Fatal("injected tear left no torn tail")
+	}
+	if _, done := replay.Outcomes[0]; done {
+		t.Fatal("torn completion replayed as terminal")
+	}
+	if !replay.InFlight[0] {
+		t.Fatal("app behind the torn record not in flight")
+	}
+}
+
+// TestRequeueStartedSupersedesStaleOutcome: a started record after a
+// terminal one (a resume requeued the app over corrupt evidence) puts
+// the app back in flight until its fresh terminal record lands.
+func TestRequeueStartedSupersedesStaleOutcome(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "requeue.journal")
+	w, err := Create(path, Header{Seed: 9, Fingerprint: "fp", Apps: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.RunStarted(0))
+	must(w.RunCompleted(0, OutcomeRun, "sha-old", 1, 0, 0, ""))
+	must(w.RunStarted(0)) // requeued by a later resume
+	must(w.Close())
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := r.Outcomes[0]; done || !r.InFlight[0] {
+		t.Fatalf("requeued app state: outcomes=%v inFlight=%v", r.Outcomes, r.InFlight)
+	}
+
+	// And its fresh terminal record wins.
+	w2, _, err := Recover(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(w2.RunCompleted(0, OutcomeRun, "sha-new", 1, 0, 0, ""))
+	must(w2.Close())
+	r2, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Outcomes[0]; got.ArtifactSHA != "sha-new" {
+		t.Fatalf("last record should win: %+v", got)
+	}
+}
+
+// TestSyncBatching: records beyond the batch budget are on disk without
+// an explicit Sync; records within it reach disk at the latest on Close.
+func TestSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.journal")
+	w, err := Create(path, Header{Seed: 3, Fingerprint: "fp", Apps: 64}, Options{SyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app := 0; app < 9; app++ { // 1 header (synced) + 9 > one batch of 8
+		if err := w.RunStarted(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One full batch must already be durable on disk mid-flight.
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Records < 8 {
+		t.Fatalf("only %d records durable before Close with SyncEvery=8", r.Records)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Records != 10 {
+		t.Fatalf("after close %d records, want 10", r2.Records)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "conc.journal")
+	w, err := Create(path, Header{Seed: 5, Fingerprint: "fp", Apps: 128}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 16; i++ {
+				app := g*16 + i
+				if err := w.RunStarted(app); err != nil {
+					done <- err
+					return
+				}
+				if err := w.RunCompleted(app, OutcomeRun, "sha", 1, 0, 0, ""); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Outcomes) != 128 || len(r.InFlight) != 0 {
+		t.Fatalf("replayed %d outcomes, %d in flight; want 128, 0", len(r.Outcomes), len(r.InFlight))
+	}
+}

@@ -17,6 +17,12 @@ const (
 	MFleetDrainPolls    = "fleet_collector_drain_polls_total"
 	MFleetDrainTimeouts = "fleet_collector_drain_timeouts_total"
 
+	// Campaign durability series: outcomes replayed from the journal on
+	// resume, and journaled runs requeued because their recorded evidence
+	// was missing or corrupt.
+	MResumeReplayed = "fleet_resume_replayed_total"
+	MResumeRequeued = "fleet_resume_requeued_total"
+
 	// Collector datagram series.
 	MCollectorReceived  = "collector_datagrams_received_total"
 	MCollectorMalformed = "collector_datagrams_malformed_total"

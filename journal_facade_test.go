@@ -1,0 +1,142 @@
+package libspector_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"libspector"
+	"libspector/internal/dispatch"
+	"libspector/internal/journal"
+)
+
+// TestConfigFingerprint: the fingerprint must move with every field that
+// shapes results and stay put for operational knobs, so a crashed faulted
+// campaign can be resumed with the injector off.
+func TestConfigFingerprint(t *testing.T) {
+	base := smallConfig(61, 10)
+	shape := []func(*libspector.Config){
+		func(c *libspector.Config) { c.Seed++ },
+		func(c *libspector.Config) { c.Apps++ },
+		func(c *libspector.Config) { c.MonkeyEvents++ },
+		func(c *libspector.Config) { c.Throttle++ },
+		func(c *libspector.Config) { c.UseCollector = true },
+		func(c *libspector.Config) { c.UseStore = true },
+		func(c *libspector.Config) { c.DomainScale = 0.5 },
+	}
+	for i, mutate := range shape {
+		cfg := base
+		mutate(&cfg)
+		if cfg.Fingerprint() == base.Fingerprint() {
+			t.Errorf("result-shaping mutation %d did not change the fingerprint", i)
+		}
+	}
+	operational := []func(*libspector.Config){
+		func(c *libspector.Config) { c.Workers = 7 },
+		func(c *libspector.Config) { c.MaxAttempts = 5 },
+		func(c *libspector.Config) { c.FaultRate = 0.3 },
+		func(c *libspector.Config) { c.Journal = "other.wal" },
+		func(c *libspector.Config) { c.Resume = true },
+	}
+	for i, mutate := range operational {
+		cfg := base
+		mutate(&cfg)
+		if cfg.Fingerprint() != base.Fingerprint() {
+			t.Errorf("operational mutation %d changed the fingerprint", i)
+		}
+	}
+}
+
+// TestExperimentJournalResume drives the durability loop through the
+// facade: a journaled campaign, evidence damage, a resume that repairs it
+// with figures identical to an undamaged run, and a fingerprint refusal
+// for a different seed.
+func TestExperimentJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("journaled fleet run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	cfg := smallConfig(59, 10)
+	cfg.ArtifactDir = filepath.Join(dir, "artifacts")
+	cfg.Journal = filepath.Join(dir, "campaign.wal")
+
+	clean := smallConfig(59, 10)
+	clean.ArtifactDir = filepath.Join(dir, "clean-artifacts")
+	base, err := libspector.NewExperiment(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := base.Dataset().ComputeTotals().TotalBytes()
+	wantAcct := base.Result().Accounting
+
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := exp.Dataset().ComputeTotals().TotalBytes(); got != wantBytes {
+		t.Errorf("journaled run diverged from clean run: %d vs %d bytes", got, wantBytes)
+	}
+
+	// Damage one stored apk; the resume must detect it, requeue the run,
+	// and overwrite the entry with fresh evidence.
+	entries, err := os.ReadDir(cfg.ArtifactDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no artifacts persisted: %v", err)
+	}
+	victim := filepath.Join(cfg.ArtifactDir, entries[0].Name(), "app.apk")
+	blob, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(victim, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Resume = true
+	resumed, err := libspector.NewExperiment(resumeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := resumed.Dataset().ComputeTotals().TotalBytes(); got != wantBytes {
+		t.Errorf("resumed run diverged: %d vs %d bytes", got, wantBytes)
+	}
+	if got := resumed.Result().Accounting; got != wantAcct {
+		t.Errorf("resumed accounting diverged:\n got %+v\nwant %+v", got, wantAcct)
+	}
+	store, err := dispatch.NewArtifactStore(cfg.ArtifactDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("store still damaged after resume: %d corrupt, %d incomplete",
+			len(rep.Corrupt), len(rep.Incomplete))
+	}
+
+	// A different seed is a different campaign: the journal header check
+	// must refuse to resume it.
+	wrong := resumeCfg
+	wrong.Seed++
+	refused, err := libspector.NewExperiment(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refused.Run(); !errors.Is(err, journal.ErrFingerprintMismatch) {
+		t.Errorf("seed mismatch not refused: %v", err)
+	}
+}

@@ -23,6 +23,8 @@ package libspector
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -31,6 +33,7 @@ import (
 	"libspector/internal/dispatch"
 	"libspector/internal/emulator"
 	"libspector/internal/faults"
+	"libspector/internal/journal"
 	"libspector/internal/libradar"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
@@ -68,6 +71,18 @@ type Config struct {
 	// ArtifactDir, when set, persists every run's raw evidence (apk,
 	// pcap, supervisor reports, method trace) for offline re-analysis.
 	ArtifactDir string
+	// Journal, when set, appends a checksummed write-ahead log of
+	// campaign progress (internal/journal) to this path: one record per
+	// run start and terminal outcome, so a killed campaign can be resumed
+	// instead of restarted.
+	Journal string
+	// Resume replays the journal at Journal before running: completed
+	// apps are folded back from their stored evidence (ArtifactDir must
+	// point at the same store), in-flight and corrupt ones are requeued,
+	// and the final figures match an uninterrupted same-seed run
+	// byte-for-byte. The journal must belong to this campaign — a
+	// different seed or flag-set is refused (see Fingerprint).
+	Resume bool
 	// ContinueOnError keeps the fleet running past individual app
 	// failures instead of failing fast on the first one.
 	ContinueOnError bool
@@ -102,6 +117,21 @@ type Config struct {
 	Telemetry *obs.Telemetry
 }
 
+// Fingerprint hashes every config field that shapes results — seed,
+// corpus size, monkey schedule, transport toggles, world scales — into a
+// short hex digest recorded in the journal header. Operational knobs that
+// cannot change outcomes under the deterministic substrate (worker count,
+// retry policy, fault injection, telemetry) are deliberately excluded:
+// a crashed faulted campaign is typically resumed with the fault injector
+// off, and that resume must be accepted.
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d apps=%d events=%d throttle=%d collector=%t store=%t domain=%g method=%g volume=%g",
+		c.Seed, c.Apps, c.MonkeyEvents, c.Throttle, c.UseCollector, c.UseStore,
+		c.DomainScale, c.MethodScale, c.VolumeScale)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
 // DefaultConfig is the laptop-scale configuration preserving the paper's
 // distributions.
 func DefaultConfig() Config {
@@ -122,7 +152,8 @@ func DefaultConfig() Config {
 // LibRadar detector, the VirusTotal-style domain service, the fleet
 // results, and the analysis dataset.
 type Experiment struct {
-	cfg Config
+	cfg  Config
+	apps int // effective corpus size after defaulting
 
 	world      *synth.World
 	detector   *libradar.Detector
@@ -168,6 +199,7 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 	attributor.SetTelemetry(cfg.Telemetry)
 	return &Experiment{
 		cfg:        cfg,
+		apps:       sc.NumApps,
 		world:      world,
 		detector:   detector,
 		domains:    domains,
@@ -252,7 +284,32 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 			return fmt.Errorf("libspector: %w", err)
 		}
 		cfg.EmitEvidence = true
+		cfg.Artifacts = artifacts
+		if cfg.Faults != nil {
+			// Lets the artifact-flip crash class damage stored evidence.
+			artifacts.SetFaults(cfg.Faults)
+		}
 		sinks = append(sinks, artifacts)
+	}
+	if e.cfg.Journal != "" {
+		hdr := journal.Header{Seed: e.cfg.Seed, Fingerprint: e.cfg.Fingerprint(), Apps: e.apps}
+		if e.cfg.Resume {
+			w, replay, err := journal.Recover(e.cfg.Journal, journal.Options{})
+			if err != nil {
+				return fmt.Errorf("libspector: recovering journal: %w", err)
+			}
+			if err := replay.Header.Match(hdr); err != nil {
+				_ = w.Close()
+				return fmt.Errorf("libspector: refusing resume: %w", err)
+			}
+			cfg.Journal, cfg.Resume = w, replay
+		} else {
+			w, err := journal.Create(e.cfg.Journal, hdr, journal.Options{})
+			if err != nil {
+				return fmt.Errorf("libspector: creating journal: %w", err)
+			}
+			cfg.Journal = w
+		}
 	}
 	builder, err := analysis.NewDatasetBuilder(e.domains)
 	if err != nil {
@@ -260,10 +317,20 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 	}
 	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
+		if cfg.Journal != nil {
+			_ = cfg.Journal.Close()
+		}
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
 	res, runErr := dispatch.Gather(events, append(sinks, e.foldSink(builder))...)
 	e.result = res
+	if cfg.Journal != nil {
+		// Close syncs; a journal that cannot reach disk fails the run so
+		// the operator never trusts an unsynced WAL.
+		if cerr := cfg.Journal.Close(); cerr != nil && runErr == nil {
+			runErr = cerr
+		}
+	}
 
 	// Even after a cancellation or failure, resolve what did complete so
 	// callers can report partial aggregates.
