@@ -1,8 +1,9 @@
 GO ?= go
 
 # Figure/table math, per-app offline analysis, the end-to-end
-# attribution→analysis throughput benchmark, and the journal append path.
-BENCH_PATTERN ?= BenchmarkFig|BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput|BenchmarkJournalAppend
+# attribution→analysis throughput benchmark, the journal append path, and the
+# full fleet campaign (collector + store + telemetry) measured per app.
+BENCH_PATTERN ?= BenchmarkFig|BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput|BenchmarkJournalAppend|BenchmarkFleetThroughput
 
 .PHONY: build test vet race bench fuzz verify
 
@@ -17,27 +18,34 @@ test:
 
 # The dispatch worker pool, the network stack, the fault injector, and the
 # campaign journal share state across worker goroutines; the obs registry is
-# hammered concurrently by every instrumentation site. Keep all five
-# race-clean.
+# hammered concurrently by every instrumentation site, and the analysis
+# accumulator/merge path folds shard partials produced by concurrent shards.
+# The root run covers the shard coordinator and outcome-merge paths
+# end-to-end. Keep all of them race-clean.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/... ./internal/journal/...
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/... ./internal/journal/... ./internal/analysis/...
+	$(GO) test -race -run 'TestShardCountInvarianceHonest|TestMergeShardOutcomesProcessMode' .
 
-# Runs the analysis benchmarks and writes BENCH_pr5.json: ratios against the
+# Runs the analysis benchmarks and writes BENCH_pr6.json: ratios against the
 # checked-in pre-refactor baseline (bench/baseline_pr2.txt) plus a
-# speedup_vs_prev diff against the recorded PR 4 run (BENCH_pr4.json).
+# speedup_vs_prev diff against the recorded PR 5 run (BENCH_pr5.json).
+# Benchmarks new in this PR carry "no_prev": true instead of a diff.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr5.txt
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr4.json -out BENCH_pr5.json < bench/current_pr5.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 5x -benchmem . | tee bench/current_pr6.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr5.json -out BENCH_pr6.json < bench/current_pr6.txt
 
 # Fuzz smoke over the wire-format decoders fed by untrusted bytes — the pcap
 # packet decoder, the supervisor UDP report decoder, the journal replay
-# reader, and the artifact meta decoder. `go test -fuzz` accepts one target
-# per invocation, hence one run each.
+# reader, the artifact meta decoder, and the shard-partial decoder that
+# parent processes feed with files written by (possibly crashed) shard
+# children. `go test -fuzz` accepts one target per invocation, hence one
+# run each.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 10s ./internal/pcap
 	$(GO) test -run '^$$' -fuzz FuzzDecodeReport -fuzztime 10s ./internal/xposed
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
 	$(GO) test -run '^$$' -fuzz FuzzArtifactMeta -fuzztime 10s ./internal/dispatch
+	$(GO) test -run '^$$' -fuzz FuzzPartialDecode -fuzztime 10s ./internal/analysis
 
 # Tier-1 verification (see ROADMAP.md) plus vet, the race subset, and the
 # decoder fuzz smoke.

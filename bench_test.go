@@ -32,6 +32,7 @@ import (
 	"libspector/internal/libradar"
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
+	"libspector/internal/obs"
 	"libspector/internal/synth"
 	"libspector/internal/vtclient"
 	"libspector/internal/xposed"
@@ -611,6 +612,37 @@ func BenchmarkFleetRun(b *testing.B) {
 			b.Fatal("no runs")
 		}
 	}
+}
+
+// BenchmarkFleetThroughput measures the full campaign pipeline through
+// the public facade — corpus generation, fleet dispatch over the real
+// UDP collector and apk store, and streaming aggregation — with
+// telemetry enabled, i.e. the exact per-shard configuration a sharded
+// campaign runs. BenchmarkFleetRun above stays the bare-dispatch
+// contrast: no facade, no collector, no telemetry.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const apps = 12
+	for i := 0; i < b.N; i++ {
+		cfg := libspector.DefaultConfig()
+		cfg.Seed = 67
+		cfg.Apps = apps
+		cfg.Workers = 4
+		cfg.MonkeyEvents = 120
+		cfg.UseCollector = true
+		cfg.UseStore = true
+		cfg.Telemetry = obs.NewVirtual(nil)
+		exp, err := libspector.NewExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := exp.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if exp.Result().Accounting.Completed == 0 {
+			b.Fatal("no completed runs")
+		}
+	}
+	b.ReportMetric(float64(apps), "apps/op")
 }
 
 // BenchmarkStreamingPipelinePeakMemory contrasts the retained heap of the

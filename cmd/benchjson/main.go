@@ -42,6 +42,10 @@ type Entry struct {
 	// SpeedupVsPrev is the previous document's ns/op over current ns/op
 	// (>1 means faster than the last recorded run) when -prev is given.
 	SpeedupVsPrev float64 `json:"speedup_vs_prev,omitempty"`
+	// NoPrev marks a benchmark measured now but absent from the -prev
+	// document (typically one added in this PR), so a missing
+	// speedup_vs_prev reads as "new benchmark", never as a silent drop.
+	NoPrev bool `json:"no_prev,omitempty"`
 }
 
 // Document is the emitted JSON shape.
@@ -65,51 +69,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	doc := &Document{
-		Note:       "go test -bench output; ratios compare against the checked-in pre-refactor baseline",
-		Benchmarks: make(map[string]*Entry),
-	}
-	for name, m := range current {
-		doc.Benchmarks[name] = &Entry{Current: m}
-	}
+	var baseline map[string]*Measurement
 	if *baselinePath != "" {
-		baseline, err := parseFile(*baselinePath)
-		if err != nil {
+		if baseline, err = parseFile(*baselinePath); err != nil {
 			fatal(err)
 		}
-		for name, m := range baseline {
-			e := doc.Benchmarks[name]
-			if e == nil {
-				e = &Entry{}
-				doc.Benchmarks[name] = e
-			}
-			e.Baseline = m
-		}
 	}
-	for _, e := range doc.Benchmarks {
-		if e.Baseline == nil || e.Current == nil {
-			continue
-		}
-		if e.Current.NsPerOp > 0 {
-			e.Speedup = e.Baseline.NsPerOp / e.Current.NsPerOp
-		}
-		if e.Baseline.AllocsPerOp > 0 {
-			e.AllocRatio = e.Current.AllocsPerOp / e.Baseline.AllocsPerOp
-		}
-	}
+	var prev map[string]float64
 	if *prevPath != "" {
-		prev, err := parsePrevDocument(*prevPath)
-		if err != nil {
+		if prev, err = parsePrevDocument(*prevPath); err != nil {
 			fatal(err)
 		}
-		for name, e := range doc.Benchmarks {
-			p, ok := prev[name]
-			if !ok || e.Current == nil || e.Current.NsPerOp <= 0 {
-				continue
-			}
-			e.SpeedupVsPrev = p / e.Current.NsPerOp
-		}
 	}
+	doc := buildDocument(current, baseline, prev)
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -123,6 +95,56 @@ func main() {
 	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// buildDocument joins the current run against the optional baseline
+// measurements and previous-document ns/op map, deriving all ratios. A
+// nil prev map means no -prev was given; a non-nil map marks every
+// current benchmark it lacks with NoPrev, so benchmarks new in this PR
+// are visible in the document rather than silently carrying no ratio.
+func buildDocument(current, baseline map[string]*Measurement, prev map[string]float64) *Document {
+	doc := &Document{
+		Note:       "go test -bench output; ratios compare against the checked-in pre-refactor baseline",
+		Benchmarks: make(map[string]*Entry),
+	}
+	for name, m := range current {
+		doc.Benchmarks[name] = &Entry{Current: m}
+	}
+	for name, m := range baseline {
+		e := doc.Benchmarks[name]
+		if e == nil {
+			e = &Entry{}
+			doc.Benchmarks[name] = e
+		}
+		e.Baseline = m
+	}
+	for _, e := range doc.Benchmarks {
+		if e.Baseline == nil || e.Current == nil {
+			continue
+		}
+		if e.Current.NsPerOp > 0 {
+			e.Speedup = e.Baseline.NsPerOp / e.Current.NsPerOp
+		}
+		if e.Baseline.AllocsPerOp > 0 {
+			e.AllocRatio = e.Current.AllocsPerOp / e.Baseline.AllocsPerOp
+		}
+	}
+	if prev != nil {
+		for name, e := range doc.Benchmarks {
+			if e.Current == nil {
+				continue
+			}
+			p, ok := prev[name]
+			if !ok {
+				e.NoPrev = true
+				continue
+			}
+			if e.Current.NsPerOp > 0 {
+				e.SpeedupVsPrev = p / e.Current.NsPerOp
+			}
+		}
+	}
+	return doc
 }
 
 // parsePrevDocument reads an earlier benchjson document and returns each

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+BenchmarkFold-8         	     120	   9500000 ns/op	  220000 B/op	    1500 allocs/op
+BenchmarkNewThisPR-8    	      50	  20000000 ns/op	  400000 B/op	    2000 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T) map[string]*Measurement {
+	t.Helper()
+	m, err := parseReader(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseReaderStripsGomaxprocsSuffix(t *testing.T) {
+	m := parseSample(t)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(m))
+	}
+	fold := m["BenchmarkFold"]
+	if fold == nil {
+		t.Fatal("BenchmarkFold not parsed under its suffix-free name")
+	}
+	if fold.Iterations != 120 || fold.NsPerOp != 9.5e6 || fold.BytesPerOp != 220000 || fold.AllocsPerOp != 1500 {
+		t.Fatalf("BenchmarkFold parsed as %+v", *fold)
+	}
+}
+
+func TestBuildDocumentBaselineRatios(t *testing.T) {
+	cur := parseSample(t)
+	baseline := map[string]*Measurement{
+		"BenchmarkFold": {Iterations: 100, NsPerOp: 19e6, AllocsPerOp: 3000},
+	}
+	doc := buildDocument(cur, baseline, nil)
+	e := doc.Benchmarks["BenchmarkFold"]
+	if math.Abs(e.Speedup-2.0) > 1e-9 {
+		t.Fatalf("speedup = %v, want 2.0", e.Speedup)
+	}
+	if math.Abs(e.AllocRatio-0.5) > 1e-9 {
+		t.Fatalf("alloc ratio = %v, want 0.5", e.AllocRatio)
+	}
+	if e.NoPrev {
+		t.Fatal("NoPrev set without a -prev document")
+	}
+}
+
+// TestBuildDocumentMarksMissingPrev is the regression test for the -prev
+// join: a benchmark added in this PR has no entry in the previous
+// document and must surface as no_prev instead of being skipped.
+func TestBuildDocumentMarksMissingPrev(t *testing.T) {
+	cur := parseSample(t)
+	prev := map[string]float64{"BenchmarkFold": 19e6}
+	doc := buildDocument(cur, nil, prev)
+
+	fold := doc.Benchmarks["BenchmarkFold"]
+	if fold.NoPrev {
+		t.Fatal("BenchmarkFold is in prev but marked no_prev")
+	}
+	if math.Abs(fold.SpeedupVsPrev-2.0) > 1e-9 {
+		t.Fatalf("speedup_vs_prev = %v, want 2.0", fold.SpeedupVsPrev)
+	}
+
+	added := doc.Benchmarks["BenchmarkNewThisPR"]
+	if added == nil {
+		t.Fatal("new benchmark missing from document")
+	}
+	if !added.NoPrev {
+		t.Fatal("benchmark absent from prev not marked no_prev")
+	}
+	if added.SpeedupVsPrev != 0 {
+		t.Fatalf("speedup_vs_prev = %v for a no_prev benchmark, want 0", added.SpeedupVsPrev)
+	}
+}
+
+func TestBuildDocumentNilPrevLeavesNoPrevUnset(t *testing.T) {
+	doc := buildDocument(parseSample(t), nil, nil)
+	for name, e := range doc.Benchmarks {
+		if e.NoPrev {
+			t.Fatalf("%s marked no_prev with no -prev given", name)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,13 +39,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("libreport", flag.ContinueOnError)
 	var (
-		figure    = fs.String("figure", "totals", "table/figure id: T1,F2..F10,E1,E2,E4,totals,json")
-		apps      = fs.Int("apps", 200, "number of apps in the corpus")
-		seed      = fs.Uint64("seed", 42, "experiment seed")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		topN      = fs.Int("top", 15, "entries in the Figure 3 rankings")
-		artifacts = fs.String("artifacts", "", "reanalyze persisted run evidence from this directory instead of running a fleet")
-		csvDir    = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+		figure     = fs.String("figure", "totals", "table/figure id: T1,F2..F10,E1,E2,E4,totals,json")
+		apps       = fs.Int("apps", 200, "number of apps in the corpus")
+		seed       = fs.Uint64("seed", 42, "experiment seed")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		topN       = fs.Int("top", 15, "entries in the Figure 3 rankings")
+		artifacts  = fs.String("artifacts", "", "reanalyze persisted run evidence from this directory instead of running a fleet")
+		csvDir     = fs.String("csv", "", "also write the figure series as CSV files into this directory")
+		shards     = fs.Int("shards", 1, "run the experiment as N in-process shards and report from the merged aggregates")
+		shardIndex = fs.Int("shard-index", -1, "run only this shard of an N-shard split and write its outcome instead of a report (requires -shards and -shard-out)")
+		shardOut   = fs.String("shard-out", "", "shard outcome file to write in -shard-index mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,20 +62,47 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The record-level dataset backs E4 and the CSV export; a sharded run
+	// only ever materializes the mergeable aggregates.
 	var ds *analysis.Dataset
-	if *artifacts != "" {
-		ds, err = reanalyze(exp, *artifacts)
-	} else {
-		err = exp.Run()
-		if err == nil {
-			ds = exp.Dataset()
+	switch {
+	case *shardIndex >= 0:
+		if *shardOut == "" {
+			return fmt.Errorf("-shard-index requires -shard-out")
 		}
+		out, err := exp.RunShard(context.Background(), *shardIndex, *shards)
+		if err != nil {
+			return err
+		}
+		if err := dispatch.WriteShardOutcome(*shardOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("Shard %d/%d done: apps [%d,%d) -> %s\n",
+			*shardIndex, *shards, out.Range.Lo, out.Range.Hi, *shardOut)
+		return nil
+	case *shards > 1:
+		if _, err := exp.RunSharded(context.Background(), *shards); err != nil {
+			return err
+		}
+	case *artifacts != "":
+		if ds, err = reanalyze(exp, *artifacts); err != nil {
+			return err
+		}
+	default:
+		if err := exp.Run(); err != nil {
+			return err
+		}
+		ds = exp.Dataset()
 	}
-	if err != nil {
-		return err
+	ag := exp.Aggregates()
+	if ds != nil {
+		ag = ds.Aggregates()
 	}
 
 	if *csvDir != "" {
+		if ds == nil {
+			return fmt.Errorf("-csv needs the record-level dataset, which a sharded run does not materialize")
+		}
 		if err := writeCSVs(ds, *csvDir); err != nil {
 			return err
 		}
@@ -79,41 +110,44 @@ func run(args []string) error {
 
 	switch strings.ToUpper(*figure) {
 	case "TOTALS":
-		fmt.Println(report.Totals(ds.ComputeTotals()))
+		fmt.Println(report.Totals(ag.ComputeTotals()))
 	case "T1":
 		for _, d := range exp.World().Domains {
 			exp.Domains().Categorize(d.Name)
 		}
 		fmt.Println(report.TableI(exp.Domains().Counts()))
 	case "F2":
-		fmt.Println(report.Fig2(ds.Fig2CategoryTransfer()))
+		fmt.Println(report.Fig2(ag.Fig2CategoryTransfer()))
 	case "F3":
-		fmt.Println(report.Fig3(ds.Fig3TopOrigins(*topN), ds.Fig3TopTwoLevel(*topN)))
+		fmt.Println(report.Fig3(ag.Fig3TopOrigins(*topN), ag.Fig3TopTwoLevel(*topN)))
 	case "F4":
-		fmt.Println(report.Fig4(ds.Fig4CDF()))
+		fmt.Println(report.Fig4(ag.Fig4CDF()))
 	case "F5":
-		fmt.Println(report.Fig5(ds.Fig5FlowRatios()))
+		fmt.Println(report.Fig5(ag.Fig5FlowRatios()))
 	case "F6":
-		fmt.Println(report.Fig6(ds.Fig6AnTShares()))
+		fmt.Println(report.Fig6(ag.Fig6AnTShares()))
 	case "F7":
-		fmt.Println(report.Fig7(ds.Fig7Averages()))
+		fmt.Println(report.Fig7(ag.Fig7Averages()))
 	case "F8":
-		fmt.Println(report.Fig8(ds.Fig8AppCategoryAverages()))
+		fmt.Println(report.Fig8(ag.Fig8AppCategoryAverages()))
 	case "F9":
-		fmt.Println(report.Fig9(ds.Fig9Heatmap()))
+		fmt.Println(report.Fig9(ag.Fig9Heatmap()))
 	case "F10":
-		fmt.Println(report.Fig10(ds.Fig10Coverage()))
+		fmt.Println(report.Fig10(ag.Fig10Coverage()))
 	case "E1":
-		costs := analysis.CostPerCategory(ds.Fig7Averages(), analysis.NewCostModel(),
+		costs := analysis.CostPerCategory(ag.Fig7Averages(), analysis.NewCostModel(),
 			corpus.LibAdvertisement, corpus.LibMobileAnalytics,
 			corpus.LibSocialNetwork, corpus.LibDigitalIdentity, corpus.LibGameEngine)
 		fmt.Println(report.Costs(costs))
 	case "E2":
-		fmt.Println(report.Energy(analysis.NewEnergyModel(), ds.Fig7Averages().PerLibrary[corpus.LibAdvertisement]))
+		fmt.Println(report.Energy(analysis.NewEnergyModel(), ag.Fig7Averages().PerLibrary[corpus.LibAdvertisement]))
 	case "E4":
+		if ds == nil {
+			return fmt.Errorf("E4 compares record-level baselines, which a sharded run does not materialize")
+		}
 		fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
 	case "JSON":
-		if err := ds.Summarize(*topN).WriteJSON(os.Stdout); err != nil {
+		if err := ag.Summarize(*topN).WriteJSON(os.Stdout); err != nil {
 			return err
 		}
 	default:

@@ -141,6 +141,9 @@ func run(ctx context.Context, args []string) error {
 		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault; opt-in crash classes: journal-crash,journal-tear,artifact-flip")
 		metricsAddr     = fs.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
 		traceOut        = fs.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
+		shards          = fs.Int("shards", 1, "split the campaign into N shards run under an in-process coordinator (byte-identical to -shards 1 when -workers >= N)")
+		shardIndex      = fs.Int("shard-index", -1, "run only this shard of an N-shard split and exit (child-process mode; requires -shards and -shard-out)")
+		shardOut        = fs.String("shard-out", "", "write the shard's outcome (ledger, snapshot, encoded partial) to this file for the parent to merge")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -190,6 +193,13 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
 	}
 	cfg.Telemetry = tel
+
+	if *shardIndex >= 0 {
+		return runShardChild(ctx, cfg, *shardIndex, *shards, *shardOut)
+	}
+	if *shards > 1 {
+		return runShardedCampaign(ctx, cfg, *shards, *topN)
+	}
 
 	fmt.Printf("Generating world (seed=%d, %d apps) and running the fleet...\n", cfg.Seed, cfg.Apps)
 	exp, err := libspector.NewExperiment(cfg)
@@ -241,6 +251,18 @@ func run(ctx context.Context, args []string) error {
 	// dataset (byte-identical on a clean run) still backs the record-level
 	// baselines below.
 	ds := exp.Dataset()
+	printAggregateFigures(exp, *topN)
+	fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
+	fmt.Println(report.PaperComparison(exp.Aggregates().CompareWithPaper()))
+	return nil
+}
+
+// printAggregateFigures renders every table and figure that needs only
+// the streaming aggregates — the shared body of the single-process and
+// sharded report paths. Record-level sections (the §V baselines) need
+// the batch dataset, which a sharded campaign never materializes, so
+// they stay with the single-process caller.
+func printAggregateFigures(exp *libspector.Experiment, topN int) {
 	ag := exp.Aggregates()
 	fmt.Println(report.Totals(ag.ComputeTotals()))
 
@@ -252,7 +274,7 @@ func run(ctx context.Context, args []string) error {
 	fmt.Println(report.TableI(exp.Domains().Counts()))
 
 	fmt.Println(report.Fig2(ag.Fig2CategoryTransfer()))
-	fmt.Println(report.Fig3(ag.Fig3TopOrigins(*topN), ag.Fig3TopTwoLevel(*topN)))
+	fmt.Println(report.Fig3(ag.Fig3TopOrigins(topN), ag.Fig3TopTwoLevel(topN)))
 	fmt.Println(report.Fig4(ag.Fig4CDF()))
 	fmt.Println(report.Fig5(ag.Fig5FlowRatios()))
 	fmt.Println(report.Fig6(ag.Fig6AnTShares()))
@@ -267,8 +289,64 @@ func run(ctx context.Context, args []string) error {
 		corpus.LibSocialNetwork, corpus.LibDigitalIdentity, corpus.LibGameEngine)
 	fmt.Println(report.Costs(costs))
 	fmt.Println(report.Energy(analysis.NewEnergyModel(), avgs.PerLibrary[corpus.LibAdvertisement]))
+}
 
-	fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
-	fmt.Println(report.PaperComparison(ag.CompareWithPaper()))
+// runShardChild is the -shard-index entry point: run exactly one shard of
+// the N-way split and write its outcome file for the parent to merge.
+func runShardChild(ctx context.Context, cfg libspector.Config, index, shards int, out string) error {
+	if out == "" {
+		return fmt.Errorf("-shard-index requires -shard-out")
+	}
+	if index >= shards {
+		return fmt.Errorf("-shard-index %d out of range for -shards %d", index, shards)
+	}
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	outcome, err := exp.RunShard(ctx, index, shards)
+	if err != nil {
+		return err
+	}
+	if err := dispatch.WriteShardOutcome(out, outcome); err != nil {
+		return err
+	}
+	fmt.Printf("Shard %d/%d done: apps [%d,%d) -> %s\n",
+		index, shards, outcome.Range.Lo, outcome.Range.Hi, out)
+	return nil
+}
+
+// runShardedCampaign runs the campaign as N in-process shards under the
+// coordinator and reports from the merged result.
+func runShardedCampaign(ctx context.Context, cfg libspector.Config, shards, topN int) error {
+	fmt.Printf("Generating world (seed=%d, %d apps) and running %d shards...\n", cfg.Seed, cfg.Apps, shards)
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := exp.RunSharded(ctx, shards)
+	if err != nil {
+		return err
+	}
+	acct := res.Accounting
+	fmt.Printf("Sharded fleet done in %s: %d runs across %d shards (%d takeovers), %d ARM-only apps skipped.\n",
+		time.Since(start).Round(time.Millisecond), acct.Completed, res.Shards, res.Takeovers, acct.SkippedARMOnly)
+	if len(res.Failures) > 0 || len(res.Quarantined) > 0 || acct.NotRun > 0 {
+		fmt.Printf("Degraded fleet: %d failed, %d quarantined, %d never run — coverage %.1f%% of the analyzable corpus.\n",
+			acct.Failed, acct.Quarantined, acct.NotRun, 100*acct.Coverage())
+		for _, q := range res.Quarantined {
+			fmt.Printf("  quarantined app %d after %d attempts: %v\n", q.AppIndex, q.Attempts, q.LastErr)
+		}
+		if acct.Retried > 0 {
+			fmt.Printf("  %d apps recovered by retries (%d attempts total, %s backoff charged).\n",
+				acct.Retried, acct.Attempts, acct.Backoff)
+		}
+	}
+	fmt.Println()
+	fmt.Println(obs.Render(res.Snapshot))
+	fmt.Println()
+	printAggregateFigures(exp, topN)
+	fmt.Println(report.PaperComparison(exp.Aggregates().CompareWithPaper()))
 	return nil
 }

@@ -8,7 +8,14 @@
 // events as workers complete them, and Ctrl-C reports whatever finished
 // before the interrupt instead of discarding the run.
 //
+// With -shards N the campaign runs as N separate worker processes: the
+// parent re-executes itself once per shard (-shard-index/-shard-out),
+// watches each child's /healthz endpoint, re-spawns dead shards with
+// -resume so they take over from their journal, and merges the shard
+// outcome files into one campaign report.
+//
 //	go run ./examples/fleetscan [-apps 40] [-workers 4]
+//	go run ./examples/fleetscan -apps 40 -shards 4 -journal wal -artifacts evidence
 package main
 
 import (
@@ -16,7 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
@@ -60,6 +70,162 @@ func (p *progress) Consume(ev dispatch.RunEvent) error {
 	return nil
 }
 
+// inheritedArgs reconstructs the explicitly-set command-line flags so a
+// child shard process sees the same campaign configuration as the
+// parent. Orchestration flags are owned by the parent and re-issued per
+// child; -resume is appended only on takeover (or a whole-campaign
+// resume), so it is excluded here too.
+func inheritedArgs() []string {
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "shards", "shard-index", "shard-out", "probe-base-port", "metrics-addr", "resume":
+			return
+		}
+		args = append(args, "-"+f.Name+"="+f.Value.String())
+	})
+	return args
+}
+
+// spawnShard runs one shard as a child process and waits for it. With a
+// probe port, a watchdog goroutine polls the child's /healthz and kills
+// it after four consecutive failed probes — the parent then sees a
+// non-zero exit exactly as if the shard host had died.
+func spawnShard(ctx context.Context, self string, i, n int, outPath string, probeBase int, resume bool) error {
+	args := inheritedArgs()
+	args = append(args, fmt.Sprintf("-shards=%d", n), fmt.Sprintf("-shard-index=%d", i), "-shard-out="+outPath)
+	if resume {
+		args = append(args, "-resume")
+	}
+	var addr string
+	if probeBase > 0 {
+		addr = fmt.Sprintf("127.0.0.1:%d", probeBase+i)
+		args = append(args, "-metrics-addr="+addr)
+	}
+	cmd := exec.CommandContext(ctx, self, args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	if addr != "" {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			// The child is only declared dead after it has answered at
+			// least once: startup time must not look like a hang.
+			healthy, fails := false, 0
+			ticker := time.NewTicker(500 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+					if err := obs.ProbeHealthz(addr, time.Second); err != nil {
+						if healthy {
+							if fails++; fails >= 4 {
+								fmt.Printf("  [watchdog] shard %d stopped answering /healthz — killing it\n", i)
+								_ = cmd.Process.Kill()
+								return
+							}
+						}
+					} else {
+						healthy, fails = true, 0
+					}
+				}
+			}
+		}()
+	}
+	return cmd.Wait()
+}
+
+// runShardProcesses is the -shards parent: spawn one child per shard,
+// re-spawn dead shards with -resume so they take over from their own
+// journal, then merge the shard outcome files into the campaign report.
+func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journalPath string, probeBase int) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "fleetscan-shards-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	fmt.Printf("Scanning %d apps as %d shard processes...\n", cfg.Apps, n)
+	outcomes := make([]*dispatch.ShardOutcome, n)
+	errs := make([]error, n)
+	var mu sync.Mutex
+	takeovers := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outPath := filepath.Join(dir, fmt.Sprintf("shard-%03d.json", i))
+			for attempt := 0; ; attempt++ {
+				err := spawnShard(ctx, self, i, n, outPath, probeBase, attempt > 0)
+				if err == nil {
+					outcomes[i], errs[i] = dispatch.ReadShardOutcome(outPath)
+					return
+				}
+				if ctx.Err() != nil {
+					errs[i] = err
+					return
+				}
+				if journalPath == "" {
+					// Without a journal a re-spawned shard would redo every
+					// run; surface the death instead of silently doubling work.
+					errs[i] = fmt.Errorf("shard %d died with no journal to take over from: %w", i, err)
+					return
+				}
+				mu.Lock()
+				if takeovers >= cfg.Apps {
+					mu.Unlock()
+					errs[i] = fmt.Errorf("shard %d: takeover budget exhausted: %w", i, err)
+					return
+				}
+				takeovers++
+				count := takeovers
+				mu.Unlock()
+				fmt.Printf("  [takeover] shard %d died (%v) — re-spawning with -resume (takeover %d)\n", i, err, count)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := exp.MergeShardOutcomes(outcomes)
+	if err != nil {
+		return err
+	}
+	acct := res.Accounting
+	fmt.Printf("Merged %d shard outcomes: %d runs, %d skipped, %d failed, %d quarantined (%d process takeovers).\n",
+		n, acct.Completed, acct.SkippedARMOnly, acct.Failed, acct.Quarantined, takeovers)
+	fmt.Println()
+	fmt.Println(obs.Render(res.Snapshot))
+	ag := exp.Aggregates()
+	totals := ag.ComputeTotals()
+	fmt.Printf("  traffic:             %.2f MB over %d flows to %d domains\n",
+		float64(totals.TotalBytes())/1e6, totals.Flows, totals.DistinctDomains)
+	fmt.Printf("  origin-libraries:    %d\n", totals.DistinctOrigins)
+	cov := ag.Fig10Coverage()
+	fmt.Printf("  mean method coverage: %.1f%% (paper: 9.5%%)\n", cov.Mean)
+	m := ag.Fig2CategoryTransfer()
+	fmt.Printf("  advertisement share:  %.1f%% of bytes (paper: 28.3%%)\n",
+		100*m.LegendShare[corpus.LibAdvertisement])
+	return nil
+}
+
 func run(ctx context.Context) error {
 	apps := flag.Int("apps", 40, "corpus size")
 	workers := flag.Int("workers", 4, "parallel workers")
@@ -74,6 +240,10 @@ func run(ctx context.Context) error {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry")
 	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
 	traceOut := flag.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
+	shards := flag.Int("shards", 1, "run the campaign as N separate shard processes and merge their outcomes")
+	shardIndex := flag.Int("shard-index", -1, "child mode: run only this shard and write its outcome (spawned by -shards)")
+	shardOut := flag.String("shard-out", "", "child mode: shard outcome file to write")
+	probeBase := flag.Int("probe-base-port", 0, "liveness: child shard i serves /healthz on 127.0.0.1:(port+i) and the parent kills shards that stop answering (0 = off)")
 	flag.Parse()
 
 	cfg := libspector.DefaultConfig()
@@ -121,6 +291,28 @@ func run(ctx context.Context) error {
 		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
 	}
 	cfg.Telemetry = tel
+
+	if *shardIndex >= 0 {
+		if *shardOut == "" {
+			return fmt.Errorf("-shard-index requires -shard-out")
+		}
+		exp, err := libspector.NewExperiment(cfg)
+		if err != nil {
+			return err
+		}
+		out, err := exp.RunShard(ctx, *shardIndex, *shards)
+		if err != nil {
+			return err
+		}
+		if err := dispatch.WriteShardOutcome(*shardOut, out); err != nil {
+			return err
+		}
+		fmt.Printf("  [shard %d] apps [%d,%d) done -> %s\n", *shardIndex, out.Range.Lo, out.Range.Hi, *shardOut)
+		return nil
+	}
+	if *shards > 1 {
+		return runShardProcesses(ctx, cfg, *shards, *journalPath, *probeBase)
+	}
 
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {

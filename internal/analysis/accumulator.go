@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"fmt"
+
 	"libspector/internal/attribution"
 	"libspector/internal/dispatch"
 	"libspector/internal/libradar"
@@ -26,7 +28,8 @@ import (
 // Accumulator is not safe for concurrent use; dispatch sinks are invoked
 // sequentially from the consuming goroutine, which is exactly this model.
 type Accumulator struct {
-	core *core
+	core   *core
+	sealed bool
 }
 
 // NewAccumulator builds an empty accumulator resolving domain categories
@@ -51,6 +54,9 @@ func (a *Accumulator) Consume(ev dispatch.RunEvent) error {
 // Observe folds one run. The app index orders the Fig10 coverage series
 // exactly as the batch path does.
 func (a *Accumulator) Observe(appIndex int, run *attribution.RunResult) error {
+	if a.sealed {
+		return fmt.Errorf("analysis: accumulator already sealed")
+	}
 	return a.core.observe(appIndex, run, nil)
 }
 
@@ -58,5 +64,8 @@ func (a *Accumulator) Observe(appIndex int, run *attribution.RunResult) error {
 // detector and freezes the aggregates. The accumulator rejects further
 // observations afterwards.
 func (a *Accumulator) Finish(detector *libradar.Detector) (*Aggregates, error) {
+	if a.sealed {
+		return nil, fmt.Errorf("analysis: accumulator already sealed; finish the partial instead")
+	}
 	return a.core.finish(detector)
 }

@@ -1,0 +1,729 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"libspector/internal/libradar"
+	"libspector/internal/symtab"
+)
+
+// Partial is one shard's sealed aggregation state: the columnar core
+// frozen before the finish step. Unlike Aggregates — which is float-laden
+// and sorted, hence unmergeable — a Partial holds only commutative int64
+// columns keyed by private symbol IDs, so two partials produced by
+// different processes merge exactly: their symbol tables are unified with
+// symtab.MergeFrom and every column is re-folded through the resulting
+// dense remap. Merging N shard partials and finishing once yields
+// byte-identical figures to folding the whole corpus in one process,
+// because the fold is order-independent and finish sorts before every
+// float computation.
+//
+// A Partial also serializes (Encode/DecodePartial) so shards in separate
+// processes can ship their state to a coordinator as an opaque blob.
+type Partial struct {
+	core *core
+}
+
+// Seal freezes the accumulator and converts it into a mergeable,
+// serializable Partial. The accumulator rejects further observations and
+// cannot be finished afterwards — the Partial owns the state.
+func (a *Accumulator) Seal() (*Partial, error) {
+	if a.sealed {
+		return nil, fmt.Errorf("analysis: accumulator already sealed")
+	}
+	if a.core.finished {
+		return nil, fmt.Errorf("analysis: accumulator already finished")
+	}
+	a.sealed = true
+	return &Partial{core: a.core}, nil
+}
+
+// Runs reports how many runs this partial folded.
+func (p *Partial) Runs() int { return p.core.runs }
+
+// Finish resolves the deferred library categories through the (finalized)
+// detector and freezes the partial into Aggregates, exactly like
+// Accumulator.Finish. A partial can be finished once.
+func (p *Partial) Finish(detector *libradar.Detector) (*Aggregates, error) {
+	return p.core.finish(detector)
+}
+
+// Merge combines two shard partials into a fresh one, leaving both inputs
+// untouched. Symbol namespaces are unified left-to-right, so Merge is
+// associative and identity-preserving at the encoded-byte level; it is
+// commutative at the finished-figure level (intern order differs, but
+// every figure sorts in finish).
+func Merge(a, b *Partial) (*Partial, error) {
+	return MergePartials(a, b)
+}
+
+// MergePartials folds any number of shard partials into a fresh partial.
+// All inputs must have been produced against the same domain categorizer
+// (the same campaign); the first partial's categorizer seeds the result.
+func MergePartials(parts ...*Partial) (*Partial, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("analysis: no partials to merge")
+	}
+	for i, p := range parts {
+		if p == nil || p.core == nil {
+			return nil, fmt.Errorf("analysis: nil partial at index %d", i)
+		}
+		if p.core.finished {
+			return nil, fmt.Errorf("analysis: partial at index %d already finished", i)
+		}
+	}
+	dst, err := newCore(parts[0].core.syms.categorizer)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		mergeInto(dst, p.core)
+	}
+	return &Partial{core: dst}, nil
+}
+
+// mergeInto folds src into dst. The symbol tables are unified first — the
+// on-intern hooks rebuild dst's fact columns for strings dst has not seen
+// — and every symbol-indexed column is then re-folded through the dense
+// old→new remaps. All folded quantities are commutative int64 sums, so
+// the result is independent of merge order up to symbol numbering, which
+// finish erases by sorting.
+func mergeInto(dst, src *core) {
+	appR := dst.syms.apps.MergeFrom(src.syms.apps)
+	catR := dst.syms.appCats.MergeFrom(src.syms.appCats)
+	orgR := dst.syms.origins.MergeFrom(src.syms.origins)
+	twoR := dst.syms.twoLevels.MergeFrom(src.syms.twoLevels)
+	domR := dst.syms.domains.MergeFrom(src.syms.domains)
+	dcR := dst.syms.domCats.MergeFrom(src.syms.domCats)
+	dst.syms.strings.MergeFrom(src.syms.strings)
+
+	dst.runs += src.runs
+	dst.flows += src.flows
+	dst.unattributed += src.unattributed
+	dst.bytesSent += src.bytesSent
+	dst.bytesReceived += src.bytesReceived
+	dst.udpWire += src.udpWire
+	dst.dnsWire += src.dnsWire
+	dst.tcpWire += src.tcpWire
+
+	mergeEntityStats(&dst.perApp, &src.perApp, appR)
+	mergeEntityStats(&dst.perOrigin, &src.perOrigin, orgR)
+	mergeEntityStats(&dst.perDomain, &src.perDomain, domR)
+
+	for ri := range src.fig2NB.rows {
+		row := &src.fig2NB.rows[ri]
+		for ci, seen := range row.seen {
+			if seen {
+				dst.fig2NB.add(int(catR[ri]), int(orgR[ci]), row.vals[ci])
+			}
+		}
+	}
+	mergeCountVec(&dst.fig2B, &src.fig2B, catR)
+
+	mergeBoolCol(&dst.originBuiltin, src.originBuiltin, orgR)
+	mergeCountVec(&dst.twoBytes, &src.twoBytes, twoR)
+	mergeBoolCol(&dst.twoBuiltin, src.twoBuiltin, twoR)
+
+	for i := range src.fig6 {
+		a := &src.fig6[i]
+		if !a.seen {
+			continue
+		}
+		j := int(appR[i])
+		for len(dst.fig6) <= j {
+			dst.fig6 = append(dst.fig6, antAcc{})
+		}
+		d := &dst.fig6[j]
+		d.seen = true
+		d.total += a.total
+		d.ant += a.ant
+		d.cl += a.cl
+		d.antSent += a.antSent
+		d.antRcvd += a.antRcvd
+		d.clSent += a.clSent
+		d.clRcvd += a.clRcvd
+	}
+
+	mergeCountVec(&dst.nbOrigin, &src.nbOrigin, orgR)
+	for ri := range src.fig9.rows {
+		row := &src.fig9.rows[ri]
+		for ci, seen := range row.seen {
+			if seen {
+				dst.fig9.add(int(dcR[ri]), int(orgR[ci]), row.vals[ci])
+			}
+		}
+	}
+	mergeCountVec(&dst.domBytes, &src.domBytes, dcR)
+	mergeCountVec(&dst.fig8Bytes, &src.fig8Bytes, catR)
+	for i, cats := range src.fig8Cats {
+		for _, cat := range cats {
+			dst.addFig8App(appR[i], catR[cat])
+		}
+	}
+
+	dst.coverage = append(dst.coverage, src.coverage...)
+}
+
+// mergeEntityStats re-folds a per-entity column through a remap. Using
+// add preserves seen-with-zero entries — presence is meaningful even for
+// entities whose byte totals are zero.
+func mergeEntityStats(dst, src *entityStats, r symtab.Remap) {
+	for i, seen := range src.seen {
+		if seen {
+			dst.add(r[i], src.pairs[i].sent, src.pairs[i].rcvd)
+		}
+	}
+}
+
+func mergeCountVec(dst, src *countVec, r symtab.Remap) {
+	for i, seen := range src.seen {
+		if seen {
+			dst.add(int(r[i]), src.vals[i])
+		}
+	}
+}
+
+// mergeBoolCol ORs a symbol-indexed marker column through a remap. The
+// column's length tracks every symbol any flow touched (finish indexes it
+// for each seen entity), so even false entries grow the destination.
+func mergeBoolCol(dst *[]bool, src []bool, r symtab.Remap) {
+	for i, b := range src {
+		j := int(r[i])
+		*dst = growBools(*dst, j)
+		if b {
+			(*dst)[j] = true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+// partialMagic identifies a serialized shard partial, version 01.
+const partialMagic = "LSPART01"
+
+// ErrCorruptPartial reports a serialized partial that is torn, truncated,
+// or otherwise not decodable. Decoders must surface it (wrapped) rather
+// than merging a damaged shard silently.
+var ErrCorruptPartial = errors.New("analysis: corrupt shard partial")
+
+// ErrCategorizerMismatch reports that a decoded partial's recorded domain
+// categories disagree with the local categorizer — the shard was produced
+// against a different campaign world and must not be merged.
+var ErrCategorizerMismatch = errors.New("analysis: partial domain categories disagree with local categorizer")
+
+// Encode serializes the partial deterministically:
+//
+//	"LSPART01" | body | crc32c(body) little-endian
+//
+// The body is a fixed sequence of varint-framed sections: the six symbol
+// tables (string count, then length-prefixed strings in dense ID order),
+// the recorded domain-category facts (for the decode-side categorizer
+// cross-check), the scalar totals, and every column. Encoding does not
+// mutate the partial and may be called repeatedly.
+func (p *Partial) Encode() ([]byte, error) {
+	if p == nil || p.core == nil {
+		return nil, fmt.Errorf("analysis: nil partial")
+	}
+	if p.core.finished {
+		return nil, fmt.Errorf("analysis: cannot encode a finished partial")
+	}
+	c := p.core
+	var b []byte
+	b = append(b, partialMagic...)
+	body := len(b)
+
+	for _, t := range []*symtab.Table{
+		c.syms.apps, c.syms.appCats, c.syms.origins,
+		c.syms.twoLevels, c.syms.domains, c.syms.domCats,
+	} {
+		b = binary.AppendUvarint(b, uint64(t.Len()))
+		for i := 0; i < t.Len(); i++ {
+			s := t.String(symtab.Sym(i))
+			b = binary.AppendUvarint(b, uint64(len(s)))
+			b = append(b, s...)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(c.syms.domainCats)))
+	for _, s := range c.syms.domainCats {
+		b = binary.AppendUvarint(b, uint64(s))
+	}
+
+	for _, v := range []int64{
+		int64(c.runs), int64(c.flows), int64(c.unattributed),
+		c.bytesSent, c.bytesReceived, c.udpWire, c.dnsWire, c.tcpWire,
+	} {
+		b = binary.AppendVarint(b, v)
+	}
+
+	b = appendEntityStats(b, &c.perApp)
+	b = appendEntityStats(b, &c.perOrigin)
+	b = appendEntityStats(b, &c.perDomain)
+	b = appendCountMatrix(b, &c.fig2NB)
+	b = appendCountVec(b, &c.fig2B)
+	b = appendBools(b, c.originBuiltin)
+	b = appendCountVec(b, &c.twoBytes)
+	b = appendBools(b, c.twoBuiltin)
+
+	b = binary.AppendUvarint(b, uint64(len(c.fig6)))
+	for i := range c.fig6 {
+		a := &c.fig6[i]
+		b = appendBool(b, a.seen)
+		for _, v := range []int64{a.total, a.ant, a.cl, a.antSent, a.antRcvd, a.clSent, a.clRcvd} {
+			b = binary.AppendVarint(b, v)
+		}
+	}
+
+	b = appendCountVec(b, &c.nbOrigin)
+	b = appendCountMatrix(b, &c.fig9)
+	b = appendCountVec(b, &c.domBytes)
+	b = appendCountVec(b, &c.fig8Bytes)
+
+	b = binary.AppendUvarint(b, uint64(len(c.fig8Cats)))
+	for _, cats := range c.fig8Cats {
+		b = binary.AppendUvarint(b, uint64(len(cats)))
+		for _, cat := range cats {
+			b = binary.AppendUvarint(b, uint64(cat))
+		}
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(c.coverage)))
+	for _, e := range c.coverage {
+		b = binary.AppendVarint(b, int64(e.appIndex))
+		b = binary.AppendUvarint(b, math.Float64bits(e.percent))
+		b = binary.AppendUvarint(b, math.Float64bits(e.methods))
+	}
+
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[body:], crcTable))
+	return b, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendBools(b []byte, s []bool) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	for _, v := range s {
+		b = appendBool(b, v)
+	}
+	return b
+}
+
+func appendCountVec(b []byte, v *countVec) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v.vals)))
+	for i := range v.vals {
+		b = appendBool(b, v.seen[i])
+		b = binary.AppendVarint(b, v.vals[i])
+	}
+	return b
+}
+
+func appendCountMatrix(b []byte, m *countMatrix) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m.rows)))
+	for i := range m.rows {
+		b = appendCountVec(b, &m.rows[i])
+	}
+	return b
+}
+
+func appendEntityStats(b []byte, e *entityStats) []byte {
+	b = binary.AppendUvarint(b, uint64(len(e.pairs)))
+	for i := range e.pairs {
+		b = appendBool(b, e.seen[i])
+		b = binary.AppendVarint(b, e.pairs[i].sent)
+		b = binary.AppendVarint(b, e.pairs[i].rcvd)
+	}
+	return b
+}
+
+// partialDecoder reads the wire format with bounds checks tight enough
+// that hostile input (fuzzing, torn files) fails with ErrCorruptPartial
+// instead of panicking or allocating unbounded memory: every element
+// count is validated against the bytes remaining before allocation.
+type partialDecoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *partialDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorruptPartial}, args...)...)
+	}
+}
+
+func (d *partialDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *partialDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// length reads an element count and rejects counts that could not fit in
+// the remaining bytes even at one byte per element.
+func (d *partialDecoder) length() int {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)-d.pos) {
+		d.fail("length %d exceeds %d remaining bytes", n, len(d.b)-d.pos)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *partialDecoder) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.pos >= len(d.b) {
+		d.fail("truncated at offset %d", d.pos)
+		return false
+	}
+	v := d.b[d.pos]
+	d.pos++
+	if v > 1 {
+		d.fail("bad bool %d at offset %d", v, d.pos-1)
+		return false
+	}
+	return v == 1
+}
+
+func (d *partialDecoder) string() string {
+	n := d.length()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *partialDecoder) bools() []bool {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.bool()
+	}
+	return out
+}
+
+func (d *partialDecoder) countVec() countVec {
+	n := d.length()
+	if d.err != nil {
+		return countVec{}
+	}
+	v := countVec{vals: make([]int64, n), seen: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		v.seen[i] = d.bool()
+		v.vals[i] = d.varint()
+	}
+	return v
+}
+
+func (d *partialDecoder) countMatrix() countMatrix {
+	n := d.length()
+	if d.err != nil {
+		return countMatrix{}
+	}
+	m := countMatrix{rows: make([]countVec, n)}
+	for i := 0; i < n; i++ {
+		m.rows[i] = d.countVec()
+	}
+	return m
+}
+
+func (d *partialDecoder) entityStats() entityStats {
+	n := d.length()
+	if d.err != nil {
+		return entityStats{}
+	}
+	e := entityStats{pairs: make([]pair, n), seen: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		e.seen[i] = d.bool()
+		e.pairs[i].sent = d.varint()
+		e.pairs[i].rcvd = d.varint()
+		if e.seen[i] {
+			e.distinct++
+		}
+	}
+	return e
+}
+
+// DecodePartial reconstructs a shard partial from Encode's output. The
+// symbol tables are rebuilt by re-interning the recorded strings in dense
+// ID order, which re-runs the on-intern hooks and thereby rebuilds the
+// fact columns locally; the recorded domain-category facts are then
+// cross-checked against the rebuilt ones, so a shard produced against a
+// different campaign world fails with ErrCategorizerMismatch instead of
+// merging silently. Torn or truncated input fails with a wrapped
+// ErrCorruptPartial.
+func DecodePartial(data []byte, domains DomainCategorizer) (*Partial, error) {
+	if len(data) < len(partialMagic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than magic+checksum", ErrCorruptPartial, len(data))
+	}
+	if string(data[:len(partialMagic)]) != partialMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptPartial, data[:len(partialMagic)])
+	}
+	body := data[len(partialMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptPartial, want, got)
+	}
+
+	c, err := newCore(domains)
+	if err != nil {
+		return nil, err
+	}
+	d := &partialDecoder{b: body}
+
+	tables := []*symtab.Table{
+		c.syms.apps, c.syms.appCats, c.syms.origins,
+		c.syms.twoLevels, c.syms.domains, c.syms.domCats,
+	}
+	recorded := make([][]string, len(tables))
+	for ti := range tables {
+		n := d.length()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("%w: table %d is empty (missing pre-interned \"\")", ErrCorruptPartial, ti)
+		}
+		recorded[ti] = make([]string, n)
+		for i := 0; i < n; i++ {
+			recorded[ti][i] = d.string()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		if recorded[ti][0] != "" {
+			return nil, fmt.Errorf("%w: table %d does not start with the empty symbol", ErrCorruptPartial, ti)
+		}
+		dup := make(map[string]struct{}, n)
+		for i := 1; i < n; i++ {
+			if _, ok := dup[recorded[ti][i]]; ok {
+				return nil, fmt.Errorf("%w: table %d repeats %q", ErrCorruptPartial, ti, recorded[ti][i])
+			}
+			dup[recorded[ti][i]] = struct{}{}
+		}
+	}
+	// Re-intern in dense ID order. The domCats table is rebuilt as a side
+	// effect of the domains hook; interning its recorded strings afterwards
+	// must be a no-op if the local categorizer agrees with the producer's.
+	for ti, t := range tables[:5] {
+		for i, s := range recorded[ti] {
+			if got := t.Intern(s); int(got) != i {
+				return nil, fmt.Errorf("%w: table %d re-interned %q to %d, want %d", ErrCorruptPartial, ti, s, got, i)
+			}
+		}
+	}
+	for i, s := range recorded[5] {
+		got, ok := c.syms.domCats.Lookup(s)
+		if !ok || int(got) != i {
+			return nil, fmt.Errorf("%w: domain category %q maps to a different symbol locally", ErrCategorizerMismatch, s)
+		}
+	}
+	if c.syms.domCats.Len() != len(recorded[5]) {
+		return nil, fmt.Errorf("%w: local categorizer produced %d categories, partial recorded %d",
+			ErrCategorizerMismatch, c.syms.domCats.Len(), len(recorded[5]))
+	}
+
+	nFacts := d.length()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nFacts != c.syms.domains.Len() {
+		return nil, fmt.Errorf("%w: %d domain-category facts for %d domains", ErrCorruptPartial, nFacts, c.syms.domains.Len())
+	}
+	for i := 0; i < nFacts; i++ {
+		raw := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if raw >= uint64(len(recorded[5])) {
+			return nil, fmt.Errorf("%w: domain-category fact %d out of range", ErrCorruptPartial, raw)
+		}
+		if rec := symtab.Sym(raw); rec != c.syms.domainCats[i] {
+			return nil, fmt.Errorf("%w: domain %q categorized as %q locally, %q by the producer",
+				ErrCategorizerMismatch, c.syms.domains.String(symtab.Sym(i)),
+				c.syms.domCats.String(c.syms.domainCats[i]), recorded[5][rec])
+		}
+	}
+
+	c.runs = int(d.varint())
+	c.flows = int(d.varint())
+	c.unattributed = int(d.varint())
+	c.bytesSent = d.varint()
+	c.bytesReceived = d.varint()
+	c.udpWire = d.varint()
+	c.dnsWire = d.varint()
+	c.tcpWire = d.varint()
+
+	c.perApp = d.entityStats()
+	c.perOrigin = d.entityStats()
+	c.perDomain = d.entityStats()
+	c.fig2NB = d.countMatrix()
+	c.fig2B = d.countVec()
+	c.originBuiltin = d.bools()
+	c.twoBytes = d.countVec()
+	c.twoBuiltin = d.bools()
+
+	nFig6 := d.length()
+	if d.err == nil {
+		c.fig6 = make([]antAcc, nFig6)
+		for i := range c.fig6 {
+			a := &c.fig6[i]
+			a.seen = d.bool()
+			a.total = d.varint()
+			a.ant = d.varint()
+			a.cl = d.varint()
+			a.antSent = d.varint()
+			a.antRcvd = d.varint()
+			a.clSent = d.varint()
+			a.clRcvd = d.varint()
+		}
+	}
+
+	c.nbOrigin = d.countVec()
+	c.fig9 = d.countMatrix()
+	c.domBytes = d.countVec()
+	c.fig8Bytes = d.countVec()
+
+	nCats := d.length()
+	if d.err == nil {
+		c.fig8Cats = make([][]symtab.Sym, nCats)
+		for i := range c.fig8Cats {
+			m := d.length()
+			if d.err != nil {
+				break
+			}
+			if m > 0 {
+				c.fig8Cats[i] = make([]symtab.Sym, m)
+				for j := range c.fig8Cats[i] {
+					raw := d.uvarint()
+					if d.err == nil && raw >= uint64(c.syms.appCats.Len()) {
+						d.fail("fig8 category symbol %d out of range", raw)
+					}
+					c.fig8Cats[i][j] = symtab.Sym(raw)
+				}
+			}
+		}
+	}
+
+	nCov := d.length()
+	if d.err == nil {
+		c.coverage = make([]coverageEntry, nCov)
+		for i := range c.coverage {
+			c.coverage[i].appIndex = int(d.varint())
+			c.coverage[i].percent = math.Float64frombits(d.uvarint())
+			c.coverage[i].methods = math.Float64frombits(d.uvarint())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after decode", ErrCorruptPartial, len(body)-d.pos)
+	}
+	if err := validatePartial(c); err != nil {
+		return nil, err
+	}
+	return &Partial{core: c}, nil
+}
+
+// validatePartial rejects decoded state whose symbol references escape
+// the decoded tables — a merged fold would index out of range later, far
+// from the corruption.
+func validatePartial(c *core) error {
+	check := func(what string, got, table int) error {
+		if got > table {
+			return fmt.Errorf("%w: %s has %d entries but table holds %d symbols", ErrCorruptPartial, what, got, table)
+		}
+		return nil
+	}
+	apps, cats := c.syms.apps.Len(), c.syms.appCats.Len()
+	origins, twos := c.syms.origins.Len(), c.syms.twoLevels.Len()
+	doms, domCats := c.syms.domains.Len(), c.syms.domCats.Len()
+	for _, e := range []error{
+		check("perApp", len(c.perApp.pairs), apps),
+		check("perOrigin", len(c.perOrigin.pairs), origins),
+		check("perDomain", len(c.perDomain.pairs), doms),
+		check("fig2NB rows", len(c.fig2NB.rows), cats),
+		check("fig2B", len(c.fig2B.vals), cats),
+		check("originBuiltin", len(c.originBuiltin), origins),
+		check("twoBytes", len(c.twoBytes.vals), twos),
+		check("twoBuiltin", len(c.twoBuiltin), twos),
+		check("fig6", len(c.fig6), apps),
+		check("nbOrigin", len(c.nbOrigin.vals), origins),
+		check("fig9 rows", len(c.fig9.rows), domCats),
+		check("domBytes", len(c.domBytes.vals), domCats),
+		check("fig8Bytes", len(c.fig8Bytes.vals), cats),
+		check("fig8Cats", len(c.fig8Cats), apps),
+	} {
+		if e != nil {
+			return e
+		}
+	}
+	for _, m := range []*countMatrix{&c.fig2NB, &c.fig9} {
+		for i := range m.rows {
+			if err := check("matrix row", len(m.rows[i].vals), origins); err != nil {
+				return err
+			}
+		}
+	}
+	for _, cats := range c.fig8Cats {
+		for _, cat := range cats {
+			if int(cat) >= c.syms.appCats.Len() {
+				return fmt.Errorf("%w: fig8 category symbol %d out of range", ErrCorruptPartial, cat)
+			}
+		}
+	}
+	return nil
+}
+
+// equalEncoded reports whether two partials serialize to the same bytes —
+// the strongest equality the merge property tests assert.
+func equalEncoded(a, b *Partial) (bool, error) {
+	ab, err := a.Encode()
+	if err != nil {
+		return false, err
+	}
+	bb, err := b.Encode()
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ab, bb), nil
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzPartialDecode drives DecodePartial with arbitrary bytes. The
+// contract under fuzzing: decode either succeeds, or returns a typed
+// error (ErrCorruptPartial / ErrCategorizerMismatch) — it never panics
+// and never silently accepts a torn or truncated partial into a merge.
+func FuzzPartialDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		p := randPartialF(f, rng, trial*30, 1+rng.Intn(6))
+		enc, err := p.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		// Seed obviously-broken variants so the corpus starts near the
+		// interesting boundaries.
+		f.Add(enc[:len(enc)/2])
+		mut := append([]byte(nil), enc...)
+		if len(mut) > 12 {
+			mut[12] ^= 0xFF
+		}
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LSPART01"))
+	f.Add([]byte("LSPART01\x00\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePartial(data, mergeCats)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptPartial) && !errors.Is(err, ErrCategorizerMismatch) {
+				t.Fatalf("decode returned untyped error %v", err)
+			}
+			return
+		}
+		// Accepted partials must be safe to merge and re-encode.
+		m, err := MergePartials(p)
+		if err != nil {
+			t.Fatalf("accepted partial failed to merge: %v", err)
+		}
+		if _, err := m.Encode(); err != nil {
+			t.Fatalf("accepted partial failed to re-encode: %v", err)
+		}
+	})
+}
+
+// randPartialF mirrors randPartial for fuzz seeding (testing.F instead
+// of testing.T).
+func randPartialF(f *testing.F, rng *rand.Rand, baseIndex, runs int) *Partial {
+	f.Helper()
+	acc, err := NewAccumulator(mergeCats)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for r := 0; r < runs; r++ {
+		fl := mkFlow(mergeOrigins[rng.Intn(len(mergeOrigins))], mergeDomains[rng.Intn(len(mergeDomains))],
+			rng.Int63n(10_000), rng.Int63n(100_000), false)
+		run := mkRun("sha-f", "com.app.fz", mergeAppCats[rng.Intn(len(mergeAppCats))], fl)
+		if err := acc.Observe(baseIndex+r, run); err != nil {
+			f.Fatal(err)
+		}
+	}
+	p, err := acc.Seal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return p
+}

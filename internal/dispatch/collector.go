@@ -25,10 +25,19 @@ type Collector struct {
 	mu        sync.Mutex
 	bySHA     map[string][]*xposed.Report
 	seen      map[string]map[[sha256.Size]byte]struct{}
+	syncs     map[string]struct{}
 	total     int
 	malformed int
 	dropped   int
 }
+
+// syncMagic prefixes flush-barrier datagrams: a worker about to reset an
+// apk's report group sends one on the same socket it streamed reports
+// through, then waits for the token to land. Loopback preserves
+// per-socket datagram order, so seeing the token proves every report the
+// dead attempt sent has already been received. Sync frames are control
+// traffic: they touch no report groups and no datagram counters.
+const syncMagic = "LSSYNC01"
 
 // NewCollector starts a collector on an ephemeral loopback port. tel,
 // when non-nil, receives the datagram counter series live.
@@ -38,11 +47,17 @@ func NewCollector(tel *obs.Telemetry) (*Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: starting collector: %w", err)
 	}
+	// A full worker fleet bursts reports faster than the decode loop
+	// drains the socket; the default kernel receive buffer overflows and
+	// silently drops datagrams. Ask for a deep buffer (the kernel clamps
+	// to rmem_max) so loss on loopback is effectively impossible.
+	_ = conn.SetReadBuffer(8 << 20)
 	c := &Collector{
 		conn:  conn,
 		tel:   tel,
 		bySHA: make(map[string][]*xposed.Report),
 		seen:  make(map[string]map[[sha256.Size]byte]struct{}),
+		syncs: make(map[string]struct{}),
 	}
 	c.wg.Add(1)
 	go c.receiveLoop()
@@ -69,6 +84,12 @@ func (c *Collector) receiveLoop() {
 		}
 		payload := make([]byte, n)
 		copy(payload, buf[:n])
+		if len(payload) >= len(syncMagic) && string(payload[:len(syncMagic)]) == syncMagic {
+			c.mu.Lock()
+			c.syncs[string(payload[len(syncMagic):])] = struct{}{}
+			c.mu.Unlock()
+			continue
+		}
 		report, err := xposed.DecodeReport(payload)
 		if err != nil {
 			c.tel.Counter(obs.MCollectorMalformed).Inc()
@@ -119,6 +140,14 @@ func (c *Collector) Forget(sha string) {
 	defer c.mu.Unlock()
 	delete(c.bySHA, sha)
 	delete(c.seen, sha)
+}
+
+// SyncSeen reports whether a flush-barrier token has arrived.
+func (c *Collector) SyncSeen(token string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.syncs[token]
+	return ok
 }
 
 // ReportsFor returns the reports received for an apk checksum.

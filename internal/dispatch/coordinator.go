@@ -1,0 +1,261 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"libspector/internal/obs"
+)
+
+// ShardTask describes one shard execution handed to a ShardRunner.
+type ShardTask struct {
+	// Index is the shard's position in the plan.
+	Index int
+	// Range is the shard's contiguous global app-index range.
+	Range ShardRange
+	// Workers is the shard's slice of the campaign worker budget (0 when
+	// the plan has no budget and the shard should default independently).
+	Workers int
+	// Attempt is 0 on first launch and increments on every takeover of
+	// this shard. Takeover attempts are expected to resume from the
+	// shard's journal, which replay makes crash-safe.
+	Attempt int
+}
+
+// ShardOutcome is what one shard execution hands back to the
+// coordinator. The analysis state travels as an opaque encoded partial
+// (analysis.Partial wire format) so dispatch stays free of an analysis
+// dependency — the import runs the other way.
+type ShardOutcome struct {
+	Index       int
+	Range       ShardRange
+	Accounting  Accounting
+	Failures    []RunFailure
+	Quarantined []QuarantinedApp
+	// Snapshot is the shard's final telemetry registry state.
+	Snapshot obs.Snapshot
+	// Partial is the shard's encoded analysis partial.
+	Partial []byte
+}
+
+// ShardRunner executes one shard task to completion and returns its
+// outcome. Implementations run the shard either in-process (a Stream
+// restricted to task.Range) or as a separate process (fleetscan). On a
+// takeover attempt the runner must resume from the shard's journal so
+// completed work is replayed, not redone.
+type ShardRunner func(ctx context.Context, task ShardTask) (*ShardOutcome, error)
+
+// Coordinator runs a sharded campaign: it launches every shard of the
+// plan concurrently through the runner, watches liveness via the
+// optional probe, reassigns dead shards (up to MaxTakeovers total,
+// relying on journal replay for crash-safe handoff), and merges the
+// shard outcomes — partials, Accounting ledgers, obs snapshots — into
+// one campaign result.
+type Coordinator struct {
+	Plan ShardPlan
+	Run  ShardRunner
+	// MaxTakeovers bounds how many shard re-launches the whole campaign
+	// may consume; 0 means a failed shard fails the campaign.
+	MaxTakeovers int
+	// Probe, when set, is polled every ProbeInterval per running shard
+	// (e.g. obs.ProbeHealthz against the shard's ops endpoint). A probe
+	// error cancels the shard's context, which surfaces as a shard
+	// failure and triggers a takeover.
+	Probe func(index int) error
+	// ProbeInterval defaults to DefaultProbeInterval when zero.
+	ProbeInterval time.Duration
+}
+
+// DefaultProbeInterval is the liveness polling cadence when the
+// coordinator has a probe but no explicit interval.
+const DefaultProbeInterval = 250 * time.Millisecond
+
+// CampaignOutcome is the merged result of all shards.
+type CampaignOutcome struct {
+	// Accounting is the summed corpus ledger; shard ranges are disjoint
+	// and exhaustive, so it covers the whole corpus exactly once.
+	Accounting Accounting
+	// Failures and Quarantined are the concatenated shard records,
+	// sorted by global app index.
+	Failures    []RunFailure
+	Quarantined []QuarantinedApp
+	// Snapshot is the merged telemetry state, with the shard-lifecycle
+	// resume series stripped: replay bookkeeping from takeovers is
+	// coordinator plumbing, not campaign behavior, and stripping it
+	// keeps a taken-over campaign's snapshot byte-identical to an
+	// uninterrupted one.
+	Snapshot obs.Snapshot
+	// Partials holds each shard's encoded analysis partial, in shard
+	// order, ready for analysis.DecodePartial + MergePartials.
+	Partials [][]byte
+	// Takeovers is how many shard re-launches the campaign consumed.
+	Takeovers int
+}
+
+// Plus folds another ledger into this one. Every field is an additive
+// count (or duration), so merging disjoint shard ledgers reproduces the
+// single-fleet ledger exactly.
+func (a Accounting) Plus(b Accounting) Accounting {
+	a.TotalApps += b.TotalApps
+	a.Completed += b.Completed
+	a.SkippedARMOnly += b.SkippedARMOnly
+	a.Quarantined += b.Quarantined
+	a.Failed += b.Failed
+	a.NotRun += b.NotRun
+	a.Attempts += b.Attempts
+	a.Retried += b.Retried
+	a.Backoff += b.Backoff
+	return a
+}
+
+// Execute runs the campaign. All shards run concurrently; the first
+// shard error (lowest index wins, after the takeover budget is spent)
+// fails the campaign. On success every shard outcome is merged.
+func (c *Coordinator) Execute(ctx context.Context) (*CampaignOutcome, error) {
+	if err := c.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Run == nil {
+		return nil, fmt.Errorf("dispatch: coordinator needs a shard runner")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	outcomes := make([]*ShardOutcome, c.Plan.Shards)
+	errs := make([]error, c.Plan.Shards)
+	var takeovers atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < c.Plan.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i], errs[i] = c.runShard(ctx, i, &takeovers)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: shard %d: %w", i, err)
+		}
+	}
+	return c.mergeOutcomes(outcomes, int(takeovers.Load()))
+}
+
+// runShard drives one shard through launch, liveness watching, and
+// takeover until it completes or the campaign's takeover budget is
+// exhausted.
+func (c *Coordinator) runShard(ctx context.Context, i int, takeovers *atomic.Int64) (*ShardOutcome, error) {
+	for attempt := 0; ; attempt++ {
+		out, err := c.runAttempt(ctx, i, attempt)
+		if err == nil {
+			if out == nil {
+				return nil, fmt.Errorf("runner returned no outcome")
+			}
+			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if !consumeTakeover(takeovers, c.MaxTakeovers) {
+			return nil, fmt.Errorf("attempt %d failed with no takeover budget left: %w", attempt, err)
+		}
+	}
+}
+
+func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOutcome, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var probeErr atomic.Value
+	var watch sync.WaitGroup
+	if c.Probe != nil {
+		interval := c.ProbeInterval
+		if interval <= 0 {
+			interval = DefaultProbeInterval
+		}
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case <-ticker.C:
+					if err := c.Probe(i); err != nil {
+						probeErr.Store(err)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	out, err := c.Run(sctx, ShardTask{
+		Index:   i,
+		Range:   c.Plan.Range(i),
+		Workers: c.Plan.WorkersFor(i),
+		Attempt: attempt,
+	})
+	cancel()
+	watch.Wait()
+	if err != nil {
+		if pe, ok := probeErr.Load().(error); ok {
+			return nil, fmt.Errorf("declared dead by liveness probe (%v): %w", pe, err)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// consumeTakeover claims one unit of the campaign-wide takeover budget.
+func consumeTakeover(used *atomic.Int64, max int) bool {
+	for {
+		cur := used.Load()
+		if int(cur) >= max {
+			return false
+		}
+		if used.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// mergeOutcomes folds the per-shard outcomes into the campaign result.
+func (c *Coordinator) mergeOutcomes(outcomes []*ShardOutcome, takeovers int) (*CampaignOutcome, error) {
+	out := &CampaignOutcome{Takeovers: takeovers}
+	snaps := make([]obs.Snapshot, 0, len(outcomes))
+	for i, o := range outcomes {
+		if o == nil {
+			return nil, fmt.Errorf("dispatch: shard %d produced no outcome", i)
+		}
+		out.Accounting = out.Accounting.Plus(o.Accounting)
+		out.Failures = append(out.Failures, o.Failures...)
+		out.Quarantined = append(out.Quarantined, o.Quarantined...)
+		out.Partials = append(out.Partials, o.Partial)
+		snaps = append(snaps, o.Snapshot)
+	}
+	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].AppIndex < out.Failures[j].AppIndex })
+	sort.Slice(out.Quarantined, func(i, j int) bool { return out.Quarantined[i].AppIndex < out.Quarantined[j].AppIndex })
+
+	merged, err := obs.MergeSnapshots(snaps...)
+	if err != nil {
+		return nil, err
+	}
+	// Takeover attempts resume from the shard journal and count their
+	// replays; those series describe the takeover itself, not the
+	// campaign, so they are dropped before the snapshot is compared or
+	// published.
+	delete(merged.Counters, obs.MResumeReplayed)
+	delete(merged.Counters, obs.MResumeRequeued)
+	out.Snapshot = merged
+	return out, nil
+}

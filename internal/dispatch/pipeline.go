@@ -98,6 +98,11 @@ type Config struct {
 	// verifying the journal header against the campaign configuration
 	// first (journal.Header.Match).
 	Resume *journal.Replay
+	// Shard restricts the fleet to a contiguous app-index range of the
+	// corpus. The zero value runs everything. App indices stay global —
+	// seeds, fault plans, trace IDs, and journal keys are unchanged — so
+	// a shard reproduces exactly the single-process runs for its range.
+	Shard ShardRange
 	// Artifacts is the store completed runs are reconstructed from on
 	// resume. Required when Resume records any completed run; runs whose
 	// evidence is missing or corrupt (ErrCorruptArtifact) are requeued
@@ -295,6 +300,39 @@ type runEnv struct {
 	tel       *obs.Telemetry
 }
 
+// flushCollector erects a datagram barrier before a retry or requeue
+// resets an apk's report group: it sends a sync token on the worker's own
+// collector socket and waits for it to arrive. Loopback delivers a
+// socket's datagrams in send order, so once the token lands, every report
+// the previous attempt sent is in the collector and the reset clears all
+// of it — no straggler can leak into the new attempt's input. The wait is
+// wall-clock and unmetered (control traffic, like the receive loop
+// itself); it resolves in microseconds on loopback.
+func (env *runEnv) flushCollector(i, attempt int) error {
+	if env.client == nil || env.collector == nil {
+		return nil
+	}
+	token := fmt.Sprintf("%d/%d", i, attempt)
+	payload := append([]byte(syncMagic), token...)
+	deadline := time.Now().Add(collectorDrainBudget)
+	for {
+		if err := env.client.Send(payload); err != nil {
+			return fmt.Errorf("collector flush barrier: %w", err)
+		}
+		// Re-send periodically in case the token datagram itself is lost;
+		// duplicate tokens are idempotent.
+		for k := 0; k < 50; k++ {
+			if env.collector.SyncSeen(token) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("collector flush barrier for app %d attempt %d never landed", i, attempt)
+			}
+			time.Sleep(collectorDrainPoll)
+		}
+	}
+}
+
 // runOne executes the full per-app worker job: pull the apk, filter by
 // ABI, feed the LibRadar pass, exercise in the emulator, and run offline
 // attribution. The returned evidence is non-nil only when
@@ -305,11 +343,11 @@ type runEnv struct {
 // apk, which must be forgotten exactly like a failed attempt's. parent,
 // when non-nil, is the run's dispatch span; the stages hang their child
 // spans off it.
-func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, parent *obs.Span) (*attribution.RunResult, *RunEvidence, bool, error) {
+func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, parent *obs.Span) (*attribution.RunResult, *RunEvidence, *journal.RunMeters, bool, error) {
 	source, resolver, cfg, store, collector, client := env.source, env.resolver, env.cfg, env.store, env.collector, env.client
 	app, err := source.GenerateApp(i)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("generating app: %w", err)
+		return nil, nil, nil, false, fmt.Errorf("generating app: %w", err)
 	}
 	encoded := app.Encoded
 	sha := app.SHA256
@@ -325,26 +363,26 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 			VTScanDate: pack.VTScanDate,
 		}
 		if err := store.Put(entry); err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		selected, err := store.Select(pack.Manifest.Package)
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		if selected.SHA256 != sha {
-			return nil, nil, false, fmt.Errorf("store selected unexpected version of %s", pack.Manifest.Package)
+			return nil, nil, nil, false, fmt.Errorf("store selected unexpected version of %s", pack.Manifest.Package)
 		}
 	}
 	// ABI filter (§III-A): Libspector supports x86-compatible apps only.
 	if !pack.SupportsX86() {
-		return nil, nil, true, nil
+		return nil, nil, nil, true, nil
 	}
 	if cfg.Detector != nil && attempt == 1 {
 		// Observe only on the first attempt: ObserveApp accumulates
 		// per-app prefix counts, and a retried app must not be counted
 		// twice.
 		if err := cfg.Detector.ObserveApp(pack.Manifest.Package, app.Program.Dex.Packages()); err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 	}
 
@@ -358,11 +396,16 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 	if collector != nil && (attempt > 1 || requeued) {
 		// Drop the failed attempt's datagrams — or, for a run requeued by
 		// resume, whatever the interrupted campaign left behind — so they
-		// don't pollute this attempt's attribution input. Stragglers that
-		// drain in after the reset are harmless: the collector groups each
-		// distinct payload once, and a deterministic retry resends
-		// byte-identical reports, so either copy converges the group to
-		// exactly this run's set.
+		// don't pollute this attempt's attribution input. The flush
+		// barrier first forces every datagram the dead attempt put on the
+		// wire to land: without it, a straggler arriving after the reset
+		// joins this attempt's group, and a fault-mutated straggler is not
+		// byte-identical to any resent report, so the drain would fail on
+		// residue that a rerun may or may not reproduce — a retry count
+		// that depends on loopback timing.
+		if err := env.flushCollector(i, attempt); err != nil {
+			return nil, nil, nil, false, err
+		}
 		collector.Forget(sha)
 	}
 	if cfg.Faults != nil {
@@ -370,16 +413,16 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 	}
 	arts, err := emulator.RunContext(ctx, emulator.Installation{Program: app.Program, APKSHA256: sha}, resolver, opts)
 	if err != nil {
-		return nil, nil, false, fmt.Errorf("emulator run: %w", err)
+		return nil, nil, nil, false, fmt.Errorf("emulator run: %w", err)
 	}
 	if arts.HookErrors > 0 {
-		return nil, nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
+		return nil, nil, nil, false, fmt.Errorf("emulator run had %d hook errors", arts.HookErrors)
 	}
 	if delivered := len(arts.RawReports); delivered < arts.ReportsSent {
 		// Sequence-gap detection: the supervisor numbers its datagrams, so
 		// in-flight loss shows up as delivered < sent instead of silently
 		// shrinking the attribution input.
-		return nil, nil, false, fmt.Errorf("run lost %d supervisor datagrams (%d sent, %d delivered)",
+		return nil, nil, nil, false, fmt.Errorf("run lost %d supervisor datagrams (%d sent, %d delivered)",
 			arts.ReportsSent-delivered, arts.ReportsSent, delivered)
 	}
 
@@ -427,7 +470,7 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 				// reports — a determinism violation. Fail the attempt loudly
 				// instead of attributing from a polluted report set.
 				drain.Attr("outcome", "overshoot").End(env.tel.Now())
-				return nil, nil, false, fmt.Errorf("collector holds %d reports for %s, run sent %d (non-identical attempt residue)",
+				return nil, nil, nil, false, fmt.Errorf("collector holds %d reports for %s, run sent %d (non-identical attempt residue)",
 					len(got), pack.Manifest.Package, len(arts.RawReports))
 			}
 			if env.clk != nil {
@@ -447,13 +490,13 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 			if timedOut {
 				env.tel.Counter(obs.MFleetDrainTimeouts).Inc()
 				drain.Attr("outcome", "timeout").End(env.tel.Now())
-				return nil, nil, false, fmt.Errorf("collector received %d of %d reports for %s",
+				return nil, nil, nil, false, fmt.Errorf("collector received %d of %d reports for %s",
 					len(got), len(arts.RawReports), pack.Manifest.Package)
 			}
 			select {
 			case <-ctx.Done():
 				drain.Attr("outcome", "cancelled").End(env.tel.Now())
-				return nil, nil, false, ctx.Err()
+				return nil, nil, nil, false, ctx.Err()
 			case <-time.After(collectorDrainPoll):
 			}
 		}
@@ -475,12 +518,32 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 	})
 	if err != nil {
 		attrSpan.Attr("outcome", "error").End(env.tel.Now())
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
 	attrSpan.AttrInt("flows", int64(len(run.Flows))).
 		AttrInt("matched", int64(run.Join.MatchedFlows)).
 		End(env.tel.Now())
-	return run, evidence, false, nil
+	// The meters mirror exactly what this run charged to the registry
+	// (emulator, nets, xposed, collector series), so a journal replay of
+	// this run can restore the telemetry a dead process took with it.
+	meters := &journal.RunMeters{
+		Runs:         1,
+		Events:       int64(arts.EventsInjected),
+		VirtualMS:    arts.VirtualDuration.Milliseconds(),
+		TCPWireBytes: arts.NetStats.TCPWireBytes,
+		UDPWireBytes: arts.NetStats.UDPWireBytes,
+		DNSWireBytes: arts.NetStats.DNSWireBytes,
+		Packets:      arts.NetStats.PacketCount,
+		CaptureBytes: int64(len(arts.CaptureBytes)),
+		BlockedConns: arts.BlockedConnections,
+		DroppedGrams: arts.DroppedDatagrams,
+		ReportsSent:  int64(arts.ReportsSent),
+		HookErrors:   int64(arts.HookErrors),
+	}
+	if collector != nil {
+		meters.CollectorReceived = int64(len(reports))
+	}
+	return run, evidence, meters, false, nil
 }
 
 // RunOne exercises a single app of the corpus outside the fleet and
@@ -491,7 +554,7 @@ func RunOne(source AppSource, resolver nets.Resolver, cfg Config, index int) (*a
 		return nil, fmt.Errorf("dispatch: config needs an attributor")
 	}
 	env := &runEnv{source: source, resolver: resolver, cfg: cfg, tel: cfg.Telemetry}
-	run, _, skipped, err := env.runOne(context.Background(), index, 1, false, nil)
+	run, _, _, skipped, err := env.runOne(context.Background(), index, 1, false, nil)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: app %d: %w", index, err)
 	}

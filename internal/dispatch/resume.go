@@ -45,6 +45,7 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 			return
 		}
 		f.foldReplayed(rec)
+		f.restoreMeters(rec.Meters)
 		f.mu.Lock()
 		f.completed++
 		if rec.Attempts > 1 {
@@ -104,6 +105,43 @@ func (f *fleetRun) foldReplayed(rec journal.AppOutcome) {
 	f.tel.Counter(obs.MFleetAttempts).Add(int64(rec.Attempts))
 	f.tel.Counter(obs.MFleetBackoffMS).Add(rec.BackoffMS)
 	f.tel.Counter(obs.MResumeReplayed).Inc()
+}
+
+// restoreMeters folds a replayed run's journaled telemetry deltas back
+// into the registry — the emulator, nets, xposed, and collector series a
+// replay cannot re-derive from the stored evidence (reconstructRun
+// restores the attribution series by re-running the offline analysis).
+// Journals written before metering carry no deltas; their replays keep
+// the old behavior.
+func (f *fleetRun) restoreMeters(m *journal.RunMeters) {
+	if m == nil {
+		return
+	}
+	f.tel.Counter(obs.MEmulatorRuns).Add(m.Runs)
+	f.tel.Counter(obs.MEmulatorEvents).Add(m.Events)
+	f.tel.Histogram(obs.MRunVirtualMS, obs.DurationBucketsMS).Observe(m.VirtualMS)
+	f.tel.Counter(obs.MNetsTCPBytes).Add(m.TCPWireBytes)
+	f.tel.Counter(obs.MNetsUDPBytes).Add(m.UDPWireBytes)
+	f.tel.Counter(obs.MNetsDNSBytes).Add(m.DNSWireBytes)
+	f.tel.Counter(obs.MNetsPackets).Add(m.Packets)
+	f.tel.Counter(obs.MNetsCaptureBytes).Add(m.CaptureBytes)
+	if m.BlockedConns != 0 {
+		f.tel.Counter(obs.MNetsBlockedConns).Add(m.BlockedConns)
+	}
+	if m.DroppedGrams != 0 {
+		f.tel.Counter(obs.MNetsDroppedGrams).Add(m.DroppedGrams)
+	}
+	if m.ReportsSent != 0 {
+		// Created lazily on the live path (one Inc per report), so a
+		// zero-report replay must not invent the series.
+		f.tel.Counter(obs.MXposedReports).Add(m.ReportsSent)
+	}
+	if m.HookErrors != 0 {
+		f.tel.Counter(obs.MXposedHookErrors).Add(m.HookErrors)
+	}
+	if f.collector != nil {
+		f.tel.Counter(obs.MCollectorReceived).Add(m.CollectorReceived)
+	}
 }
 
 // observeReplayed feeds the detector the replayed app's package prefixes,

@@ -95,13 +95,13 @@ func TestRequeuedRunForgetsStaleCollectorState(t *testing.T) {
 	}
 
 	plant()
-	if _, _, _, err := env.runOne(context.Background(), idx, 1, false, nil); err == nil {
+	if _, _, _, _, err := env.runOne(context.Background(), idx, 1, false, nil); err == nil {
 		t.Fatal("stale collector residue went undetected without the requeue flag")
 	}
 
 	collector.Forget(sha)
 	plant()
-	run, _, skip, err := env.runOne(context.Background(), idx, 1, true, nil)
+	run, _, _, skip, err := env.runOne(context.Background(), idx, 1, true, nil)
 	if err != nil {
 		t.Fatalf("requeued run failed despite Forget: %v", err)
 	}

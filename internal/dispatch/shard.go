@@ -1,0 +1,99 @@
+package dispatch
+
+import "fmt"
+
+// ShardRange is a contiguous half-open app-index range [Lo, Hi) of the
+// deterministic corpus. The zero value means "the whole corpus". Because
+// every per-app input — synthesis seed, fault plan, trace ID, journal
+// key — derives from the global app index, a shard running [Lo, Hi)
+// produces exactly the runs the single-process fleet would have produced
+// for those indices, no matter which process executes it.
+type ShardRange struct {
+	Lo int
+	Hi int
+}
+
+// IsZero reports whether the range is the whole-corpus default.
+func (r ShardRange) IsZero() bool { return r.Lo == 0 && r.Hi == 0 }
+
+// Len is the number of apps in the range.
+func (r ShardRange) Len() int { return r.Hi - r.Lo }
+
+// bounds resolves the range against the corpus size, mapping the zero
+// value to the whole corpus and rejecting ranges that escape it.
+func (r ShardRange) bounds(numApps int) (lo, hi int, err error) {
+	if r.IsZero() {
+		return 0, numApps, nil
+	}
+	if r.Lo < 0 || r.Hi < r.Lo || r.Hi > numApps {
+		return 0, 0, fmt.Errorf("dispatch: shard range [%d,%d) escapes corpus of %d apps", r.Lo, r.Hi, numApps)
+	}
+	return r.Lo, r.Hi, nil
+}
+
+// ShardPlan splits a campaign into N contiguous shards and divides the
+// campaign's worker budget among them. Ranges are as even as possible
+// (the first TotalApps mod Shards shards get one extra app), so the plan
+// is a pure function of (TotalApps, Shards) and every process computes
+// the same split.
+type ShardPlan struct {
+	// TotalApps is the corpus size.
+	TotalApps int
+	// Shards is the number of shards N.
+	Shards int
+	// Workers is the campaign's total worker budget, divided among the
+	// shards by WorkersFor so that the shard gauges sum back to the
+	// single-process value. Zero lets each shard default independently.
+	Workers int
+}
+
+// Validate rejects degenerate plans.
+func (p ShardPlan) Validate() error {
+	if p.TotalApps < 0 {
+		return fmt.Errorf("dispatch: shard plan with %d apps", p.TotalApps)
+	}
+	if p.Shards < 1 {
+		return fmt.Errorf("dispatch: shard plan needs at least 1 shard, got %d", p.Shards)
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("dispatch: shard plan with %d workers", p.Workers)
+	}
+	return nil
+}
+
+// Range returns shard i's app-index range.
+func (p ShardPlan) Range(i int) ShardRange {
+	if i < 0 || i >= p.Shards {
+		panic(fmt.Sprintf("dispatch: shard index %d out of plan of %d", i, p.Shards))
+	}
+	base := p.TotalApps / p.Shards
+	extra := p.TotalApps % p.Shards
+	lo := i*base + min(i, extra)
+	size := base
+	if i < extra {
+		size++
+	}
+	return ShardRange{Lo: lo, Hi: lo + size}
+}
+
+// WorkersFor divides the campaign worker budget: the first Workers mod
+// Shards shards get one extra worker, and every shard gets at least one.
+// The per-shard counts sum to max(Workers, Shards) — byte-identical
+// merged snapshots therefore need Workers >= Shards (otherwise the
+// merged fleet_workers gauge exceeds the single-process value).
+func (p ShardPlan) WorkersFor(i int) int {
+	if i < 0 || i >= p.Shards {
+		panic(fmt.Sprintf("dispatch: shard index %d out of plan of %d", i, p.Shards))
+	}
+	if p.Workers <= 0 {
+		return 0
+	}
+	w := p.Workers / p.Shards
+	if i < p.Workers%p.Shards {
+		w++
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

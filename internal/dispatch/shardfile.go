@@ -1,0 +1,131 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"libspector/internal/obs"
+)
+
+// shardOutcomeFile is the JSON envelope a shard process writes for its
+// coordinator (fleetscan's -shard-out). The encoded analysis partial
+// rides along base64-encoded; error values flatten to strings.
+type shardOutcomeFile struct {
+	Index       int                   `json:"index"`
+	Lo          int                   `json:"lo"`
+	Hi          int                   `json:"hi"`
+	Accounting  Accounting            `json:"accounting"`
+	Failures    []shardFailureFile    `json:"failures,omitempty"`
+	Quarantined []shardQuarantineFile `json:"quarantined,omitempty"`
+	Snapshot    obs.Snapshot          `json:"snapshot"`
+	Partial     []byte                `json:"partial"`
+}
+
+type shardFailureFile struct {
+	AppIndex int    `json:"app_index"`
+	Error    string `json:"error"`
+	Attempts int    `json:"attempts"`
+}
+
+type shardQuarantineFile struct {
+	AppIndex  int    `json:"app_index"`
+	Attempts  int    `json:"attempts"`
+	LastError string `json:"last_error"`
+}
+
+// WriteShardOutcome persists a shard outcome for collection by the
+// coordinator process. The file is written to a temp sibling and
+// renamed, so a crashing shard never leaves a torn half-outcome a
+// coordinator could mistake for a complete one.
+func WriteShardOutcome(path string, out *ShardOutcome) error {
+	if out == nil {
+		return fmt.Errorf("dispatch: nil shard outcome")
+	}
+	f := shardOutcomeFile{
+		Index:      out.Index,
+		Lo:         out.Range.Lo,
+		Hi:         out.Range.Hi,
+		Accounting: out.Accounting,
+		Snapshot:   out.Snapshot,
+		Partial:    out.Partial,
+	}
+	for _, fl := range out.Failures {
+		f.Failures = append(f.Failures, shardFailureFile{
+			AppIndex: fl.AppIndex, Error: errText(fl.Err), Attempts: fl.Attempts,
+		})
+	}
+	for _, q := range out.Quarantined {
+		f.Quarantined = append(f.Quarantined, shardQuarantineFile{
+			AppIndex: q.AppIndex, Attempts: q.Attempts, LastError: errText(q.LastErr),
+		})
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dispatch: encoding shard outcome: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dispatch: writing shard outcome: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: writing shard outcome: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: syncing shard outcome: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: closing shard outcome: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("dispatch: publishing shard outcome: %w", err)
+	}
+	return nil
+}
+
+// ReadShardOutcome loads a shard outcome file written by
+// WriteShardOutcome.
+func ReadShardOutcome(path string) (*ShardOutcome, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading shard outcome: %w", err)
+	}
+	var f shardOutcomeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("dispatch: decoding shard outcome %s: %w", path, err)
+	}
+	out := &ShardOutcome{
+		Index:      f.Index,
+		Range:      ShardRange{Lo: f.Lo, Hi: f.Hi},
+		Accounting: f.Accounting,
+		Snapshot:   f.Snapshot,
+		Partial:    f.Partial,
+	}
+	for _, fl := range f.Failures {
+		out.Failures = append(out.Failures, RunFailure{
+			AppIndex: fl.AppIndex, Err: errors.New(fl.Error), Attempts: fl.Attempts,
+		})
+	}
+	for _, q := range f.Quarantined {
+		out.Quarantined = append(out.Quarantined, QuarantinedApp{
+			AppIndex: q.AppIndex, Attempts: q.Attempts, LastErr: errors.New(q.LastError),
+		})
+	}
+	return out, nil
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

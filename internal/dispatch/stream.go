@@ -175,6 +175,10 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	lo, hi, err := cfg.Shard.bounds(source.NumApps())
+	if err != nil {
+		return nil, err
+	}
 
 	var collector *Collector
 	if cfg.UseCollector {
@@ -204,7 +208,7 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 	}
 	f.tel.Gauge(obs.MFleetWorkers).Set(int64(workers))
 	f.tel.Gauge(obs.MFleetWorkersBusy)
-	f.tel.Counter(obs.MFleetApps).Add(int64(source.NumApps()))
+	f.tel.Counter(obs.MFleetApps).Add(int64(hi - lo))
 	// Pre-register the outcome and loss series so a live /debug/vars
 	// snapshot carries them at zero before the first event lands.
 	for _, name := range []string{
@@ -219,7 +223,7 @@ func Stream(ctx context.Context, source AppSource, resolver nets.Resolver, cfg C
 		f.tel.Counter(obs.MResumeReplayed)
 		f.tel.Counter(obs.MResumeRequeued)
 	}
-	go f.run(workers, source.NumApps())
+	go f.run(workers, lo, hi)
 	return f.events, nil
 }
 
@@ -357,7 +361,8 @@ type job struct {
 	requeued bool
 }
 
-func (f *fleetRun) run(workers, numApps int) {
+func (f *fleetRun) run(workers, lo, hi int) {
+	numApps := hi - lo
 	start := time.Now()
 	defer close(f.events)
 	if f.collector != nil {
@@ -374,7 +379,7 @@ func (f *fleetRun) run(workers, numApps int) {
 		}()
 	}
 feed:
-	for i := 0; i < numApps; i++ {
+	for i := lo; i < hi; i++ {
 		j := job{idx: i}
 		if f.cfg.Resume != nil {
 			if rec, done := f.cfg.Resume.Outcomes[i]; done {
@@ -494,8 +499,15 @@ func (f *fleetRun) journalAppend(err error) bool {
 // leaving a torn frame for recovery to truncate. Both abort the stream
 // the way a killed process would; returns true when the run was consumed
 // by a crash.
-func (f *fleetRun) crashFault(i, attempts int, sha string, backoff time.Duration, backoffMS int64) bool {
+func (f *fleetRun) crashFault(i, attempts int, sha string, backoff time.Duration, backoffMS int64, meters *journal.RunMeters, requeued bool) bool {
 	if f.cfg.Journal == nil || f.cfg.Faults == nil {
+		return false
+	}
+	// A requeued run is the takeover of a crash that already fired: the
+	// host that died is gone, and the healthy host re-running the app
+	// must be allowed to commit — otherwise a crash-faulted app could
+	// never converge, no matter how many takeovers the budget grants.
+	if requeued {
 		return false
 	}
 	// Attempt 1 on purpose: the crash models the host dying after the
@@ -504,7 +516,7 @@ func (f *fleetRun) crashFault(i, attempts int, sha string, backoff time.Duration
 	plan := f.cfg.Faults.For(i, 1)
 	switch plan.Class {
 	case faults.JournalCrash:
-		_ = f.cfg.Journal.RunCompleted(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "")
+		_ = f.cfg.Journal.RunCompletedMetered(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "", meters)
 		_ = f.cfg.Journal.Sync()
 		f.abort(i, fmt.Errorf("dispatch: app %d: journal-crash %w after commit", i, faults.ErrInjected))
 		return true
@@ -554,7 +566,7 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 	var appBackoffMS int64
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		ctx, cancel := f.attemptCtx()
-		run, evidence, skip, err := env.runOne(ctx, i, attempt, requeued, root)
+		run, evidence, meters, skip, err := env.runOne(ctx, i, attempt, requeued, root)
 		cancel()
 		attemptsUsed = attempt
 		f.mu.Lock()
@@ -576,11 +588,11 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
 			return
 		case err == nil:
-			if f.crashFault(i, attemptsUsed, run.AppSHA, appBackoff, appBackoffMS) {
+			if f.crashFault(i, attemptsUsed, run.AppSHA, appBackoff, appBackoffMS, meters, requeued) {
 				return
 			}
 			if f.cfg.Journal != nil {
-				if !f.journalAppend(f.cfg.Journal.RunCompleted(i, journal.OutcomeRun, run.AppSHA, attemptsUsed, appBackoff, appBackoffMS, "")) {
+				if !f.journalAppend(f.cfg.Journal.RunCompletedMetered(i, journal.OutcomeRun, run.AppSHA, attemptsUsed, appBackoff, appBackoffMS, "", meters)) {
 					return
 				}
 			}

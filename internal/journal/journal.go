@@ -118,6 +118,11 @@ type Header struct {
 	Seed        uint64 `json:"seed"`
 	Fingerprint string `json:"fingerprint"`
 	Apps        int    `json:"apps"`
+	// ShardLo/ShardHi bound the contiguous app-index range this journal
+	// covers when the campaign is sharded ([lo, hi)). Both zero for a
+	// whole-corpus journal, so pre-sharding journals keep matching.
+	ShardLo int `json:"shard_lo,omitempty"`
+	ShardHi int `json:"shard_hi,omitempty"`
 }
 
 // Match checks campaign identity, returning ErrFingerprintMismatch
@@ -140,6 +145,8 @@ type Record struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Apps        int    `json:"apps,omitempty"`
+	ShardLo     int    `json:"shard_lo,omitempty"`
+	ShardHi     int    `json:"shard_hi,omitempty"`
 
 	// Per-app fields.
 	App     int     `json:"app,omitempty"`
@@ -157,6 +164,40 @@ type Record struct {
 	BackoffMS int64 `json:"backoff_ms,omitempty"`
 	// Error is the final attempt's error text (failed/quarantined).
 	Error string `json:"error,omitempty"`
+	// Meters replicate the run's per-run telemetry deltas (OutcomeRun
+	// records) so a resumed or taken-over campaign's metrics snapshot
+	// folds to the same totals as an uninterrupted one. Absent on
+	// pre-metering journals and on skip/failed records.
+	Meters *RunMeters `json:"meters,omitempty"`
+}
+
+// RunMeters is the per-run telemetry delta a completed run charged to the
+// campaign registry: everything a journal replay cannot re-derive from
+// the stored evidence alone. All fields are additive int64 counts, so
+// replaying them is commutative like every other fold in the pipeline.
+type RunMeters struct {
+	// Runs is the emulator run count this record covers (1 for a
+	// single-attempt completion).
+	Runs int64 `json:"runs,omitempty"`
+	// Events is the number of monkey events injected.
+	Events int64 `json:"events,omitempty"`
+	// VirtualMS is the run's device-time span in milliseconds — the
+	// emulator_run_virtual_ms histogram observation.
+	VirtualMS int64 `json:"virtual_ms,omitempty"`
+	// Wire-byte and packet counters from the run's network stack.
+	TCPWireBytes int64 `json:"tcp_wire_bytes,omitempty"`
+	UDPWireBytes int64 `json:"udp_wire_bytes,omitempty"`
+	DNSWireBytes int64 `json:"dns_wire_bytes,omitempty"`
+	Packets      int64 `json:"packets,omitempty"`
+	CaptureBytes int64 `json:"capture_bytes,omitempty"`
+	BlockedConns int64 `json:"blocked_conns,omitempty"`
+	DroppedGrams int64 `json:"dropped_grams,omitempty"`
+	// Supervisor report accounting.
+	ReportsSent int64 `json:"reports_sent,omitempty"`
+	HookErrors  int64 `json:"hook_errors,omitempty"`
+	// CollectorReceived is how many of this run's datagrams the collector
+	// server received (0 when the campaign runs without a collector).
+	CollectorReceived int64 `json:"collector_received,omitempty"`
 }
 
 // Options parameterizes a Writer.
@@ -192,7 +233,7 @@ func Create(path string, hdr Header, opts Options) (*Writer, error) {
 		return nil, fmt.Errorf("journal: creating %s: %w", path, err)
 	}
 	w := newWriter(f, opts)
-	if err := w.Append(Record{Type: TypeCampaign, Seed: hdr.Seed, Fingerprint: hdr.Fingerprint, Apps: hdr.Apps}); err != nil {
+	if err := w.Append(Record{Type: TypeCampaign, Seed: hdr.Seed, Fingerprint: hdr.Fingerprint, Apps: hdr.Apps, ShardLo: hdr.ShardLo, ShardHi: hdr.ShardHi}); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
@@ -294,9 +335,17 @@ func (w *Writer) RunStarted(app int) error {
 // RunCompleted records a finished run: its outcome, the artifact sha
 // backing it (OutcomeRun), and the retry accounting it consumed.
 func (w *Writer) RunCompleted(app int, outcome Outcome, artifactSHA string, attempts int, backoff time.Duration, backoffMS int64, errText string) error {
+	return w.RunCompletedMetered(app, outcome, artifactSHA, attempts, backoff, backoffMS, errText, nil)
+}
+
+// RunCompletedMetered is RunCompleted carrying the run's per-run
+// telemetry deltas, so replay can restore the metrics a dead process took
+// with it.
+func (w *Writer) RunCompletedMetered(app int, outcome Outcome, artifactSHA string, attempts int, backoff time.Duration, backoffMS int64, errText string, meters *RunMeters) error {
 	return w.Append(Record{
 		Type: TypeCompleted, App: app, Outcome: outcome, ArtifactSHA: artifactSHA,
 		Attempts: attempts, BackoffNS: int64(backoff), BackoffMS: backoffMS, Error: errText,
+		Meters: meters,
 	})
 }
 
@@ -374,6 +423,9 @@ type AppOutcome struct {
 	BackoffMS int64
 	// Error is the recorded failure text (failed/quarantined).
 	Error string
+	// Meters are the run's recorded telemetry deltas (nil on journals
+	// written before metering or on non-run outcomes).
+	Meters *RunMeters
 }
 
 // Replay is the reconstructed campaign state after reading a journal.
@@ -478,7 +530,7 @@ func (r *Replay) apply(rec Record, off int64, sawHeader bool) error {
 		if rec.Type != TypeCampaign {
 			return ErrNoHeader
 		}
-		r.Header = Header{Seed: rec.Seed, Fingerprint: rec.Fingerprint, Apps: rec.Apps}
+		r.Header = Header{Seed: rec.Seed, Fingerprint: rec.Fingerprint, Apps: rec.Apps, ShardLo: rec.ShardLo, ShardHi: rec.ShardHi}
 		return nil
 	}
 	switch rec.Type {
@@ -498,7 +550,7 @@ func (r *Replay) apply(rec Record, off int64, sawHeader bool) error {
 		r.Outcomes[rec.App] = AppOutcome{
 			Outcome: rec.Outcome, ArtifactSHA: rec.ArtifactSHA,
 			Attempts: rec.Attempts, Backoff: time.Duration(rec.BackoffNS), BackoffMS: rec.BackoffMS,
-			Error: rec.Error,
+			Error: rec.Error, Meters: rec.Meters,
 		}
 		delete(r.InFlight, rec.App)
 	case TypeQuarantined:

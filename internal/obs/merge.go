@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// MergeSnapshots folds N shard snapshots into one campaign snapshot.
+// Counters and gauges sum — the shard plan splits the campaign's worker
+// budget across shards, so even level-style gauges (fleet_workers) add
+// back up to the single-process value. Histograms with equal bounds merge
+// element-wise; Min/Max skip empty sides so an idle shard cannot drag the
+// extrema to zero. All folded quantities are int64s, so the merge is
+// commutative and associative, and the merged snapshot marshals to the
+// same bytes regardless of shard order.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			acc, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = HistogramSnapshot{
+					Bounds: append([]int64(nil), h.Bounds...),
+					Counts: append([]int64(nil), h.Counts...),
+					Count:  h.Count,
+					Sum:    h.Sum,
+					Min:    h.Min,
+					Max:    h.Max,
+				}
+				continue
+			}
+			merged, err := mergeHistograms(name, acc, h)
+			if err != nil {
+				return Snapshot{}, err
+			}
+			out.Histograms[name] = merged
+		}
+	}
+	return out, nil
+}
+
+func mergeHistograms(name string, a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Counts) != len(b.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: histogram %q has mismatched bucket layouts (%d/%d vs %d/%d bounds/counts)",
+			name, len(a.Bounds), len(a.Counts), len(b.Bounds), len(b.Counts))
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("obs: histogram %q bound %d differs (%d vs %d)", name, i, a.Bounds[i], b.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: a.Bounds,
+		Counts: a.Counts,
+		Count:  a.Count + b.Count,
+		Sum:    a.Sum + b.Sum,
+	}
+	for i := range out.Counts {
+		out.Counts[i] += b.Counts[i]
+	}
+	// An empty histogram holds Min=Max=0 as placeholders, not observations;
+	// only populated sides contribute to the merged extrema.
+	switch {
+	case a.Count == 0:
+		out.Min, out.Max = b.Min, b.Max
+	case b.Count == 0:
+		out.Min, out.Max = a.Min, a.Max
+	default:
+		out.Min, out.Max = a.Min, a.Max
+		if b.Min < out.Min {
+			out.Min = b.Min
+		}
+		if b.Max > out.Max {
+			out.Max = b.Max
+		}
+	}
+	return out, nil
+}
+
+// ProbeHealthz checks a shard's ops endpoint liveness by fetching
+// /healthz with the given timeout. The coordinator treats an error as a
+// dead shard and reassigns its range.
+func ProbeHealthz(addr string, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("obs: probing %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("obs: probing %s: status %s", addr, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMergeSnapshotsSumsSeries(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]int64{"apps": 3, "flows": 10},
+		Gauges:   map[string]int64{"workers": 4},
+		Histograms: map[string]HistogramSnapshot{
+			"latency": {Bounds: []int64{10, 100}, Counts: []int64{2, 1, 0}, Count: 3, Sum: 40, Min: 5, Max: 30},
+		},
+	}
+	b := Snapshot{
+		Counters: map[string]int64{"apps": 2, "retries": 1},
+		Gauges:   map[string]int64{"workers": 4},
+		Histograms: map[string]HistogramSnapshot{
+			"latency": {Bounds: []int64{10, 100}, Counts: []int64{0, 0, 2}, Count: 2, Sum: 400, Min: 150, Max: 250},
+		},
+	}
+	got, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := map[string]int64{"apps": 5, "flows": 10, "retries": 1}
+	if !reflect.DeepEqual(got.Counters, wantCounters) {
+		t.Fatalf("counters = %v, want %v", got.Counters, wantCounters)
+	}
+	if got.Gauges["workers"] != 8 {
+		t.Fatalf("workers gauge = %d, want 8", got.Gauges["workers"])
+	}
+	h := got.Histograms["latency"]
+	if h.Count != 5 || h.Sum != 440 || h.Min != 5 || h.Max != 250 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if !reflect.DeepEqual(h.Counts, []int64{2, 1, 2}) {
+		t.Fatalf("bucket counts = %v", h.Counts)
+	}
+}
+
+func TestMergeSnapshotsOrderIndependent(t *testing.T) {
+	a := Snapshot{Counters: map[string]int64{"x": 1}, Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{5}, Counts: []int64{1, 0}, Count: 1, Sum: 3, Min: 3, Max: 3},
+	}}
+	b := Snapshot{Counters: map[string]int64{"x": 2, "y": 7}, Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{5}, Counts: []int64{0, 1}, Count: 1, Sum: 9, Min: 9, Max: 9},
+	}}
+	ab, err := MergeSnapshots(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := MergeSnapshots(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(ba)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("merge order changed the snapshot:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+func TestMergeSnapshotsEmptyHistogramSide(t *testing.T) {
+	empty := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{10}, Counts: []int64{0, 0}},
+	}}
+	full := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{10}, Counts: []int64{1, 0}, Count: 1, Sum: 7, Min: 7, Max: 7},
+	}}
+	got, err := MergeSnapshots(empty, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.Histograms["h"]
+	if h.Min != 7 || h.Max != 7 {
+		t.Fatalf("empty side dragged extrema: min=%d max=%d, want 7/7", h.Min, h.Max)
+	}
+}
+
+func TestMergeSnapshotsRejectsMismatchedBounds(t *testing.T) {
+	a := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{10}, Counts: []int64{0, 0}},
+	}}
+	b := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{20}, Counts: []int64{0, 0}},
+	}}
+	if _, err := MergeSnapshots(a, b); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Fatalf("mismatched bounds merged: err = %v", err)
+	}
+}
+
+func TestProbeHealthz(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer healthy.Close()
+	addr := strings.TrimPrefix(healthy.URL, "http://")
+	if err := ProbeHealthz(addr, time.Second); err != nil {
+		t.Fatalf("healthy endpoint probed unhealthy: %v", err)
+	}
+
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer sick.Close()
+	if err := ProbeHealthz(strings.TrimPrefix(sick.URL, "http://"), time.Second); err == nil {
+		t.Fatal("503 endpoint probed healthy")
+	}
+
+	if err := ProbeHealthz("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dead endpoint probed healthy")
+	}
+}

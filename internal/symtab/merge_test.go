@@ -1,0 +1,149 @@
+package symtab
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randTable interns a random subset of a shared string universe, in
+// random order, simulating a table grown by one shard's fold.
+func randTable(rng *rand.Rand) *Table {
+	t := NewTable(nil)
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		t.Intern(fmt.Sprintf("sym-%d", rng.Intn(25)))
+	}
+	return t
+}
+
+// tableStrings snapshots a table's dense contents.
+func tableStrings(t *Table) []string {
+	out := make([]string, t.Len())
+	for i := range out {
+		out[i] = t.String(Sym(i))
+	}
+	return out
+}
+
+func TestMergeFromRemapTranslates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randTable(rng), randTable(rng)
+		before := tableStrings(a)
+		remap := a.MergeFrom(b)
+		if len(remap) != len(tableStrings(b)) {
+			t.Fatalf("trial %d: remap covers %d symbols, source has %d", trial, len(remap), b.Len())
+		}
+		// Every source symbol resolves to the same string through the remap.
+		for s := 0; s < b.Len(); s++ {
+			if a.String(remap.Apply(Sym(s))) != b.String(Sym(s)) {
+				t.Fatalf("trial %d: remap[%d] resolves %q, want %q", trial, s, a.String(remap[s]), b.String(Sym(s)))
+			}
+		}
+		// Existing symbols keep their IDs: merging never renumbers the
+		// receiver.
+		for i, s := range before {
+			if a.String(Sym(i)) != s {
+				t.Fatalf("trial %d: receiver symbol %d changed from %q to %q", trial, i, s, a.String(Sym(i)))
+			}
+		}
+	}
+}
+
+func TestMergeFromSelfIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		a := randTable(rng)
+		n := a.Len()
+		remap := a.MergeFrom(a)
+		if a.Len() != n {
+			t.Fatalf("trial %d: self-merge grew table from %d to %d", trial, n, a.Len())
+		}
+		for i, s := range remap {
+			if int(s) != i {
+				t.Fatalf("trial %d: self-merge remap[%d] = %d, want identity", trial, i, s)
+			}
+		}
+	}
+}
+
+func TestMergeFromCommutativeContents(t *testing.T) {
+	// The merged symbol SETS are order-independent even though the dense
+	// numbering is not — exactly the guarantee the analysis merge relies
+	// on (figures are keyed by string at the edges, not by ID).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		a1, b1 := randTable(rng), randTable(rng)
+		a2 := NewTable(nil)
+		b2 := NewTable(nil)
+		a2.MergeFrom(a1)
+		b2.MergeFrom(b1)
+
+		ab := NewTable(nil)
+		ab.MergeFrom(a1)
+		ab.MergeFrom(b1)
+		ba := NewTable(nil)
+		ba.MergeFrom(b2)
+		ba.MergeFrom(a2)
+		if ab.Len() != ba.Len() {
+			t.Fatalf("trial %d: a∪b has %d symbols, b∪a has %d", trial, ab.Len(), ba.Len())
+		}
+		for i := 0; i < ab.Len(); i++ {
+			if _, ok := ba.Lookup(ab.String(Sym(i))); !ok {
+				t.Fatalf("trial %d: %q present in a∪b but missing from b∪a", trial, ab.String(Sym(i)))
+			}
+		}
+	}
+}
+
+func TestMergeFromAssociativeNumbering(t *testing.T) {
+	// Keeping the argument ORDER fixed, any grouping produces the same
+	// dense numbering — the property that makes N-way partial merges
+	// byte-identical regardless of the coordinator's merge tree.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randTable(rng), randTable(rng), randTable(rng)
+
+		left := NewTable(nil) // (a ∪ b) ∪ c
+		left.MergeFrom(a)
+		left.MergeFrom(b)
+		left.MergeFrom(c)
+
+		bc := NewTable(nil)
+		bc.MergeFrom(b)
+		bc.MergeFrom(c)
+		right := NewTable(nil) // a ∪ (b ∪ c)
+		right.MergeFrom(a)
+		right.MergeFrom(bc)
+
+		ls, rs := tableStrings(left), tableStrings(right)
+		if len(ls) != len(rs) {
+			t.Fatalf("trial %d: groupings disagree on size: %d vs %d", trial, len(ls), len(rs))
+		}
+		for i := range ls {
+			if ls[i] != rs[i] {
+				t.Fatalf("trial %d: symbol %d is %q left-grouped, %q right-grouped", trial, i, ls[i], rs[i])
+			}
+		}
+	}
+}
+
+func TestMergeFromRunsInternHooks(t *testing.T) {
+	var facts []string
+	a := NewTable(func(_ Sym, s string) { facts = append(facts, s) })
+	b := NewTable(nil)
+	b.Intern("x")
+	b.Intern("y")
+	a.Intern("x")
+	a.MergeFrom(b)
+	want := []string{"", "x", "y"}
+	if len(facts) != len(want) {
+		t.Fatalf("hook ran %d times, want %d", len(facts), len(want))
+	}
+	for i := range want {
+		if facts[i] != want[i] {
+			t.Fatalf("fact column = %v, want %v", facts, want)
+		}
+	}
+}

@@ -63,3 +63,28 @@ func (t *Table) String(sym Sym) string { return t.strs[sym] }
 
 // Len is the number of interned symbols, including the pre-interned "".
 func (t *Table) Len() int { return len(t.strs) }
+
+// Remap is a dense old→new symbol mapping produced by MergeFrom: index by a
+// symbol of the merged-in table to get its symbol in the receiving table.
+// Length equals the source table's Len at merge time.
+type Remap []Sym
+
+// Apply translates one source symbol. Panics on a symbol the source table
+// never held, like any out-of-range slice index.
+func (r Remap) Apply(sym Sym) Sym { return r[sym] }
+
+// MergeFrom unifies another table into this one: every symbol of other is
+// interned here (running this table's on-intern hook for strings seen for
+// the first time, so fact columns stay aligned), and the returned Remap
+// translates other's dense IDs into this table's. Tables interned in
+// different processes — different shards of one campaign — become one
+// namespace this way; columns indexed by other's symbols are re-folded
+// through the Remap. Merging a table into itself yields the identity
+// mapping.
+func (t *Table) MergeFrom(other *Table) Remap {
+	remap := make(Remap, len(other.strs))
+	for i, s := range other.strs {
+		remap[i] = t.Intern(s)
+	}
+	return remap
+}

@@ -231,6 +231,103 @@ func (e *Experiment) emulatorOptions() emulator.Options {
 	return opts
 }
 
+// buildFleetConfig assembles the dispatch configuration for one fleet
+// execution. Whole-corpus runs pass the experiment's own telemetry and
+// attributor with the zero shard range; sharded campaigns pass a
+// per-shard worker slice, a per-shard telemetry registry (so shard
+// snapshots merge back to the single-process one), a per-shard
+// attributor, and the shard's app-index range. The retry clock and fault
+// injector are built fresh per fleet: both are deterministic functions of
+// the seed, so every shard reproduces exactly the single-process behavior
+// for its indices.
+func (e *Experiment) buildFleetConfig(workers int, tel *obs.Telemetry, attr *attribution.Attributor, shard dispatch.ShardRange) (dispatch.Config, error) {
+	cfg := dispatch.Config{
+		Workers:         workers,
+		Emulator:        e.emulatorOptions(),
+		BaseSeed:        e.cfg.Seed,
+		UseCollector:    e.cfg.UseCollector,
+		UseStore:        e.cfg.UseStore,
+		Detector:        e.detector,
+		Attributor:      attr,
+		ContinueOnError: e.cfg.ContinueOnError,
+		RunTimeout:      e.cfg.RunTimeout,
+		MaxAttempts:     e.cfg.MaxAttempts,
+		RetryBackoff:    e.cfg.RetryBackoff,
+		Telemetry:       tel,
+		Shard:           shard,
+	}
+	if e.cfg.RetryBackoff > 0 {
+		// Retry backoff advances a fleet-owned virtual clock instead of
+		// sleeping, keeping same-seed experiments deterministic and fast.
+		cfg.Clock = nets.NewClock(time.Unix(0, 0).UTC())
+	}
+	if e.cfg.FaultRate > 0 {
+		inj, err := faults.New(faults.Config{
+			Seed:       e.cfg.Seed,
+			Rate:       e.cfg.FaultRate,
+			PoisonRate: e.cfg.FaultPoisonRate,
+			Classes:    e.cfg.FaultClasses,
+		})
+		if err != nil {
+			return cfg, fmt.Errorf("libspector: %w", err)
+		}
+		cfg.Faults = inj
+	}
+	return cfg, nil
+}
+
+// attachArtifacts wires an artifact store at dir into the fleet config
+// and returns the store, which is also the persistence sink the event
+// loop must feed.
+func attachArtifacts(cfg *dispatch.Config, dir string) (*dispatch.ArtifactStore, error) {
+	artifacts, err := dispatch.NewArtifactStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EmitEvidence = true
+	cfg.Artifacts = artifacts
+	if cfg.Faults != nil {
+		// Lets the artifact-flip crash class damage stored evidence.
+		artifacts.SetFaults(cfg.Faults)
+	}
+	return artifacts, nil
+}
+
+// attachJournal opens (resume) or creates the journal at path and wires
+// it into the fleet config, verifying campaign identity on resume.
+func attachJournal(cfg *dispatch.Config, path string, hdr journal.Header, resume bool) error {
+	if resume {
+		w, replay, err := journal.Recover(path, journal.Options{})
+		if err != nil {
+			return fmt.Errorf("libspector: recovering journal: %w", err)
+		}
+		if err := replay.Header.Match(hdr); err != nil {
+			_ = w.Close()
+			return fmt.Errorf("libspector: refusing resume: %w", err)
+		}
+		cfg.Journal, cfg.Resume = w, replay
+		return nil
+	}
+	w, err := journal.Create(path, hdr, journal.Options{})
+	if err != nil {
+		return fmt.Errorf("libspector: creating journal: %w", err)
+	}
+	cfg.Journal = w
+	return nil
+}
+
+// campaignHeader is the journal identity of this campaign, or of one of
+// its shards when the range is non-zero.
+func (e *Experiment) campaignHeader(shard dispatch.ShardRange) journal.Header {
+	return journal.Header{
+		Seed:        e.cfg.Seed,
+		Fingerprint: e.cfg.Fingerprint(),
+		Apps:        e.apps,
+		ShardLo:     shard.Lo,
+		ShardHi:     shard.Hi,
+	}
+}
+
 // Run executes the fleet over the whole corpus and builds the analysis
 // dataset. It is not safe to call concurrently with itself.
 func (e *Experiment) Run() error {
@@ -247,68 +344,21 @@ func (e *Experiment) Run() error {
 // Result, Dataset, and Aggregates hold the partial view alongside the
 // returned error.
 func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) error {
-	cfg := dispatch.Config{
-		Workers:         e.cfg.Workers,
-		Emulator:        e.emulatorOptions(),
-		BaseSeed:        e.cfg.Seed,
-		UseCollector:    e.cfg.UseCollector,
-		UseStore:        e.cfg.UseStore,
-		Detector:        e.detector,
-		Attributor:      e.attributor,
-		ContinueOnError: e.cfg.ContinueOnError,
-		RunTimeout:      e.cfg.RunTimeout,
-		MaxAttempts:     e.cfg.MaxAttempts,
-		RetryBackoff:    e.cfg.RetryBackoff,
-		Telemetry:       e.cfg.Telemetry,
-	}
-	if e.cfg.RetryBackoff > 0 {
-		// Retry backoff advances a fleet-owned virtual clock instead of
-		// sleeping, keeping same-seed experiments deterministic and fast.
-		cfg.Clock = nets.NewClock(time.Unix(0, 0).UTC())
-	}
-	if e.cfg.FaultRate > 0 {
-		inj, err := faults.New(faults.Config{
-			Seed:       e.cfg.Seed,
-			Rate:       e.cfg.FaultRate,
-			PoisonRate: e.cfg.FaultPoisonRate,
-			Classes:    e.cfg.FaultClasses,
-		})
-		if err != nil {
-			return fmt.Errorf("libspector: %w", err)
-		}
-		cfg.Faults = inj
+	cfg, err := e.buildFleetConfig(e.cfg.Workers, e.cfg.Telemetry, e.attributor, dispatch.ShardRange{})
+	if err != nil {
+		return err
 	}
 	if e.cfg.ArtifactDir != "" {
-		artifacts, err := dispatch.NewArtifactStore(e.cfg.ArtifactDir)
+		artifacts, err := attachArtifacts(&cfg, e.cfg.ArtifactDir)
 		if err != nil {
 			return fmt.Errorf("libspector: %w", err)
-		}
-		cfg.EmitEvidence = true
-		cfg.Artifacts = artifacts
-		if cfg.Faults != nil {
-			// Lets the artifact-flip crash class damage stored evidence.
-			artifacts.SetFaults(cfg.Faults)
 		}
 		sinks = append(sinks, artifacts)
 	}
 	if e.cfg.Journal != "" {
-		hdr := journal.Header{Seed: e.cfg.Seed, Fingerprint: e.cfg.Fingerprint(), Apps: e.apps}
-		if e.cfg.Resume {
-			w, replay, err := journal.Recover(e.cfg.Journal, journal.Options{})
-			if err != nil {
-				return fmt.Errorf("libspector: recovering journal: %w", err)
-			}
-			if err := replay.Header.Match(hdr); err != nil {
-				_ = w.Close()
-				return fmt.Errorf("libspector: refusing resume: %w", err)
-			}
-			cfg.Journal, cfg.Resume = w, replay
-		} else {
-			w, err := journal.Create(e.cfg.Journal, hdr, journal.Options{})
-			if err != nil {
-				return fmt.Errorf("libspector: creating journal: %w", err)
-			}
-			cfg.Journal = w
+		hdr := e.campaignHeader(dispatch.ShardRange{})
+		if err := attachJournal(&cfg, e.cfg.Journal, hdr, e.cfg.Resume); err != nil {
+			return err
 		}
 	}
 	builder, err := analysis.NewDatasetBuilder(e.domains)

@@ -1,0 +1,314 @@
+package libspector
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"libspector/internal/analysis"
+	"libspector/internal/attribution"
+	"libspector/internal/dispatch"
+	"libspector/internal/obs"
+)
+
+// CampaignResult is the merged outcome of a sharded campaign: one
+// Accounting ledger covering the whole corpus, the concatenated failure
+// and quarantine records, the merged telemetry snapshot, and the figures
+// finished from the merged shard partials. For any shard count N (with
+// Workers >= N) it is byte-identical — figures, ledger, snapshot — to
+// the uninterrupted single-process run of the same config.
+type CampaignResult struct {
+	Accounting  dispatch.Accounting
+	Failures    []dispatch.RunFailure
+	Quarantined []dispatch.QuarantinedApp
+	Snapshot    obs.Snapshot
+	Aggregates  *analysis.Aggregates
+	// Takeovers counts shard re-launches the coordinator consumed
+	// (0 on a healthy campaign).
+	Takeovers int
+	// Shards is the shard count the campaign ran with.
+	Shards int
+}
+
+// ShardJournalPath derives shard index's journal path from the campaign
+// journal base path.
+func ShardJournalPath(base string, index int) string {
+	return fmt.Sprintf("%s.shard-%03d", base, index)
+}
+
+// ShardArtifactDir derives shard index's artifact directory from the
+// campaign artifact base directory.
+func ShardArtifactDir(base string, index int) string {
+	return filepath.Join(base, fmt.Sprintf("shard-%03d", index))
+}
+
+// resolvedWorkers is the campaign worker budget after defaulting — the
+// same defaulting dispatch.Stream applies, hoisted here so the shard
+// plan can split the budget it would actually have used.
+func (e *Experiment) resolvedWorkers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shardPlan splits this experiment's corpus and worker budget.
+func (e *Experiment) shardPlan(shards int) dispatch.ShardPlan {
+	return dispatch.ShardPlan{TotalApps: e.apps, Shards: shards, Workers: e.resolvedWorkers()}
+}
+
+// RunSharded executes the campaign as N in-process shards under a
+// dispatch.Coordinator and merges the results. Each shard runs its
+// contiguous app-index range with its own collector, telemetry registry,
+// journal (Config.Journal + ".shard-NNN"), and artifact store
+// (Config.ArtifactDir + "/shard-NNN"); the synthetic world, detector,
+// and domain service are shared, which is safe because all three are
+// concurrency-safe and — crucially — their figure-shaping outputs do not
+// depend on observation order.
+//
+// A shard that dies (a crash-class fault, a cancelled context from a
+// liveness probe) is taken over: it is re-launched and resumes from its
+// journal, replaying completed apps from the artifact store, so the
+// campaign result is byte-identical to an uninterrupted run. Takeover
+// replay requires Config.Journal and Config.ArtifactDir to be set.
+//
+// Like RunContext, RunSharded finalizes the detector and must not be
+// called twice or concurrently with other runs on the same Experiment.
+func (e *Experiment) RunSharded(ctx context.Context, shards int) (*CampaignResult, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("libspector: campaign needs at least 1 shard, got %d", shards)
+	}
+	coord := &dispatch.Coordinator{
+		Plan: e.shardPlan(shards),
+		Run: func(ctx context.Context, task dispatch.ShardTask) (*dispatch.ShardOutcome, error) {
+			return e.runShardTask(ctx, task)
+		},
+		// Journal replay makes takeover cheap (completed apps are never
+		// redone), and every successful takeover strictly grows the
+		// journaled prefix; one takeover per app bounds even a campaign
+		// where every single run crashes the shard hosting it.
+		MaxTakeovers: e.apps,
+	}
+	out, err := coord.Execute(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: sharded campaign: %w", err)
+	}
+	return e.finishCampaign(out, shards)
+}
+
+// RunShard executes exactly one shard of an N-shard split — the child
+// process entry point behind fleetscan's -shard-index. The returned
+// outcome carries the shard's encoded partial and is ready for
+// dispatch.WriteShardOutcome. The parent process merges outcomes with
+// MergeShardOutcomes.
+func (e *Experiment) RunShard(ctx context.Context, index, shards int) (*dispatch.ShardOutcome, error) {
+	if shards < 1 || index < 0 || index >= shards {
+		return nil, fmt.Errorf("libspector: shard index %d out of %d", index, shards)
+	}
+	plan := e.shardPlan(shards)
+	return e.runShardTask(ctx, dispatch.ShardTask{
+		Index:   index,
+		Range:   plan.Range(index),
+		Workers: plan.WorkersFor(index),
+	})
+}
+
+// MergeShardOutcomes merges shard outcomes collected from separate
+// processes (dispatch.ReadShardOutcome) into the campaign result,
+// finishing the figures from the decoded partials. Outcomes must be
+// passed in shard order and cover the whole plan.
+func (e *Experiment) MergeShardOutcomes(outcomes []*dispatch.ShardOutcome) (*CampaignResult, error) {
+	out := &dispatch.CampaignOutcome{}
+	merged, err := mergeOutcomeList(outcomes)
+	if err != nil {
+		return nil, err
+	}
+	*out = *merged
+	return e.finishCampaign(out, len(outcomes))
+}
+
+// mergeOutcomeList reuses the coordinator's merge for outcomes gathered
+// out-of-band (the process-mode path).
+func mergeOutcomeList(outcomes []*dispatch.ShardOutcome) (*dispatch.CampaignOutcome, error) {
+	c := &dispatch.Coordinator{
+		Plan: dispatch.ShardPlan{TotalApps: totalOf(outcomes), Shards: max(len(outcomes), 1)},
+		Run: func(ctx context.Context, task dispatch.ShardTask) (*dispatch.ShardOutcome, error) {
+			return outcomes[task.Index], nil
+		},
+	}
+	return c.Execute(context.Background())
+}
+
+func totalOf(outcomes []*dispatch.ShardOutcome) int {
+	total := 0
+	for _, o := range outcomes {
+		if o != nil {
+			total += o.Range.Len()
+		}
+	}
+	return total
+}
+
+// runShardTask is the in-process ShardRunner: one Stream restricted to
+// the task's range, folded into a sealable analysis partial.
+func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) (*dispatch.ShardOutcome, error) {
+	shardTel := e.shardTelemetry()
+	attributor := attribution.NewAttributor(e.domains)
+	attributor.SetTelemetry(shardTel)
+
+	cfg, err := e.buildFleetConfig(task.Workers, shardTel, attributor, task.Range)
+	if err != nil {
+		return nil, err
+	}
+	var artifactSink dispatch.Sink
+	if e.cfg.ArtifactDir != "" {
+		artifacts, err := attachArtifacts(&cfg, ShardArtifactDir(e.cfg.ArtifactDir, task.Index))
+		if err != nil {
+			return nil, fmt.Errorf("libspector: %w", err)
+		}
+		artifactSink = artifacts
+	}
+	if e.cfg.Journal != "" {
+		path := ShardJournalPath(e.cfg.Journal, task.Index)
+		// Resume on takeover, or when the whole campaign is a resume —
+		// unless this shard never got far enough to write a journal.
+		resume := e.cfg.Resume || task.Attempt > 0
+		if resume {
+			if _, statErr := os.Stat(path); statErr != nil {
+				resume = false
+			}
+		}
+		if err := attachJournal(&cfg, path, e.campaignHeader(task.Range), resume); err != nil {
+			return nil, err
+		}
+	}
+
+	acc, err := analysis.NewAccumulator(e.domains)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: %w", err)
+	}
+	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
+	if err != nil {
+		if cfg.Journal != nil {
+			_ = cfg.Journal.Close()
+		}
+		return nil, fmt.Errorf("libspector: shard fleet: %w", err)
+	}
+
+	// Drain the stream directly instead of through Gather: a shard has no
+	// use for materialized runs, only the folded partial. The fold
+	// telemetry mirrors foldSink so merged shard snapshots reproduce the
+	// single-process registry.
+	var summary *dispatch.StreamSummary
+	var sinkErr error
+	for ev := range events {
+		if artifactSink != nil {
+			if err := artifactSink.Consume(ev); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+		switch ev.Kind {
+		case dispatch.EventRun:
+			if ev.Run == nil {
+				continue
+			}
+			var foldErr error
+			if shardTel != nil {
+				span := shardTel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, shardTel.Now())
+				foldErr = acc.Observe(ev.AppIndex, ev.Run)
+				span.AttrInt("flows", int64(len(ev.Run.Flows))).End(shardTel.Now())
+				shardTel.Counter(obs.MAnalysisFolds).Inc()
+				shardTel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
+			} else {
+				foldErr = acc.Observe(ev.AppIndex, ev.Run)
+			}
+			if foldErr != nil && sinkErr == nil {
+				sinkErr = foldErr
+			}
+		case dispatch.EventSummary:
+			summary = ev.Summary
+		}
+	}
+	if cfg.Journal != nil {
+		if cerr := cfg.Journal.Close(); cerr != nil && sinkErr == nil {
+			sinkErr = cerr
+		}
+	}
+	switch {
+	case summary == nil:
+		return nil, fmt.Errorf("libspector: shard %d stream ended without a summary", task.Index)
+	case summary.Err != nil:
+		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, summary.Err)
+	case sinkErr != nil:
+		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, sinkErr)
+	}
+
+	partial, err := acc.Seal()
+	if err != nil {
+		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, err)
+	}
+	enc, err := partial.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, err)
+	}
+	return &dispatch.ShardOutcome{
+		Index:       task.Index,
+		Range:       task.Range,
+		Accounting:  summary.Accounting,
+		Failures:    summary.Failures,
+		Quarantined: summary.Quarantined,
+		Snapshot:    shardTel.Metrics().Snapshot(),
+		Partial:     enc,
+	}, nil
+}
+
+// shardTelemetry builds a shard's private telemetry, mode-matched to the
+// campaign's: virtual campaigns get virtual shard registries (and so
+// byte-deterministic merged snapshots), live campaigns get wall-clock
+// ones, untelemetered campaigns get none.
+func (e *Experiment) shardTelemetry() *obs.Telemetry {
+	switch {
+	case e.cfg.Telemetry == nil:
+		return nil
+	case e.cfg.Telemetry.Virtual():
+		return obs.NewVirtual(nil)
+	default:
+		return obs.New()
+	}
+}
+
+// finishCampaign decodes and merges the shard partials, finalizes the
+// detector, and finishes the figures. The merged aggregates are also
+// installed on the experiment so the usual accessors (Aggregates) and
+// report rendering keep working after a sharded run.
+func (e *Experiment) finishCampaign(out *dispatch.CampaignOutcome, shards int) (*CampaignResult, error) {
+	parts := make([]*analysis.Partial, 0, len(out.Partials))
+	for i, enc := range out.Partials {
+		p, err := analysis.DecodePartial(enc, e.domains)
+		if err != nil {
+			return nil, fmt.Errorf("libspector: shard %d partial: %w", i, err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := analysis.MergePartials(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: merging partials: %w", err)
+	}
+	e.detector.Finalize(2)
+	ag, err := merged.Finish(e.detector)
+	if err != nil {
+		return nil, fmt.Errorf("libspector: finishing campaign: %w", err)
+	}
+	e.aggregates = ag
+	return &CampaignResult{
+		Accounting:  out.Accounting,
+		Failures:    out.Failures,
+		Quarantined: out.Quarantined,
+		Snapshot:    out.Snapshot,
+		Aggregates:  ag,
+		Takeovers:   out.Takeovers,
+		Shards:      shards,
+	}, nil
+}
