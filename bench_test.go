@@ -104,6 +104,7 @@ func BenchmarkTableIDomainTokenization(b *testing.B) {
 
 func BenchmarkFig2CategoryTransfer(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var m *analysis.CategoryMatrix
 	for i := 0; i < b.N; i++ {
 		m = st.ds.Fig2CategoryTransfer()
@@ -119,6 +120,7 @@ func BenchmarkFig2CategoryTransfer(b *testing.B) {
 
 func BenchmarkFig3TopLibraries(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var origins, twoLevel []analysis.RankedLibrary
 	for i := 0; i < b.N; i++ {
 		origins = st.ds.Fig3TopOrigins(15)
@@ -138,6 +140,7 @@ func BenchmarkFig3TopLibraries(b *testing.B) {
 
 func BenchmarkFig4CDF(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var series []analysis.CDFSeries
 	for i := 0; i < b.N; i++ {
 		series = st.ds.Fig4CDF()
@@ -154,6 +157,7 @@ func BenchmarkFig4CDF(b *testing.B) {
 
 func BenchmarkFig5FlowRatios(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var ratios []analysis.RatioSeries
 	for i := 0; i < b.N; i++ {
 		ratios = st.ds.Fig5FlowRatios()
@@ -169,6 +173,7 @@ func BenchmarkFig5FlowRatios(b *testing.B) {
 
 func BenchmarkFig6AnTRatio(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var ant *analysis.AnTStats
 	for i := 0; i < b.N; i++ {
 		ant = st.ds.Fig6AnTShares()
@@ -184,6 +189,7 @@ func BenchmarkFig6AnTRatio(b *testing.B) {
 
 func BenchmarkFig7AverageTransfer(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var avgs *analysis.CategoryAverages
 	for i := 0; i < b.N; i++ {
 		avgs = st.ds.Fig7Averages()
@@ -202,6 +208,7 @@ func BenchmarkFig7AverageTransfer(b *testing.B) {
 
 func BenchmarkFig8AppCategoryAverage(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var avgs map[corpus.AppCategory]float64
 	for i := 0; i < b.N; i++ {
 		avgs = st.ds.Fig8AppCategoryAverages()
@@ -222,6 +229,7 @@ func BenchmarkFig8AppCategoryAverage(b *testing.B) {
 
 func BenchmarkFig9Heatmap(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var h *analysis.Heatmap
 	for i := 0; i < b.N; i++ {
 		h = st.ds.Fig9Heatmap()
@@ -235,6 +243,7 @@ func BenchmarkFig9Heatmap(b *testing.B) {
 
 func BenchmarkFig10Coverage(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var cov *analysis.CoverageStats
 	for i := 0; i < b.N; i++ {
 		cov = st.ds.Fig10Coverage()
@@ -372,6 +381,7 @@ func BenchmarkOfflineAnalysisPerApp(b *testing.B) {
 
 func BenchmarkBaselineComparison(b *testing.B) {
 	st := sharedExperiment(b)
+	b.ResetTimer()
 	var ua, host, content baseline.Comparison
 	for i := 0; i < b.N; i++ {
 		ua = baseline.CompareUA(st.ds)

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -63,6 +64,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "optional baseline bench output to join")
 	prevPath := flag.String("prev", "", "optional previous benchjson document to diff against")
 	outPath := flag.String("out", "", "output file (default stdout)")
+	gate := flag.Float64("gate", 0, "exit non-zero when any speedup_vs_prev falls below this ratio (requires -prev)")
+	gateMinNs := flag.Float64("gate-min-ns", 0, "benchmarks whose current ns/op is below this floor pass the gate (sub-resolution timings compare timer jitter, not work)")
+	note := flag.String("note", "", "extra sentence appended to the document note (e.g. a measurement-regime change)")
 	flag.Parse()
 
 	current, err := parseReader(os.Stdin)
@@ -82,6 +86,9 @@ func main() {
 		}
 	}
 	doc := buildDocument(current, baseline, prev)
+	if *note != "" {
+		doc.Note += "; " + *note
+	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -90,11 +97,44 @@ func main() {
 	out = append(out, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(out)
-		return
-	}
-	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		fatal(err)
 	}
+	if *gate > 0 {
+		if *prevPath == "" {
+			fatal(fmt.Errorf("-gate requires -prev"))
+		}
+		if regressed := gateFailures(doc, *gate, *gateMinNs); len(regressed) > 0 {
+			for _, line := range regressed {
+				fmt.Fprintln(os.Stderr, "benchjson: gate:", line)
+			}
+			os.Exit(2)
+		}
+	}
+}
+
+// gateFailures lists the benchmarks whose speedup_vs_prev falls below the
+// gate ratio. Benchmarks new in this run (NoPrev) and entries without a
+// current measurement pass: the gate guards against regressions of what
+// was previously measured, not against adding coverage. Benchmarks whose
+// current ns/op sits below minNs also pass — at sub-resolution timings
+// (cached figure reads run in ~1ns) a ratio compares timer jitter, and
+// any absolute regression is bounded by the floor anyway.
+func gateFailures(doc *Document, gate, minNs float64) []string {
+	var out []string
+	for name, e := range doc.Benchmarks {
+		if e.Current == nil || e.NoPrev || e.SpeedupVsPrev == 0 {
+			continue
+		}
+		if e.Current.NsPerOp < minNs {
+			continue
+		}
+		if e.SpeedupVsPrev < gate {
+			out = append(out, fmt.Sprintf("%s speedup_vs_prev %.3f < %.3f", name, e.SpeedupVsPrev, gate))
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // buildDocument joins the current run against the optional baseline
@@ -177,7 +217,10 @@ func parseFile(path string) (map[string]*Measurement, error) {
 }
 
 // parseReader extracts benchmark lines ("BenchmarkName  N  v unit  v unit…")
-// from go test output, ignoring everything else.
+// from go test output, ignoring everything else. A benchmark that appears
+// more than once (a `-count` repeat) collapses to its fastest sample — the
+// noise floor — so records and gate runs compare best-of-N against
+// best-of-N instead of two arbitrary draws from a noisy machine.
 func parseReader(r io.Reader) (map[string]*Measurement, error) {
 	out := make(map[string]*Measurement)
 	sc := bufio.NewScanner(r)
@@ -214,6 +257,9 @@ func parseReader(r io.Reader) (map[string]*Measurement, error) {
 				}
 				m.Metrics[unit] = val
 			}
+		}
+		if prev, ok := out[name]; ok && prev.NsPerOp > 0 && (m.NsPerOp == 0 || prev.NsPerOp <= m.NsPerOp) {
+			continue
 		}
 		out[name] = m
 	}

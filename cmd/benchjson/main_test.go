@@ -36,6 +36,26 @@ func TestParseReaderStripsGomaxprocsSuffix(t *testing.T) {
 	}
 }
 
+func TestParseReaderKeepsFastestRepeat(t *testing.T) {
+	const repeated = `BenchmarkFold-8   	     100	  12000000 ns/op	  300000 B/op	    1600 allocs/op
+BenchmarkFold-8   	     130	   9000000 ns/op	  210000 B/op	    1400 allocs/op
+BenchmarkFold-8   	     110	  11000000 ns/op	  250000 B/op	    1500 allocs/op
+`
+	m, err := parseReader(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold := m["BenchmarkFold"]
+	if fold == nil {
+		t.Fatal("BenchmarkFold not parsed")
+	}
+	// -count repeats collapse to the fastest sample, including its
+	// companion allocation columns.
+	if fold.NsPerOp != 9e6 || fold.Iterations != 130 || fold.BytesPerOp != 210000 || fold.AllocsPerOp != 1400 {
+		t.Fatalf("repeats collapsed to %+v, want the 9ms sample", *fold)
+	}
+}
+
 func TestBuildDocumentBaselineRatios(t *testing.T) {
 	cur := parseSample(t)
 	baseline := map[string]*Measurement{
@@ -88,5 +108,50 @@ func TestBuildDocumentNilPrevLeavesNoPrevUnset(t *testing.T) {
 		if e.NoPrev {
 			t.Fatalf("%s marked no_prev with no -prev given", name)
 		}
+	}
+}
+
+// The -gate satellite: a regression below the threshold fails, new
+// benchmarks and exactly-at-threshold ones pass.
+func TestGateFailures(t *testing.T) {
+	cur := parseSample(t)
+	prev := map[string]float64{"BenchmarkFold": 9e6} // current 9.5e6 → ratio ~0.947
+	doc := buildDocument(cur, nil, prev)
+
+	regressed := gateFailures(doc, 0.95, 0)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkFold") {
+		t.Fatalf("gate at 0.95 flagged %v, want only BenchmarkFold", regressed)
+	}
+	if got := gateFailures(doc, 0.90, 0); len(got) != 0 {
+		t.Fatalf("gate at 0.90 flagged %v, want none", got)
+	}
+}
+
+func TestGateIgnoresNewBenchmarks(t *testing.T) {
+	cur := parseSample(t)
+	prev := map[string]float64{"BenchmarkFold": 19e6}
+	doc := buildDocument(cur, nil, prev)
+	// BenchmarkNewThisPR has no prev entry and must never trip the gate,
+	// no matter how strict.
+	if got := gateFailures(doc, 100, 0); len(got) != 1 || !strings.Contains(got[0], "BenchmarkFold") {
+		t.Fatalf("gate flagged %v, want only the previously-measured benchmark", got)
+	}
+}
+
+func TestGateMinNsFloorSkipsSubResolutionBenchmarks(t *testing.T) {
+	cur := map[string]*Measurement{
+		"BenchmarkCached": {Iterations: 1e9, NsPerOp: 0.9},
+		"BenchmarkReal":   {Iterations: 100, NsPerOp: 9.5e6},
+	}
+	prev := map[string]float64{"BenchmarkCached": 0.7, "BenchmarkReal": 9e6}
+	doc := buildDocument(cur, nil, prev)
+	// Both ratios are ~0.78/0.95 — below a 0.96 gate — but the cached
+	// sub-nanosecond benchmark sits under the floor and must pass.
+	got := gateFailures(doc, 0.96, 1000)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkReal") {
+		t.Fatalf("gate with 1µs floor flagged %v, want only BenchmarkReal", got)
+	}
+	if got := gateFailures(doc, 0.96, 0); len(got) != 2 {
+		t.Fatalf("gate without floor flagged %v, want both", got)
 	}
 }

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// The fold-per-run allocation pin: once an accumulator's symbol tables
+// and columns are warm (every entity of the corpus interned, every
+// column grown to its final width), folding another run allocates at
+// most the amortized slice-growth tail — no per-flow allocations.
+func TestFoldAllocsPerRunStaysPinned(t *testing.T) {
+	runs := mergeTestRuns(32)
+
+	acc, err := NewAccumulator(mergeCats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: interns every symbol and grows every column.
+	for i, run := range runs {
+		if err := acc.Observe(i, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := len(runs)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, run := range runs {
+			if err := acc.Observe(next, run); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	})
+	perRun := allocs / float64(len(runs))
+	// The only remaining allocation source is the coverage series (one
+	// append per run, amortized doubling); anything above 1 alloc/run
+	// means a per-flow allocation crept back into the fold.
+	if perRun > 1.0 {
+		t.Fatalf("streaming fold allocates %.2f allocs/run, want <= 1", perRun)
+	}
+}
+
+// Same pin for the batch builder, which additionally materializes one
+// FlowRecord per attributed flow: record/order appends are amortized
+// slice growth, so the steady-state cost per run stays a small constant
+// rather than scaling with per-flow allocations.
+func TestDatasetFoldAllocsPerRunStaysPinned(t *testing.T) {
+	runs := mergeTestRuns(32)
+
+	b, err := NewDatasetBuilder(mergeCats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range runs {
+		if err := b.Observe(i, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := len(runs)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, run := range runs {
+			if err := b.Observe(next, run); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+	})
+	perRun := allocs / float64(len(runs))
+	// Steady state leaves three growing slices (records, order, coverage)
+	// whose doubling reallocations amortize to a few allocs per run. The
+	// corpus here folds ~3 flows per run, so a per-flow allocation
+	// regression (one alloc per flow or worse) clears this bound.
+	if perRun > 4.0 {
+		t.Fatalf("batch fold allocates %.2f allocs/run, want <= 4", perRun)
+	}
+}

@@ -26,6 +26,12 @@ type core struct {
 	syms     *Symbols
 	finished bool
 
+	// rec is the scratch record handed to observe's each callback. A
+	// loop-local FlowRecord would escape through the indirect callback
+	// call and cost one heap allocation per attributed flow; callbacks
+	// copy the record and must not retain the pointer.
+	rec FlowRecord
+
 	// Totals.
 	runs          int
 	flows         int
@@ -98,9 +104,9 @@ type entityStats struct {
 
 func (e *entityStats) add(sym symtab.Sym, sent, rcvd int64) {
 	i := int(sym)
-	for len(e.pairs) <= i {
-		e.pairs = append(e.pairs, pair{})
-		e.seen = append(e.seen, false)
+	if i >= len(e.pairs) {
+		e.pairs = grow(e.pairs, i+1)
+		e.seen = grow(e.seen, i+1)
 	}
 	if !e.seen[i] {
 		e.seen[i] = true
@@ -117,9 +123,9 @@ type countVec struct {
 }
 
 func (v *countVec) add(i int, x int64) {
-	for len(v.vals) <= i {
-		v.vals = append(v.vals, 0)
-		v.seen = append(v.seen, false)
+	if i >= len(v.vals) {
+		v.vals = grow(v.vals, i+1)
+		v.seen = grow(v.seen, i+1)
 	}
 	v.vals[i] += x
 	v.seen[i] = true
@@ -131,8 +137,8 @@ type countMatrix struct {
 }
 
 func (m *countMatrix) add(row, col int, x int64) {
-	for len(m.rows) <= row {
-		m.rows = append(m.rows, countVec{})
+	if row >= len(m.rows) {
+		m.rows = grow(m.rows, row+1)
 	}
 	m.rows[row].add(col, x)
 }
@@ -151,10 +157,38 @@ type coverageEntry struct {
 }
 
 func growBools(s []bool, i int) []bool {
-	for len(s) <= i {
-		s = append(s, false)
+	if i >= len(s) {
+		s = grow(s, i+1)
 	}
 	return s
+}
+
+// grow extends s to length n in a single reallocation (doubling the
+// capacity, so a symbol-indexed column reaching its final width costs
+// O(log n) allocations instead of one per append). New elements are
+// zero-valued.
+func grow[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
+	}
+	if n <= cap(s) {
+		// The tail beyond len was zeroed at allocation and never written
+		// (columns only grow), but re-zero defensively: growth is rare and
+		// correctness here underpins every figure.
+		t := s[:n]
+		var zero T
+		for i := len(s); i < n; i++ {
+			t[i] = zero
+		}
+		return t
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	t := make([]T, n, c)
+	copy(t, s)
+	return t
 }
 
 // observe folds one run. The app index orders the Fig10 coverage series
@@ -234,8 +268,8 @@ func (c *core) observe(appIndex int, run *attribution.RunResult, each func(*Flow
 		}
 
 		if !f.BuiltinOrigin {
-			for len(c.fig6) <= int(appSym) {
-				c.fig6 = append(c.fig6, antAcc{})
+			if int(appSym) >= len(c.fig6) {
+				c.fig6 = grow(c.fig6, int(appSym)+1)
 			}
 			acc := &c.fig6[appSym]
 			acc.seen = true
@@ -257,7 +291,7 @@ func (c *core) observe(appIndex int, run *attribution.RunResult, each func(*Flow
 		c.fig8Bytes.add(int(catSym), total)
 
 		if each != nil {
-			rec := FlowRecord{
+			c.rec = FlowRecord{
 				App:           appSym,
 				AppCat:        catSym,
 				Origin:        origin,
@@ -267,16 +301,16 @@ func (c *core) observe(appIndex int, run *attribution.RunResult, each func(*Flow
 				BytesReceived: f.BytesReceived,
 			}
 			if f.BuiltinOrigin {
-				rec.Flags |= FlagBuiltin
+				c.rec.Flags |= FlagBuiltin
 			} else {
 				if c.syms.originAnT[origin] {
-					rec.Flags |= FlagAnT
+					c.rec.Flags |= FlagAnT
 				}
 				if c.syms.originCL[origin] {
-					rec.Flags |= FlagCommonLib
+					c.rec.Flags |= FlagCommonLib
 				}
 			}
-			each(&rec, f)
+			each(&c.rec, f)
 		}
 	}
 	return nil

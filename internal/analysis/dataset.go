@@ -103,6 +103,14 @@ type DatasetBuilder struct {
 	records []FlowRecord
 	order   []int // appIndex per record, for deterministic final order
 	appPkg  []symtab.Sym
+	// Per-field intern memos for the HTTP context columns. The three
+	// fields share one strings table, so the table's own last-hit memo
+	// thrashes when a flow carries all three; these keep each column's
+	// repeat hits (a run's flows usually share one user agent) to a
+	// string compare. They stay valid across MergeFrom: merging into
+	// this builder only appends to its strings table.
+	lastUA, lastHost, lastCType      string
+	lastUASym, lastHostSym, lastCSym symtab.Sym
 }
 
 // NewDatasetBuilder builds an empty builder resolving domain categories
@@ -132,22 +140,77 @@ func (b *DatasetBuilder) Observe(appIndex int, run *attribution.RunResult) error
 			interned = true
 			pkgSym = b.core.syms.strings.Intern(run.AppPackage)
 		}
-		for len(b.appPkg) <= int(rec.App) {
-			b.appPkg = append(b.appPkg, symtab.None)
+		if int(rec.App) >= len(b.appPkg) {
+			b.appPkg = grow(b.appPkg, int(rec.App)+1)
 		}
 		b.appPkg[rec.App] = pkgSym
 		if f.UserAgent != "" {
-			rec.UserAgent = b.core.syms.strings.Intern(f.UserAgent)
+			if f.UserAgent != b.lastUA {
+				b.lastUA = f.UserAgent
+				b.lastUASym = b.core.syms.strings.Intern(f.UserAgent)
+			}
+			rec.UserAgent = b.lastUASym
 		}
 		if f.HTTPHost != "" {
-			rec.HTTPHost = b.core.syms.strings.Intern(f.HTTPHost)
+			if f.HTTPHost != b.lastHost {
+				b.lastHost = f.HTTPHost
+				b.lastHostSym = b.core.syms.strings.Intern(f.HTTPHost)
+			}
+			rec.HTTPHost = b.lastHostSym
 		}
 		if f.ContentType != "" {
-			rec.ContentType = b.core.syms.strings.Intern(f.ContentType)
+			if f.ContentType != b.lastCType {
+				b.lastCType = f.ContentType
+				b.lastCSym = b.core.syms.strings.Intern(f.ContentType)
+			}
+			rec.ContentType = b.lastCSym
 		}
 		b.records = append(b.records, *rec)
 		b.order = append(b.order, appIndex)
 	})
+}
+
+// MergeFrom folds another builder's unfinished state into this one:
+// the columnar cores merge exactly like shard partials, and src's
+// materialized records and app→package map are translated through the
+// resulting symbol remaps. src must not be used afterwards. Record
+// order within each app is preserved (src's records append in their
+// original order and Finish sorts stably by app index), so per-worker
+// builders merged in any worker order finish byte-identical to one
+// builder fed the whole stream.
+func (b *DatasetBuilder) MergeFrom(src *DatasetBuilder) error {
+	if b == nil || src == nil {
+		return fmt.Errorf("analysis: nil dataset builder in merge")
+	}
+	if b.core.finished || src.core.finished {
+		return fmt.Errorf("analysis: cannot merge finished dataset builders")
+	}
+	r := mergeInto(b.core, src.core)
+	for i, pkg := range src.appPkg {
+		if pkg == symtab.None {
+			continue
+		}
+		j := int(r.apps[i])
+		for len(b.appPkg) <= j {
+			b.appPkg = append(b.appPkg, symtab.None)
+		}
+		b.appPkg[j] = r.strings[pkg]
+	}
+	// None is 0 in every table and every remap carries 0→0, so absent
+	// HTTP-context symbols translate to themselves without guards.
+	for _, rec := range src.records {
+		rec.App = r.apps[rec.App]
+		rec.AppCat = r.appCats[rec.AppCat]
+		rec.Origin = r.origins[rec.Origin]
+		rec.TwoLevel = r.twoLevels[rec.TwoLevel]
+		rec.Domain = r.domains[rec.Domain]
+		rec.UserAgent = r.strings[rec.UserAgent]
+		rec.HTTPHost = r.strings[rec.HTTPHost]
+		rec.ContentType = r.strings[rec.ContentType]
+		b.records = append(b.records, rec)
+	}
+	b.order = append(b.order, src.order...)
+	return nil
 }
 
 // Finish freezes the aggregates and returns the Dataset. Records are
@@ -187,6 +250,23 @@ func BuildDataset(runs []*attribution.RunResult, detector *libradar.Detector, do
 	if err != nil {
 		return nil, err
 	}
+	// The batch path sees the whole corpus up front: count the attributed
+	// flows once and size the record columns exactly, so the fold loop
+	// never reallocates them (streaming folds can't know and pay amortized
+	// doubling instead).
+	total := 0
+	for _, run := range runs {
+		if run == nil {
+			continue
+		}
+		for i := range run.Flows {
+			if run.Flows[i].Report != nil {
+				total++
+			}
+		}
+	}
+	b.records = make([]FlowRecord, 0, total)
+	b.order = make([]int, 0, total)
 	for i, run := range runs {
 		if err := b.Observe(i, run); err != nil {
 			return nil, err

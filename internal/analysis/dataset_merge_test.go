@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"libspector/internal/attribution"
+)
+
+// mergeTestRuns builds a deterministic corpus of runs with HTTP context
+// on some flows, so MergeFrom's strings-table remap (user agents, hosts,
+// content types, app packages) is exercised, not just the core merge.
+func mergeTestRuns(n int) []*attribution.RunResult {
+	rng := rand.New(rand.NewSource(67))
+	uas := []string{"okhttp/3.12.0", "Dalvik/2.1.0", ""}
+	hosts := []string{"api.example.com", "cdn.example.net", ""}
+	ctypes := []string{"application/json", "image/png", ""}
+	runs := make([]*attribution.RunResult, 0, n)
+	for r := 0; r < n; r++ {
+		nFlows := 1 + rng.Intn(5)
+		flows := make([]*attribution.Flow, 0, nFlows)
+		for f := 0; f < nFlows; f++ {
+			builtin := rng.Intn(6) == 0
+			origin := mergeOrigins[rng.Intn(len(mergeOrigins))]
+			if builtin {
+				origin = "*-Advertisement"
+			}
+			fl := mkFlow(origin, mergeDomains[rng.Intn(len(mergeDomains))],
+				rng.Int63n(10_000), rng.Int63n(100_000), builtin)
+			fl.UserAgent = uas[rng.Intn(len(uas))]
+			fl.HTTPHost = hosts[rng.Intn(len(hosts))]
+			fl.ContentType = ctypes[rng.Intn(len(ctypes))]
+			flows = append(flows, fl)
+		}
+		run := mkRun(fmt.Sprintf("sha-%03d", r), fmt.Sprintf("com.app.x%d", r),
+			mergeAppCats[rng.Intn(len(mergeAppCats))], flows...)
+		run.UDPWireBytes = rng.Int63n(5000)
+		run.DNSWireBytes = rng.Int63n(5000)
+		run.TCPWireBytes = rng.Int63n(50_000)
+		runs = append(runs, run)
+	}
+	return runs
+}
+
+// resolvedRecords renders every record through the string accessors — the
+// form in which symbol numbering differences must be invisible.
+func resolvedRecords(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		fmt.Fprintf(&buf, "%s|%s|%s|%s|%s|%s|%s|%s|%s|%s|%d|%d|%d\n",
+			ds.AppSHA(r), ds.AppPackage(r), ds.AppCategory(r),
+			ds.Origin(r), ds.TwoLevel(r), ds.Domain(r),
+			ds.UserAgent(r), ds.HTTPHost(r), ds.ContentType(r),
+			ds.LibCategory(r), r.BytesSent, r.BytesReceived, r.Flags)
+	}
+	return buf.Bytes()
+}
+
+// The per-worker fold contract: builders fed disjoint interleaved slices
+// of the run stream and merged in any order must finish into a Dataset
+// whose resolved records and figures are byte-identical to one builder
+// fed everything.
+func TestDatasetBuilderMergeMatchesSingleBuilder(t *testing.T) {
+	runs := mergeTestRuns(24)
+
+	single, err := NewDatasetBuilder(mergeCats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, run := range runs {
+		if err := single.Observe(i, run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dsSingle, err := single.Finish(testDetector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := resolvedRecords(t, dsSingle)
+	var wantFigures bytes.Buffer
+	if err := dsSingle.Aggregates().Summarize(25).WriteJSON(&wantFigures); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 5} {
+		parts := make([]*DatasetBuilder, workers)
+		for w := range parts {
+			if parts[w], err = NewDatasetBuilder(mergeCats); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Interleaved assignment stands in for nondeterministic worker
+		// scheduling: no builder sees a contiguous app range.
+		for i, run := range runs {
+			if err := parts[i%workers].Observe(i, run); err != nil {
+				t.Fatal(err)
+			}
+		}
+		merged := parts[0]
+		for _, src := range parts[1:] {
+			if err := merged.MergeFrom(src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ds, err := merged.Finish(testDetector())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resolvedRecords(t, ds); !bytes.Equal(got, wantRecords) {
+			t.Fatalf("workers=%d: merged records diverge from single-builder records", workers)
+		}
+		var gotFigures bytes.Buffer
+		if err := ds.Aggregates().Summarize(25).WriteJSON(&gotFigures); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotFigures.Bytes(), wantFigures.Bytes()) {
+			t.Fatalf("workers=%d: merged figures diverge:\n%s\nvs\n%s", workers, gotFigures.Bytes(), wantFigures.Bytes())
+		}
+		if ds.UnattributedFlows != dsSingle.UnattributedFlows {
+			t.Fatalf("workers=%d: unattributed %d, want %d", workers, ds.UnattributedFlows, dsSingle.UnattributedFlows)
+		}
+	}
+}
+
+func TestDatasetBuilderMergeRejectsFinished(t *testing.T) {
+	a, err := NewDatasetBuilder(mergeCats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDatasetBuilder(mergeCats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(testDetector()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeFrom(b); err == nil {
+		t.Fatal("merge from a finished builder succeeded")
+	}
+	if err := b.MergeFrom(a); err == nil {
+		t.Fatal("merge into a finished builder succeeded")
+	}
+}

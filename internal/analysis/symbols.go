@@ -30,10 +30,10 @@ type Symbols struct {
 	clList      []string
 
 	// Facts, index-aligned with their tables by the on-intern hooks.
-	originAnT   []bool        // origin is in the Li et al. AnT list
-	originCL    []bool        // origin is in the common-library list (AnT wins)
-	twoPlatform []bool        // 2-level name is com.android / com.google
-	domainCats  []symtab.Sym  // domain sym → domCats sym ("" → DomUnknown)
+	originAnT   []bool       // origin is in the Li et al. AnT list
+	originCL    []bool       // origin is in the common-library list (AnT wins)
+	twoPlatform []bool       // 2-level name is com.android / com.google
+	domainCats  []symtab.Sym // domain sym → domCats sym ("" → DomUnknown)
 }
 
 // newSymbols wires the tables with their fact-resolution hooks.

@@ -111,16 +111,23 @@ func ParseCapture(r io.Reader, localAddr netip.Addr, collectorAddr netip.Addr, c
 		flowByTuple:     make(map[pcap.FourTuple]*Flow),
 		ResolvedDomains: make(map[netip.Addr]string),
 	}
+	// Pooled zero-copy decode: one arena packet and one segment struct
+	// are reused for the whole capture, and the segment payload lazily
+	// aliases the packet buffer. Everything retained past an iteration
+	// (payload snippets, DNS names) is copied by the consume paths, so
+	// the buffer reuse is invisible outside this loop.
+	pkt := pcap.AcquirePacket()
+	defer pcap.ReleasePacket(pkt)
+	var seg pcap.Segment
 	for {
-		pkt, err := pr.Next()
+		err := pr.NextInto(pkt)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, fmt.Errorf("attribution: reading capture: %w", err)
 		}
-		seg, err := pcap.DecodeSegment(pkt.Data)
-		if err != nil {
+		if err := pcap.DecodeSegmentInto(&seg, pkt.Data); err != nil {
 			return nil, fmt.Errorf("attribution: decoding packet at %s: %w", pkt.Timestamp, err)
 		}
 		switch seg.Protocol {

@@ -154,20 +154,39 @@ func (a *Attributor) Attribute(capture *CaptureSummary, reports []*xposed.Report
 			flow.TwoLevelLibrary = libradar.TwoLevel(origin)
 		}
 	}
+	// The per-origin telemetry batches over the whole run: one registry
+	// touch per distinct series instead of one per flow (the per-class
+	// series name alone used to cost a string concat per builtin flow).
+	// Series stay lazily registered — a counter is only looked up when
+	// this run actually has something to add to it.
+	var builtin, library int64
+	var builtinClasses map[string]int64
 	for _, f := range capture.Flows {
 		if f.Report == nil {
 			stats.UnmatchedFlows++
 		} else {
 			stats.MatchedFlows++
 			if f.BuiltinOrigin {
-				a.tel.Counter(obs.MAttribBuiltin).Inc()
-				a.tel.Counter(obs.MAttribBuiltinClass(f.OriginLibrary)).Inc()
+				builtin++
+				if builtinClasses == nil {
+					builtinClasses = make(map[string]int64, 4)
+				}
+				builtinClasses[f.OriginLibrary]++
 			} else {
-				a.tel.Counter(obs.MAttribLibrary).Inc()
+				library++
 			}
 		}
 	}
 	if tel := a.tel; tel != nil {
+		if builtin > 0 {
+			tel.Counter(obs.MAttribBuiltin).Add(builtin)
+			for class, n := range builtinClasses {
+				tel.Counter(obs.MAttribBuiltinClass(class)).Add(n)
+			}
+		}
+		if library > 0 {
+			tel.Counter(obs.MAttribLibrary).Add(library)
+		}
 		tel.Counter(obs.MAttribFlows).Add(int64(len(capture.Flows)))
 		tel.Counter(obs.MAttribAttributed).Add(int64(stats.MatchedFlows))
 		tel.Counter(obs.MAttribUnmatchedFlows).Add(int64(stats.UnmatchedFlows))

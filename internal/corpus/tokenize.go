@@ -3,6 +3,7 @@ package corpus
 import (
 	"regexp"
 	"strings"
+	"sync"
 )
 
 // tokenPatterns reproduces Table I: the hand-curated word lists (compiled as
@@ -42,6 +43,12 @@ var tokenPatterns = []struct {
 // §III-F, modeled on AVClass.
 type Tokenizer struct {
 	rules []tokenRule
+
+	// memo caches Tokenize results per raw label. Vendor labels come from
+	// small fixed vocabularies, so the pattern sweep (up to 16 regexps per
+	// label) runs once per distinct string instead of once per report.
+	mu   sync.Mutex
+	memo map[string]DomainCategory
 }
 
 type tokenRule struct {
@@ -58,12 +65,27 @@ func NewTokenizer() *Tokenizer {
 			re:       regexp.MustCompile(tp.pattern),
 		})
 	}
-	return &Tokenizer{rules: rules}
+	return &Tokenizer{rules: rules, memo: make(map[string]DomainCategory)}
 }
 
 // Tokenize maps one raw vendor category label onto a generic category.
 // Labels that match no pattern fall into DomUnknown ("all remaining").
+// Safe for concurrent use.
 func (t *Tokenizer) Tokenize(raw string) DomainCategory {
+	t.mu.Lock()
+	if cat, ok := t.memo[raw]; ok {
+		t.mu.Unlock()
+		return cat
+	}
+	t.mu.Unlock()
+	cat := t.tokenize(raw)
+	t.mu.Lock()
+	t.memo[raw] = cat
+	t.mu.Unlock()
+	return cat
+}
+
+func (t *Tokenizer) tokenize(raw string) DomainCategory {
 	lowered := strings.ToLower(strings.TrimSpace(raw))
 	if lowered == "" {
 		return DomUnknown

@@ -21,6 +21,14 @@ type Collector struct {
 	// the ops endpoint shows loss while the fleet is still running.
 	// Set before the receive loop starts; nil disables the mirror.
 	tel *obs.Telemetry
+	// Counter handles resolved once at construction: the receive loop is
+	// per-datagram hot, and a registry lookup per datagram is an RWMutex
+	// acquisition plus a map probe it doesn't need. The handles stay
+	// atomic (not worker-local meters) because the collector outlives
+	// every run and the ops endpoint reads its loss series live.
+	cReceived  *obs.Counter
+	cMalformed *obs.Counter
+	cDropped   *obs.Counter
 
 	mu        sync.Mutex
 	bySHA     map[string][]*xposed.Report
@@ -53,11 +61,14 @@ func NewCollector(tel *obs.Telemetry) (*Collector, error) {
 	// to rmem_max) so loss on loopback is effectively impossible.
 	_ = conn.SetReadBuffer(8 << 20)
 	c := &Collector{
-		conn:  conn,
-		tel:   tel,
-		bySHA: make(map[string][]*xposed.Report),
-		seen:  make(map[string]map[[sha256.Size]byte]struct{}),
-		syncs: make(map[string]struct{}),
+		conn:       conn,
+		tel:        tel,
+		cReceived:  tel.Counter(obs.MCollectorReceived),
+		cMalformed: tel.Counter(obs.MCollectorMalformed),
+		cDropped:   tel.Counter(obs.MCollectorDropped),
+		bySHA:      make(map[string][]*xposed.Report),
+		seen:       make(map[string]map[[sha256.Size]byte]struct{}),
+		syncs:      make(map[string]struct{}),
 	}
 	c.wg.Add(1)
 	go c.receiveLoop()
@@ -79,7 +90,7 @@ func (c *Collector) receiveLoop() {
 			c.mu.Lock()
 			c.dropped++
 			c.mu.Unlock()
-			c.tel.Counter(obs.MCollectorDropped).Inc()
+			c.cDropped.Inc()
 			continue
 		}
 		payload := make([]byte, n)
@@ -92,9 +103,9 @@ func (c *Collector) receiveLoop() {
 		}
 		report, err := xposed.DecodeReport(payload)
 		if err != nil {
-			c.tel.Counter(obs.MCollectorMalformed).Inc()
+			c.cMalformed.Inc()
 		} else {
-			c.tel.Counter(obs.MCollectorReceived).Inc()
+			c.cReceived.Inc()
 		}
 		c.mu.Lock()
 		if err != nil {

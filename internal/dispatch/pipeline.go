@@ -108,6 +108,17 @@ type Config struct {
 	// evidence is missing or corrupt (ErrCorruptArtifact) are requeued
 	// live rather than trusted.
 	Artifacts *ArtifactStore
+	// WorkerFold, when set, is called once per worker goroutine at
+	// worker start with the worker's index (0..Workers-1); the returned
+	// observer (nil to opt out for that worker) receives every completed
+	// EventRun the worker produces — live and replayed — on the worker's
+	// own goroutine, before the event is emitted downstream. This is the
+	// per-worker analysis-fold seam: each worker folds into private,
+	// unsynchronized state, and the caller merges the per-worker states
+	// after the stream drains. The events channel closes only after
+	// every worker has joined, so reading the folded states once Gather
+	// returns is race-free.
+	WorkerFold func(worker int) func(RunEvent)
 }
 
 // RunFailure records one failed app run in ContinueOnError mode.
@@ -298,6 +309,14 @@ type runEnv struct {
 	client    *Client
 	clk       *fleetClock
 	tel       *obs.Telemetry
+	// meters is the worker's local accumulator for the per-event hot-path
+	// series; runOne flushes it into tel at the end of every attempt, so
+	// post-drain registry snapshots match the direct atomics path exactly.
+	meters *obs.Meters
+	// fold is the worker's Config.WorkerFold observer (nil when unset):
+	// completed EventRuns fold into worker-private analysis state before
+	// they are emitted.
+	fold func(RunEvent)
 }
 
 // flushCollector erects a datagram barrier before a retry or requeue
@@ -345,6 +364,10 @@ func (env *runEnv) flushCollector(i, attempt int) error {
 // spans off it.
 func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, parent *obs.Span) (*attribution.RunResult, *RunEvidence, *journal.RunMeters, bool, error) {
 	source, resolver, cfg, store, collector, client := env.source, env.resolver, env.cfg, env.store, env.collector, env.client
+	// Merge barrier: whatever this attempt accumulated in the worker-local
+	// meters lands in the registry on every exit path (success, skip, or
+	// failure), exactly as the direct atomics path would have recorded it.
+	defer env.meters.Flush(env.tel)
 	app, err := source.GenerateApp(i)
 	if err != nil {
 		return nil, nil, nil, false, fmt.Errorf("generating app: %w", err)
@@ -389,6 +412,7 @@ func (env *runEnv) runOne(ctx context.Context, i, attempt int, requeued bool, pa
 	opts := cfg.Emulator
 	opts.Seed = cfg.BaseSeed + uint64(i)*2654435761
 	opts.Telemetry = env.tel
+	opts.Meters = env.meters
 	opts.Span = parent
 	if client != nil {
 		opts.ReportSink = client.Send

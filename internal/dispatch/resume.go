@@ -57,7 +57,11 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 			f.tel.Counter(obs.MFleetRetries).Inc()
 		}
 		finish("run")
-		f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run})
+		ev := RunEvent{Kind: EventRun, AppIndex: i, Run: run}
+		if env.fold != nil {
+			env.fold(ev)
+		}
+		f.emit(ev)
 		return
 	}
 	// Non-run outcomes replay without touching the store, but still feed

@@ -373,10 +373,10 @@ func (f *fleetRun) run(workers, lo, hi int) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			f.worker(jobs)
-		}()
+			f.worker(w, jobs)
+		}(w)
 	}
 feed:
 	for i := lo; i < hi; i++ {
@@ -440,7 +440,7 @@ feed:
 // stops. A collector-dial failure is an infrastructure fault: it aborts the
 // stream as one structured failure instead of silently consuming — and
 // thereby poisoning — every remaining job.
-func (f *fleetRun) worker(jobs <-chan job) {
+func (f *fleetRun) worker(w int, jobs <-chan job) {
 	var client *Client
 	if f.collector != nil {
 		var err error
@@ -460,6 +460,10 @@ func (f *fleetRun) worker(jobs <-chan job) {
 		client:    client,
 		clk:       f.clk,
 		tel:       f.tel,
+		meters:    obs.NewMeters(),
+	}
+	if f.cfg.WorkerFold != nil {
+		env.fold = f.cfg.WorkerFold(w)
 	}
 	busy := f.tel.Gauge(obs.MFleetWorkersBusy)
 	for j := range jobs {
@@ -607,7 +611,11 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 				f.tel.Counter(obs.MFleetRetries).Inc()
 			}
 			finish("run", attemptsUsed)
-			f.emit(RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence})
+			ev := RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence}
+			if env.fold != nil {
+				env.fold(ev)
+			}
+			f.emit(ev)
 			return
 		}
 		lastErr = err

@@ -92,6 +92,12 @@ type Options struct {
 	// event/report counters, wire-byte totals, and the virtual-duration
 	// histogram. Nil disables instrumentation.
 	Telemetry *obs.Telemetry
+	// Meters, when set, receives the run's per-event series (supervisor
+	// reports, hook errors, blocked connections, dropped datagrams) into
+	// worker-local cells instead of the shared registry; the dispatcher
+	// flushes them at run completion. The end-of-run batched folds below
+	// still go through Telemetry directly.
+	Meters *obs.Meters
 	// Span, when set, is the run's dispatch span; the emulator hangs the
 	// per-stage child spans (emulator-boot, monkey-run,
 	// xposed-supervision, pcap-capture) off it. Stage spans are timed on
@@ -280,6 +286,7 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 		Capture:       capture,
 		PacketLatency: opts.PacketLatency,
 		Telemetry:     opts.Telemetry,
+		Meters:        opts.Meters,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("emulator: building network stack: %w", err)
@@ -311,11 +318,13 @@ func RunContext(ctx context.Context, install Installation, resolver nets.Resolve
 			return nil, fmt.Errorf("emulator: %w", err)
 		}
 		framework.SetTelemetry(opts.Telemetry)
+		framework.SetMeters(opts.Meters)
 		supervisor, err := xposed.NewSupervisor(install.APKSHA256, install.Program.Dex, stack)
 		if err != nil {
 			return nil, fmt.Errorf("emulator: %w", err)
 		}
 		supervisor.SetTelemetry(opts.Telemetry)
+		supervisor.SetMeters(opts.Meters)
 		supervisor.FailFirstReports(opts.HookFaultReports)
 		framework.Register(supervisor)
 		framework.Bind(stack)

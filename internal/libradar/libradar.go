@@ -35,6 +35,9 @@ type Detector struct {
 	detected map[string]struct{}
 	// finalized guards against observing after finalization.
 	finalized bool
+	// catMemo caches Categorize results; Categorize is a pure function of
+	// the database, so the memo is dropped whenever the database mutates.
+	catMemo map[string]corpus.LibraryCategory
 }
 
 // NewDetector creates a detector seeded with a category database.
@@ -74,6 +77,7 @@ func (d *Detector) AddKnownLibrary(prefix string, cat corpus.LibraryCategory) er
 	defer d.mu.Unlock()
 	d.db[prefix] = cat
 	d.dbDirty = true
+	d.catMemo = nil
 	return nil
 }
 
@@ -155,21 +159,38 @@ func (d *Detector) Categorize(pkg string) corpus.LibraryCategory {
 	if pkg == "" {
 		return corpus.LibUnknown
 	}
+	if cat, ok := d.catMemo[pkg]; ok {
+		return cat
+	}
+	cat := d.categorizeLocked(pkg)
+	if d.catMemo == nil {
+		d.catMemo = make(map[string]corpus.LibraryCategory)
+	}
+	d.catMemo[pkg] = cat
+	return cat
+}
+
+// categorizeLocked is the uncached resolution. Caller must hold d.mu.
+func (d *Detector) categorizeLocked(pkg string) corpus.LibraryCategory {
 	if cat, ok := d.db[pkg]; ok {
 		return cat
 	}
-	// Longest matching database prefix.
-	labels := strings.Split(pkg, ".")
-	for depth := len(labels) - 1; depth >= 1; depth-- {
-		prefix := strings.Join(labels[:depth], ".")
+	// Longest matching database prefix: walk the dotted hierarchy upward
+	// by truncating at the last separator — no label splitting, no
+	// per-depth joins.
+	for prefix := pkg; ; {
+		i := strings.LastIndexByte(prefix, '.')
+		if i < 0 {
+			break
+		}
+		prefix = prefix[:i]
 		if cat, ok := d.db[prefix]; ok {
 			return cat
 		}
 	}
 	// Majority voting under the longest shared organizational prefix.
 	d.refreshPrefixes()
-	for depth := len(labels); depth >= 2; depth-- {
-		prefix := strings.Join(labels[:depth], ".")
+	for prefix := pkg; strings.IndexByte(prefix, '.') >= 0; {
 		votes := make(map[corpus.LibraryCategory]int)
 		voters := 0
 		for _, known := range d.dbPrefixes {
@@ -178,10 +199,10 @@ func (d *Detector) Categorize(pkg string) corpus.LibraryCategory {
 				voters++
 			}
 		}
-		if voters == 0 {
-			continue
+		if voters > 0 {
+			return winnerOf(votes)
 		}
-		return winnerOf(votes)
+		prefix = prefix[:strings.LastIndexByte(prefix, '.')]
 	}
 	return corpus.LibUnknown
 }

@@ -57,7 +57,7 @@ func (c *Conn) emit(t pcap.FourTuple, flags uint8, payload []byte) error {
 	} else {
 		seq, ack = c.peerSeq, c.seq
 	}
-	raw, err := pcap.EncodeTCP(t, flags, seq, ack, payload)
+	raw, err := c.stack.encodeTCP(t, flags, seq, ack, payload)
 	if err != nil {
 		return fmt.Errorf("nets: encoding TCP packet on %s: %w", c.tuple, err)
 	}
@@ -103,7 +103,10 @@ func (c *Conn) ReceiveN(n int64) error {
 	if c.closed {
 		return fmt.Errorf("nets: receive on closed connection %s", c.tuple)
 	}
-	buf := fillerSegment(c.stack.mss)
+	if c.stack.filler == nil {
+		c.stack.filler = fillerSegment(c.stack.mss)
+	}
+	buf := c.stack.filler
 	segIdx := 0
 	for n > 0 {
 		chunk := int64(c.stack.mss)

@@ -62,6 +62,12 @@ type Config struct {
 	// by the emulator from Stats at run end instead, so the stack's hot
 	// packet path stays free of per-packet counter traffic.
 	Telemetry *obs.Telemetry
+	// Meters, when set, receives the same loss/veto series into
+	// worker-local cells instead of the shared registry; the dispatcher
+	// flushes them at run completion. Takes precedence over Telemetry
+	// for the per-event series so the hot path never touches shared
+	// atomics.
+	Meters *obs.Meters
 }
 
 // Stack is the emulated device's network stack.
@@ -103,6 +109,31 @@ type Stack struct {
 	udpWireBytes int64
 	dnsWireBytes int64
 	packetCount  int64
+
+	// encBuf is the reused packet-encode scratch for every emit path.
+	// Safe because record copies the bytes into the capture before the
+	// next encode; the Stack is single-goroutine like its port counters.
+	encBuf []byte
+	// filler is the cached ReceiveN payload pattern (one MSS).
+	filler []byte
+}
+
+// encodeTCP encodes a TCP packet into the stack's scratch buffer.
+func (s *Stack) encodeTCP(t pcap.FourTuple, flags uint8, seq, ack uint32, payload []byte) ([]byte, error) {
+	raw, err := pcap.EncodeTCPInto(s.encBuf, t, flags, seq, ack, payload)
+	if err == nil {
+		s.encBuf = raw
+	}
+	return raw, err
+}
+
+// encodeUDP encodes a UDP packet into the stack's scratch buffer.
+func (s *Stack) encodeUDP(t pcap.FourTuple, payload []byte) ([]byte, error) {
+	raw, err := pcap.EncodeUDPInto(s.encBuf, t, payload)
+	if err == nil {
+		s.encBuf = raw
+	}
+	return raw, err
 }
 
 // NewStack creates a network stack. Resolver and Clock are required.
@@ -244,7 +275,7 @@ func (s *Stack) resolve(name string) (netip.Addr, error) {
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("nets: building DNS query for %s: %w", name, err)
 	}
-	raw, err := pcap.EncodeUDP(queryTuple, query)
+	raw, err := s.encodeUDP(queryTuple, query)
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("nets: encoding DNS query for %s: %w", name, err)
 	}
@@ -261,7 +292,7 @@ func (s *Stack) resolve(name string) (netip.Addr, error) {
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("nets: building DNS response for %s: %w", name, err)
 	}
-	raw, err = pcap.EncodeUDP(queryTuple.Reverse(), resp)
+	raw, err = s.encodeUDP(queryTuple.Reverse(), resp)
 	if err != nil {
 		return netip.Addr{}, fmt.Errorf("nets: encoding DNS response for %s: %w", name, err)
 	}
@@ -295,7 +326,11 @@ func (s *Stack) dialAddr(domain string, addr netip.Addr, port uint16) (*Conn, er
 	if s.connectVeto != nil {
 		if err := s.connectVeto(domain, port); err != nil {
 			s.blockedConnections++
-			s.cfg.Telemetry.Counter(obs.MNetsBlockedConns).Inc()
+			if s.cfg.Meters != nil {
+				s.cfg.Meters.Counter(obs.MNetsBlockedConns).Inc()
+			} else {
+				s.cfg.Telemetry.Counter(obs.MNetsBlockedConns).Inc()
+			}
 			return nil, fmt.Errorf("nets: dial %s:%d: %w: %w", domain, port, ErrBlocked, err)
 		}
 	}
@@ -334,7 +369,7 @@ func (s *Stack) SendSupervisorReport(payload []byte) error {
 		SrcIP: s.cfg.LocalAddr, SrcPort: s.allocPort(),
 		DstIP: s.cfg.CollectorAddr, DstPort: s.cfg.CollectorPort,
 	}
-	raw, err := pcap.EncodeUDP(tuple, payload)
+	raw, err := s.encodeUDP(tuple, payload)
 	if err != nil {
 		return fmt.Errorf("nets: encoding supervisor report: %w", err)
 	}
@@ -347,7 +382,11 @@ func (s *Stack) SendSupervisorReport(payload []byte) error {
 		// Lost on the wire: the capture has the egress record, the
 		// collector never sees the payload, and the sender cannot tell.
 		s.droppedDatagrams++
-		s.cfg.Telemetry.Counter(obs.MNetsDroppedGrams).Inc()
+		if s.cfg.Meters != nil {
+			s.cfg.Meters.Counter(obs.MNetsDroppedGrams).Inc()
+		} else {
+			s.cfg.Telemetry.Counter(obs.MNetsDroppedGrams).Inc()
+		}
 		return nil
 	}
 	if s.udpSink != nil {
@@ -387,7 +426,7 @@ func (s *Stack) ExchangeUDP(domain string, port uint16, reqLen, respLen int) err
 	for i := range req {
 		req[i] = byte(i * 13)
 	}
-	raw, err := pcap.EncodeUDP(tuple, req)
+	raw, err := s.encodeUDP(tuple, req)
 	if err != nil {
 		return fmt.Errorf("nets: encoding UDP request: %w", err)
 	}
@@ -399,7 +438,7 @@ func (s *Stack) ExchangeUDP(domain string, port uint16, reqLen, respLen int) err
 		for i := range resp {
 			resp[i] = byte(i * 7)
 		}
-		raw, err := pcap.EncodeUDP(tuple.Reverse(), resp)
+		raw, err := s.encodeUDP(tuple.Reverse(), resp)
 		if err != nil {
 			return fmt.Errorf("nets: encoding UDP response: %w", err)
 		}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The headline contract of the Meters refactor: routing the same
+// increment sequence through worker-local cells + Flush must produce a
+// registry snapshot byte-identical to the direct atomics path.
+func TestMetersSnapshotByteIdentical(t *testing.T) {
+	type op struct {
+		name string
+		n    int64
+	}
+	seq := []op{
+		{"xposed_reports_total", 1},
+		{"xposed_reports_total", 1},
+		{"nets_blocked_connections_total", 1},
+		{"collector_datagrams_received_total", 7},
+		{"xposed_reports_total", 3},
+		{"nets_dropped_datagrams_total", 2},
+		{"xposed_reports_total", 0},  // ignored on both paths
+		{"xposed_reports_total", -5}, // ignored on both paths
+	}
+
+	direct := NewVirtual(nil)
+	for _, o := range seq {
+		direct.Counter(o.name).Add(o.n)
+	}
+
+	local := NewVirtual(nil)
+	m := NewMeters()
+	for _, o := range seq {
+		m.Counter(o.name).Add(o.n)
+	}
+	m.Flush(local)
+
+	a, err := json.Marshal(direct.Metrics().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(local.Metrics().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\ndirect: %s\nmeters: %s", a, b)
+	}
+}
+
+// Hot-path series are registered lazily on the live path; a Flush of a
+// touched-but-zero cell must not invent the series (resume replay and
+// the telemetry byte-determinism golden depend on this).
+func TestMetersFlushSkipsZeroCells(t *testing.T) {
+	tel := NewVirtual(nil)
+	m := NewMeters()
+	m.Counter("xposed_reports_total") // touched, never incremented
+	m.Counter("nets_blocked_connections_total").Add(0)
+	m.Counter("nets_dropped_datagrams_total").Inc()
+	m.Flush(tel)
+
+	snap := tel.Metrics().Snapshot()
+	if _, ok := snap.Counters["xposed_reports_total"]; ok {
+		t.Fatal("zero cell registered xposed_reports_total")
+	}
+	if _, ok := snap.Counters["nets_blocked_connections_total"]; ok {
+		t.Fatal("zero cell registered nets_blocked_connections_total")
+	}
+	if got := snap.Counters["nets_dropped_datagrams_total"]; got != 1 {
+		t.Fatalf("nets_dropped_datagrams_total = %d, want 1", got)
+	}
+}
+
+// Flush zeroes the locals so a worker's next run starts clean, and a
+// second flush of an untouched Meters adds nothing.
+func TestMetersFlushResetsCells(t *testing.T) {
+	tel := NewVirtual(nil)
+	m := NewMeters()
+	m.Counter("a_total").Add(5)
+	m.Flush(tel)
+	if v := m.Counter("a_total").Value(); v != 0 {
+		t.Fatalf("cell after flush = %d, want 0", v)
+	}
+	m.Flush(tel)
+	if got := tel.Metrics().Snapshot().Counters["a_total"]; got != 5 {
+		t.Fatalf("a_total after double flush = %d, want 5", got)
+	}
+	m.Counter("a_total").Inc()
+	m.Flush(tel)
+	if got := tel.Metrics().Snapshot().Counters["a_total"]; got != 6 {
+		t.Fatalf("a_total after second run = %d, want 6", got)
+	}
+}
+
+// Every entry point is nil-safe: nil Meters, nil cells, nil telemetry.
+func TestMetersNilSafety(t *testing.T) {
+	var m *Meters
+	m.Counter("x").Inc() // nil Meters → nil cell → no-op
+	m.Flush(nil)
+	m.Flush(NewVirtual(nil))
+
+	var c *LocalCounter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil LocalCounter not inert")
+	}
+
+	real := NewMeters()
+	real.Counter("x").Inc()
+	real.Flush(nil) // counts dropped, no panic
+}

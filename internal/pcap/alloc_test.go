@@ -1,0 +1,66 @@
+package pcap
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// encodeAllocCapture renders n equally-sized TCP packets so a reused
+// Packet's Data buffer reaches steady state after the first record.
+func encodeAllocCapture(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	base := time.Date(2019, 7, 1, 12, 0, 0, 0, time.UTC)
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < n; i++ {
+		raw, err := EncodeTCP(testTuple(), FlagACK, uint32(i), 0, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WritePacket(Packet{Timestamp: base.Add(time.Duration(i) * time.Millisecond), Data: raw}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAllocsPerRun measures the allocations of one full pass over a
+// capture of n packets through the pooled hot path: NextInto into a
+// Packet acquired once, DecodeSegmentInto into a reused Segment.
+func decodeAllocsPerRun(t *testing.T, capture []byte) float64 {
+	t.Helper()
+	pkt := AcquirePacket()
+	defer ReleasePacket(pkt)
+	var seg Segment
+	return testing.AllocsPerRun(50, func() {
+		pr, err := NewReader(bytes.NewReader(capture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if err := pr.NextInto(pkt); err != nil {
+				break
+			}
+			if err := DecodeSegmentInto(&seg, pkt.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// The pooled decode contract of this PR: once the reused Packet's buffer
+// is warm, reading and decoding a packet allocates nothing — all
+// allocations of a pass are reader setup, independent of packet count.
+func TestDecodeAllocsPerPacketIsZero(t *testing.T) {
+	small := decodeAllocsPerRun(t, encodeAllocCapture(t, 1))
+	large := decodeAllocsPerRun(t, encodeAllocCapture(t, 129))
+	perPacket := (large - small) / 128
+	if perPacket > 0.01 {
+		t.Fatalf("decode allocates %.3f allocs/packet (runs: %0.f vs %0.f), want 0", perPacket, small, large)
+	}
+}

@@ -101,7 +101,14 @@ func ipChecksum(b []byte) uint16 {
 
 // EncodeTCP builds a raw IPv4+TCP packet.
 func EncodeTCP(t FourTuple, flags uint8, seq, ack uint32, payload []byte) ([]byte, error) {
-	return encodeIPv4(t, ProtoTCP, func(b []byte) {
+	return EncodeTCPInto(nil, t, flags, seq, ack, payload)
+}
+
+// EncodeTCPInto builds a raw IPv4+TCP packet reusing buf's capacity when
+// it suffices (a fresh buffer is allocated otherwise). The returned slice
+// aliases buf in the reuse case; callers that retain packets must copy.
+func EncodeTCPInto(buf []byte, t FourTuple, flags uint8, seq, ack uint32, payload []byte) ([]byte, error) {
+	return encodeIPv4Into(buf, t, ProtoTCP, func(b []byte) {
 		binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 		binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 		binary.BigEndian.PutUint32(b[4:8], seq)
@@ -118,7 +125,13 @@ func EncodeTCP(t FourTuple, flags uint8, seq, ack uint32, payload []byte) ([]byt
 
 // EncodeUDP builds a raw IPv4+UDP packet.
 func EncodeUDP(t FourTuple, payload []byte) ([]byte, error) {
-	return encodeIPv4(t, ProtoUDP, func(b []byte) {
+	return EncodeUDPInto(nil, t, payload)
+}
+
+// EncodeUDPInto builds a raw IPv4+UDP packet reusing buf's capacity, with
+// the same aliasing contract as EncodeTCPInto.
+func EncodeUDPInto(buf []byte, t FourTuple, payload []byte) ([]byte, error) {
+	return encodeIPv4Into(buf, t, ProtoUDP, func(b []byte) {
 		binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
 		binary.BigEndian.PutUint16(b[2:4], t.DstPort)
 		binary.BigEndian.PutUint16(b[4:6], uint16(udpHeaderLen+len(payload)))
@@ -128,7 +141,7 @@ func EncodeUDP(t FourTuple, payload []byte) ([]byte, error) {
 	}, udpHeaderLen, len(payload))
 }
 
-func encodeIPv4(t FourTuple, proto uint8, fillTransport func([]byte), transportHdrLen, payloadLen int) ([]byte, error) {
+func encodeIPv4Into(buf []byte, t FourTuple, proto uint8, fillTransport func([]byte), transportHdrLen, payloadLen int) ([]byte, error) {
 	if !t.SrcIP.Is4() || !t.DstIP.Is4() {
 		return nil, fmt.Errorf("pcap: non-IPv4 address in tuple %s", t)
 	}
@@ -136,7 +149,18 @@ func encodeIPv4(t FourTuple, proto uint8, fillTransport func([]byte), transportH
 	if total > 65535 {
 		return nil, fmt.Errorf("pcap: packet of %d bytes exceeds IPv4 maximum", total)
 	}
-	pkt := make([]byte, total)
+	var pkt []byte
+	if cap(buf) >= total {
+		// The header region must start zeroed (reserved fields, checksum
+		// slots); the payload region is fully overwritten by fillTransport.
+		pkt = buf[:total]
+		hdr := pkt[:ipv4HeaderLen+transportHdrLen]
+		for i := range hdr {
+			hdr[i] = 0
+		}
+	} else {
+		pkt = make([]byte, total)
+	}
 	pkt[0] = 0x45 // version 4, IHL 5
 	binary.BigEndian.PutUint16(pkt[2:4], uint16(total))
 	pkt[8] = 64 // TTL
@@ -150,46 +174,75 @@ func encodeIPv4(t FourTuple, proto uint8, fillTransport func([]byte), transportH
 	return pkt, nil
 }
 
+// transportChecksum folds the IPv4 pseudo-header and the segment into one
+// ones-complement sum without materializing the pseudo-header buffer (the
+// old copy doubled every packet's memory traffic on the emit hot path).
+// Addition is commutative and the segment starts at an even pseudo-header
+// offset, so the sum is bit-identical to checksumming the concatenation.
 func transportChecksum(t FourTuple, proto uint8, segment []byte) uint16 {
-	pseudo := make([]byte, 12+len(segment))
 	src := t.SrcIP.As4()
 	dst := t.DstIP.As4()
-	copy(pseudo[0:4], src[:])
-	copy(pseudo[4:8], dst[:])
-	pseudo[9] = proto
-	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
-	copy(pseudo[12:], segment)
-	return ipChecksum(pseudo)
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2])) + uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2])) + uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(uint16(len(segment)))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
 }
 
-// DecodeSegment parses a raw IPv4 packet into a Segment.
+// DecodeSegment parses a raw IPv4 packet into a Segment. The payload is
+// a lazy slice of data — no copy is made — so the Segment is valid only
+// as long as data is.
 func DecodeSegment(data []byte) (Segment, error) {
+	var seg Segment
+	if err := DecodeSegmentInto(&seg, data); err != nil {
+		return Segment{}, err
+	}
+	return seg, nil
+}
+
+// DecodeSegmentInto parses a raw IPv4 packet into a reused Segment,
+// overwriting its previous contents without allocating. Like
+// DecodeSegment, the payload lazily aliases data; with a pooled packet
+// buffer that means the segment must be consumed before the buffer's
+// next NextInto fill. On error seg is zeroed.
+func DecodeSegmentInto(seg *Segment, data []byte) error {
+	*seg = Segment{}
 	if len(data) < ipv4HeaderLen {
-		return Segment{}, fmt.Errorf("pcap: packet of %d bytes shorter than IPv4 header", len(data))
+		return fmt.Errorf("pcap: packet of %d bytes shorter than IPv4 header", len(data))
 	}
 	if data[0]>>4 != 4 {
-		return Segment{}, fmt.Errorf("pcap: unsupported IP version %d", data[0]>>4)
+		return fmt.Errorf("pcap: unsupported IP version %d", data[0]>>4)
 	}
 	ihl := int(data[0]&0x0f) * 4
 	if ihl < ipv4HeaderLen || len(data) < ihl {
-		return Segment{}, fmt.Errorf("pcap: invalid IPv4 header length %d", ihl)
+		return fmt.Errorf("pcap: invalid IPv4 header length %d", ihl)
 	}
 	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
 	if totalLen != len(data) {
-		return Segment{}, fmt.Errorf("pcap: IPv4 total length %d does not match capture length %d", totalLen, len(data))
+		return fmt.Errorf("pcap: IPv4 total length %d does not match capture length %d", totalLen, len(data))
 	}
-	seg := Segment{Protocol: data[9], WireLen: len(data)}
+	proto := data[9]
 	srcIP := netip.AddrFrom4([4]byte(data[12:16]))
 	dstIP := netip.AddrFrom4([4]byte(data[16:20]))
 	transport := data[ihl:]
-	switch seg.Protocol {
+	switch proto {
 	case ProtoTCP:
 		if len(transport) < tcpHeaderLen {
-			return Segment{}, fmt.Errorf("pcap: truncated TCP header (%d bytes)", len(transport))
+			return fmt.Errorf("pcap: truncated TCP header (%d bytes)", len(transport))
 		}
 		dataOff := int(transport[12]>>4) * 4
 		if dataOff < tcpHeaderLen || len(transport) < dataOff {
-			return Segment{}, fmt.Errorf("pcap: invalid TCP data offset %d", dataOff)
+			return fmt.Errorf("pcap: invalid TCP data offset %d", dataOff)
 		}
 		seg.Tuple = FourTuple{
 			SrcIP:   srcIP,
@@ -203,11 +256,11 @@ func DecodeSegment(data []byte) (Segment, error) {
 		seg.Payload = transport[dataOff:]
 	case ProtoUDP:
 		if len(transport) < udpHeaderLen {
-			return Segment{}, fmt.Errorf("pcap: truncated UDP header (%d bytes)", len(transport))
+			return fmt.Errorf("pcap: truncated UDP header (%d bytes)", len(transport))
 		}
 		udpLen := int(binary.BigEndian.Uint16(transport[4:6]))
 		if udpLen != len(transport) {
-			return Segment{}, fmt.Errorf("pcap: UDP length %d does not match segment length %d", udpLen, len(transport))
+			return fmt.Errorf("pcap: UDP length %d does not match segment length %d", udpLen, len(transport))
 		}
 		seg.Tuple = FourTuple{
 			SrcIP:   srcIP,
@@ -217,7 +270,9 @@ func DecodeSegment(data []byte) (Segment, error) {
 		}
 		seg.Payload = transport[udpHeaderLen:]
 	default:
-		return Segment{}, fmt.Errorf("pcap: unsupported IP protocol %d", seg.Protocol)
+		return fmt.Errorf("pcap: unsupported IP protocol %d", proto)
 	}
-	return seg, nil
+	seg.Protocol = proto
+	seg.WireLen = len(data)
+	return nil
 }

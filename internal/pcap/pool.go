@@ -1,0 +1,37 @@
+package pcap
+
+import (
+	"sync"
+	"time"
+)
+
+// Packet arena: the offline attribution pass decodes every packet of
+// every run's capture, and a fresh Data buffer per packet is the single
+// largest allocation source on that path. AcquirePacket/ReleasePacket
+// recycle Packet buffers through a sync.Pool so a reader loop touches
+// the allocator only while its buffer is still growing toward the
+// capture's largest packet.
+//
+// Ownership contract: a packet's Data (and any Segment payload sliced
+// from it via DecodeSegmentInto) is valid only until the packet is
+// released or reused by the next NextInto call. Callers that retain
+// payload bytes must copy them first — exactly what the flow
+// reconstruction does with its bounded payload snippets.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AcquirePacket takes a reusable packet from the arena. Pair with
+// ReleasePacket.
+func AcquirePacket() *Packet {
+	return packetPool.Get().(*Packet)
+}
+
+// ReleasePacket returns a packet to the arena. The packet and anything
+// aliasing its Data must not be used afterwards.
+func ReleasePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Timestamp = time.Time{}
+	p.Data = p.Data[:0]
+	packetPool.Put(p)
+}

@@ -22,6 +22,13 @@ const None Sym = 0
 type Table struct {
 	ids  map[string]Sym
 	strs []string
+	// lastStr/lastSym memoize the most recent Intern hit. Flow streams
+	// are bursty — consecutive flows of one run frequently repeat the
+	// same origin, domain, or user agent — and the Go string comparison
+	// short-circuits on identical backing pointers, so the fast path is
+	// usually a pointer compare instead of a map hash.
+	lastStr string
+	lastSym Sym
 	// onIntern, when set, runs once per new symbol (including the
 	// pre-interned empty string), in symbol order. Fact columns appended
 	// by the hook therefore stay index-aligned with the table.
@@ -39,12 +46,19 @@ func NewTable(onIntern func(Sym, string)) *Table {
 // Intern returns the symbol for s, assigning the next dense ID on first
 // sight.
 func (t *Table) Intern(s string) Sym {
+	// The len guard keeps the zero-valued memo ("" → 0) from short-
+	// circuiting NewTable's own pre-intern of "".
+	if s == t.lastStr && len(t.strs) > 0 {
+		return t.lastSym
+	}
 	if sym, ok := t.ids[s]; ok {
+		t.lastStr, t.lastSym = s, sym
 		return sym
 	}
 	sym := Sym(len(t.strs))
 	t.ids[s] = sym
 	t.strs = append(t.strs, s)
+	t.lastStr, t.lastSym = s, sym
 	if t.onIntern != nil {
 		t.onIntern(sym, s)
 	}

@@ -29,6 +29,7 @@ type Framework struct {
 	// hookErrs collects module failures; hooks must never break the app.
 	hookErrs []error
 	tel      *obs.Telemetry
+	meters   *obs.Meters
 }
 
 // NewFramework creates an empty framework bound to the runtime thread whose
@@ -44,6 +45,11 @@ func NewFramework(thread *art.Thread) (*Framework, error) {
 // before Bind; nil disables the mirror.
 func (f *Framework) SetTelemetry(tel *obs.Telemetry) { f.tel = tel }
 
+// SetMeters routes hook-error counts into worker-local cells flushed by
+// the dispatcher at run completion; takes precedence over SetTelemetry
+// so hooks never touch shared atomics. Call before Bind.
+func (f *Framework) SetMeters(m *obs.Meters) { f.meters = m }
+
 // Register installs a module.
 func (f *Framework) Register(m Module) {
 	f.modules = append(f.modules, m)
@@ -58,7 +64,11 @@ func (f *Framework) Bind(stack *nets.Stack) {
 				// A module failure must not break the app's connection;
 				// record it for the experiment log instead.
 				f.hookErrs = append(f.hookErrs, fmt.Errorf("xposed: module %s: %w", m.Name(), err))
-				f.tel.Counter(obs.MXposedHookErrors).Inc()
+				if f.meters != nil {
+					f.meters.Counter(obs.MXposedHookErrors).Inc()
+				} else {
+					f.tel.Counter(obs.MXposedHookErrors).Inc()
+				}
 			}
 		}
 	})
@@ -81,6 +91,7 @@ type Supervisor struct {
 	translator *dex.SignatureTranslator
 	stack      *nets.Stack
 	tel        *obs.Telemetry
+	meters     *obs.Meters
 
 	reportsSent int64
 	// failFirst injects hook faults (internal/faults hook point): the
@@ -119,6 +130,11 @@ func (s *Supervisor) ReportsSent() int64 { return s.reportsSent }
 // SetTelemetry routes the sent-report count into a metrics registry.
 // nil disables the mirror.
 func (s *Supervisor) SetTelemetry(tel *obs.Telemetry) { s.tel = tel }
+
+// SetMeters routes the sent-report count into worker-local cells flushed
+// by the dispatcher at run completion; takes precedence over
+// SetTelemetry so the per-report path never touches shared atomics.
+func (s *Supervisor) SetMeters(m *obs.Meters) { s.meters = m }
 
 // FailFirstReports injects supervisor hook faults: the first n report
 // attempts fail instead of sending. The framework records each failure as
@@ -159,6 +175,10 @@ func (s *Supervisor) OnSocketConnected(conn *nets.Conn, stackTrace []art.Frame) 
 		return fmt.Errorf("xposed: sending report for %s: %w", conn.Tuple(), err)
 	}
 	s.reportsSent++
-	s.tel.Counter(obs.MXposedReports).Inc()
+	if s.meters != nil {
+		s.meters.Counter(obs.MXposedReports).Inc()
+	} else {
+		s.tel.Counter(obs.MXposedReports).Inc()
+	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync"
 	"time"
 
 	"libspector/internal/analysis"
@@ -361,10 +362,7 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 			return err
 		}
 	}
-	builder, err := analysis.NewDatasetBuilder(e.domains)
-	if err != nil {
-		return fmt.Errorf("libspector: %w", err)
-	}
+	folds := e.installWorkerFolds(&cfg)
 	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
 		if cfg.Journal != nil {
@@ -372,7 +370,7 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		}
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
-	res, runErr := dispatch.Gather(events, append(sinks, e.foldSink(builder))...)
+	res, runErr := dispatch.Gather(events, sinks...)
 	e.result = res
 	if cfg.Journal != nil {
 		// Close syncs; a journal that cannot reach disk fails the run so
@@ -380,6 +378,15 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 		if cerr := cfg.Journal.Close(); cerr != nil && runErr == nil {
 			runErr = cerr
 		}
+	}
+	// Gather has returned, so every worker has joined: the per-worker
+	// builders are quiescent and safe to merge on this goroutine.
+	builder, foldErr := folds.merge(e.domains)
+	if foldErr != nil && runErr == nil {
+		runErr = foldErr
+	}
+	if builder == nil {
+		return fmt.Errorf("libspector: fleet run: %w", runErr)
 	}
 
 	// Even after a cancellation or failure, resolve what did complete so
@@ -397,23 +404,103 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 	return nil
 }
 
-// foldSink wraps the dataset builder so each completed run's analysis
-// fold is traced and counted. The fold runs on the consuming goroutine
-// after the worker's dispatch span ended (the event channel orders the
-// handoff), so the span lands on the app's trace without locking.
-func (e *Experiment) foldSink(builder *analysis.DatasetBuilder) dispatch.Sink {
+// workerFolds holds the per-worker dataset builders the fleet's
+// WorkerFold hook populates. Each slot is owned by exactly one worker
+// goroutine while the stream runs; the events channel closes only after
+// every worker joins, so once Gather returns the slots are quiescent.
+type workerFolds struct {
+	mu    sync.Mutex
+	parts []*workerFold
+}
+
+// workerFold is one worker's private fold state: a builder no other
+// goroutine touches, and the first fold error the worker hit.
+type workerFold struct {
+	builder *analysis.DatasetBuilder
+	err     error
+}
+
+// installWorkerFolds wires per-worker analysis folds into the fleet
+// config. Every completed run folds into its worker's own
+// DatasetBuilder on the worker goroutine — the hot path never contends
+// on a shared accumulator — and merge combines the builders after the
+// stream drains. The fold span and counters match the old shared-sink
+// path: the worker's dispatch root span has already ended when the fold
+// runs, so the analysis-fold span still lands last on the app's trace.
+func (e *Experiment) installWorkerFolds(cfg *dispatch.Config) *workerFolds {
+	wf := &workerFolds{}
 	tel := e.cfg.Telemetry
-	return dispatch.SinkFunc(func(ev dispatch.RunEvent) error {
-		if tel == nil || ev.Kind != dispatch.EventRun || ev.Run == nil {
-			return builder.Consume(ev)
+	cfg.WorkerFold = func(worker int) func(dispatch.RunEvent) {
+		builder, err := analysis.NewDatasetBuilder(e.domains)
+		st := &workerFold{builder: builder, err: err}
+		wf.mu.Lock()
+		for len(wf.parts) <= worker {
+			wf.parts = append(wf.parts, nil)
 		}
-		span := tel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, tel.Now())
-		err := builder.Consume(ev)
-		span.AttrInt("flows", int64(len(ev.Run.Flows))).End(tel.Now())
-		tel.Counter(obs.MAnalysisFolds).Inc()
-		tel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
-		return err
-	})
+		wf.parts[worker] = st
+		wf.mu.Unlock()
+		if err != nil {
+			return nil
+		}
+		return func(ev dispatch.RunEvent) {
+			if ev.Kind != dispatch.EventRun || ev.Run == nil {
+				return
+			}
+			var foldErr error
+			if tel != nil {
+				span := tel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, tel.Now())
+				foldErr = st.builder.Consume(ev)
+				span.AttrInt("flows", int64(len(ev.Run.Flows))).End(tel.Now())
+				tel.Counter(obs.MAnalysisFolds).Inc()
+				tel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
+			} else {
+				foldErr = st.builder.Consume(ev)
+			}
+			if foldErr != nil && st.err == nil {
+				st.err = foldErr
+			}
+		}
+	}
+	return wf
+}
+
+// merge combines the per-worker builders in worker-index order (so the
+// merged symbol numbering is a deterministic function of which worker
+// folded which apps) and surfaces the first per-worker fold error. The
+// resolved dataset is invariant under the partitioning itself — see
+// TestDatasetBuilderMergeMatchesSingleBuilder.
+func (wf *workerFolds) merge(domains analysis.DomainCategorizer) (*analysis.DatasetBuilder, error) {
+	var base *analysis.DatasetBuilder
+	var firstErr error
+	for _, st := range wf.parts {
+		if st == nil {
+			continue
+		}
+		if st.err != nil && firstErr == nil {
+			firstErr = st.err
+		}
+		if st.builder == nil {
+			continue
+		}
+		if base == nil {
+			base = st.builder
+			continue
+		}
+		if err := base.MergeFrom(st.builder); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if base == nil {
+		// No worker ever started (stream failed before spawn, or every
+		// builder failed to construct): fall back to an empty builder so
+		// callers still get a finishable, empty dataset.
+		b, err := analysis.NewDatasetBuilder(domains)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		base = b
+	}
+	return base, firstErr
 }
 
 // Result returns the raw fleet result (nil before Run).

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 
 	"libspector/internal/analysis"
 	"libspector/internal/attribution"
@@ -185,10 +186,50 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 		}
 	}
 
-	acc, err := analysis.NewAccumulator(e.domains)
-	if err != nil {
-		return nil, fmt.Errorf("libspector: %w", err)
+	// Per-worker fold state: each shard worker accumulates into a private
+	// Accumulator on its own goroutine (the stream's hot path never
+	// contends on a shared fold), and the accumulators are sealed and
+	// merged into the shard partial after the stream drains. The fold
+	// telemetry matches the old shared-fold drain loop so merged shard
+	// snapshots still reproduce the single-process registry.
+	type shardFold struct {
+		acc *analysis.Accumulator
+		err error
 	}
+	var foldMu sync.Mutex
+	var folds []*shardFold
+	cfg.WorkerFold = func(worker int) func(dispatch.RunEvent) {
+		acc, err := analysis.NewAccumulator(e.domains)
+		st := &shardFold{acc: acc, err: err}
+		foldMu.Lock()
+		for len(folds) <= worker {
+			folds = append(folds, nil)
+		}
+		folds[worker] = st
+		foldMu.Unlock()
+		if err != nil {
+			return nil
+		}
+		return func(ev dispatch.RunEvent) {
+			if ev.Kind != dispatch.EventRun || ev.Run == nil {
+				return
+			}
+			var foldErr error
+			if shardTel != nil {
+				span := shardTel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, shardTel.Now())
+				foldErr = st.acc.Observe(ev.AppIndex, ev.Run)
+				span.AttrInt("flows", int64(len(ev.Run.Flows))).End(shardTel.Now())
+				shardTel.Counter(obs.MAnalysisFolds).Inc()
+				shardTel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
+			} else {
+				foldErr = st.acc.Observe(ev.AppIndex, ev.Run)
+			}
+			if foldErr != nil && st.err == nil {
+				st.err = foldErr
+			}
+		}
+	}
+
 	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
 		if cfg.Journal != nil {
@@ -198,9 +239,8 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 	}
 
 	// Drain the stream directly instead of through Gather: a shard has no
-	// use for materialized runs, only the folded partial. The fold
-	// telemetry mirrors foldSink so merged shard snapshots reproduce the
-	// single-process registry.
+	// use for materialized runs, only the folded partial (built on the
+	// worker goroutines above).
 	var summary *dispatch.StreamSummary
 	var sinkErr error
 	for ev := range events {
@@ -209,25 +249,7 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 				sinkErr = err
 			}
 		}
-		switch ev.Kind {
-		case dispatch.EventRun:
-			if ev.Run == nil {
-				continue
-			}
-			var foldErr error
-			if shardTel != nil {
-				span := shardTel.Trace(dispatch.TraceID(ev.AppIndex)).Span(obs.SpanAnalysisFold, shardTel.Now())
-				foldErr = acc.Observe(ev.AppIndex, ev.Run)
-				span.AttrInt("flows", int64(len(ev.Run.Flows))).End(shardTel.Now())
-				shardTel.Counter(obs.MAnalysisFolds).Inc()
-				shardTel.Counter(obs.MAnalysisFlowsFolded).Add(int64(len(ev.Run.Flows)))
-			} else {
-				foldErr = acc.Observe(ev.AppIndex, ev.Run)
-			}
-			if foldErr != nil && sinkErr == nil {
-				sinkErr = foldErr
-			}
-		case dispatch.EventSummary:
+		if ev.Kind == dispatch.EventSummary {
 			summary = ev.Summary
 		}
 	}
@@ -235,6 +257,28 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 		if cerr := cfg.Journal.Close(); cerr != nil && sinkErr == nil {
 			sinkErr = cerr
 		}
+	}
+	// The events channel closes only after every worker joins, so the
+	// fold slots are quiescent here.
+	parts := make([]*analysis.Partial, 0, len(folds))
+	for _, st := range folds {
+		if st == nil {
+			continue
+		}
+		if st.err != nil && sinkErr == nil {
+			sinkErr = st.err
+		}
+		if st.acc == nil {
+			continue
+		}
+		p, perr := st.acc.Seal()
+		if perr != nil {
+			if sinkErr == nil {
+				sinkErr = perr
+			}
+			continue
+		}
+		parts = append(parts, p)
 	}
 	switch {
 	case summary == nil:
@@ -245,7 +289,20 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, sinkErr)
 	}
 
-	partial, err := acc.Seal()
+	if len(parts) == 0 {
+		// A shard whose workers never started still owes an (empty)
+		// partial: seal a fresh accumulator.
+		acc, aerr := analysis.NewAccumulator(e.domains)
+		if aerr != nil {
+			return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, aerr)
+		}
+		p, perr := acc.Seal()
+		if perr != nil {
+			return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, perr)
+		}
+		parts = append(parts, p)
+	}
+	partial, err := analysis.MergePartials(parts...)
 	if err != nil {
 		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, err)
 	}
