@@ -11,13 +11,13 @@ SHELL := /bin/bash
 # Each group runs in its own `go test` process: BenchmarkFleetThroughput
 # leaves ~100MB of heap garbage behind, and in-process GC pressure from one
 # benchmark bleeding into the next skews sub-millisecond measurements.
-BENCH_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput' 'BenchmarkJournalAppend' 'BenchmarkFleetThroughput'
+BENCH_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput' 'BenchmarkJournalAppend' 'BenchmarkFleetThroughput' 'BenchmarkStorePointLookup|BenchmarkStoreScan'
 
 # The gate skips BenchmarkJournalAppend: the append path is fsync-bound and
 # its ns/op tracks storage latency windows (±15% between runs on this host),
 # so a speed ratio gates the disk, not the code. The record still tracks it,
 # and its allocation profile (512 B/op, 6 allocs/op) is exact and stable.
-BENCH_GATE_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput' 'BenchmarkFleetThroughput'
+BENCH_GATE_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput' 'BenchmarkFleetThroughput' 'BenchmarkStorePointLookup|BenchmarkStoreScan'
 
 .PHONY: build test vet race bench bench-gate fuzz verify
 
@@ -37,8 +37,8 @@ test:
 # The root run covers the shard coordinator and outcome-merge paths
 # end-to-end. Keep all of them race-clean.
 race:
-	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/... ./internal/journal/... ./internal/analysis/...
-	$(GO) test -race -run 'TestShardCountInvarianceHonest|TestMergeShardOutcomesProcessMode' .
+	$(GO) test -race ./internal/dispatch/... ./internal/nets/... ./internal/faults/... ./internal/obs/... ./internal/journal/... ./internal/analysis/... ./internal/resultstore/...
+	$(GO) test -race -run 'TestShardCountInvarianceHonest|TestMergeShardOutcomesProcessMode|TestResultStoreShardInvariance' .
 
 # Benchmark duration. Fixed low iteration counts (the old 5x) amortize the
 # cold first iteration over so few warm ones that sub-millisecond benchmarks
@@ -68,34 +68,32 @@ BENCH_GATE_COUNT ?= 5
 BENCH_GATE ?= 0.95
 
 # Runs the analysis benchmarks (one process per group, appended into one
-# transcript) and writes BENCH_pr7.json: ratios against the checked-in
+# transcript) and writes BENCH_pr8.json: ratios against the checked-in
 # pre-refactor baseline (bench/baseline_pr2.txt) plus a speedup_vs_prev diff
-# against the recorded PR 6 run (BENCH_pr6.json). Benchmarks new in this PR
-# carry "no_prev": true instead of a diff. PR 6 was recorded at -benchtime 5x,
-# which never amortized JournalAppend's every-16-records fsync; its vs-prev
-# ratio reflects that regime change, not a code regression (the note in the
-# document says so).
+# against the recorded PR 7 run (BENCH_pr7.json). Benchmarks new in this PR
+# (the result-store pair) carry "no_prev": true instead of a diff.
 bench:
-	: > bench/current_pr7.txt
+	: > bench/current_pr8.txt
 	for g in $(BENCH_GROUPS); do \
 		case "$$g" in \
 			BenchmarkFig) t=$(BENCH_TIME_FIG) ;; \
 			BenchmarkFleetThroughput) t=$(BENCH_TIME_FLEET) ;; \
 			*) t=$(BENCH_TIME) ;; \
 		esac; \
-		$(GO) test -run '^$$' -bench "$$g" -benchtime $$t -count $(BENCH_COUNT) -benchmem . | tee -a bench/current_pr7.txt || exit 1; \
+		$(GO) test -run '^$$' -bench "$$g" -benchtime $$t -count $(BENCH_COUNT) -benchmem . | tee -a bench/current_pr8.txt || exit 1; \
 	done
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr6.json -out BENCH_pr7.json \
-		-note 'recorded best-of-3 steady-state windows per-process (PR 6 used -benchtime 5x in one process); JournalAppend vs-prev reflects the fsync-amortization regime change, not a code change; Fig* vs-prev is inflated because they now ResetTimer after the shared fleet fixture' \
-		< bench/current_pr7.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr2.txt -prev BENCH_pr7.json -out BENCH_pr8.json \
+		-note 'StorePointLookup vs StoreScan is the result-store index pruning factor on a 500-app campaign store (same store, same rollup; lookup decodes only bloom-selected blocks)' \
+		< bench/current_pr8.txt
 
 # Regression gate: re-runs the gated benchmark groups and fails (exit 2)
 # when any benchmark with a previous measurement drops below $(BENCH_GATE)
 # of its recorded speed in the committed BENCH_pr7.json — the same
 # measurement regime, so every ratio is comparable. Benchmarks without a
-# prior record pass vacuously, as do sub-microsecond ones (cached figure
-# reads at ~1ns measure timer jitter, not work). Writes the comparison to
-# bench/gate_check.json without touching the committed record.
+# prior record (the result-store pair, new in PR 8) pass vacuously, as do
+# sub-microsecond ones (cached figure reads at ~1ns measure timer jitter,
+# not work). Writes the comparison to bench/gate_check.json without
+# touching the committed record.
 bench-gate:
 	: > bench/gate_run.txt
 	for g in $(BENCH_GATE_GROUPS); do \
@@ -110,16 +108,18 @@ bench-gate:
 
 # Fuzz smoke over the wire-format decoders fed by untrusted bytes — the pcap
 # packet decoder, the supervisor UDP report decoder, the journal replay
-# reader, the artifact meta decoder, and the shard-partial decoder that
-# parent processes feed with files written by (possibly crashed) shard
-# children. `go test -fuzz` accepts one target per invocation, hence one
-# run each.
+# reader, the artifact meta decoder, the shard-partial and shard-outcome
+# decoders that parent processes feed with files written by (possibly
+# crashed) shard children, and the result-store segment decoder. `go test
+# -fuzz` accepts one target per invocation, hence one run each.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSegment -fuzztime 10s ./internal/pcap
 	$(GO) test -run '^$$' -fuzz FuzzDecodeReport -fuzztime 10s ./internal/xposed
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/journal
 	$(GO) test -run '^$$' -fuzz FuzzArtifactMeta -fuzztime 10s ./internal/dispatch
+	$(GO) test -run '^$$' -fuzz FuzzShardOutcome -fuzztime 10s ./internal/dispatch
 	$(GO) test -run '^$$' -fuzz FuzzPartialDecode -fuzztime 10s ./internal/analysis
+	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/resultstore
 
 # Tier-1 verification (see ROADMAP.md) plus vet, the race subset, and the
 # decoder fuzz smoke.

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -33,6 +34,7 @@ import (
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
 	"libspector/internal/obs"
+	"libspector/internal/resultstore"
 	"libspector/internal/synth"
 	"libspector/internal/vtclient"
 	"libspector/internal/xposed"
@@ -949,4 +951,100 @@ func BenchmarkJournalAppend(b *testing.B) {
 	if err := w.Close(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Result store: point lookup vs full scan on a 500-app campaign store.
+
+var (
+	storeBenchOnce sync.Once
+	storeBench     *resultstore.Store
+	storeBenchSHA  string
+	storeBenchErr  error
+)
+
+// storeFixture lazily runs one 500-app campaign with a result store and
+// opens the written store from disk — the exact artifact an analyst
+// queries offline.
+func storeFixture(b *testing.B) (*resultstore.Store, string) {
+	b.Helper()
+	storeBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "libspector-store-bench-*")
+		if err != nil {
+			storeBenchErr = err
+			return
+		}
+		path := filepath.Join(dir, "campaign.store")
+		cfg := libspector.DefaultConfig()
+		cfg.Apps = 500
+		cfg.Seed = 42
+		cfg.MonkeyEvents = 120
+		cfg.ResultStore = path
+		exp, err := libspector.NewExperiment(cfg)
+		if err == nil {
+			err = exp.Run()
+		}
+		if err != nil {
+			storeBenchErr = err
+			return
+		}
+		st, err := resultstore.Open(path)
+		if err != nil {
+			storeBenchErr = err
+			return
+		}
+		// Query key: an app sha from the middle of the corpus, read back
+		// from the store itself so the lookup provably has matches.
+		mid := st.Blocks() / 2
+		res, err := st.Query(resultstore.Query{GroupBy: resultstore.GroupApp})
+		if err != nil || len(res.Groups) == 0 {
+			storeBenchErr = fmt.Errorf("store fixture grouping failed: %v", err)
+			return
+		}
+		storeBench, storeBenchSHA = st, res.Groups[min(mid, len(res.Groups)-1)].Key
+	})
+	if storeBenchErr != nil {
+		b.Fatal(storeBenchErr)
+	}
+	return storeBench, storeBenchSHA
+}
+
+// BenchmarkStorePointLookup measures a by-app point query: the sorted
+// block index plus bloom filters should prune the decode to a handful of
+// blocks, which is the whole reason the store exists next to the
+// in-memory fold.
+func BenchmarkStorePointLookup(b *testing.B) {
+	st, sha := storeFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scanned, flows int64
+	for i := 0; i < b.N; i++ {
+		res, err := st.Query(resultstore.Query{AppSHA: sha})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scanned, flows = int64(res.BlocksScanned), res.Rollup.Flows
+	}
+	b.ReportMetric(float64(scanned), "blocks-scanned")
+	b.ReportMetric(float64(flows), "flows-matched")
+	b.ReportMetric(float64(st.Blocks()), "blocks-total")
+}
+
+// BenchmarkStoreScan measures the unfiltered rollup over the same store:
+// every block decoded. The PointLookup/Scan ratio is the index's pruning
+// factor.
+func BenchmarkStoreScan(b *testing.B) {
+	st, _ := storeFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var flows int64
+	for i := 0; i < b.N; i++ {
+		res, err := st.Query(resultstore.Query{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows = res.Rollup.Flows
+	}
+	b.ReportMetric(float64(flows), "flows")
+	b.ReportMetric(float64(st.Blocks()), "blocks-total")
 }

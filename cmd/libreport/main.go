@@ -11,6 +11,13 @@
 //
 // With -artifacts DIR the report is regenerated from previously persisted
 // run evidence (see libspector -artifacts) instead of a fresh fleet run.
+//
+// With -store PATH a run also writes the queryable attribution record
+// store (internal/resultstore); the -query-app/-query-library/
+// -query-domain/-group-by flags then answer rollup queries purely from
+// that store on disk, with no fleet run at all. -merge-shards merges
+// shard outcome files written by -shard-index children into the report
+// (and, with -store, into the merged store).
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"libspector/internal/corpus"
 	"libspector/internal/dispatch"
 	"libspector/internal/report"
+	"libspector/internal/resultstore"
 )
 
 func main() {
@@ -46,18 +54,32 @@ func run(args []string) error {
 		topN       = fs.Int("top", 15, "entries in the Figure 3 rankings")
 		artifacts  = fs.String("artifacts", "", "reanalyze persisted run evidence from this directory instead of running a fleet")
 		csvDir     = fs.String("csv", "", "also write the figure series as CSV files into this directory")
-		shards     = fs.Int("shards", 1, "run the experiment as N in-process shards and report from the merged aggregates")
-		shardIndex = fs.Int("shard-index", -1, "run only this shard of an N-shard split and write its outcome instead of a report (requires -shards and -shard-out)")
-		shardOut   = fs.String("shard-out", "", "shard outcome file to write in -shard-index mode")
+		shards      = fs.Int("shards", 1, "run the experiment as N in-process shards and report from the merged aggregates")
+		shardIndex  = fs.Int("shard-index", -1, "run only this shard of an N-shard split and write its outcome instead of a report (requires -shards and -shard-out)")
+		shardOut    = fs.String("shard-out", "", "shard outcome file to write in -shard-index mode")
+		mergeShards = fs.String("merge-shards", "", "comma-separated shard outcome files to merge into the report instead of running a fleet")
+		store       = fs.String("store", "", "attribution record store path: written during a run, read by the -query-* flags")
+		queryApp    = fs.String("query-app", "", "query the -store for one app SHA (no fleet run)")
+		queryLib    = fs.String("query-library", "", "query the -store for one origin library (no fleet run)")
+		queryDomain = fs.String("query-domain", "", "query the -store for one domain (no fleet run)")
+		groupBy     = fs.String("group-by", "", "group -store query results: app, library, or domain")
+		topGroups   = fs.Int("top-groups", 10, "grouped query rows to print (0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *queryApp != "" || *queryLib != "" || *queryDomain != "" || *groupBy != "" {
+		// Query mode answers purely from the on-disk store: no world
+		// generation, no fleet, no in-memory fold.
+		return queryStore(*store, *queryApp, *queryLib, *queryDomain, *groupBy, *topGroups)
 	}
 
 	cfg := libspector.DefaultConfig()
 	cfg.Apps = *apps
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.ResultStore = *store
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
 		return err
@@ -80,6 +102,14 @@ func run(args []string) error {
 		fmt.Printf("Shard %d/%d done: apps [%d,%d) -> %s\n",
 			*shardIndex, *shards, out.Range.Lo, out.Range.Hi, *shardOut)
 		return nil
+	case *mergeShards != "":
+		outs, err := readOutcomes(*mergeShards)
+		if err != nil {
+			return err
+		}
+		if _, err := exp.MergeShardOutcomes(outs); err != nil {
+			return err
+		}
 	case *shards > 1:
 		if _, err := exp.RunSharded(context.Background(), *shards); err != nil {
 			return err
@@ -154,6 +184,76 @@ func run(args []string) error {
 		return fmt.Errorf("unknown figure id %q", *figure)
 	}
 	return nil
+}
+
+// queryStore answers a -query-*/-group-by request from the on-disk
+// attribution store alone.
+func queryStore(path, app, lib, domain, groupBy string, topGroups int) error {
+	if path == "" {
+		return fmt.Errorf("query flags require -store")
+	}
+	q := resultstore.Query{AppSHA: app, Origin: lib, Domain: domain}
+	switch groupBy {
+	case "":
+	case "app":
+		q.GroupBy = resultstore.GroupApp
+	case "library":
+		q.GroupBy = resultstore.GroupOrigin
+	case "domain":
+		q.GroupBy = resultstore.GroupDomain
+	default:
+		return fmt.Errorf("unknown -group-by %q (want app, library, or domain)", groupBy)
+	}
+	st, err := resultstore.Open(path)
+	if err != nil {
+		return err
+	}
+	res, err := st.Query(q)
+	if err != nil {
+		return err
+	}
+	r := res.Rollup
+	fmt.Printf("store %s: %d records in %d blocks (%d scanned)\n",
+		path, st.Records(), st.Blocks(), res.BlocksScanned)
+	fmt.Printf("flows %d (%d attributed)  bytes %d sent / %d received  packets %d/%d\n",
+		r.Flows, r.Attributed, r.BytesSent, r.BytesReceived, r.PacketsSent, r.PacketsRecv)
+	fmt.Printf("distinct: %d apps, %d libraries, %d domains\n", r.Apps, r.Origins, r.Domains)
+	if q.GroupBy != resultstore.GroupNone {
+		rows := res.Groups
+		if topGroups > 0 && len(rows) > topGroups {
+			rows = rows[:topGroups]
+		}
+		fmt.Printf("top %d of %d groups by %s:\n", len(rows), len(res.Groups), groupBy)
+		for _, g := range rows {
+			key := g.Key
+			if key == "" {
+				key = "(none)"
+			}
+			fmt.Printf("  %-40s flows %6d  bytes %12d\n", key, g.Flows, g.BytesSent+g.BytesReceived)
+		}
+	}
+	return nil
+}
+
+// readOutcomes loads the comma-separated shard outcome files for
+// -merge-shards, in the given (shard) order.
+func readOutcomes(list string) ([]*dispatch.ShardOutcome, error) {
+	var outs []*dispatch.ShardOutcome
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		o, err := dispatch.ReadShardOutcome(p)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	if len(outs) == 0 {
+		return nil, fmt.Errorf("-merge-shards lists no outcome files")
+	}
+	return outs, nil
 }
 
 // reanalyze rebuilds the dataset from persisted artifacts: it feeds the

@@ -5,9 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
 
+	"libspector/internal/codec"
 	"libspector/internal/libradar"
 	"libspector/internal/symtab"
 )
@@ -262,9 +262,9 @@ func (p *Partial) Encode() ([]byte, error) {
 		c.syms.apps, c.syms.appCats, c.syms.origins,
 		c.syms.twoLevels, c.syms.domains, c.syms.domCats,
 	} {
-		b = binary.AppendUvarint(b, uint64(t.Len()))
-		for i := 0; i < t.Len(); i++ {
-			s := t.String(symtab.Sym(i))
+		strs := t.Strings()
+		b = binary.AppendUvarint(b, uint64(len(strs)))
+		for _, s := range strs {
 			b = binary.AppendUvarint(b, uint64(len(s)))
 			b = append(b, s...)
 		}
@@ -319,11 +319,8 @@ func (p *Partial) Encode() ([]byte, error) {
 		b = binary.AppendUvarint(b, math.Float64bits(e.methods))
 	}
 
-	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[body:], crcTable))
-	return b, nil
+	return codec.AppendSum(b, body), nil
 }
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func appendBool(b []byte, v bool) []byte {
 	if v {
@@ -510,16 +507,9 @@ func (d *partialDecoder) entityStats() entityStats {
 // merging silently. Torn or truncated input fails with a wrapped
 // ErrCorruptPartial.
 func DecodePartial(data []byte, domains DomainCategorizer) (*Partial, error) {
-	if len(data) < len(partialMagic)+4 {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than magic+checksum", ErrCorruptPartial, len(data))
-	}
-	if string(data[:len(partialMagic)]) != partialMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptPartial, data[:len(partialMagic)])
-	}
-	body := data[len(partialMagic) : len(data)-4]
-	want := binary.LittleEndian.Uint32(data[len(data)-4:])
-	if got := crc32.Checksum(body, crcTable); got != want {
-		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptPartial, want, got)
+	body, err := codec.Open(partialMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptPartial, err)
 	}
 
 	c, err := newCore(domains)

@@ -27,6 +27,9 @@ func FuzzPartialDecode(f *testing.F) {
 			mut[12] ^= 0xFF
 		}
 		f.Add(mut)
+		// Valid frame with trailing garbage: the strict framing must see
+		// the extra bytes, not stop at the CRC.
+		f.Add(append(append([]byte(nil), enc...), 0x00))
 	}
 	f.Add([]byte{})
 	f.Add([]byte("LSPART01"))
@@ -47,6 +50,11 @@ func FuzzPartialDecode(f *testing.F) {
 		}
 		if _, err := m.Encode(); err != nil {
 			t.Fatalf("accepted partial failed to re-encode: %v", err)
+		}
+		// Strictness: any accepted input with a byte appended must be
+		// rejected — trailing bytes after the CRC frame are corruption.
+		if _, err := DecodePartial(append(append([]byte(nil), data...), 0xA5), mergeCats); err == nil {
+			t.Fatal("decode accepted trailing byte")
 		}
 	})
 }

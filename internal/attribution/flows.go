@@ -70,6 +70,11 @@ type Flow struct {
 // TotalBytes is the flow's combined wire volume.
 func (f *Flow) TotalBytes() int64 { return f.BytesSent + f.BytesReceived }
 
+// Attributed reports whether the context join matched a Socket
+// Supervisor report to this flow — the condition every consumer
+// (analysis fold, result store) tests before trusting OriginLibrary.
+func (f *Flow) Attributed() bool { return f.Report != nil }
+
 // CaptureSummary is the parsed form of one emulator run's pcap.
 type CaptureSummary struct {
 	Flows []*Flow

@@ -1,0 +1,69 @@
+// Package codec is the one CRC-framing discipline shared by every
+// on-disk blob the pipeline exchanges between processes: shard partials
+// ("LSPART01"), shard outcome envelopes ("LSSHRD01"), and the resultstore's
+// segments, index, and footer. A sealed blob is
+//
+//	magic | body | crc32c(body) little-endian
+//
+// — exactly the layout the partial codec introduced, so adopting Seal/Open
+// changes no wire bytes. Open is strict: the input must be exactly one
+// frame, so truncation, appended garbage, and bit rot all fail with a
+// typed error instead of being indistinguishable from success. The
+// package is dependency-free (stdlib only) so every layer can import it
+// without cycles.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorruptFrame reports a blob that is not exactly one well-formed
+// frame: too short, wrong magic, checksum mismatch. Callers wrap it into
+// their own typed corruption error so errors.Is works at both layers.
+var ErrCorruptFrame = errors.New("codec: corrupt frame")
+
+// crcTable is the Castagnoli polynomial every frame in the repo uses
+// (hardware-accelerated on amd64/arm64, same table as the journal).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Sum is the frame checksum: crc32c over the body bytes.
+func Sum(body []byte) uint32 { return crc32.Checksum(body, crcTable) }
+
+// Seal frames body as magic | body | crc32c(body) LE.
+func Seal(magic string, body []byte) []byte {
+	b := make([]byte, 0, len(magic)+len(body)+4)
+	b = append(b, magic...)
+	b = append(b, body...)
+	return AppendSum(b, len(magic))
+}
+
+// AppendSum appends crc32c(b[bodyStart:]) little-endian — the closing
+// step for encoders that build magic+body incrementally in one buffer.
+func AppendSum(b []byte, bodyStart int) []byte {
+	return binary.LittleEndian.AppendUint32(b, Sum(b[bodyStart:]))
+}
+
+// Open verifies that data is exactly magic | body | crc32c(body) and
+// returns the body, aliasing data (callers that outlive data must copy).
+// Any framing damage — short input, foreign magic, checksum mismatch —
+// fails with a wrapped ErrCorruptFrame. Trailing bytes after the checksum
+// cannot exist by construction: the checksum is read from the final four
+// bytes, so appended garbage changes which bytes are checksummed and the
+// verification fails.
+func Open(magic string, data []byte) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than magic+checksum", ErrCorruptFrame, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptFrame, data[:len(magic)])
+	}
+	body := data[len(magic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := Sum(body); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptFrame, want, got)
+	}
+	return body, nil
+}

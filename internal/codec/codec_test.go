@@ -1,0 +1,58 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, {0x00}, []byte("hello frame body")} {
+		sealed := Seal("LSTEST01", body)
+		got, err := Open("LSTEST01", sealed)
+		if err != nil {
+			t.Fatalf("Open(Seal(%q)): %v", body, err)
+		}
+		if string(got) != string(body) {
+			t.Fatalf("Open returned %q, want %q", got, body)
+		}
+	}
+}
+
+func TestAppendSumMatchesSeal(t *testing.T) {
+	body := []byte("incremental encoder body")
+	b := append([]byte("LSTEST01"), body...)
+	b = AppendSum(b, len("LSTEST01"))
+	if string(b) != string(Seal("LSTEST01", body)) {
+		t.Fatalf("AppendSum and Seal disagree on the framed bytes")
+	}
+}
+
+func TestOpenRejectsDamage(t *testing.T) {
+	sealed := Seal("LSTEST01", []byte("payload"))
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       sealed[:len("LSTEST01")+3],
+		"bad magic":   append([]byte("XXTEST01"), sealed[8:]...),
+		"truncated":   sealed[:len(sealed)-1],
+		"trailing":    append(append([]byte(nil), sealed...), 0x00),
+		"flipped bit": flipBit(sealed, 10),
+	}
+	for name, data := range cases {
+		if _, err := Open("LSTEST01", data); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+	// Every truncation of a valid frame must fail — no prefix of a frame
+	// is itself a valid frame.
+	for n := 0; n < len(sealed); n++ {
+		if _, err := Open("LSTEST01", sealed[:n]); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("prefix of %d bytes: err = %v, want ErrCorruptFrame", n, err)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0x40
+	return out
+}

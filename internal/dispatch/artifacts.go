@@ -19,6 +19,7 @@ import (
 	"libspector/internal/corpus"
 	"libspector/internal/dex"
 	"libspector/internal/faults"
+	"libspector/internal/journal"
 	"libspector/internal/nets"
 	"libspector/internal/xposed"
 )
@@ -102,13 +103,13 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 	if err != nil {
 		return fmt.Errorf("dispatch: marshaling meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(runDir, "meta.json"), metaJSON, 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(runDir, "meta.json"), metaJSON); err != nil {
 		return fmt.Errorf("dispatch: writing meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(runDir, "app.apk"), apkBytes, 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(runDir, "app.apk"), apkBytes); err != nil {
 		return fmt.Errorf("dispatch: writing apk: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(runDir, "capture.pcap"), capture, 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(runDir, "capture.pcap"), capture); err != nil {
 		return fmt.Errorf("dispatch: writing capture: %w", err)
 	}
 
@@ -119,7 +120,7 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 		reports.Write(scratch[:n])
 		reports.Write(raw)
 	}
-	if err := os.WriteFile(filepath.Join(runDir, "reports.bin"), reports.Bytes(), 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(runDir, "reports.bin"), reports.Bytes()); err != nil {
 		return fmt.Errorf("dispatch: writing reports: %w", err)
 	}
 
@@ -133,7 +134,7 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 		traceBuf.WriteString(sig)
 		traceBuf.WriteByte('\n')
 	}
-	if err := os.WriteFile(filepath.Join(runDir, "trace.txt"), traceBuf.Bytes(), 0o644); err != nil {
+	if err := writeFileSync(filepath.Join(runDir, "trace.txt"), traceBuf.Bytes()); err != nil {
 		return fmt.Errorf("dispatch: writing trace: %w", err)
 	}
 
@@ -141,6 +142,12 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 	// in-place layout before publishing.
 	if err := os.Chmod(runDir, 0o755); err != nil {
 		return fmt.Errorf("dispatch: chmod run dir: %w", err)
+	}
+	// The five entries must be durable in the run directory before the
+	// rename publishes it — fsyncing the files alone pins their contents,
+	// not their names.
+	if err := journal.SyncDir(runDir); err != nil {
+		return fmt.Errorf("dispatch: syncing run dir: %w", err)
 	}
 	target := filepath.Join(s.dir, meta.SHA256)
 	if err := os.Rename(runDir, target); err != nil {
@@ -154,7 +161,29 @@ func (s *ArtifactStore) Save(meta RunMeta, apkBytes, capture []byte, rawReports 
 		}
 	}
 	committed = true
-	return nil
+	// Rename makes the run visible; only the store-root fsync makes the
+	// commit durable. Skipping it is how a "saved" artifact vanishes in a
+	// crash and resume finds a journal that promises evidence the disk
+	// never kept.
+	return journal.SyncDir(s.dir)
+}
+
+// writeFileSync is os.WriteFile plus the fsync it omits: artifact
+// evidence backs journal replay, so its contents must be on disk before
+// the run directory is published, not merely in the page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
 }
 
 // Consume implements Sink: every completed run with attached evidence

@@ -40,6 +40,11 @@ type ShardOutcome struct {
 	Snapshot obs.Snapshot
 	// Partial is the shard's encoded analysis partial.
 	Partial []byte
+	// Records is the shard's flushed resultstore segment
+	// (resultstore.EncodeSegment wire format), empty when the campaign
+	// ran without a result store. Like Partial it travels as opaque
+	// bytes — dispatch stays free of the producer's dependency.
+	Records []byte
 }
 
 // ShardRunner executes one shard task to completion and returns its
@@ -92,6 +97,11 @@ type CampaignOutcome struct {
 	// Partials holds each shard's encoded analysis partial, in shard
 	// order, ready for analysis.DecodePartial + MergePartials.
 	Partials [][]byte
+	// Segments holds each shard's flushed resultstore segment, in shard
+	// order — shard ranges are contiguous and ascending, so the
+	// concatenation is already in canonical record order for
+	// resultstore.MergeSegments.
+	Segments [][]byte
 	// Takeovers is how many shard re-launches the campaign consumed.
 	Takeovers int
 }
@@ -109,6 +119,7 @@ func (a Accounting) Plus(b Accounting) Accounting {
 	a.Attempts += b.Attempts
 	a.Retried += b.Retried
 	a.Backoff += b.Backoff
+	a.JournalSyncFailures += b.JournalSyncFailures
 	return a
 }
 
@@ -241,6 +252,7 @@ func (c *Coordinator) mergeOutcomes(outcomes []*ShardOutcome, takeovers int) (*C
 		out.Failures = append(out.Failures, o.Failures...)
 		out.Quarantined = append(out.Quarantined, o.Quarantined...)
 		out.Partials = append(out.Partials, o.Partial)
+		out.Segments = append(out.Segments, o.Records)
 		snaps = append(snaps, o.Snapshot)
 	}
 	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].AppIndex < out.Failures[j].AppIndex })

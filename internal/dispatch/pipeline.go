@@ -167,6 +167,12 @@ type Accounting struct {
 	// Backoff is the total retry backoff charged (virtual time when
 	// Config.Clock is set, wall time otherwise).
 	Backoff time.Duration
+	// JournalSyncFailures counts journal append/fsync failures the fleet
+	// observed. Each one is stream-fatal, but the ledger records that the
+	// campaign degraded because durability broke — not because of any
+	// app — so a merged campaign ledger can't hide a shard whose journal
+	// silently stopped persisting.
+	JournalSyncFailures int
 }
 
 // Coverage reports the fraction of the analyzable corpus (total minus the

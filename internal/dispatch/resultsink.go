@@ -1,0 +1,65 @@
+package dispatch
+
+import (
+	"fmt"
+
+	"libspector/internal/resultstore"
+)
+
+// RecordSink is the dispatch sink feeding the result store: every
+// completed run's flows flatten into resultstore Records as the event
+// streams past, exactly like the artifact store and the analysis fold
+// consume the same stream. Sinks run sequentially on the consuming
+// goroutine, so the sink needs no locking; resumed campaigns replay
+// completed runs as ordinary EventRun events, so a resumed store is as
+// complete as an uninterrupted one.
+type RecordSink struct {
+	records []resultstore.Record
+	sealed  bool
+}
+
+// NewRecordSink builds an empty sink.
+func NewRecordSink() *RecordSink { return &RecordSink{} }
+
+// Consume implements Sink.
+func (s *RecordSink) Consume(ev RunEvent) error {
+	if ev.Kind != EventRun || ev.Run == nil {
+		return nil
+	}
+	if s.sealed {
+		return fmt.Errorf("dispatch: record sink already sealed")
+	}
+	run := ev.Run
+	for fi, f := range run.Flows {
+		s.records = append(s.records, resultstore.Record{
+			AppIndex:      ev.AppIndex,
+			FlowIndex:     fi,
+			AppSHA:        run.AppSHA,
+			AppPkg:        run.AppPackage,
+			Origin:        f.OriginLibrary,
+			TwoLevel:      f.TwoLevelLibrary,
+			Domain:        f.Domain,
+			Attributed:    f.Attributed(),
+			BuiltinOrigin: f.BuiltinOrigin,
+			BytesSent:     f.BytesSent,
+			BytesReceived: f.BytesReceived,
+			PacketsSent:   int64(f.PacketsSent),
+			PacketsRecv:   int64(f.PacketsReceived),
+		})
+	}
+	return nil
+}
+
+// Len reports how many records the sink holds.
+func (s *RecordSink) Len() int { return len(s.records) }
+
+// Seal sorts the accumulated records canonically and encodes them as one
+// resultstore segment — the shard's flush, carried in ShardOutcome.Records.
+// Events arrive in completion order, so the sort is what restores the
+// canonical (AppIndex, FlowIndex) order byte-identity depends on. The
+// sink refuses further events afterwards.
+func (s *RecordSink) Seal() ([]byte, error) {
+	s.sealed = true
+	resultstore.SortRecords(s.records)
+	return resultstore.EncodeSegment(s.records)
+}

@@ -7,12 +7,28 @@ import (
 	"os"
 	"path/filepath"
 
+	"libspector/internal/codec"
+	"libspector/internal/journal"
 	"libspector/internal/obs"
 )
 
+// shardOutcomeMagic frames the outcome envelope on disk. The JSON body is
+// sealed with the shared CRC framing (codec.Seal), so a coordinator reads
+// exactly the bytes the shard committed: truncation, appended garbage,
+// and bit rot all fail typed instead of blending into the JSON decoder's
+// tolerance (bare json.Unmarshal accepts trailing whitespace and cannot
+// see a cut that happens to end on a complete JSON value).
+const shardOutcomeMagic = "LSSHRD01"
+
+// ErrCorruptOutcome reports a shard outcome file that failed frame
+// verification or structural validation — a crashed shard's leftovers,
+// not a coordinator input.
+var ErrCorruptOutcome = errors.New("dispatch: corrupt shard outcome")
+
 // shardOutcomeFile is the JSON envelope a shard process writes for its
-// coordinator (fleetscan's -shard-out). The encoded analysis partial
-// rides along base64-encoded; error values flatten to strings.
+// coordinator (fleetscan's -shard-out). The encoded analysis partial and
+// resultstore segment ride along base64-encoded; error values flatten to
+// strings.
 type shardOutcomeFile struct {
 	Index       int                   `json:"index"`
 	Lo          int                   `json:"lo"`
@@ -22,6 +38,7 @@ type shardOutcomeFile struct {
 	Quarantined []shardQuarantineFile `json:"quarantined,omitempty"`
 	Snapshot    obs.Snapshot          `json:"snapshot"`
 	Partial     []byte                `json:"partial"`
+	Records     []byte                `json:"records,omitempty"`
 }
 
 type shardFailureFile struct {
@@ -37,9 +54,11 @@ type shardQuarantineFile struct {
 }
 
 // WriteShardOutcome persists a shard outcome for collection by the
-// coordinator process. The file is written to a temp sibling and
-// renamed, so a crashing shard never leaves a torn half-outcome a
-// coordinator could mistake for a complete one.
+// coordinator process. The CRC-framed envelope is written to a temp
+// sibling, fsynced, renamed into place, and the directory is fsynced —
+// so a crashing shard never leaves a torn half-outcome a coordinator
+// could mistake for a complete one, and a committed outcome survives the
+// host dying right after.
 func WriteShardOutcome(path string, out *ShardOutcome) error {
 	if out == nil {
 		return fmt.Errorf("dispatch: nil shard outcome")
@@ -51,6 +70,7 @@ func WriteShardOutcome(path string, out *ShardOutcome) error {
 		Accounting: out.Accounting,
 		Snapshot:   out.Snapshot,
 		Partial:    out.Partial,
+		Records:    out.Records,
 	}
 	for _, fl := range out.Failures {
 		f.Failures = append(f.Failures, shardFailureFile{
@@ -62,11 +82,11 @@ func WriteShardOutcome(path string, out *ShardOutcome) error {
 			AppIndex: q.AppIndex, Attempts: q.Attempts, LastError: errText(q.LastErr),
 		})
 	}
-	data, err := json.MarshalIndent(f, "", "  ")
+	body, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dispatch: encoding shard outcome: %w", err)
 	}
-	data = append(data, '\n')
+	data := codec.Seal(shardOutcomeMagic, body)
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("dispatch: writing shard outcome: %w", err)
@@ -89,19 +109,27 @@ func WriteShardOutcome(path string, out *ShardOutcome) error {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("dispatch: publishing shard outcome: %w", err)
 	}
-	return nil
+	return journal.SyncParentDir(path)
 }
 
 // ReadShardOutcome loads a shard outcome file written by
-// WriteShardOutcome.
+// WriteShardOutcome, verifying the CRC frame strictly — trailing bytes
+// after the framed body are corruption — and the envelope's structure.
 func ReadShardOutcome(path string) (*ShardOutcome, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: reading shard outcome: %w", err)
 	}
+	body, err := codec.Open(shardOutcomeMagic, data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptOutcome, path, err)
+	}
 	var f shardOutcomeFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("dispatch: decoding shard outcome %s: %w", path, err)
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptOutcome, path, err)
+	}
+	if f.Index < 0 || f.Lo < 0 || f.Hi < f.Lo {
+		return nil, fmt.Errorf("%w: %s: shard %d claims range [%d,%d)", ErrCorruptOutcome, path, f.Index, f.Lo, f.Hi)
 	}
 	out := &ShardOutcome{
 		Index:      f.Index,
@@ -109,6 +137,7 @@ func ReadShardOutcome(path string) (*ShardOutcome, error) {
 		Accounting: f.Accounting,
 		Snapshot:   f.Snapshot,
 		Partial:    f.Partial,
+		Records:    f.Records,
 	}
 	for _, fl := range f.Failures {
 		out.Failures = append(out.Failures, RunFailure{

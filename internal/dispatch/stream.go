@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -304,16 +305,17 @@ type fleetRun struct {
 	// tel is the fleet's telemetry (nil-safe when unset).
 	tel *obs.Telemetry
 
-	mu          sync.Mutex
-	fatal       error
-	fatalIdx    int
-	failures    []RunFailure
-	quarantined []QuarantinedApp
-	completed   int
-	skipped     int
-	attempts    int
-	retried     int
-	backoff     time.Duration
+	mu           sync.Mutex
+	fatal        error
+	fatalIdx     int
+	failures     []RunFailure
+	quarantined  []QuarantinedApp
+	completed    int
+	skipped      int
+	attempts     int
+	retried      int
+	backoff      time.Duration
+	journalFails int
 }
 
 // abort records a stream-fatal error (lowest app index wins, so fail-fast
@@ -402,14 +404,15 @@ feed:
 
 	f.mu.Lock()
 	acct := Accounting{
-		TotalApps:      numApps,
-		Completed:      f.completed,
-		SkippedARMOnly: f.skipped,
-		Quarantined:    len(f.quarantined),
-		Failed:         len(f.failures),
-		Attempts:       f.attempts,
-		Retried:        f.retried,
-		Backoff:        f.backoff,
+		TotalApps:           numApps,
+		Completed:           f.completed,
+		SkippedARMOnly:      f.skipped,
+		Quarantined:         len(f.quarantined),
+		Failed:              len(f.failures),
+		Attempts:            f.attempts,
+		Retried:             f.retried,
+		Backoff:             f.backoff,
+		JournalSyncFailures: f.journalFails,
 	}
 	acct.NotRun = numApps - acct.Completed - acct.SkippedARMOnly - acct.Quarantined - acct.Failed
 	if acct.NotRun < 0 {
@@ -486,14 +489,36 @@ func TraceID(i int) string { return fmt.Sprintf("app-%05d", i) }
 
 // journalAppend records one lifecycle event. An append failure is
 // stream-fatal: continuing past it would leave a journal that lies about
-// campaign history, so the fleet aborts instead. Returns false when the
-// caller must stop.
+// campaign history, so the fleet aborts instead — and the degradation
+// ledger counts it, so the cause (durability, not apps) survives into
+// the merged campaign Accounting. Returns false when the caller must
+// stop.
 func (f *fleetRun) journalAppend(err error) bool {
 	if err == nil {
 		return true
 	}
+	f.noteJournalFailure()
+	if errors.Is(err, journal.ErrTornWrite) {
+		// A torn write only ever comes from the injected tear fault, and
+		// the tear breaks the writer for every worker still in flight.
+		// Whichever worker's append loses that race must not strip the
+		// fault identity from the campaign error (abort keeps the lowest
+		// app index, and a lifecycle append reports as -1): callers — and
+		// the resume tests — distinguish an injected crash from a real
+		// durability failure with errors.Is(err, faults.ErrInjected).
+		f.abort(-1, fmt.Errorf("dispatch: journal append: %w: %w", faults.ErrInjected, err))
+		return false
+	}
 	f.abort(-1, fmt.Errorf("dispatch: journal append: %w", err))
 	return false
+}
+
+// noteJournalFailure records one journal durability failure in the
+// ledger.
+func (f *fleetRun) noteJournalFailure() {
+	f.mu.Lock()
+	f.journalFails++
+	f.mu.Unlock()
 }
 
 // crashFault fires the journal crash classes on a run that just
@@ -520,8 +545,21 @@ func (f *fleetRun) crashFault(i, attempts int, sha string, backoff time.Duration
 	plan := f.cfg.Faults.For(i, 1)
 	switch plan.Class {
 	case faults.JournalCrash:
-		_ = f.cfg.Journal.RunCompletedMetered(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "", meters)
-		_ = f.cfg.Journal.Sync()
+		// The fault's contract is "commit durably, then die": the record
+		// must actually reach the disk before the injected death, or
+		// resume would correctly requeue the app and the test would be
+		// proving nothing. A failed append or fsync here is therefore a
+		// real durability failure riding under the injection — surface it
+		// in the ledger and the abort error instead of discarding it.
+		err := f.cfg.Journal.RunCompletedMetered(i, journal.OutcomeRun, sha, attempts, backoff, backoffMS, "", meters)
+		if err == nil {
+			err = f.cfg.Journal.Sync()
+		}
+		if err != nil {
+			f.noteJournalFailure()
+			f.abort(i, fmt.Errorf("dispatch: app %d: journal-crash commit failed: %w", i, err))
+			return true
+		}
 		f.abort(i, fmt.Errorf("dispatch: app %d: journal-crash %w after commit", i, faults.ErrInjected))
 		return true
 	case faults.JournalTear:

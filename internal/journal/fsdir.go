@@ -1,0 +1,37 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory. Every writer in the pipeline that commits
+// state by rename — artifact runs, shard outcome files, the resultstore,
+// and the journal's own file creation — must call this on the parent
+// directory afterwards: rename makes the new entry visible, but only a
+// directory fsync makes it durable. Without it a crash can lose a
+// "committed" file entirely, which is exactly the silent-loss class the
+// durability layer exists to rule out. It lives here because journal is
+// the dependency-free durability package every layer already imports.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening dir %s for fsync: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("journal: fsync dir %s: %w", dir, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("journal: closing dir %s after fsync: %w", dir, closeErr)
+	}
+	return nil
+}
+
+// SyncParentDir fsyncs the directory containing path — the common case
+// after renaming a temp file onto path.
+func SyncParentDir(path string) error {
+	return SyncDir(filepath.Dir(path))
+}

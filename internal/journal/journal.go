@@ -241,6 +241,12 @@ func Create(path string, hdr Header, opts Options) (*Writer, error) {
 		_ = f.Close()
 		return nil, err
 	}
+	// The header is durable in the file; make the file itself durable in
+	// its directory, or a crash right here loses the whole journal.
+	if err := SyncParentDir(path); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
 	return w, nil
 }
 

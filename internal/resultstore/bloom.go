@@ -1,0 +1,59 @@
+package resultstore
+
+import "hash/fnv"
+
+// bloom is a fixed-parameter bloom filter over a block's distinct keys in
+// one dimension (app SHA, origin library, domain). Everything about it is
+// deterministic — FNV-1a double hashing, a size formula of the key count,
+// k=4 — because filter bytes are part of the store file and the store
+// must be byte-identical across shard counts.
+//
+// Sizing: 16 bits per key (rounded up to a whole number of 64-bit words)
+// puts the false-positive rate around (1-e^(-4/16))^4 ≈ 0.24% — small
+// enough that a point lookup over hundreds of blocks decodes only the
+// true matches plus the occasional stray block, which the residual filter
+// discards after decode.
+type bloom struct {
+	bits []byte
+}
+
+const bloomHashes = 4
+
+// newBloom sizes a filter for n distinct keys.
+func newBloom(n int) bloom {
+	words := (16*max(n, 4) + 63) / 64
+	return bloom{bits: make([]byte, words*8)}
+}
+
+// hashPair derives the two double-hashing bases from one FNV-1a pass.
+func hashPair(key string) (uint32, uint32) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	s := h.Sum64()
+	return uint32(s), uint32(s>>32) | 1 // odd step so probes cycle the whole filter
+}
+
+func (f bloom) add(key string) {
+	h1, h2 := hashPair(key)
+	m := uint32(len(f.bits) * 8)
+	for i := uint32(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % m
+		f.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// test reports whether key may be present (false means definitely not).
+func (f bloom) test(key string) bool {
+	if len(f.bits) == 0 {
+		return false
+	}
+	h1, h2 := hashPair(key)
+	m := uint32(len(f.bits) * 8)
+	for i := uint32(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % m
+		if f.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

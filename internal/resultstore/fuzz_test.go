@@ -1,0 +1,53 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzSegmentDecode hardens the segment decoder the same way the partial
+// and journal decoders are hardened: segments cross process boundaries
+// (shard children → coordinator) as files a crashed process may have
+// torn, so arbitrary bytes must either decode cleanly or fail with
+// ErrCorruptStore — never panic, never hang, never allocate unbounded
+// memory. Anything that does decode must re-encode to the identical
+// bytes (the codec is canonical), and damaged variants of it must fail.
+func FuzzSegmentDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(segmentMagic))
+	seed, err := EncodeSegment(mkRecords(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-1])
+	f.Add(append(append([]byte(nil), seed...), 0xFF))
+	empty, _ := EncodeSegment(nil)
+	f.Add(empty)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeSegment(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptStore) {
+				t.Fatalf("decode failed with untyped error: %v", err)
+			}
+			return
+		}
+		re, err := EncodeSegment(recs)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded segment failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode→encode is not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+		if len(data) > 0 {
+			if _, err := DecodeSegment(data[:len(data)-1]); !errors.Is(err, ErrCorruptStore) {
+				t.Fatalf("truncated valid segment decoded: %v", err)
+			}
+		}
+		if _, err := DecodeSegment(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, ErrCorruptStore) {
+			t.Fatalf("valid segment with trailing byte decoded: %v", err)
+		}
+	})
+}

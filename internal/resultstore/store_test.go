@@ -1,0 +1,380 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// mkRecords builds a deterministic corpus: apps apps, a few flows each,
+// with origins/domains drawn from small pools so point lookups have
+// selective keys and rollups have repeats.
+func mkRecords(apps int) []Record {
+	origins := []string{"", "com.unity3d", "com.facebook.ads", "com.google.gms", "org.chromium"}
+	domains := []string{"", "ads.example.com", "cdn.example.net", "telemetry.example.org"}
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	var recs []Record
+	for a := 0; a < apps; a++ {
+		flows := 1 + next(6)
+		for f := 0; f < flows; f++ {
+			o := origins[next(len(origins))]
+			recs = append(recs, Record{
+				AppIndex:      a,
+				FlowIndex:     f,
+				AppSHA:        fmt.Sprintf("sha-%04d", a),
+				AppPkg:        fmt.Sprintf("com.app.p%d", a%37),
+				Origin:        o,
+				TwoLevel:      twoLevelOf(o),
+				Domain:        domains[next(len(domains))],
+				Attributed:    o != "",
+				BuiltinOrigin: o == "com.google.gms",
+				BytesSent:     int64(next(100000)),
+				BytesReceived: int64(next(1000000)),
+				PacketsSent:   int64(next(500)),
+				PacketsRecv:   int64(next(500)),
+			})
+		}
+	}
+	return recs
+}
+
+func twoLevelOf(origin string) string {
+	if origin == "" {
+		return ""
+	}
+	dots := 0
+	for i, c := range origin {
+		if c == '.' {
+			dots++
+			if dots == 2 {
+				return origin[:i]
+			}
+		}
+	}
+	return origin
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	recs := mkRecords(40)
+	seg, err := EncodeSegment(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSegment(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d round-tripped to %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Decode→re-encode is byte-identical: the symbol table is rebuilt in
+	// the same first-appearance order.
+	re, err := EncodeSegment(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, seg) {
+		t.Fatal("re-encoding a decoded segment changed its bytes")
+	}
+}
+
+func TestEncodeSegmentRejectsDisorder(t *testing.T) {
+	recs := mkRecords(10)
+	recs[3], recs[7] = recs[7], recs[3]
+	if _, err := EncodeSegment(recs); err == nil {
+		t.Fatal("EncodeSegment accepted out-of-order records")
+	}
+}
+
+func TestEmptySegmentAndStore(t *testing.T) {
+	seg, err := EncodeSegment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, err := DecodeSegment(seg); err != nil || len(recs) != 0 {
+		t.Fatalf("empty segment: recs=%d err=%v", len(recs), err)
+	}
+	img, err := buildImage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records() != 0 || s.Blocks() != 0 {
+		t.Fatalf("empty store: records=%d blocks=%d", s.Records(), s.Blocks())
+	}
+}
+
+func TestStoreWriteOpenScan(t *testing.T) {
+	recs := mkRecords(300)
+	path := filepath.Join(t.TempDir(), "campaign.lss")
+	if err := Write(path, append([]Record(nil), recs...)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records() != len(recs) {
+		t.Fatalf("store holds %d records, want %d", s.Records(), len(recs))
+	}
+	if s.Blocks() < 2 {
+		t.Fatalf("expected a multi-block store, got %d blocks", s.Blocks())
+	}
+	var got []Record
+	if err := s.Scan(func(r *Record) error { got = append(got, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("scan record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPointLookupEqualsFullScan is the property test behind the index:
+// for every key that exists in any dimension, the bloom-pruned Query
+// must produce exactly the rollup a filtered full scan produces — and
+// for point-ish keys it must do so while decoding fewer blocks.
+func TestPointLookupEqualsFullScan(t *testing.T) {
+	recs := mkRecords(400)
+	img, err := buildImage(append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scanRollup := func(match func(*Record) bool) Rollup {
+		var ru Rollup
+		apps := map[string]struct{}{}
+		origins := map[string]struct{}{}
+		domains := map[string]struct{}{}
+		for i := range recs {
+			r := &recs[i]
+			if !match(r) {
+				continue
+			}
+			ru.Flows++
+			if r.Attributed {
+				ru.Attributed++
+			}
+			ru.BytesSent += r.BytesSent
+			ru.BytesReceived += r.BytesReceived
+			ru.PacketsSent += r.PacketsSent
+			ru.PacketsRecv += r.PacketsRecv
+			apps[r.AppSHA] = struct{}{}
+			if r.Origin != "" {
+				origins[r.Origin] = struct{}{}
+			}
+			if r.Domain != "" {
+				domains[r.Domain] = struct{}{}
+			}
+		}
+		ru.Apps, ru.Origins, ru.Domains = len(apps), len(origins), len(domains)
+		return ru
+	}
+
+	shas := map[string]struct{}{}
+	origins := map[string]struct{}{}
+	domains := map[string]struct{}{}
+	for i := range recs {
+		shas[recs[i].AppSHA] = struct{}{}
+		if recs[i].Origin != "" {
+			origins[recs[i].Origin] = struct{}{}
+		}
+		if recs[i].Domain != "" {
+			domains[recs[i].Domain] = struct{}{}
+		}
+	}
+
+	prunedOnce := false
+	for sha := range shas {
+		sha := sha
+		res, err := s.Query(Query{AppSHA: sha})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scanRollup(func(r *Record) bool { return r.AppSHA == sha })
+		if res.Rollup != want {
+			t.Fatalf("by-app %q: rollup %+v, want %+v", sha, res.Rollup, want)
+		}
+		if res.BlocksScanned < s.Blocks() {
+			prunedOnce = true
+		}
+	}
+	if !prunedOnce {
+		t.Fatalf("no by-app lookup pruned any of the %d blocks", s.Blocks())
+	}
+	for origin := range origins {
+		origin := origin
+		res, err := s.Query(Query{Origin: origin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := scanRollup(func(r *Record) bool { return r.Origin == origin }); res.Rollup != want {
+			t.Fatalf("by-library %q: rollup %+v, want %+v", origin, res.Rollup, want)
+		}
+	}
+	for domain := range domains {
+		domain := domain
+		res, err := s.Query(Query{Domain: domain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := scanRollup(func(r *Record) bool { return r.Domain == domain }); res.Rollup != want {
+			t.Fatalf("by-domain %q: rollup %+v, want %+v", domain, res.Rollup, want)
+		}
+	}
+
+	// A key in no dimension matches nothing — and should decode no blocks
+	// beyond bloom false positives.
+	res, err := s.Query(Query{AppSHA: "sha-that-never-existed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollup.Flows != 0 {
+		t.Fatalf("absent key matched %d flows", res.Rollup.Flows)
+	}
+	if res.BlocksScanned > s.Blocks()/4 {
+		t.Fatalf("absent key decoded %d of %d blocks — blooms not pruning", res.BlocksScanned, s.Blocks())
+	}
+
+	// Unfiltered query degenerates to a full scan and totals everything.
+	all, err := s.Query(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scanRollup(func(*Record) bool { return true }); all.Rollup != want {
+		t.Fatalf("unfiltered rollup %+v, want %+v", all.Rollup, want)
+	}
+	if all.BlocksScanned != s.Blocks() {
+		t.Fatalf("unfiltered query scanned %d of %d blocks", all.BlocksScanned, s.Blocks())
+	}
+}
+
+func TestQueryGrouping(t *testing.T) {
+	recs := mkRecords(200)
+	img, err := buildImage(append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(Query{Origin: "com.unity3d", GroupBy: GroupDomain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]*Group{}
+	for i := range recs {
+		r := &recs[i]
+		if r.Origin != "com.unity3d" {
+			continue
+		}
+		g := want[r.Domain]
+		if g == nil {
+			g = &Group{Key: r.Domain}
+			want[r.Domain] = g
+		}
+		g.Flows++
+		g.BytesSent += r.BytesSent
+		g.BytesReceived += r.BytesReceived
+	}
+	if len(res.Groups) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(res.Groups), len(want))
+	}
+	var prev int64 = 1<<63 - 1
+	for _, g := range res.Groups {
+		w := want[g.Key]
+		if w == nil || *w != g {
+			t.Fatalf("group %q = %+v, want %+v", g.Key, g, w)
+		}
+		total := g.BytesSent + g.BytesReceived
+		if total > prev {
+			t.Fatal("groups not sorted by total bytes descending")
+		}
+		prev = total
+	}
+}
+
+// TestMergeSegmentsInvariance: splitting the corpus into per-shard
+// segments at any contiguous boundaries and merging must reproduce the
+// exact record sequence — and hence the exact store image.
+func TestMergeSegmentsInvariance(t *testing.T) {
+	recs := mkRecords(120)
+	single, err := buildImage(append([]Record(nil), recs...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		var segs [][]byte
+		per := (len(recs) + shards - 1) / shards
+		for lo := 0; lo < len(recs); lo += per {
+			hi := min(lo+per, len(recs))
+			seg, err := EncodeSegment(recs[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs, seg)
+		}
+		merged, err := MergeSegments(segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := buildImage(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(img, single) {
+			t.Fatalf("%d-way split store image differs from single image", shards)
+		}
+	}
+}
+
+func TestMergeSegmentsRejectsDuplicates(t *testing.T) {
+	recs := mkRecords(10)
+	seg, err := EncodeSegment(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSegments([][]byte{seg, seg}); !errors.Is(err, ErrCorruptStore) {
+		t.Fatalf("duplicate segments: err = %v, want ErrCorruptStore", err)
+	}
+}
+
+func TestBloomDeterminismAndNoFalseNegatives(t *testing.T) {
+	keys := []string{"com.unity3d", "ads.example.com", "sha-0042", "", "x"}
+	a, b := newBloom(len(keys)), newBloom(len(keys))
+	for _, k := range keys {
+		a.add(k)
+		b.add(k)
+	}
+	if !bytes.Equal(a.bits, b.bits) {
+		t.Fatal("same keys produced different bloom bits")
+	}
+	for _, k := range keys {
+		if !a.test(k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}

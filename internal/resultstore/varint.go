@@ -1,0 +1,7 @@
+package resultstore
+
+import "encoding/binary"
+
+// Thin aliases so the encoder/decoder columns read as one idiom.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func uvarint(b []byte) (uint64, int)          { return binary.Uvarint(b) }

@@ -78,6 +78,12 @@ func (t *Table) String(sym Sym) string { return t.strs[sym] }
 // Len is the number of interned symbols, including the pre-interned "".
 func (t *Table) Len() int { return len(t.strs) }
 
+// Strings exposes the dense symbol→string column: index i holds the
+// string of Sym(i). The slice is the table's own backing store — callers
+// (segment and partial encoders iterating every symbol in ID order) must
+// treat it as read-only and not retain it across Interns.
+func (t *Table) Strings() []string { return t.strs }
+
 // Remap is a dense old→new symbol mapping produced by MergeFrom: index by a
 // symbol of the merged-in table to get its symbol in the receiving table.
 // Length equals the source table's Len at merge time.

@@ -39,6 +39,7 @@ import (
 	"libspector/internal/monkey"
 	"libspector/internal/nets"
 	"libspector/internal/obs"
+	"libspector/internal/resultstore"
 	"libspector/internal/synth"
 	"libspector/internal/vtclient"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// byte-for-byte. The journal must belong to this campaign — a
 	// different seed or flag-set is refused (see Fingerprint).
 	Resume bool
+	// ResultStore, when set, persists every completed run's per-flow
+	// attribution records to a queryable columnar store
+	// (internal/resultstore) at this path. The store is written once, on
+	// clean completion, and is byte-identical whether the campaign ran as
+	// a single process or as any N-shard split of the same seed.
+	ResultStore string
 	// ContinueOnError keeps the fleet running past individual app
 	// failures instead of failing fast on the first one.
 	ContinueOnError bool
@@ -303,7 +310,9 @@ func attachJournal(cfg *dispatch.Config, path string, hdr journal.Header, resume
 			return fmt.Errorf("libspector: recovering journal: %w", err)
 		}
 		if err := replay.Header.Match(hdr); err != nil {
-			_ = w.Close()
+			if cerr := w.Close(); cerr != nil {
+				return fmt.Errorf("libspector: refusing resume: %w (journal close: %v)", err, cerr)
+			}
 			return fmt.Errorf("libspector: refusing resume: %w", err)
 		}
 		cfg.Journal, cfg.Resume = w, replay
@@ -362,11 +371,20 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 			return err
 		}
 	}
+	var records *dispatch.RecordSink
+	if e.cfg.ResultStore != "" {
+		records = dispatch.NewRecordSink()
+		sinks = append(sinks, records)
+	}
 	folds := e.installWorkerFolds(&cfg)
 	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
 		if cfg.Journal != nil {
-			_ = cfg.Journal.Close()
+			// A close failure here must not eat the stream error, but an
+			// unsynced WAL is worth surfacing alongside it.
+			if cerr := cfg.Journal.Close(); cerr != nil {
+				err = fmt.Errorf("%w (journal close: %v)", err, cerr)
+			}
 		}
 		return fmt.Errorf("libspector: fleet run: %w", err)
 	}
@@ -400,6 +418,17 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 	e.aggregates = ds.Aggregates()
 	if runErr != nil {
 		return fmt.Errorf("libspector: fleet run: %w", runErr)
+	}
+	if records != nil {
+		// Only a clean run flushes the store: a partial store would be
+		// mistaken for the campaign's full record set by offline queries.
+		seg, err := records.Seal()
+		if err == nil {
+			_, err = resultstore.WriteSegments(e.cfg.ResultStore, [][]byte{seg})
+		}
+		if err != nil {
+			return fmt.Errorf("libspector: writing result store: %w", err)
+		}
 	}
 	return nil
 }

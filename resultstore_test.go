@@ -1,0 +1,116 @@
+package libspector_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"libspector"
+	"libspector/internal/resultstore"
+)
+
+// TestResultStoreShardInvariance pins the store-merge contract: the
+// attribution store an N-shard campaign writes is byte-identical to the
+// one the uninterrupted single-process run of the same seed writes, for
+// every shard count in the invariance matrix.
+func TestResultStoreShardInvariance(t *testing.T) {
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.store")
+	cfg := campaignConfig(1411, 36)
+	cfg.ResultStore = single
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := resultstore.OpenBytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records() == 0 {
+		t.Fatal("single-process store is empty")
+	}
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("sharded-%d.store", shards))
+			cfg := campaignConfig(1411, 36)
+			cfg.ResultStore = path
+			exp, err := libspector.NewExperiment(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := exp.RunSharded(context.Background(), shards); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%d-shard store differs from single-process store: %d vs %d bytes",
+					shards, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestResultStoreAnswersWithoutRun checks the offline contract: a store
+// written by one campaign answers point queries from disk, with rollups
+// matching a full scan, without any experiment state.
+func TestResultStoreAnswersWithoutRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.store")
+	cfg := campaignConfig(97, 24)
+	cfg.ResultStore = path
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := resultstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := st.Query(resultstore.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rollup.Flows == 0 || full.Rollup.Attributed == 0 {
+		t.Fatalf("store holds no attributed flows: %+v", full.Rollup)
+	}
+
+	// Every origin library's point lookup must equal the sum the full
+	// grouped scan reports for it.
+	grouped, err := st.Query(resultstore.Query{GroupBy: resultstore.GroupOrigin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped.Groups) == 0 {
+		t.Fatal("no origin groups")
+	}
+	for _, g := range grouped.Groups[:min(5, len(grouped.Groups))] {
+		res, err := st.Query(resultstore.Query{Origin: g.Key})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rollup.Flows != g.Flows || res.Rollup.BytesSent+res.Rollup.BytesReceived != g.BytesSent+g.BytesReceived {
+			t.Fatalf("point lookup for %q disagrees with grouped scan: %+v vs %+v", g.Key, res.Rollup, g)
+		}
+	}
+}

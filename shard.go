@@ -12,6 +12,7 @@ import (
 	"libspector/internal/attribution"
 	"libspector/internal/dispatch"
 	"libspector/internal/obs"
+	"libspector/internal/resultstore"
 )
 
 // CampaignResult is the merged outcome of a sharded campaign: one
@@ -230,22 +231,35 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 		}
 	}
 
+	var records *dispatch.RecordSink
+	if e.cfg.ResultStore != "" {
+		records = dispatch.NewRecordSink()
+	}
+
 	events, err := dispatch.Stream(ctx, e.world, e.world.Resolver, cfg)
 	if err != nil {
 		if cfg.Journal != nil {
-			_ = cfg.Journal.Close()
+			if cerr := cfg.Journal.Close(); cerr != nil {
+				err = fmt.Errorf("%w (journal close: %v)", err, cerr)
+			}
 		}
 		return nil, fmt.Errorf("libspector: shard fleet: %w", err)
 	}
 
 	// Drain the stream directly instead of through Gather: a shard has no
 	// use for materialized runs, only the folded partial (built on the
-	// worker goroutines above).
+	// worker goroutines above) and, when a result store is configured,
+	// the flattened attribution records.
 	var summary *dispatch.StreamSummary
 	var sinkErr error
 	for ev := range events {
 		if artifactSink != nil {
 			if err := artifactSink.Consume(ev); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
+		if records != nil {
+			if err := records.Consume(ev); err != nil && sinkErr == nil {
 				sinkErr = err
 			}
 		}
@@ -310,6 +324,16 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 	if err != nil {
 		return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, err)
 	}
+	var seg []byte
+	if records != nil {
+		// The shard owns a contiguous app-index range, so its sorted
+		// segment concatenates with its siblings (in shard order) into the
+		// globally canonical record order the merged store depends on.
+		seg, err = records.Seal()
+		if err != nil {
+			return nil, fmt.Errorf("libspector: shard %d: %w", task.Index, err)
+		}
+	}
 	return &dispatch.ShardOutcome{
 		Index:       task.Index,
 		Range:       task.Range,
@@ -318,6 +342,7 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 		Quarantined: summary.Quarantined,
 		Snapshot:    shardTel.Metrics().Snapshot(),
 		Partial:     enc,
+		Records:     seg,
 	}, nil
 }
 
@@ -359,6 +384,14 @@ func (e *Experiment) finishCampaign(out *dispatch.CampaignOutcome, shards int) (
 		return nil, fmt.Errorf("libspector: finishing campaign: %w", err)
 	}
 	e.aggregates = ag
+	if e.cfg.ResultStore != "" {
+		// Store merge: shard segments are already sorted and shard order
+		// is canonical order, so the merged image is byte-identical to the
+		// one a single-process same-seed run writes.
+		if _, err := resultstore.WriteSegments(e.cfg.ResultStore, out.Segments); err != nil {
+			return nil, fmt.Errorf("libspector: writing result store: %w", err)
+		}
+	}
 	return &CampaignResult{
 		Accounting:  out.Accounting,
 		Failures:    out.Failures,
