@@ -1048,3 +1048,54 @@ func BenchmarkStoreScan(b *testing.B) {
 	b.ReportMetric(float64(flows), "flows")
 	b.ReportMetric(float64(st.Blocks()), "blocks-total")
 }
+
+// ---------------------------------------------------------------------------
+// Event plane
+
+// BenchmarkBusPublish measures the event bus in its three regimes. The
+// "inactive" case is the tax every instrumented hot path pays when no
+// ops server or event log is attached (the Active gate — one atomic
+// load, no event construction in real call sites). "subscriber" is the
+// normal live-dashboard fan-out into a ring with headroom. "stalled" is
+// the worst case: a full ring forcing the drop-oldest path, including
+// the registry drop counter, on every publish — the cost a publisher
+// pays for a wedged SSE client.
+func BenchmarkBusPublish(b *testing.B) {
+	ev := obs.Event{Type: obs.EvRunCompleted, App: 1, Shard: -1, Flows: 3}
+	b.Run("inactive", func(b *testing.B) {
+		bus := obs.NewBus(obs.NewRegistry())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if bus.Active() {
+				bus.Publish(ev)
+			}
+		}
+	})
+	b.Run("subscriber", func(b *testing.B) {
+		bus := obs.NewBus(obs.NewRegistry())
+		sub := bus.Subscribe(obs.SubOptions{Capacity: b.N + 1})
+		defer sub.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(ev)
+		}
+	})
+	b.Run("stalled", func(b *testing.B) {
+		bus := obs.NewBus(obs.NewRegistry())
+		sub := bus.Subscribe(obs.SubOptions{Capacity: 64})
+		defer sub.Close()
+		for i := 0; i < 64; i++ {
+			bus.Publish(ev) // pre-fill the ring so every timed publish drops
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bus.Publish(ev)
+		}
+		b.StopTimer()
+		if sub.Dropped() < int64(b.N) {
+			b.Fatalf("expected every timed publish to drop, got %d/%d", sub.Dropped(), b.N)
+		}
+	})
+}

@@ -66,8 +66,14 @@ func main() {
 	outPath := flag.String("out", "", "output file (default stdout)")
 	gate := flag.Float64("gate", 0, "exit non-zero when any speedup_vs_prev falls below this ratio (requires -prev)")
 	gateMinNs := flag.Float64("gate-min-ns", 0, "benchmarks whose current ns/op is below this floor pass the gate (sub-resolution timings compare timer jitter, not work)")
+	gateOverride := flag.String("gate-override", "", "per-benchmark gate ratios, 'Name=ratio,Name=ratio' (wall-clock benchmarks drift with machine load more than the CPU-bound tolerance allows)")
 	note := flag.String("note", "", "extra sentence appended to the document note (e.g. a measurement-regime change)")
 	flag.Parse()
+
+	overrides, err := parseGateOverrides(*gateOverride)
+	if err != nil {
+		fatal(err)
+	}
 
 	current, err := parseReader(os.Stdin)
 	if err != nil {
@@ -104,7 +110,7 @@ func main() {
 		if *prevPath == "" {
 			fatal(fmt.Errorf("-gate requires -prev"))
 		}
-		if regressed := gateFailures(doc, *gate, *gateMinNs); len(regressed) > 0 {
+		if regressed := gateFailures(doc, *gate, *gateMinNs, overrides); len(regressed) > 0 {
 			for _, line := range regressed {
 				fmt.Fprintln(os.Stderr, "benchjson: gate:", line)
 			}
@@ -119,8 +125,12 @@ func main() {
 // was previously measured, not against adding coverage. Benchmarks whose
 // current ns/op sits below minNs also pass — at sub-resolution timings
 // (cached figure reads run in ~1ns) a ratio compares timer jitter, and
-// any absolute regression is bounded by the floor anyway.
-func gateFailures(doc *Document, gate, minNs float64) []string {
+// any absolute regression is bounded by the floor anyway. A benchmark
+// named in overrides is gated at its own ratio instead of the global
+// one: wall-clock benchmarks compare against a record taken on another
+// day's machine load, so their comparable tolerance is wider than a
+// CPU-bound benchmark's.
+func gateFailures(doc *Document, gate, minNs float64, overrides map[string]float64) []string {
 	var out []string
 	for name, e := range doc.Benchmarks {
 		if e.Current == nil || e.NoPrev || e.SpeedupVsPrev == 0 {
@@ -129,12 +139,37 @@ func gateFailures(doc *Document, gate, minNs float64) []string {
 		if e.Current.NsPerOp < minNs {
 			continue
 		}
-		if e.SpeedupVsPrev < gate {
-			out = append(out, fmt.Sprintf("%s speedup_vs_prev %.3f < %.3f", name, e.SpeedupVsPrev, gate))
+		g := gate
+		if o, ok := overrides[name]; ok {
+			g = o
+		}
+		if e.SpeedupVsPrev < g {
+			out = append(out, fmt.Sprintf("%s speedup_vs_prev %.3f < %.3f", name, e.SpeedupVsPrev, g))
 		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// parseGateOverrides parses the -gate-override value: comma-separated
+// 'BenchmarkName=ratio' pairs. An empty spec returns an empty map.
+func parseGateOverrides(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	if spec == "" {
+		return out, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("benchjson: -gate-override entry %q is not Name=ratio", pair)
+		}
+		ratio, err := strconv.ParseFloat(val, 64)
+		if err != nil || ratio <= 0 {
+			return nil, fmt.Errorf("benchjson: -gate-override ratio %q for %s is not a positive number", val, name)
+		}
+		out[name] = ratio
+	}
+	return out, nil
 }
 
 // buildDocument joins the current run against the optional baseline

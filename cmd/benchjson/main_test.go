@@ -118,11 +118,11 @@ func TestGateFailures(t *testing.T) {
 	prev := map[string]float64{"BenchmarkFold": 9e6} // current 9.5e6 → ratio ~0.947
 	doc := buildDocument(cur, nil, prev)
 
-	regressed := gateFailures(doc, 0.95, 0)
+	regressed := gateFailures(doc, 0.95, 0, nil)
 	if len(regressed) != 1 || !strings.Contains(regressed[0], "BenchmarkFold") {
 		t.Fatalf("gate at 0.95 flagged %v, want only BenchmarkFold", regressed)
 	}
-	if got := gateFailures(doc, 0.90, 0); len(got) != 0 {
+	if got := gateFailures(doc, 0.90, 0, nil); len(got) != 0 {
 		t.Fatalf("gate at 0.90 flagged %v, want none", got)
 	}
 }
@@ -133,7 +133,7 @@ func TestGateIgnoresNewBenchmarks(t *testing.T) {
 	doc := buildDocument(cur, nil, prev)
 	// BenchmarkNewThisPR has no prev entry and must never trip the gate,
 	// no matter how strict.
-	if got := gateFailures(doc, 100, 0); len(got) != 1 || !strings.Contains(got[0], "BenchmarkFold") {
+	if got := gateFailures(doc, 100, 0, nil); len(got) != 1 || !strings.Contains(got[0], "BenchmarkFold") {
 		t.Fatalf("gate flagged %v, want only the previously-measured benchmark", got)
 	}
 }
@@ -147,11 +147,53 @@ func TestGateMinNsFloorSkipsSubResolutionBenchmarks(t *testing.T) {
 	doc := buildDocument(cur, nil, prev)
 	// Both ratios are ~0.78/0.95 — below a 0.96 gate — but the cached
 	// sub-nanosecond benchmark sits under the floor and must pass.
-	got := gateFailures(doc, 0.96, 1000)
+	got := gateFailures(doc, 0.96, 1000, nil)
 	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkReal") {
 		t.Fatalf("gate with 1µs floor flagged %v, want only BenchmarkReal", got)
 	}
-	if got := gateFailures(doc, 0.96, 0); len(got) != 2 {
+	if got := gateFailures(doc, 0.96, 0, nil); len(got) != 2 {
 		t.Fatalf("gate without floor flagged %v, want both", got)
+	}
+}
+
+// A -gate-override names one benchmark whose comparable tolerance is
+// wider than the global gate (wall-clock benchmarks vs a record taken
+// under different machine load); every other benchmark stays at the
+// global ratio.
+func TestGateOverridePerBenchmarkRatio(t *testing.T) {
+	cur := map[string]*Measurement{
+		"BenchmarkWall": {Iterations: 30, NsPerOp: 1.5e8},  // ratio 0.88 vs prev
+		"BenchmarkCPU":  {Iterations: 100, NsPerOp: 9.5e6}, // ratio ~0.947 vs prev
+	}
+	prev := map[string]float64{"BenchmarkWall": 1.32e8, "BenchmarkCPU": 9e6}
+	doc := buildDocument(cur, nil, prev)
+
+	overrides := map[string]float64{"BenchmarkWall": 0.85}
+	got := gateFailures(doc, 0.95, 0, overrides)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkCPU") {
+		t.Fatalf("gate with wall override flagged %v, want only BenchmarkCPU", got)
+	}
+	// The override is a different ratio, not an exemption: drop the wall
+	// benchmark below its own tolerance and it fails again.
+	if got := gateFailures(doc, 0.95, 0, map[string]float64{"BenchmarkWall": 0.90}); len(got) != 2 {
+		t.Fatalf("gate with tight wall override flagged %v, want both", got)
+	}
+}
+
+func TestParseGateOverrides(t *testing.T) {
+	got, err := parseGateOverrides("BenchmarkWall=0.85, BenchmarkOther=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkWall"] != 0.85 || got["BenchmarkOther"] != 0.5 || len(got) != 2 {
+		t.Fatalf("parsed %v", got)
+	}
+	if m, err := parseGateOverrides(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty spec: %v, %v", m, err)
+	}
+	for _, bad := range []string{"BenchmarkWall", "=0.85", "BenchmarkWall=zero", "BenchmarkWall=-1"} {
+		if _, err := parseGateOverrides(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"libspector/internal/baseline"
 	"libspector/internal/corpus"
 	"libspector/internal/dispatch"
+	"libspector/internal/obs"
 	"libspector/internal/report"
 	"libspector/internal/resultstore"
 )
@@ -59,6 +60,7 @@ func run(args []string) error {
 		shardOut    = fs.String("shard-out", "", "shard outcome file to write in -shard-index mode")
 		mergeShards = fs.String("merge-shards", "", "comma-separated shard outcome files to merge into the report instead of running a fleet")
 		store       = fs.String("store", "", "attribution record store path: written during a run, read by the -query-* flags")
+		eventsOut   = fs.String("events-out", "", "write the run's deterministic event log as JSONL to this file")
 		queryApp    = fs.String("query-app", "", "query the -store for one app SHA (no fleet run)")
 		queryLib    = fs.String("query-library", "", "query the -store for one origin library (no fleet run)")
 		queryDomain = fs.String("query-domain", "", "query the -store for one domain (no fleet run)")
@@ -80,6 +82,26 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.ResultStore = *store
+	// -events-out records the deterministic campaign event log; virtual
+	// telemetry keeps same-seed logs byte-identical.
+	var evlog *obs.EventLog
+	if *eventsOut != "" {
+		tel := obs.NewVirtual(nil)
+		tel.SetBus(obs.NewBus(tel.Metrics()))
+		evlog = obs.NewEventLog()
+		evlog.AttachTo(tel.Bus())
+		cfg.Telemetry = tel
+	}
+	writeEvents := func() error {
+		if evlog == nil {
+			return nil
+		}
+		if err := evlog.WriteFile(*eventsOut); err != nil {
+			return fmt.Errorf("writing event log: %w", err)
+		}
+		fmt.Printf("Wrote %d events to %s.\n", evlog.Len(), *eventsOut)
+		return nil
+	}
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
 		return err
@@ -101,7 +123,7 @@ func run(args []string) error {
 		}
 		fmt.Printf("Shard %d/%d done: apps [%d,%d) -> %s\n",
 			*shardIndex, *shards, out.Range.Lo, out.Range.Hi, *shardOut)
-		return nil
+		return writeEvents()
 	case *mergeShards != "":
 		outs, err := readOutcomes(*mergeShards)
 		if err != nil {
@@ -123,6 +145,9 @@ func run(args []string) error {
 			return err
 		}
 		ds = exp.Dataset()
+	}
+	if err := writeEvents(); err != nil {
+		return err
 	}
 	ag := exp.Aggregates()
 	if ds != nil {

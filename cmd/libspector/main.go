@@ -7,7 +7,7 @@
 //
 //	libspector [-apps N] [-seed S] [-workers W] [-events E] [-collector] [-store]
 //	           [-journal campaign.wal] [-resume]
-//	           [-metrics-addr :8321] [-trace-out traces.jsonl]
+//	           [-metrics-addr :8321] [-trace-out traces.jsonl] [-events-out events.jsonl]
 //	libspector audit -artifacts DIR [-journal campaign.wal]
 package main
 
@@ -139,7 +139,8 @@ func run(ctx context.Context, args []string) error {
 		faultRate       = fs.Float64("fault-rate", 0, "fraction of apps hit by an injected fault on their first attempt [0,1]")
 		faultPoison     = fs.Float64("fault-poison", 0, "fraction of faulted apps whose fault repeats on every attempt [0,1]")
 		faultClasses    = fs.String("fault-classes", "", "comma-separated fault classes to inject (default all): emulator-abort,stall-run,capture-truncate,datagram-drop,hook-fault; opt-in crash classes: journal-crash,journal-tear,artifact-flip")
-		metricsAddr     = fs.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
+		metricsAddr     = fs.String("metrics-addr", "", "serve the live ops endpoint (dashboard at /, SSE events at /events, JSON snapshot at /debug/vars, pprof) on this address while the fleet runs")
+		eventsOut       = fs.String("events-out", "", "write the campaign's deterministic event log as JSONL to this file after the run")
 		traceOut        = fs.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
 		shards          = fs.Int("shards", 1, "split the campaign into N shards run under an in-process coordinator (byte-identical to -shards 1 when -workers >= N)")
 		shardIndex      = fs.Int("shard-index", -1, "run only this shard of an N-shard split and exit (child-process mode; requires -shards and -shard-out)")
@@ -185,20 +186,49 @@ func run(ctx context.Context, args []string) error {
 	tel := obs.NewVirtual(nil)
 	if *metricsAddr != "" {
 		tel = obs.New()
-		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics())
+	}
+	// The event bus exists only when something consumes it — the live ops
+	// endpoint streams it over SSE, and -events-out records the
+	// deterministic subset. An unobserved run never pays for publishing.
+	var evlog *obs.EventLog
+	if *metricsAddr != "" || *eventsOut != "" {
+		tel.SetBus(obs.NewBus(tel.Metrics()))
+		if *eventsOut != "" {
+			evlog = obs.NewEventLog()
+			evlog.AttachTo(tel.Bus())
+		}
+	}
+	if *metricsAddr != "" {
+		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics(), tel.Bus())
 		if err != nil {
 			return fmt.Errorf("starting ops endpoint: %w", err)
 		}
 		defer ops.Close()
-		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
+		fmt.Printf("Ops endpoint live on http://%s/ (dashboard; /events SSE, /debug/vars, /debug/pprof).\n", ops.Addr())
 	}
 	cfg.Telemetry = tel
+	writeEvents := func() error {
+		if evlog == nil {
+			return nil
+		}
+		if err := evlog.WriteFile(*eventsOut); err != nil {
+			return fmt.Errorf("writing event log: %w", err)
+		}
+		fmt.Printf("Wrote %d events to %s.\n", evlog.Len(), *eventsOut)
+		return nil
+	}
 
 	if *shardIndex >= 0 {
-		return runShardChild(ctx, cfg, *shardIndex, *shards, *shardOut)
+		if err := runShardChild(ctx, cfg, *shardIndex, *shards, *shardOut); err != nil {
+			return err
+		}
+		return writeEvents()
 	}
 	if *shards > 1 {
-		return runShardedCampaign(ctx, cfg, *shards, *topN)
+		if err := runShardedCampaign(ctx, cfg, *shards, *topN); err != nil {
+			return err
+		}
+		return writeEvents()
 	}
 
 	fmt.Printf("Generating world (seed=%d, %d apps) and running the fleet...\n", cfg.Seed, cfg.Apps)
@@ -254,7 +284,7 @@ func run(ctx context.Context, args []string) error {
 	printAggregateFigures(exp, *topN)
 	fmt.Println(report.Baselines(baseline.CompareUA(ds), baseline.CompareHostname(ds), baseline.CompareContentType(ds)))
 	fmt.Println(report.PaperComparison(exp.Aggregates().CompareWithPaper()))
-	return nil
+	return writeEvents()
 }
 
 // printAggregateFigures renders every table and figure that needs only

@@ -1,0 +1,86 @@
+package libspector_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"libspector"
+	"libspector/internal/obs"
+)
+
+// eventLogBytes runs one campaign with a bus and deterministic event
+// log attached (shards == 1 uses the single-process streaming path) and
+// returns the canonical JSONL serialization.
+func eventLogBytes(t *testing.T, cfg libspector.Config, shards int) []byte {
+	t.Helper()
+	cfg.Telemetry.SetBus(obs.NewBus(cfg.Telemetry.Metrics()))
+	log := obs.NewEventLog()
+	log.AttachTo(cfg.Telemetry.Bus())
+	exp, err := libspector.NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards == 1 {
+		if err := exp.Run(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := exp.RunSharded(context.Background(), shards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventLogShardCountInvariance is the event plane's headline
+// determinism guarantee: the -events-out JSONL of a same-seed campaign
+// is byte-identical whether the campaign ran single-process or as any
+// N-shard split — run events never carry a shard index, topology-bound
+// events never enter the log, and virtual timestamps pin the rest.
+func TestEventLogShardCountInvariance(t *testing.T) {
+	base := eventLogBytes(t, campaignConfig(91, 24), 1)
+	if len(base) == 0 {
+		t.Fatal("single-process campaign wrote an empty event log")
+	}
+	for _, want := range []string{"run.started", "run.completed", "campaign.done"} {
+		if !bytes.Contains(base, []byte(want)) {
+			t.Fatalf("event log is missing %s events:\n%s", want, base)
+		}
+	}
+	if n := bytes.Count(base, []byte(`"campaign.done"`)); n != 1 {
+		t.Fatalf("event log holds %d campaign.done events, want exactly 1", n)
+	}
+	if bytes.Contains(base, []byte(`"shard":0`)) {
+		t.Fatal("a logged event carries a shard index; the log would differ across shard counts")
+	}
+	for _, n := range []int{1, 2, 4} {
+		got := eventLogBytes(t, campaignConfig(91, 24), n)
+		if !bytes.Equal(base, got) {
+			t.Errorf("N=%d: event log diverged from the single-process baseline:\nbaseline:\n%s\nsharded:\n%s", n, base, got)
+		}
+	}
+}
+
+// TestEventLogInvarianceUnderFaults repeats the invariance with 20%
+// fault injection: retries and quarantines are logged events, so the
+// whole degradation ledger must serialize identically across shard
+// counts too.
+func TestEventLogInvarianceUnderFaults(t *testing.T) {
+	base := eventLogBytes(t, faultyConfig(93, 24), 1)
+	for _, want := range []string{"run.retry", "campaign.done"} {
+		if !bytes.Contains(base, []byte(want)) {
+			t.Fatalf("faulted event log is missing %s events (fault injection not exercised):\n%s", want, base)
+		}
+	}
+	for _, n := range []int{2, 4} {
+		got := eventLogBytes(t, faultyConfig(93, 24), n)
+		if !bytes.Equal(base, got) {
+			t.Errorf("N=%d faulted: event log diverged:\nbaseline:\n%s\nsharded:\n%s", n, base, got)
+		}
+	}
+}

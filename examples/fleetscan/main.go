@@ -79,7 +79,7 @@ func inheritedArgs() []string {
 	var args []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "shards", "shard-index", "shard-out", "probe-base-port", "metrics-addr", "resume":
+		case "shards", "shard-index", "shard-out", "probe-base-port", "metrics-addr", "resume", "events-out":
 			return
 		}
 		args = append(args, "-"+f.Name+"="+f.Value.String())
@@ -91,11 +91,16 @@ func inheritedArgs() []string {
 // probe port, a watchdog goroutine polls the child's /healthz and kills
 // it after four consecutive failed probes — the parent then sees a
 // non-zero exit exactly as if the shard host had died.
-func spawnShard(ctx context.Context, self string, i, n int, outPath string, probeBase int, resume bool) error {
+func spawnShard(ctx context.Context, self string, i, n int, outPath string, probeBase int, resume bool, eventsOut string) error {
 	args := inheritedArgs()
 	args = append(args, fmt.Sprintf("-shards=%d", n), fmt.Sprintf("-shard-index=%d", i), "-shard-out="+outPath)
 	if resume {
 		args = append(args, "-resume")
+	}
+	if eventsOut != "" {
+		// Each child records its own shard's log; the parent owns the flag
+		// and re-issues it suffixed so children never clobber one file.
+		args = append(args, fmt.Sprintf("-events-out=%s.shard-%03d", eventsOut, i))
 	}
 	var addr string
 	if probeBase > 0 {
@@ -142,7 +147,7 @@ func spawnShard(ctx context.Context, self string, i, n int, outPath string, prob
 // runShardProcesses is the -shards parent: spawn one child per shard,
 // re-spawn dead shards with -resume so they take over from their own
 // journal, then merge the shard outcome files into the campaign report.
-func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journalPath string, probeBase int) error {
+func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journalPath string, probeBase int, eventsOut string) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -152,6 +157,22 @@ func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journa
 		return err
 	}
 	defer func() { _ = os.RemoveAll(dir) }()
+
+	// The parent narrates shard-process lifecycle on its own bus so a
+	// dashboard attached to the parent's ops endpoint shows the fleet's
+	// liveness grid even though the runs happen in child processes.
+	plan := dispatch.ShardPlan{TotalApps: cfg.Apps, Shards: n}
+	publish := func(ev obs.Event) {
+		bus := cfg.Telemetry.Bus()
+		if !bus.Active() {
+			return
+		}
+		if ev.Type.WallOnly() && cfg.Telemetry.Virtual() {
+			return
+		}
+		ev.TS = cfg.Telemetry.Now()
+		bus.Publish(ev)
+	}
 
 	fmt.Printf("Scanning %d apps as %d shard processes...\n", cfg.Apps, n)
 	outcomes := make([]*dispatch.ShardOutcome, n)
@@ -164,12 +185,16 @@ func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journa
 		go func(i int) {
 			defer wg.Done()
 			outPath := filepath.Join(dir, fmt.Sprintf("shard-%03d.json", i))
+			rng := plan.Range(i)
 			for attempt := 0; ; attempt++ {
-				err := spawnShard(ctx, self, i, n, outPath, probeBase, attempt > 0)
+				publish(obs.Event{Type: obs.EvShardStarted, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
+				err := spawnShard(ctx, self, i, n, outPath, probeBase, attempt > 0, eventsOut)
 				if err == nil {
+					publish(obs.Event{Type: obs.EvShardDone, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
 					outcomes[i], errs[i] = dispatch.ReadShardOutcome(outPath)
 					return
 				}
+				publish(obs.Event{Type: obs.EvShardDead, App: -1, Shard: i, Attempt: attempt, Error: err.Error()})
 				if ctx.Err() != nil {
 					errs[i] = err
 					return
@@ -190,6 +215,7 @@ func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journa
 				count := takeovers
 				mu.Unlock()
 				fmt.Printf("  [takeover] shard %d died (%v) — re-spawning with -resume (takeover %d)\n", i, err, count)
+				publish(obs.Event{Type: obs.EvShardTakeover, App: -1, Shard: i, Attempt: attempt + 1, Error: err.Error()})
 			}
 		}(i)
 	}
@@ -238,7 +264,8 @@ func run(ctx context.Context) error {
 	resume := flag.Bool("resume", false, "replay the -journal log and continue instead of restarting (requires the same -artifacts store)")
 	runTimeout := flag.Duration("run-timeout", 0, "per-run attempt deadline (0 = none)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff between attempts, doubled per retry")
-	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry (JSON snapshot at /debug/vars, pprof at /debug/pprof) on this address while the fleet runs")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live ops endpoint (dashboard at /, SSE at /events, JSON snapshot at /debug/vars, pprof) on this address while the fleet runs")
+	eventsOut := flag.String("events-out", "", "write the deterministic event log as JSONL to this file (shard-process mode writes one .shard-NNN file per child)")
 	traceOut := flag.String("trace-out", "", "write per-run span traces as JSONL to this file after the fleet")
 	shards := flag.Int("shards", 1, "run the campaign as N separate shard processes and merge their outcomes")
 	shardIndex := flag.Int("shard-index", -1, "child mode: run only this shard and write its outcome (spawned by -shards)")
@@ -283,14 +310,36 @@ func run(ctx context.Context) error {
 	tel := obs.NewVirtual(nil)
 	if *metricsAddr != "" {
 		tel = obs.New()
-		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics())
+	}
+	// The event bus is built only when something consumes it: the SSE ops
+	// endpoint, or the -events-out deterministic log.
+	var evlog *obs.EventLog
+	if *metricsAddr != "" || *eventsOut != "" {
+		tel.SetBus(obs.NewBus(tel.Metrics()))
+		if *eventsOut != "" {
+			evlog = obs.NewEventLog()
+			evlog.AttachTo(tel.Bus())
+		}
+	}
+	if *metricsAddr != "" {
+		ops, err := obs.ServeOps(*metricsAddr, tel.Metrics(), tel.Bus())
 		if err != nil {
 			return fmt.Errorf("starting ops endpoint: %w", err)
 		}
 		defer ops.Close()
-		fmt.Printf("Ops endpoint live on http://%s/debug/vars (pprof at /debug/pprof).\n", ops.Addr())
+		fmt.Printf("Live dashboard on http://%s/ (SSE at /events, snapshot at /debug/vars, pprof at /debug/pprof).\n", ops.Addr())
 	}
 	cfg.Telemetry = tel
+	writeEvents := func() error {
+		if evlog == nil {
+			return nil
+		}
+		if err := evlog.WriteFile(*eventsOut); err != nil {
+			return fmt.Errorf("writing event log: %w", err)
+		}
+		fmt.Printf("  wrote %d events to %s\n", evlog.Len(), *eventsOut)
+		return nil
+	}
 
 	if *shardIndex >= 0 {
 		if *shardOut == "" {
@@ -308,10 +357,13 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Printf("  [shard %d] apps [%d,%d) done -> %s\n", *shardIndex, out.Range.Lo, out.Range.Hi, *shardOut)
-		return nil
+		return writeEvents()
 	}
 	if *shards > 1 {
-		return runShardProcesses(ctx, cfg, *shards, *journalPath, *probeBase)
+		if err := runShardProcesses(ctx, cfg, *shards, *journalPath, *probeBase, *eventsOut); err != nil {
+			return err
+		}
+		return writeEvents()
 	}
 
 	exp, err := libspector.NewExperiment(cfg)
@@ -371,5 +423,5 @@ func run(ctx context.Context) error {
 		}
 		fmt.Printf("  wrote %d spans to %s\n", tel.Tracer().SpanCount(), *traceOut)
 	}
-	return nil
+	return writeEvents()
 }

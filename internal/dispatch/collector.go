@@ -39,6 +39,29 @@ type Collector struct {
 	dropped   int
 }
 
+// collectorTotalsEvery is the datagram cadence for collector.totals bus
+// events: often enough for a live dashboard, far below per-datagram.
+const collectorTotalsEvery = 256
+
+// publishTotals streams a collector.totals event. Wall-only: arrival
+// counts mid-run depend on socket timing, so a deterministic run's
+// event stream must never carry them.
+func (c *Collector) publishTotals() {
+	if c.tel.Virtual() {
+		return
+	}
+	bus := c.tel.Bus()
+	if !bus.Active() {
+		return
+	}
+	received, malformed, dropped := c.Totals()
+	bus.Publish(obs.Event{
+		Type: obs.EvCollectorTotals, TS: c.tel.Now(), App: -1, Shard: -1,
+		Datagrams:        int64(received + malformed),
+		DroppedDatagrams: int64(dropped),
+	})
+}
+
 // syncMagic prefixes flush-barrier datagrams: a worker about to reset an
 // apk's report group sends one on the same socket it streamed reports
 // through, then waits for the token to land. Loopback preserves
@@ -130,7 +153,11 @@ func (c *Collector) receiveLoop() {
 			}
 			c.total++
 		}
+		counted := c.total + c.malformed + c.dropped
 		c.mu.Unlock()
+		if counted%collectorTotalsEvery == 0 {
+			c.publishTotals()
+		}
 	}
 }
 

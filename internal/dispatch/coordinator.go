@@ -73,6 +73,25 @@ type Coordinator struct {
 	Probe func(index int) error
 	// ProbeInterval defaults to DefaultProbeInterval when zero.
 	ProbeInterval time.Duration
+	// Tel, when set, carries the campaign event bus: the coordinator
+	// publishes shard lifecycle (started/done deterministic;
+	// healthy/dead/takeover wall-only) and merge progress on it.
+	Tel *obs.Telemetry
+}
+
+// publish emits one coordinator event when the campaign bus is live.
+// wallOnly events are suppressed under virtual telemetry — liveness is
+// scheduler timing, which a deterministic event stream must not carry.
+func (c *Coordinator) publish(ev obs.Event) {
+	bus := c.Tel.Bus()
+	if !bus.Active() {
+		return
+	}
+	if ev.Type.WallOnly() && c.Tel.Virtual() {
+		return
+	}
+	ev.TS = c.Tel.Now()
+	bus.Publish(ev)
 }
 
 // DefaultProbeInterval is the liveness polling cadence when the
@@ -176,12 +195,16 @@ func (c *Coordinator) runShard(ctx context.Context, i int, takeovers *atomic.Int
 		if !consumeTakeover(takeovers, c.MaxTakeovers) {
 			return nil, fmt.Errorf("attempt %d failed with no takeover budget left: %w", attempt, err)
 		}
+		c.publish(obs.Event{Type: obs.EvShardTakeover, App: -1, Shard: i, Attempt: attempt + 1, Error: err.Error()})
 	}
 }
 
 func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOutcome, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	rng := c.Plan.Range(i)
+	c.publish(obs.Event{Type: obs.EvShardStarted, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
 
 	var probeErr atomic.Value
 	var watch sync.WaitGroup
@@ -202,9 +225,11 @@ func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOut
 				case <-ticker.C:
 					if err := c.Probe(i); err != nil {
 						probeErr.Store(err)
+						c.publish(obs.Event{Type: obs.EvShardDead, App: -1, Shard: i, Attempt: attempt, Error: err.Error()})
 						cancel()
 						return
 					}
+					c.publish(obs.Event{Type: obs.EvShardHealthy, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
 				}
 			}
 		}()
@@ -212,7 +237,7 @@ func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOut
 
 	out, err := c.Run(sctx, ShardTask{
 		Index:   i,
-		Range:   c.Plan.Range(i),
+		Range:   rng,
 		Workers: c.Plan.WorkersFor(i),
 		Attempt: attempt,
 	})
@@ -224,6 +249,18 @@ func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOut
 		}
 		return nil, err
 	}
+	c.publish(obs.Event{
+		Type: obs.EvShardDone, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt,
+		Counts: &obs.EventCounts{
+			Apps:        int64(out.Accounting.TotalApps),
+			Completed:   int64(out.Accounting.Completed),
+			Skipped:     int64(out.Accounting.SkippedARMOnly),
+			Failed:      int64(out.Accounting.Failed),
+			Quarantined: int64(out.Accounting.Quarantined),
+			Attempts:    int64(out.Accounting.Attempts),
+			Retried:     int64(out.Accounting.Retried),
+		},
+	})
 	return out, nil
 }
 
@@ -254,6 +291,7 @@ func (c *Coordinator) mergeOutcomes(outcomes []*ShardOutcome, takeovers int) (*C
 		out.Partials = append(out.Partials, o.Partial)
 		out.Segments = append(out.Segments, o.Records)
 		snaps = append(snaps, o.Snapshot)
+		c.publish(obs.Event{Type: obs.EvMergeProgress, App: -1, Shard: o.Index, Done: i + 1, Total: len(outcomes)})
 	}
 	sort.Slice(out.Failures, func(i, j int) bool { return out.Failures[i].AppIndex < out.Failures[j].AppIndex })
 	sort.Slice(out.Quarantined, func(i, j int) bool { return out.Quarantined[i].AppIndex < out.Quarantined[j].AppIndex })

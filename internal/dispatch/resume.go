@@ -44,7 +44,7 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 			f.runApp(env, i, true)
 			return
 		}
-		f.foldReplayed(rec)
+		f.foldReplayed(i, rec)
 		f.restoreMeters(rec.Meters)
 		f.mu.Lock()
 		f.completed++
@@ -69,7 +69,7 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 	if rec.Outcome == journal.OutcomeFailed || rec.Quarantined {
 		f.observeReplayed(env, i)
 	}
-	f.foldReplayed(rec)
+	f.foldReplayed(i, rec)
 	switch {
 	case rec.Outcome == journal.OutcomeSkip:
 		f.mu.Lock()
@@ -101,7 +101,7 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 
 // foldReplayed charges one journaled outcome's retry accounting to the
 // fleet ledger and metrics, so resumed totals match an uninterrupted run.
-func (f *fleetRun) foldReplayed(rec journal.AppOutcome) {
+func (f *fleetRun) foldReplayed(i int, rec journal.AppOutcome) {
 	f.mu.Lock()
 	f.attempts += rec.Attempts
 	f.backoff += rec.Backoff
@@ -109,6 +109,9 @@ func (f *fleetRun) foldReplayed(rec journal.AppOutcome) {
 	f.tel.Counter(obs.MFleetAttempts).Add(int64(rec.Attempts))
 	f.tel.Counter(obs.MFleetBackoffMS).Add(rec.BackoffMS)
 	f.tel.Counter(obs.MResumeReplayed).Inc()
+	if bus := f.tel.Bus(); bus.Active() {
+		bus.Publish(obs.Event{Type: obs.EvRunReplayed, TS: f.tel.Now(), App: i, Shard: -1, Attempt: rec.Attempts})
+	}
 }
 
 // restoreMeters folds a replayed run's journaled telemetry deltas back

@@ -436,6 +436,23 @@ feed:
 	if f.collector != nil {
 		sum.CollectorReports, sum.CollectorMalformed, sum.CollectorDropped = f.collector.Totals()
 	}
+	// fleet.summary is deterministic but topology-bound (it carries the
+	// resolved shard range), so it streams without entering the JSONL log.
+	if bus := f.tel.Bus(); bus.Active() {
+		bus.Publish(obs.Event{
+			Type: obs.EvFleetSummary, TS: f.tel.Now(), App: -1, Shard: -1,
+			Lo: lo, Hi: hi,
+			Counts: &obs.EventCounts{
+				Apps:        int64(numApps),
+				Completed:   int64(acct.Completed),
+				Skipped:     int64(acct.SkippedARMOnly),
+				Failed:      int64(acct.Failed),
+				Quarantined: int64(acct.Quarantined),
+				Attempts:    int64(acct.Attempts),
+				Retried:     int64(acct.Retried),
+			},
+		})
+	}
 	f.emit(RunEvent{Kind: EventSummary, AppIndex: -1, Summary: sum})
 }
 
@@ -469,11 +486,23 @@ func (f *fleetRun) worker(w int, jobs <-chan job) {
 		env.fold = f.cfg.WorkerFold(w)
 	}
 	busy := f.tel.Gauge(obs.MFleetWorkersBusy)
+	total := f.tel.Gauge(obs.MFleetWorkers)
 	for j := range jobs {
 		if f.ctx.Err() != nil || f.stopped() {
 			return
 		}
 		busy.Add(1)
+		// Utilization is a wall-only reading: it depends on scheduler
+		// interleaving, so it streams in wall mode and never appears in a
+		// deterministic run's events.
+		if !f.tel.Virtual() {
+			if bus := f.tel.Bus(); bus.Active() {
+				bus.Publish(obs.Event{
+					Type: obs.EvFleetUtilization, TS: f.tel.Now(), App: -1, Shard: -1,
+					Workers: int(total.Value()), WorkersBusy: int(busy.Value()),
+				})
+			}
+		}
 		if j.rec != nil {
 			f.replayApp(env, j.idx, *j.rec)
 		} else {
@@ -589,6 +618,12 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			return
 		}
 	}
+	// Run-lifecycle bus events carry App but never a shard index: the
+	// same app lands in different shards at different shard counts, and
+	// the JSONL event log must stay byte-identical across them.
+	if bus := f.tel.Bus(); bus.Active() {
+		bus.Publish(obs.Event{Type: obs.EvRunStarted, TS: f.tel.Now(), App: i, Shard: -1})
+	}
 	// The app's dispatch root span covers every attempt, the backoff
 	// between them, and the stage children runOne hangs off it. Host-side
 	// timestamps come from the telemetry time source (a fixed epoch in
@@ -626,6 +661,9 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			f.skipped++
 			f.mu.Unlock()
 			f.tel.Counter(obs.MFleetSkipped).Inc()
+			if bus := f.tel.Bus(); bus.Active() {
+				bus.Publish(obs.Event{Type: obs.EvRunSkipped, TS: f.tel.Now(), App: i, Shard: -1, Attempt: attemptsUsed})
+			}
 			finish("skip", attemptsUsed)
 			f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
 			return
@@ -648,6 +686,21 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			if attempt > 1 {
 				f.tel.Counter(obs.MFleetRetries).Inc()
 			}
+			if bus := f.tel.Bus(); bus.Active() {
+				bev := obs.Event{
+					Type: obs.EvRunCompleted, TS: f.tel.Now(), App: i, Shard: -1,
+					Attempt: attemptsUsed, Package: run.AppPackage,
+					Flows: int64(len(run.Flows)),
+				}
+				if meters != nil {
+					bev.VirtualMS = meters.VirtualMS
+					bev.TCPBytes = meters.TCPWireBytes
+					bev.UDPBytes = meters.UDPWireBytes
+					bev.DNSBytes = meters.DNSWireBytes
+					bev.DroppedDatagrams = meters.DroppedGrams
+				}
+				bus.Publish(bev)
+			}
 			finish("run", attemptsUsed)
 			ev := RunEvent{Kind: EventRun, AppIndex: i, Run: run, Evidence: evidence}
 			if env.fold != nil {
@@ -664,6 +717,9 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			break
 		}
 		if attempt < maxAttempts {
+			if bus := f.tel.Bus(); bus.Active() {
+				bus.Publish(obs.Event{Type: obs.EvRunRetry, TS: f.tel.Now(), App: i, Shard: -1, Attempt: attempt, Error: lastErr.Error()})
+			}
 			d, ms, ok := f.backoffWait(attempt)
 			appBackoff += d
 			appBackoffMS += ms
@@ -696,6 +752,9 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 		f.quarantined = append(f.quarantined, q)
 		f.mu.Unlock()
 		f.tel.Counter(obs.MFleetQuarantined).Inc()
+		if bus := f.tel.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Type: obs.EvRunQuarantined, TS: f.tel.Now(), App: i, Shard: -1, Attempt: attemptsUsed, Error: lastErr.Error()})
+		}
 		finish("quarantine", attemptsUsed)
 		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: lastErr, Quarantine: &q})
 		return
@@ -709,6 +768,9 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 	f.failures = append(f.failures, RunFailure{AppIndex: i, Err: lastErr, Attempts: attemptsUsed})
 	f.mu.Unlock()
 	f.tel.Counter(obs.MFleetFailed).Inc()
+	if bus := f.tel.Bus(); bus.Active() {
+		bus.Publish(obs.Event{Type: obs.EvRunFailed, TS: f.tel.Now(), App: i, Shard: -1, Attempt: attemptsUsed, Error: lastErr.Error()})
+	}
 	finish("failure", attemptsUsed)
 	if !f.cfg.ContinueOnError {
 		f.abort(i, fmt.Errorf("dispatch: app %d: %w", i, lastErr))

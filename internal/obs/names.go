@@ -58,6 +58,12 @@ const (
 	// Analysis fold series.
 	MAnalysisFolds       = "analysis_folds_total"
 	MAnalysisFlowsFolded = "analysis_flows_folded_total"
+
+	// Event-plane series. MBusDropped counts events lost to the
+	// slow-consumer drop policy (see Bus); it is registered lazily on
+	// the first actual drop so an idle bus never perturbs snapshot
+	// byte-identity.
+	MBusDropped = "bus_events_dropped_total"
 )
 
 // MAttribBuiltinClass names the per-origin-class counter for flows

@@ -41,6 +41,7 @@ type Telemetry struct {
 	tracer  *Tracer
 	now     TimeSource
 	virtual bool
+	bus     *Bus
 }
 
 // New creates wall-clock telemetry: host-side spans and timers read
@@ -88,6 +89,25 @@ func (t *Telemetry) Now() time.Time {
 // Virtual reports whether the telemetry is in deterministic mode, in
 // which wall-only measurements must not be recorded.
 func (t *Telemetry) Virtual() bool { return t != nil && t.virtual }
+
+// Bus returns the attached event bus (nil — inert — when none is
+// attached or on nil telemetry).
+func (t *Telemetry) Bus() *Bus {
+	if t == nil {
+		return nil
+	}
+	return t.bus
+}
+
+// SetBus attaches an event bus. Sharded campaigns use it to point every
+// shard's otherwise-fresh telemetry at the one campaign-wide bus.
+// No-op on nil telemetry.
+func (t *Telemetry) SetBus(b *Bus) {
+	if t == nil {
+		return
+	}
+	t.bus = b
+}
 
 // Counter returns the named registry counter (nil, inert, on nil
 // telemetry).

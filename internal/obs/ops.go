@@ -1,33 +1,61 @@
 package obs
 
 import (
+	"context"
+	_ "embed"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"sync"
 	"time"
 )
 
+// dashboardHTML is the single-file campaign dashboard, compiled into
+// the binary so an ops endpoint is always self-contained (no asset
+// directory to deploy next to a fleet worker).
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// DashboardHTML exposes the embedded dashboard bytes for the build
+// smoke test (a broken go:embed directive should fail tier-1, not be
+// discovered by an operator's 404).
+func DashboardHTML() []byte { return dashboardHTML }
+
 // OpsServer is the live ops endpoint: an expvar-style JSON snapshot of
-// the registry at /debug/vars, the net/http/pprof suite under
+// the registry at /debug/vars, a live SSE event stream at /events, the
+// embedded campaign dashboard at /, the net/http/pprof suite under
 // /debug/pprof/, and a trivial /healthz. It binds its own listener so
 // ":0" works (tests, parallel fleets) and reports the resolved address.
 type OpsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	reg  *Registry
+	bus  *Bus
+	quit chan struct{} // closed by Close; SSE handlers drain on it
+	once sync.Once
 }
 
 // ServeOps starts the ops endpoint on addr (e.g. "127.0.0.1:9090" or
-// ":0") serving the given registry. The server runs until Close.
-func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+// ":0") serving the given registry and event bus. bus may be nil, in
+// which case /events serves snapshot frames only. The server runs
+// until Close.
+func ServeOps(addr string, reg *Registry, bus *Bus) (*OpsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
+	s := &OpsServer{ln: ln, reg: reg, bus: bus, quit: make(chan struct{})}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleDashboard)
+	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		// A cached "live" snapshot is a silent observability lie.
+		w.Header().Set("Cache-Control", "no-store")
 		out, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -48,12 +76,132 @@ func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &OpsServer{
-		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-	}
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// handleDashboard serves the embedded single-page dashboard at exactly
+// "/" (the catch-all pattern would otherwise swallow typos into 200s).
+func (s *OpsServer) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(dashboardHTML)
+}
+
+// snapshotFrame is the periodic /events frame driving the dashboard's
+// progress and throughput views: counters and gauges only (histograms
+// are bulky and the stream is per-second), plus the bus's own stats.
+type snapshotFrame struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	Bus      BusStats         `json:"bus"`
+}
+
+// handleEvents streams the bus over SSE. Query param types= is a
+// comma-separated EventType filter (empty = all). Each bus event is one
+// `event: <type>` frame; once a second an `event: snapshot` frame
+// carries the registry state; on server close every client gets a
+// terminal `event: bye` frame instead of a connection reset.
+//
+// The handler is strictly a consumer: its subscription has a bounded
+// ring, so a stalled client costs dropped frames (counted under
+// MBusDropped), never publisher blocking.
+func (s *OpsServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	var filter []EventType
+	if q := strings.TrimSpace(r.URL.Query().Get("types")); q != "" {
+		for _, t := range strings.Split(q, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				filter = append(filter, EventType(t))
+			}
+		}
+	}
+
+	// Pump bus events into a channel the select below can wait on. The
+	// subscription's ring (not this unbuffered channel) is the backlog
+	// bound; pump exit is tied to ctx.
+	evCh := make(chan Event)
+	if s.bus != nil {
+		sub := s.bus.Subscribe(SubOptions{Types: filter})
+		defer sub.Close()
+		go func() {
+			defer close(evCh)
+			for {
+				ev, ok := sub.Next(ctx)
+				if !ok {
+					return
+				}
+				select {
+				case evCh <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	writeFrame := func(event string, payload any) bool {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	snapshot := func() bool {
+		snap := s.reg.Snapshot()
+		return writeFrame("snapshot", snapshotFrame{
+			Counters: snap.Counters,
+			Gauges:   snap.Gauges,
+			Bus:      s.bus.Stats(),
+		})
+	}
+
+	if !snapshot() {
+		return
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.quit:
+			_ = writeFrame("bye", map[string]string{"reason": "server closing"})
+			return
+		case <-tick.C:
+			if !snapshot() {
+				return
+			}
+		case ev, ok := <-evCh:
+			if !ok {
+				return
+			}
+			if !writeFrame(string(ev.Type), ev) {
+				return
+			}
+		}
+	}
 }
 
 // Addr returns the resolved listen address (host:port).
@@ -64,10 +212,20 @@ func (s *OpsServer) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server gracefully: SSE handlers are told to emit
+// their terminal frame (quit channel), then http.Server.Shutdown
+// drains in-flight handlers under a bounded context. Only if the
+// drain deadline passes do connections get hard-closed — the old
+// behavior, now the fallback instead of the default.
 func (s *OpsServer) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.once.Do(func() { close(s.quit) })
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
 }

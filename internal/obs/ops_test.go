@@ -1,17 +1,21 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestOpsEndpoint(t *testing.T) {
 	tel := New()
 	tel.Counter(MFleetCompleted).Add(12)
 	tel.Gauge(MFleetWorkersBusy).Set(3)
-	srv, err := ServeOps("127.0.0.1:0", tel.Metrics())
+	srv, err := ServeOps("127.0.0.1:0", tel.Metrics(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,5 +54,230 @@ func TestOpsEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s status %d", path, resp.StatusCode)
 		}
+	}
+	if resp, err := http.Get("http://" + srv.Addr() + "/debug/vars"); err == nil {
+		resp.Body.Close()
+		if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+			t.Fatalf("/debug/vars Cache-Control %q, want no-store", cc)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+// TestOpsDashboard is the tier-1 embed smoke test: / must serve exactly
+// the compiled-in dashboard bytes — a broken go:embed fails here, not at
+// an operator's browser.
+func TestOpsDashboard(t *testing.T) {
+	tel := New()
+	srv, err := ServeOps("127.0.0.1:0", tel.Metrics(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/ status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("dashboard content type %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("dashboard Cache-Control %q, want no-store", cc)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DashboardHTML(); !bytes.Equal(body, want) {
+		t.Fatalf("/ served %d bytes, embedded dashboard is %d bytes", len(body), len(want))
+	}
+	if len(body) == 0 || !bytes.Contains(body, []byte("EventSource")) {
+		t.Fatal("embedded dashboard does not look like the SSE dashboard")
+	}
+
+	// The exact-path guard: typos must 404, not render the dashboard.
+	resp2, err := http.Get("http://" + srv.Addr() + "/dashbord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("/dashbord status %d, want 404", resp2.StatusCode)
+	}
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readFrame parses the next SSE frame off the stream.
+func readFrame(t *testing.T, r *bufio.Reader) sseFrame {
+	t.Helper()
+	var f sseFrame
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && f.event != "":
+			return f
+		case strings.HasPrefix(line, "event: "):
+			f.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			f.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+}
+
+// TestOpsEventsSSE drives the full /events contract over real HTTP: the
+// initial snapshot frame, a types= filter, JSON event frames, and the
+// terminal bye frame on graceful Close.
+func TestOpsEventsSSE(t *testing.T) {
+	tel := New()
+	bus := NewBus(tel.Metrics())
+	tel.SetBus(bus)
+	srv, err := ServeOps("127.0.0.1:0", tel.Metrics(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?types=run.completed,campaign.done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events content type %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("/events Cache-Control %q, want no-store", cc)
+	}
+	r := bufio.NewReader(resp.Body)
+
+	first := readFrame(t, r)
+	if first.event != "snapshot" {
+		t.Fatalf("first frame is %q, want snapshot", first.event)
+	}
+	var snap snapshotFrame
+	if err := json.Unmarshal([]byte(first.data), &snap); err != nil {
+		t.Fatalf("snapshot frame is not JSON: %v\n%s", err, first.data)
+	}
+	if snap.Bus.Subscribers != 1 {
+		t.Fatalf("snapshot reports %d subscribers, want 1", snap.Bus.Subscribers)
+	}
+
+	// The filter must hold: run.started is published but never framed,
+	// run.completed comes through as typed JSON.
+	bus.Publish(Event{Type: EvRunStarted, TS: tel.Now(), App: 7, Shard: -1})
+	bus.Publish(Event{Type: EvRunCompleted, TS: tel.Now(), App: 7, Shard: -1, Flows: 3})
+	for {
+		f := readFrame(t, r)
+		if f.event == "snapshot" {
+			continue
+		}
+		if f.event != string(EvRunCompleted) {
+			t.Fatalf("frame %q leaked through the types= filter", f.event)
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("event frame is not JSON: %v\n%s", err, f.data)
+		}
+		if ev.App != 7 || ev.Flows != 3 {
+			t.Fatalf("event payload did not round-trip: %+v", ev)
+		}
+		break
+	}
+
+	// Graceful close: the client's last frame is bye, not a reset.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	for {
+		f := readFrame(t, r)
+		if f.event == "snapshot" {
+			continue
+		}
+		if f.event != "bye" {
+			t.Fatalf("terminal frame is %q, want bye", f.event)
+		}
+		break
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+}
+
+// TestOpsEventsStalledClient pins the isolation property end-to-end
+// over real HTTP: a client that connects and then never reads must cost
+// dropped frames, never publisher blocking — and killing it mid-stream
+// must leave the server serving.
+func TestOpsEventsStalledClient(t *testing.T) {
+	tel := New()
+	bus := NewBus(tel.Metrics())
+	tel.SetBus(bus)
+	srv, err := ServeOps("127.0.0.1:0", tel.Metrics(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never read resp.Body: the subscription ring fills, then drops.
+
+	deadline := time.After(20 * time.Second)
+	done := make(chan struct{})
+	const burst = 5 * DefaultSubCapacity
+	go func() {
+		defer close(done)
+		for i := 0; i < burst; i++ {
+			bus.Publish(Event{Type: EvRunCompleted, TS: tel.Now(), App: i, Shard: -1})
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("a stalled SSE client blocked the publisher")
+	}
+	if bus.Stats().Published != burst {
+		t.Fatalf("published %d, want %d", bus.Stats().Published, burst)
+	}
+	// The ring plus the in-flight frames bound what a stalled client can
+	// hold; the rest must have been dropped and counted.
+	if d := bus.Stats().Dropped; d == 0 {
+		t.Fatal("no drops counted after overwhelming a stalled client")
+	}
+	if got := tel.Metrics().Snapshot().Counters[MBusDropped]; got != bus.Stats().Dropped {
+		t.Fatalf("registry %s = %d, bus counted %d", MBusDropped, got, bus.Stats().Dropped)
+	}
+
+	// Kill the client mid-stream; the server must keep serving and the
+	// subscription must detach (publishes stop growing the drop count).
+	resp.Body.Close()
+	healthy, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("server unhealthy after a client reset: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, healthy.Body)
+	healthy.Body.Close()
+	for i := 0; i < 100 && bus.Stats().Subscribers > 0; i++ {
+		bus.Publish(Event{Type: EvRunCompleted, TS: tel.Now(), App: i, Shard: -1})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := bus.Stats().Subscribers; n != 0 {
+		t.Fatalf("%d subscriptions still attached after the client died", n)
 	}
 }

@@ -430,6 +430,11 @@ func (e *Experiment) RunContext(ctx context.Context, sinks ...dispatch.Sink) err
 			return fmt.Errorf("libspector: writing result store: %w", err)
 		}
 	}
+	// Terminal event only on a clean finish, after durability: a consumer
+	// seeing campaign.done may trust the result store and figures.
+	if res != nil {
+		publishCampaignDone(e.cfg.Telemetry, res.Accounting)
+	}
 	return nil
 }
 
@@ -459,6 +464,9 @@ type workerFold struct {
 func (e *Experiment) installWorkerFolds(cfg *dispatch.Config) *workerFolds {
 	wf := &workerFolds{}
 	tel := e.cfg.Telemetry
+	// One campaign-wide ranking tracker feeds analysis.fold bus events;
+	// inert (one atomic load per run) when no bus is attached.
+	tracker := newFoldTracker(tel, -1)
 	cfg.WorkerFold = func(worker int) func(dispatch.RunEvent) {
 		builder, err := analysis.NewDatasetBuilder(e.domains)
 		st := &workerFold{builder: builder, err: err}
@@ -488,6 +496,7 @@ func (e *Experiment) installWorkerFolds(cfg *dispatch.Config) *workerFolds {
 			if foldErr != nil && st.err == nil {
 				st.err = foldErr
 			}
+			tracker.observe(ev.Run)
 		}
 	}
 	return wf

@@ -92,6 +92,8 @@ func (e *Experiment) RunSharded(ctx context.Context, shards int) (*CampaignResul
 		// journaled prefix; one takeover per app bounds even a campaign
 		// where every single run crashes the shard hosting it.
 		MaxTakeovers: e.apps,
+		// Shard lifecycle and merge progress stream on the campaign bus.
+		Tel: e.cfg.Telemetry,
 	}
 	out, err := coord.Execute(ctx)
 	if err != nil {
@@ -199,6 +201,9 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 	}
 	var foldMu sync.Mutex
 	var folds []*shardFold
+	// The shard's analysis.fold ranking events carry its index so the
+	// dashboard can merge per-shard "top libraries so far" views.
+	tracker := newFoldTracker(shardTel, task.Index)
 	cfg.WorkerFold = func(worker int) func(dispatch.RunEvent) {
 		acc, err := analysis.NewAccumulator(e.domains)
 		st := &shardFold{acc: acc, err: err}
@@ -228,6 +233,7 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 			if foldErr != nil && st.err == nil {
 				st.err = foldErr
 			}
+			tracker.observe(ev.Run)
 		}
 	}
 
@@ -351,14 +357,20 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 // byte-deterministic merged snapshots), live campaigns get wall-clock
 // ones, untelemetered campaigns get none.
 func (e *Experiment) shardTelemetry() *obs.Telemetry {
+	var tel *obs.Telemetry
 	switch {
 	case e.cfg.Telemetry == nil:
 		return nil
 	case e.cfg.Telemetry.Virtual():
-		return obs.NewVirtual(nil)
+		tel = obs.NewVirtual(nil)
 	default:
-		return obs.New()
+		tel = obs.New()
 	}
+	// Shards keep private registries (snapshots must merge back to the
+	// single-process one) but share the campaign's event bus, so every
+	// shard's run events land on the one live stream and event log.
+	tel.SetBus(e.cfg.Telemetry.Bus())
+	return tel
 }
 
 // finishCampaign decodes and merges the shard partials, finalizes the
@@ -392,6 +404,10 @@ func (e *Experiment) finishCampaign(out *dispatch.CampaignOutcome, shards int) (
 			return nil, fmt.Errorf("libspector: writing result store: %w", err)
 		}
 	}
+	// Terminal event after durability, mirroring RunContext. The merged
+	// ledger equals the single-process one (shard ranges are disjoint and
+	// exhaustive), so the event's bytes are shard-count invariant.
+	publishCampaignDone(e.cfg.Telemetry, out.Accounting)
 	return &CampaignResult{
 		Accounting:  out.Accounting,
 		Failures:    out.Failures,
