@@ -19,7 +19,7 @@ BENCH_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisT
 # and its allocation profile (512 B/op, 6 allocs/op) is exact and stable.
 BENCH_GATE_GROUPS = 'BenchmarkFig' 'BenchmarkOfflineAnalysisPerApp|BenchmarkAnalysisThroughput' 'BenchmarkFleetThroughput' 'BenchmarkStorePointLookup|BenchmarkStoreScan' 'BenchmarkBusPublish'
 
-.PHONY: build test vet race bench bench-gate fuzz verify
+.PHONY: build test vet race bench bench-gate fuzz chaos verify
 
 build:
 	$(GO) build ./...
@@ -126,6 +126,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPartialDecode -fuzztime 10s ./internal/analysis
 	$(GO) test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/resultstore
 
-# Tier-1 verification (see ROADMAP.md) plus vet, the race subset, and the
-# decoder fuzz smoke.
-verify: build vet test race fuzz
+# Process-level chaos smoke: a 4-shard fleetscan campaign whose seeded
+# schedule SIGKILLs two shard children and the coordinator itself, resumed
+# via the coordinator WAL until done, with the merged event log required
+# byte-identical to a single-process baseline. Exercises real processes
+# (Setpgid, group kill, /healthz probes) where the in-tree chaos test
+# (TestChaosKillResumeByteIdentical) covers the same invariant under
+# `go test`.
+chaos:
+	./scripts/chaos_smoke.sh
+
+# Tier-1 verification (see ROADMAP.md) plus vet, the race subset, the
+# decoder fuzz smoke, and the process-level chaos smoke.
+verify: build vet test race fuzz chaos

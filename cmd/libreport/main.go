@@ -61,6 +61,7 @@ func run(args []string) error {
 		mergeShards = fs.String("merge-shards", "", "comma-separated shard outcome files to merge into the report instead of running a fleet")
 		store       = fs.String("store", "", "attribution record store path: written during a run, read by the -query-* flags")
 		eventsOut   = fs.String("events-out", "", "write the run's deterministic event log as JSONL to this file")
+		inspectWAL  = fs.String("wal", "", "inspect a coordinator write-ahead log: print the campaign header and supervision history (attempts, takeovers, seals), no fleet run")
 		queryApp    = fs.String("query-app", "", "query the -store for one app SHA (no fleet run)")
 		queryLib    = fs.String("query-library", "", "query the -store for one origin library (no fleet run)")
 		queryDomain = fs.String("query-domain", "", "query the -store for one domain (no fleet run)")
@@ -69,6 +70,10 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *inspectWAL != "" {
+		return inspectCoordinatorWAL(*inspectWAL)
 	}
 
 	if *queryApp != "" || *queryLib != "" || *queryDomain != "" || *groupBy != "" {
@@ -349,4 +354,43 @@ func writeCSVs(ds *analysis.Dataset, dir string) error {
 	return write("fig10_coverage.csv", func(w *os.File) error {
 		return report.Fig10CSV(w, ds.Fig10Coverage())
 	})
+}
+
+// inspectCoordinatorWAL renders a coordinator write-ahead log as a
+// human-readable supervision history: the campaign header, every journaled
+// attempt and takeover per shard, which shards sealed an outcome, and
+// whether the merge committed. Torn tails are reported, not fatal — that is
+// exactly the state a killed coordinator leaves behind.
+func inspectCoordinatorWAL(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	recs, err := dispatch.ReplayWAL(data)
+	if err != nil && len(recs) == 0 {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for n, rec := range recs {
+		switch rec.Type {
+		case "campaign":
+			fmt.Printf("[%3d] campaign  fingerprint=%s apps=%d shards=%d workers=%d\n",
+				n, rec.Fingerprint, rec.Apps, rec.Shards, rec.Workers)
+		case "attempt":
+			fmt.Printf("[%3d] attempt   shard=%d attempt=%d\n", n, rec.Shard, rec.Attempt)
+		case "takeover":
+			fmt.Printf("[%3d] takeover  shard=%d next-attempt=%d cause=%s\n", n, rec.Shard, rec.Attempt, rec.Error)
+		case "sealed":
+			fmt.Printf("[%3d] sealed    shard=%d attempt=%d sha=%s\n", n, rec.Shard, rec.Attempt, rec.OutcomeSHA)
+		case "done":
+			fmt.Printf("[%3d] done      campaign merged and committed\n", n)
+		default:
+			fmt.Printf("[%3d] %-9s shard=%d\n", n, rec.Type, rec.Shard)
+		}
+	}
+	if err != nil {
+		fmt.Printf("WAL damaged after %d records: %v\n", len(recs), err)
+		return nil
+	}
+	fmt.Printf("%d records; clean log.\n", len(recs))
+	return nil
 }

@@ -145,6 +145,7 @@ func run(ctx context.Context, args []string) error {
 		shards          = fs.Int("shards", 1, "split the campaign into N shards run under an in-process coordinator (byte-identical to -shards 1 when -workers >= N)")
 		shardIndex      = fs.Int("shard-index", -1, "run only this shard of an N-shard split and exit (child-process mode; requires -shards and -shard-out)")
 		shardOut        = fs.String("shard-out", "", "write the shard's outcome (ledger, snapshot, encoded partial) to this file for the parent to merge")
+		coordWAL        = fs.String("coordinator-wal", "", "coordinator write-ahead log for crash-safe -shards supervision: a killed campaign re-run with -resume verifies sealed shard outcomes and continues without resetting the takeover budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -168,8 +169,12 @@ func run(ctx context.Context, args []string) error {
 	cfg.ArtifactDir = *artifactDir
 	cfg.Journal = *journalPath
 	cfg.Resume = *resume
+	cfg.CoordinatorWAL = *coordWAL
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+	if *coordWAL != "" && *shards <= 1 {
+		return fmt.Errorf("-coordinator-wal requires -shards > 1")
 	}
 	cfg.ContinueOnError = *continueOnError
 	cfg.RunTimeout = *runTimeout

@@ -8,14 +8,22 @@
 // events as workers complete them, and Ctrl-C reports whatever finished
 // before the interrupt instead of discarding the run.
 //
-// With -shards N the campaign runs as N separate worker processes: the
-// parent re-executes itself once per shard (-shard-index/-shard-out),
-// watches each child's /healthz endpoint, re-spawns dead shards with
-// -resume so they take over from their journal, and merges the shard
-// outcome files into one campaign report.
+// With -shards N the campaign runs as N separate worker processes
+// supervised by a dispatch.Coordinator: the parent re-executes itself once
+// per shard (-shard-index/-shard-out) in its own process group, probes each
+// child's /healthz endpoint with hysteresis, watches the apps-completed
+// watermark for live-but-stuck shards (-stall-deadline), re-spawns dead
+// shards with -resume so they take over from their journal, and merges the
+// shard outcome files into one campaign report. With -coordinator-wal the
+// parent itself is crash-safe: a killed coordinator re-run with -resume
+// verifies sealed shard outcomes and resumes the campaign without resetting
+// the takeover budget. -chaos-seed/-chaos-kill SIGKILL real shard children
+// (and the coordinator, mid-campaign) at deterministic points to prove the
+// resumed run converges byte-for-byte.
 //
 //	go run ./examples/fleetscan [-apps 40] [-workers 4]
 //	go run ./examples/fleetscan -apps 40 -shards 4 -journal wal -artifacts evidence
+//	go run ./examples/fleetscan -apps 40 -shards 4 -journal wal -chaos-seed 7 -chaos-kill 2
 package main
 
 import (
@@ -26,13 +34,13 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
-	"sync"
 	"syscall"
 	"time"
 
 	"libspector"
 	"libspector/internal/corpus"
 	"libspector/internal/dispatch"
+	"libspector/internal/faults"
 	"libspector/internal/obs"
 )
 
@@ -72,14 +80,16 @@ func (p *progress) Consume(ev dispatch.RunEvent) error {
 
 // inheritedArgs reconstructs the explicitly-set command-line flags so a
 // child shard process sees the same campaign configuration as the
-// parent. Orchestration flags are owned by the parent and re-issued per
-// child; -resume is appended only on takeover (or a whole-campaign
-// resume), so it is excluded here too.
+// parent. Orchestration and supervision flags are owned by the parent
+// and re-issued per child; -resume is appended only on takeover (or a
+// whole-campaign resume), so it is excluded here too.
 func inheritedArgs() []string {
 	var args []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "shards", "shard-index", "shard-out", "probe-base-port", "metrics-addr", "resume", "events-out":
+		case "shards", "shard-index", "shard-out", "probe-base-port", "metrics-addr",
+			"resume", "events-out", "coordinator-wal", "stall-deadline", "probe-strikes",
+			"chaos-seed", "chaos-kill", "chaos-kill-after":
 			return
 		}
 		args = append(args, "-"+f.Name+"="+f.Value.String())
@@ -87,67 +97,67 @@ func inheritedArgs() []string {
 	return args
 }
 
-// spawnShard runs one shard as a child process and waits for it. With a
-// probe port, a watchdog goroutine polls the child's /healthz and kills
-// it after four consecutive failed probes — the parent then sees a
-// non-zero exit exactly as if the shard host had died.
-func spawnShard(ctx context.Context, self string, i, n int, outPath string, probeBase int, resume bool, eventsOut string) error {
+// processOpts carries the parent's supervision and chaos configuration.
+type processOpts struct {
+	journalPath   string
+	walPath       string
+	probeBase     int
+	probeStrikes  int
+	stallDeadline time.Duration
+	eventsOut     string
+	chaosSeed     uint64
+	chaosKill     int
+}
+
+// spawnShard runs one shard incarnation as a child process and waits
+// for it. Children live in their own process group with SIGKILL parent
+// death signaling, so a dying parent — panicking, SIGKILLed by chaos —
+// never leaves orphan shard processes (or their ops-port listeners)
+// behind, and a cancelled shard context kills the whole group.
+func spawnShard(ctx context.Context, self string, task dispatch.ShardTask, n int, outPath string, opts processOpts, campaignResume bool, plan *faults.ProcPlan) error {
 	args := inheritedArgs()
-	args = append(args, fmt.Sprintf("-shards=%d", n), fmt.Sprintf("-shard-index=%d", i), "-shard-out="+outPath)
-	if resume {
+	args = append(args, fmt.Sprintf("-shards=%d", n), fmt.Sprintf("-shard-index=%d", task.Index), "-shard-out="+outPath)
+	if campaignResume || task.Attempt > 0 {
 		args = append(args, "-resume")
 	}
-	if eventsOut != "" {
+	if opts.eventsOut != "" {
 		// Each child records its own shard's log; the parent owns the flag
 		// and re-issues it suffixed so children never clobber one file.
-		args = append(args, fmt.Sprintf("-events-out=%s.shard-%03d", eventsOut, i))
+		args = append(args, fmt.Sprintf("-events-out=%s.shard-%03d", opts.eventsOut, task.Index))
 	}
-	var addr string
-	if probeBase > 0 {
-		addr = fmt.Sprintf("127.0.0.1:%d", probeBase+i)
-		args = append(args, "-metrics-addr="+addr)
+	if opts.probeBase > 0 {
+		args = append(args, fmt.Sprintf("-metrics-addr=127.0.0.1:%d", opts.probeBase+task.Index))
+	}
+	if after, ok := plan.ShardKillAfter(task.Index, task.Attempt); ok {
+		fmt.Printf("  [chaos] shard %d will SIGKILL itself after %d runs\n", task.Index, after)
+		args = append(args, fmt.Sprintf("-chaos-kill-after=%d", after))
 	}
 	cmd := exec.CommandContext(ctx, self, args...)
 	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
-	if err := cmd.Start(); err != nil {
-		return err
+	cmd.SysProcAttr = &syscall.SysProcAttr{
+		// Own process group: killing the shard kills everything it
+		// spawned, and a chaos kill of THIS parent delivers SIGKILL to
+		// the child via Pdeathsig instead of orphaning it.
+		Setpgid:   true,
+		Pdeathsig: syscall.SIGKILL,
 	}
-	if addr != "" {
-		done := make(chan struct{})
-		defer close(done)
-		go func() {
-			// The child is only declared dead after it has answered at
-			// least once: startup time must not look like a hang.
-			healthy, fails := false, 0
-			ticker := time.NewTicker(500 * time.Millisecond)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-done:
-					return
-				case <-ticker.C:
-					if err := obs.ProbeHealthz(addr, time.Second); err != nil {
-						if healthy {
-							if fails++; fails >= 4 {
-								fmt.Printf("  [watchdog] shard %d stopped answering /healthz — killing it\n", i)
-								_ = cmd.Process.Kill()
-								return
-							}
-						}
-					} else {
-						healthy, fails = true, 0
-					}
-				}
-			}
-		}()
+	cmd.Cancel = func() error {
+		// Group kill (negative pid): the probe/stall watcher cancelling
+		// the shard context must reap the child's whole tree.
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
 	}
-	return cmd.Wait()
+	return cmd.Run()
 }
 
-// runShardProcesses is the -shards parent: spawn one child per shard,
-// re-spawn dead shards with -resume so they take over from their own
-// journal, then merge the shard outcome files into the campaign report.
-func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journalPath string, probeBase int, eventsOut string) error {
+// runShardProcesses is the -shards parent: a dispatch.Coordinator whose
+// runner spawns one child process per shard attempt. The coordinator
+// supplies liveness (probe hysteresis + stall watermark against each
+// child's ops endpoint), journal-backed takeover of dead children, and
+// — when a coordinator WAL is configured — crash-safe resume of the
+// parent itself: re-run after a parent kill with -resume and sealed
+// shard outcomes are verified and reused, in-flight shards resume from
+// their journals, and the takeover budget picks up where it stopped.
+func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, opts processOpts) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
@@ -158,85 +168,81 @@ func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journa
 	}
 	defer func() { _ = os.RemoveAll(dir) }()
 
-	// The parent narrates shard-process lifecycle on its own bus so a
-	// dashboard attached to the parent's ops endpoint shows the fleet's
-	// liveness grid even though the runs happen in child processes.
-	plan := dispatch.ShardPlan{TotalApps: cfg.Apps, Shards: n}
-	publish := func(ev obs.Event) {
-		bus := cfg.Telemetry.Bus()
-		if !bus.Active() {
-			return
-		}
-		if ev.Type.WallOnly() && cfg.Telemetry.Virtual() {
-			return
-		}
-		ev.TS = cfg.Telemetry.Now()
-		bus.Publish(ev)
+	// The seeded chaos schedule applies only to a fresh campaign: the
+	// resumed incarnation runs clean, which is what lets the chaos smoke
+	// assert convergence to the uninterrupted run instead of dying
+	// forever.
+	var plan *faults.ProcPlan
+	if opts.chaosKill > 0 && !cfg.Resume {
+		plan = faults.NewProcPlan(opts.chaosSeed, n, opts.chaosKill)
 	}
 
 	fmt.Printf("Scanning %d apps as %d shard processes...\n", cfg.Apps, n)
-	outcomes := make([]*dispatch.ShardOutcome, n)
-	errs := make([]error, n)
-	var mu sync.Mutex
-	takeovers := 0
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			outPath := filepath.Join(dir, fmt.Sprintf("shard-%03d.json", i))
-			rng := plan.Range(i)
-			for attempt := 0; ; attempt++ {
-				publish(obs.Event{Type: obs.EvShardStarted, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
-				err := spawnShard(ctx, self, i, n, outPath, probeBase, attempt > 0, eventsOut)
-				if err == nil {
-					publish(obs.Event{Type: obs.EvShardDone, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
-					outcomes[i], errs[i] = dispatch.ReadShardOutcome(outPath)
-					return
-				}
-				publish(obs.Event{Type: obs.EvShardDead, App: -1, Shard: i, Attempt: attempt, Error: err.Error()})
-				if ctx.Err() != nil {
-					errs[i] = err
-					return
-				}
-				if journalPath == "" {
-					// Without a journal a re-spawned shard would redo every
-					// run; surface the death instead of silently doubling work.
-					errs[i] = fmt.Errorf("shard %d died with no journal to take over from: %w", i, err)
-					return
-				}
-				mu.Lock()
-				if takeovers >= cfg.Apps {
-					mu.Unlock()
-					errs[i] = fmt.Errorf("shard %d: takeover budget exhausted: %w", i, err)
-					return
-				}
-				takeovers++
-				count := takeovers
-				mu.Unlock()
-				fmt.Printf("  [takeover] shard %d died (%v) — re-spawning with -resume (takeover %d)\n", i, err, count)
-				publish(obs.Event{Type: obs.EvShardTakeover, App: -1, Shard: i, Attempt: attempt + 1, Error: err.Error()})
+	coord := &dispatch.Coordinator{
+		Plan: dispatch.ShardPlan{TotalApps: cfg.Apps, Shards: n},
+		Run: func(cctx context.Context, task dispatch.ShardTask) (*dispatch.ShardOutcome, error) {
+			// Per-incarnation outcome files: a half-written file from a
+			// killed child must never be confused with the retry's.
+			outPath := filepath.Join(dir, fmt.Sprintf("shard-%03d.attempt-%03d.json", task.Index, task.Attempt))
+			if task.Attempt > 0 {
+				fmt.Printf("  [takeover] shard %d re-spawning with -resume (attempt %d)\n", task.Index, task.Attempt)
 			}
-		}(i)
+			if err := spawnShard(cctx, self, task, n, outPath, opts, cfg.Resume, plan); err != nil {
+				return nil, err
+			}
+			return dispatch.ReadShardOutcome(outPath)
+		},
+		// The parent narrates shard-process lifecycle on its own bus so a
+		// dashboard attached to the parent's ops endpoint shows the
+		// fleet's liveness grid even though the runs happen in children.
+		Tel: cfg.Telemetry,
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+	if opts.journalPath != "" {
+		// Journal replay makes takeover cheap; without a journal a
+		// re-spawned shard would redo (and double-count) every run, so
+		// the budget stays zero and a shard death fails the campaign.
+		coord.MaxTakeovers = cfg.Apps
+	}
+	if opts.probeBase > 0 {
+		addr := func(i int) string { return fmt.Sprintf("127.0.0.1:%d", opts.probeBase+i) }
+		coord.Probe = func(i int) error { return obs.ProbeHealthz(addr(i), time.Second) }
+		coord.ProbeInterval = 500 * time.Millisecond
+		coord.ProbeStrikes = opts.probeStrikes
+		if opts.stallDeadline > 0 {
+			coord.Progress = func(i int) (int64, error) { return obs.FetchProgress(addr(i), time.Second) }
+			coord.StallDeadline = opts.stallDeadline
+		}
+	}
+	if opts.walPath != "" {
+		coord.WAL = opts.walPath
+		coord.Resume = cfg.Resume
+		coord.Fingerprint = cfg.Fingerprint()
+		if plan != nil {
+			kill := plan.CoordinatorKillRecord()
+			coord.WALObserver = func(records int) {
+				if records == kill {
+					fmt.Printf("  [chaos] coordinator at WAL record %d — SIGKILLing itself mid-campaign\n", records)
+					faults.KillSelf()
+				}
+			}
 		}
 	}
 
+	out, err := coord.Execute(ctx)
+	if err != nil {
+		return err
+	}
 	exp, err := libspector.NewExperiment(cfg)
 	if err != nil {
 		return err
 	}
-	res, err := exp.MergeShardOutcomes(outcomes)
+	res, err := exp.FinishCampaign(out, n)
 	if err != nil {
 		return err
 	}
 	acct := res.Accounting
 	fmt.Printf("Merged %d shard outcomes: %d runs, %d skipped, %d failed, %d quarantined (%d process takeovers).\n",
-		n, acct.Completed, acct.SkippedARMOnly, acct.Failed, acct.Quarantined, takeovers)
+		n, acct.Completed, acct.SkippedARMOnly, acct.Failed, acct.Quarantined, res.Takeovers)
 	fmt.Println()
 	fmt.Println(obs.Render(res.Snapshot))
 	ag := exp.Aggregates()
@@ -249,6 +255,43 @@ func runShardProcesses(ctx context.Context, cfg libspector.Config, n int, journa
 	m := ag.Fig2CategoryTransfer()
 	fmt.Printf("  advertisement share:  %.1f%% of bytes (paper: 28.3%%)\n",
 		100*m.LegendShare[corpus.LibAdvertisement])
+	return nil
+}
+
+// mergeShardEvents assembles the campaign's single deterministic event
+// log from the per-child shard logs plus the parent's own logged events
+// (campaign.done). Shard ranges are contiguous and ascending and each
+// child log is already in canonical order, so concatenation in shard
+// order IS the canonical order — the file comes out byte-identical to a
+// single-process same-seed run's -events-out.
+func mergeShardEvents(eventsOut string, n int, evlog *obs.EventLog) error {
+	f, err := os.Create(eventsOut)
+	if err != nil {
+		return fmt.Errorf("writing event log: %w", err)
+	}
+	defer f.Close()
+	total := 0
+	for i := 0; i < n; i++ {
+		data, err := os.ReadFile(fmt.Sprintf("%s.shard-%03d", eventsOut, i))
+		if err != nil {
+			return fmt.Errorf("merging shard event logs: %w", err)
+		}
+		for _, b := range data {
+			if b == '\n' {
+				total++
+			}
+		}
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("merging shard event logs: %w", err)
+		}
+	}
+	if err := evlog.WriteJSONL(f); err != nil {
+		return fmt.Errorf("merging shard event logs: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing event log: %w", err)
+	}
+	fmt.Printf("  wrote %d events to %s\n", total+evlog.Len(), eventsOut)
 	return nil
 }
 
@@ -271,6 +314,12 @@ func run(ctx context.Context) error {
 	shardIndex := flag.Int("shard-index", -1, "child mode: run only this shard and write its outcome (spawned by -shards)")
 	shardOut := flag.String("shard-out", "", "child mode: shard outcome file to write")
 	probeBase := flag.Int("probe-base-port", 0, "liveness: child shard i serves /healthz on 127.0.0.1:(port+i) and the parent kills shards that stop answering (0 = off)")
+	probeStrikes := flag.Int("probe-strikes", 3, "consecutive failed /healthz probes before a shard is declared dead (transient timeouts don't burn takeover budget)")
+	stallDeadline := flag.Duration("stall-deadline", 0, "declare a live shard dead when its apps-completed watermark (/debug/vars) stops advancing for this long (0 = off; needs -probe-base-port)")
+	coordWAL := flag.String("coordinator-wal", "", "coordinator write-ahead log for crash-safe -shards supervision; a killed parent re-run with -resume picks the campaign up (defaults to <journal>.coordinator when -journal is set)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for the deterministic process-level chaos schedule")
+	chaosKill := flag.Int("chaos-kill", 0, "chaos: SIGKILL this many shard children mid-run, plus the coordinator itself mid-campaign when a WAL is active; re-run with -resume to converge")
+	chaosKillAfter := flag.Int("chaos-kill-after", 0, "child mode: SIGKILL this shard process after N terminal run outcomes (issued by the parent's chaos schedule)")
 	flag.Parse()
 
 	cfg := libspector.DefaultConfig()
@@ -282,8 +331,14 @@ func run(ctx context.Context) error {
 	cfg.ArtifactDir = *artifactDir
 	cfg.Journal = *journalPath
 	cfg.Resume = *resume
+	cfg.ChaosKillAfterRuns = *chaosKillAfter
 	if *resume && *journalPath == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+	if *chaosKill > 0 && *journalPath == "" {
+		// Killed shards can only be taken over from their journals;
+		// chaos without one would just fail the campaign.
+		return fmt.Errorf("-chaos-kill requires -journal")
 	}
 	cfg.FaultRate = *faultRate
 	cfg.FaultPoisonRate = *faultPoison
@@ -360,10 +415,29 @@ func run(ctx context.Context) error {
 		return writeEvents()
 	}
 	if *shards > 1 {
-		if err := runShardProcesses(ctx, cfg, *shards, *journalPath, *probeBase, *eventsOut); err != nil {
+		walPath := *coordWAL
+		if walPath == "" && *journalPath != "" {
+			walPath = *journalPath + ".coordinator"
+		}
+		opts := processOpts{
+			journalPath:   *journalPath,
+			walPath:       walPath,
+			probeBase:     *probeBase,
+			probeStrikes:  *probeStrikes,
+			stallDeadline: *stallDeadline,
+			eventsOut:     *eventsOut,
+			chaosSeed:     *chaosSeed,
+			chaosKill:     *chaosKill,
+		}
+		if err := runShardProcesses(ctx, cfg, *shards, opts); err != nil {
 			return err
 		}
-		return writeEvents()
+		if evlog != nil {
+			// Process mode owns its event-log assembly: child shard logs
+			// concatenated in shard order, then the parent's campaign.done.
+			return mergeShardEvents(*eventsOut, *shards, evlog)
+		}
+		return nil
 	}
 
 	exp, err := libspector.NewExperiment(cfg)

@@ -67,16 +67,60 @@ type Coordinator struct {
 	// may consume; 0 means a failed shard fails the campaign.
 	MaxTakeovers int
 	// Probe, when set, is polled every ProbeInterval per running shard
-	// (e.g. obs.ProbeHealthz against the shard's ops endpoint). A probe
-	// error cancels the shard's context, which surfaces as a shard
-	// failure and triggers a takeover.
+	// (e.g. obs.ProbeHealthz against the shard's ops endpoint). A shard
+	// is declared dead — its context cancelled, surfacing as a failure
+	// that triggers a takeover — only after ProbeStrikes consecutive
+	// probe errors, so one transient timeout doesn't burn takeover
+	// budget.
 	Probe func(index int) error
 	// ProbeInterval defaults to DefaultProbeInterval when zero.
 	ProbeInterval time.Duration
+	// ProbeStrikes is how many consecutive probe failures declare a
+	// shard dead; it defaults to DefaultProbeStrikes when <= 0.
+	ProbeStrikes int
+	// Progress, when set alongside StallDeadline, reads a shard's
+	// progress watermark (apps reaching a terminal outcome — see
+	// obs.FetchProgress). A shard whose watermark stops advancing for
+	// StallDeadline is declared dead even while its Probe stays green:
+	// a deadlocked shard answers /healthz forever.
+	Progress func(index int) (int64, error)
+	// StallDeadline is how long a shard's watermark may sit still before
+	// the shard is declared stalled. Zero disables stall detection.
+	StallDeadline time.Duration
 	// Tel, when set, carries the campaign event bus: the coordinator
 	// publishes shard lifecycle (started/done deterministic;
-	// healthy/dead/takeover wall-only) and merge progress on it.
+	// healthy/dead/stalled/takeover wall-only) and merge progress on it.
+	// Supervision counters (coordinator_takeovers_total, stall
+	// detections, per-shard attempt gauges) land on its registry too.
 	Tel *obs.Telemetry
+
+	// WAL, when non-empty, is the path of the coordinator's own
+	// crash-safe write-ahead log and switches Execute to supervised
+	// mode: shard attempts, takeover-budget consumption, and sealed
+	// outcomes are journaled so a killed-and-restarted coordinator
+	// resumes instead of redoing finished shards or resetting the
+	// budget. See supervise.go.
+	WAL string
+	// Resume re-opens an existing WAL and resumes the campaign it
+	// describes; without it a pre-existing WAL is truncated and the
+	// campaign starts over (matching journal.Create's semantics for the
+	// shard journals).
+	Resume bool
+	// OutcomeDir is where sealed shard outcomes are persisted in
+	// supervised mode; it defaults to WAL + ".outcomes".
+	OutcomeDir string
+	// Fingerprint binds the WAL to one campaign configuration; a resume
+	// against a WAL recorded under a different fingerprint fails.
+	Fingerprint string
+	// WALObserver, when set, is called with the total record count after
+	// every WAL append. Tests use it to kill the coordinator at exact
+	// record boundaries.
+	WALObserver func(records int)
+	// CrashAfterWALRecords, when > 0, is the in-process chaos hook: the
+	// WAL refuses every append after that many records, simulating a
+	// coordinator killed at an exact record boundary (the durable prefix
+	// is precisely that many records — supervised mode fsyncs each one).
+	CrashAfterWALRecords int
 }
 
 // publish emits one coordinator event when the campaign bus is live.
@@ -94,9 +138,26 @@ func (c *Coordinator) publish(ev obs.Event) {
 	bus.Publish(ev)
 }
 
+// supTel is the telemetry target for supervision metrics (takeovers,
+// stalls, per-shard attempt gauges). Like wall-only events they are
+// suppressed under virtual telemetry: takeover counts depend on real
+// process/scheduler behavior, and registering them on a deterministic
+// registry would perturb the snapshot byte-identity the invariance
+// tests pin. Nil telemetry is inert, so call sites stay unconditional.
+func (c *Coordinator) supTel() *obs.Telemetry {
+	if c.Tel.Virtual() {
+		return nil
+	}
+	return c.Tel
+}
+
 // DefaultProbeInterval is the liveness polling cadence when the
 // coordinator has a probe but no explicit interval.
 const DefaultProbeInterval = 250 * time.Millisecond
+
+// DefaultProbeStrikes is how many consecutive probe failures declare a
+// shard dead when the coordinator doesn't set its own threshold.
+const DefaultProbeStrikes = 3
 
 // CampaignOutcome is the merged result of all shards.
 type CampaignOutcome struct {
@@ -155,6 +216,9 @@ func (c *Coordinator) Execute(ctx context.Context) (*CampaignOutcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if c.WAL != "" {
+		return c.executeSupervised(ctx)
+	}
 
 	outcomes := make([]*ShardOutcome, c.Plan.Shards)
 	errs := make([]error, c.Plan.Shards)
@@ -182,6 +246,7 @@ func (c *Coordinator) Execute(ctx context.Context) (*CampaignOutcome, error) {
 // exhausted.
 func (c *Coordinator) runShard(ctx context.Context, i int, takeovers *atomic.Int64) (*ShardOutcome, error) {
 	for attempt := 0; ; attempt++ {
+		c.supTel().Gauge(obs.MCoordShardAttempts(i)).Set(int64(attempt + 1))
 		out, err := c.runAttempt(ctx, i, attempt)
 		if err == nil {
 			if out == nil {
@@ -195,6 +260,7 @@ func (c *Coordinator) runShard(ctx context.Context, i int, takeovers *atomic.Int
 		if !consumeTakeover(takeovers, c.MaxTakeovers) {
 			return nil, fmt.Errorf("attempt %d failed with no takeover budget left: %w", attempt, err)
 		}
+		c.supTel().Counter(obs.MCoordTakeovers).Inc()
 		c.publish(obs.Event{Type: obs.EvShardTakeover, App: -1, Shard: i, Attempt: attempt + 1, Error: err.Error()})
 	}
 }
@@ -208,30 +274,11 @@ func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOut
 
 	var probeErr atomic.Value
 	var watch sync.WaitGroup
-	if c.Probe != nil {
-		interval := c.ProbeInterval
-		if interval <= 0 {
-			interval = DefaultProbeInterval
-		}
+	if c.Probe != nil || (c.Progress != nil && c.StallDeadline > 0) {
 		watch.Add(1)
 		go func() {
 			defer watch.Done()
-			ticker := time.NewTicker(interval)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-sctx.Done():
-					return
-				case <-ticker.C:
-					if err := c.Probe(i); err != nil {
-						probeErr.Store(err)
-						c.publish(obs.Event{Type: obs.EvShardDead, App: -1, Shard: i, Attempt: attempt, Error: err.Error()})
-						cancel()
-						return
-					}
-					c.publish(obs.Event{Type: obs.EvShardHealthy, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
-				}
-			}
+			c.watchShard(sctx, cancel, i, attempt, rng, &probeErr)
 		}()
 	}
 
@@ -262,6 +309,74 @@ func (c *Coordinator) runAttempt(ctx context.Context, i, attempt int) (*ShardOut
 		},
 	})
 	return out, nil
+}
+
+// watchShard is one attempt's liveness watcher. It polls the
+// reachability probe with ProbeStrikes-consecutive-failure hysteresis
+// and the progress watermark against the stall deadline; declaring the
+// shard dead stores the reason in probeErr and cancels the attempt.
+func (c *Coordinator) watchShard(sctx context.Context, cancel context.CancelFunc, i, attempt int, rng ShardRange, probeErr *atomic.Value) {
+	interval := c.ProbeInterval
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	maxStrikes := c.ProbeStrikes
+	if maxStrikes <= 0 {
+		maxStrikes = DefaultProbeStrikes
+	}
+	stalling := c.Progress != nil && c.StallDeadline > 0
+	strikes := 0
+	answered := false
+	lastMark := int64(-1)
+	lastAdvance := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if c.Probe != nil {
+			if err := c.Probe(i); err != nil {
+				// Failures before the shard has EVER answered are startup,
+				// not death — a child process booting its corpus must not
+				// look like a hang. A shard that never comes up is the
+				// stall deadline's to catch (its watermark clock started
+				// with this watch).
+				if answered {
+					strikes++
+					if strikes >= maxStrikes {
+						probeErr.Store(fmt.Errorf("%d consecutive probe failures: %w", strikes, err))
+						c.publish(obs.Event{Type: obs.EvShardDead, App: -1, Shard: i, Attempt: attempt, Error: err.Error()})
+						cancel()
+						return
+					}
+				}
+			} else {
+				answered = true
+				strikes = 0
+				c.publish(obs.Event{Type: obs.EvShardHealthy, App: -1, Shard: i, Lo: rng.Lo, Hi: rng.Hi, Attempt: attempt})
+			}
+		}
+		if stalling {
+			// A read error leaves the watermark state untouched: an
+			// unreadable /debug/vars can't prove progress, so the stall
+			// deadline keeps counting and eventually catches it.
+			if mark, err := c.Progress(i); err == nil && mark > lastMark {
+				lastMark = mark
+				lastAdvance = time.Now()
+			}
+			if time.Since(lastAdvance) >= c.StallDeadline {
+				stallErr := fmt.Errorf("shard stalled: watermark stuck at %d past the %v stall deadline", lastMark, c.StallDeadline)
+				probeErr.Store(stallErr)
+				c.supTel().Counter(obs.MCoordStalls).Inc()
+				c.publish(obs.Event{Type: obs.EvShardStalled, App: -1, Shard: i, Attempt: attempt, Error: stallErr.Error()})
+				cancel()
+				return
+			}
+		}
+	}
 }
 
 // consumeTakeover claims one unit of the campaign-wide takeover budget.

@@ -27,7 +27,7 @@ import (
 
 // replayApp folds one journaled terminal outcome back into the stream
 // without re-running the app.
-func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
+func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome, retries []journal.RetryInfo) {
 	root := f.tel.Trace(TraceID(i)).Span(obs.SpanDispatch, f.tel.Now())
 	root.AttrInt("app", int64(i)).Attr("resume", "replay")
 	finish := func(outcome string) {
@@ -38,12 +38,15 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 		if err != nil {
 			// The journal says done but the evidence doesn't back it up:
 			// requeue the run live rather than fabricate a result. The
-			// requeued run re-saves fresh evidence over the damaged entry.
+			// requeued run re-saves fresh evidence over the damaged entry
+			// — and publishes its own lifecycle events, so none are
+			// republished here.
 			root.Attr("outcome", "requeue").Attr("reason", err.Error()).End(f.tel.Now())
 			f.tel.Counter(obs.MResumeRequeued).Inc()
 			f.runApp(env, i, true)
 			return
 		}
+		f.republishLifecycle(i, retries)
 		f.foldReplayed(i, rec)
 		f.restoreMeters(rec.Meters)
 		f.mu.Lock()
@@ -55,6 +58,21 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 		f.tel.Counter(obs.MFleetCompleted).Inc()
 		if rec.Attempts > 1 {
 			f.tel.Counter(obs.MFleetRetries).Inc()
+		}
+		if bus := f.tel.Bus(); bus.Active() {
+			bev := obs.Event{
+				Type: obs.EvRunCompleted, TS: f.tel.Now(), App: i, Shard: -1,
+				Attempt: rec.Attempts, Package: run.AppPackage,
+				Flows: int64(len(run.Flows)),
+			}
+			if rec.Meters != nil {
+				bev.VirtualMS = rec.Meters.VirtualMS
+				bev.TCPBytes = rec.Meters.TCPWireBytes
+				bev.UDPBytes = rec.Meters.UDPWireBytes
+				bev.DNSBytes = rec.Meters.DNSWireBytes
+				bev.DroppedDatagrams = rec.Meters.DroppedGrams
+			}
+			bus.Publish(bev)
 		}
 		finish("run")
 		ev := RunEvent{Kind: EventRun, AppIndex: i, Run: run}
@@ -69,6 +87,7 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 	if rec.Outcome == journal.OutcomeFailed || rec.Quarantined {
 		f.observeReplayed(env, i)
 	}
+	f.republishLifecycle(i, retries)
 	f.foldReplayed(i, rec)
 	switch {
 	case rec.Outcome == journal.OutcomeSkip:
@@ -76,6 +95,9 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 		f.skipped++
 		f.mu.Unlock()
 		f.tel.Counter(obs.MFleetSkipped).Inc()
+		if bus := f.tel.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Type: obs.EvRunSkipped, TS: f.tel.Now(), App: i, Shard: -1, Attempt: rec.Attempts})
+		}
 		finish("skip")
 		f.emit(RunEvent{Kind: EventSkip, AppIndex: i})
 	case rec.Quarantined:
@@ -84,6 +106,9 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 		f.quarantined = append(f.quarantined, q)
 		f.mu.Unlock()
 		f.tel.Counter(obs.MFleetQuarantined).Inc()
+		if bus := f.tel.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Type: obs.EvRunQuarantined, TS: f.tel.Now(), App: i, Shard: -1, Attempt: rec.Attempts, Error: rec.Error})
+		}
 		finish("quarantine")
 		f.emit(RunEvent{Kind: EventQuarantine, AppIndex: i, Err: q.LastErr, Quarantine: &q})
 	default:
@@ -94,8 +119,27 @@ func (f *fleetRun) replayApp(env *runEnv, i int, rec journal.AppOutcome) {
 		f.failures = append(f.failures, RunFailure{AppIndex: i, Err: err, Attempts: rec.Attempts})
 		f.mu.Unlock()
 		f.tel.Counter(obs.MFleetFailed).Inc()
+		if bus := f.tel.Bus(); bus.Active() {
+			bus.Publish(obs.Event{Type: obs.EvRunFailed, TS: f.tel.Now(), App: i, Shard: -1, Attempt: rec.Attempts, Error: rec.Error})
+		}
 		finish("failure")
 		f.emit(RunEvent{Kind: EventFailure, AppIndex: i, Err: err})
+	}
+}
+
+// republishLifecycle re-emits the logged lifecycle prefix — run.started
+// and every journaled run.retry — exactly as the original incarnation
+// published it, so a resumed campaign's event log stays byte-identical
+// to the uninterrupted run's. The terminal event follows at each
+// outcome's own publish site with its outcome-specific payload.
+func (f *fleetRun) republishLifecycle(i int, retries []journal.RetryInfo) {
+	bus := f.tel.Bus()
+	if !bus.Active() {
+		return
+	}
+	bus.Publish(obs.Event{Type: obs.EvRunStarted, TS: f.tel.Now(), App: i, Shard: -1})
+	for _, r := range retries {
+		bus.Publish(obs.Event{Type: obs.EvRunRetry, TS: f.tel.Now(), App: i, Shard: -1, Attempt: r.Attempt, Error: r.Error})
 	}
 }
 

@@ -360,6 +360,7 @@ func (f *fleetRun) emit(ev RunEvent) {
 type job struct {
 	idx      int
 	rec      *journal.AppOutcome
+	retries  []journal.RetryInfo
 	requeued bool
 }
 
@@ -387,6 +388,7 @@ feed:
 			if rec, done := f.cfg.Resume.Outcomes[i]; done {
 				r := rec
 				j.rec = &r
+				j.retries = f.cfg.Resume.Retries[i]
 			} else if f.cfg.Resume.InFlight[i] {
 				j.requeued = true
 			}
@@ -504,7 +506,7 @@ func (f *fleetRun) worker(w int, jobs <-chan job) {
 			}
 		}
 		if j.rec != nil {
-			f.replayApp(env, j.idx, *j.rec)
+			f.replayApp(env, j.idx, *j.rec, j.retries)
 		} else {
 			f.runApp(env, j.idx, j.requeued)
 		}
@@ -717,6 +719,14 @@ func (f *fleetRun) runApp(env *runEnv, i int, requeued bool) {
 			break
 		}
 		if attempt < maxAttempts {
+			if f.cfg.Journal != nil {
+				// The retry record exists for event-log fidelity: replay
+				// republishes run.retry with the original attempt's error
+				// text, which nothing else persists.
+				if !f.journalAppend(f.cfg.Journal.RunRetry(i, attempt, lastErr.Error())) {
+					return
+				}
+			}
 			if bus := f.tel.Bus(); bus.Active() {
 				bus.Publish(obs.Event{Type: obs.EvRunRetry, TS: f.tel.Now(), App: i, Shard: -1, Attempt: attempt, Error: lastErr.Error()})
 			}

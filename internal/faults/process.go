@@ -1,0 +1,139 @@
+package faults
+
+// Process-level chaos: seeded plans for killing real processes and
+// rotting real files, the layer above the in-process run/crash classes.
+// A ProcPlan is a pure function of its seed, so a chaos campaign is as
+// reproducible as a clean one — the same seed kills the same shards
+// after the same number of completed runs and fires the coordinator
+// kill at the same WAL record, which is what lets the chaos tests
+// assert byte-identical convergence instead of "it eventually worked".
+
+import (
+	"fmt"
+	"os"
+
+	"libspector/internal/sim"
+)
+
+// ProcPlan is the seeded process-fault schedule for one multi-process
+// campaign: which shard children get SIGKILLed (and after how many
+// completed runs), at which WAL record the coordinator kills itself,
+// and which sealed shard outcome gets tampered with before a resume.
+type ProcPlan struct {
+	shards int
+	// killAfter[i] > 0 means shard i's first incarnation dies after that
+	// many terminal run outcomes.
+	killAfter []int
+	// coordRecord is the 1-based WAL record count at which the
+	// coordinator's first incarnation dies.
+	coordRecord int
+	// tamper is the shard whose sealed outcome gets corrupted between
+	// the coordinator's death and its resume (-1: none).
+	tamper int
+}
+
+// NewProcPlan derives a process-fault schedule: `kills` distinct shards
+// (clamped to the shard count) are chosen to die mid-run, one shard is
+// chosen for outcome tampering, and the coordinator's own death lands
+// in the sealing region of the WAL — after the per-shard attempt
+// records, among the sealed-outcome acknowledgements — which is the
+// "killed mid-merge" window the resume path must survive.
+func NewProcPlan(seed uint64, shards, kills int) *ProcPlan {
+	if shards < 1 {
+		shards = 1
+	}
+	if kills > shards {
+		kills = shards
+	}
+	r := sim.NewRand(seed).Split("chaos")
+	p := &ProcPlan{shards: shards, killAfter: make([]int, shards), tamper: -1}
+	perm := r.Split("victims").Perm(shards)
+	ra := r.Split("after")
+	for _, i := range perm[:kills] {
+		// Die after 1..8 completed runs: far enough in that the shard
+		// journal holds real state, early enough that the takeover
+		// attempt has real work left to do.
+		p.killAfter[i] = 1 + int(ra.Uint64()%8)
+	}
+	// The fresh coordinator writes 1 campaign record, one attempt record
+	// per shard, then seals outcomes as shards finish: records
+	// 2+shards .. 1+2*shards are seals (takeover records of killed
+	// shards push seals later, never earlier). Landing the kill at
+	// 1+shards+j for j in [1, shards-1] guarantees at least one seal is
+	// durable and at least one shard is still unsealed — mid-merge.
+	j := 1
+	if shards > 2 {
+		j = 1 + r.Split("coord").Intn(shards-1)
+	}
+	p.coordRecord = 1 + shards + j
+	p.tamper = r.Split("tamper").Intn(shards)
+	return p
+}
+
+// ShardKillAfter reports whether the given shard incarnation should
+// SIGKILL itself, and after how many terminal run outcomes. Only a
+// shard's first attempt dies: takeover and resumed incarnations run
+// clean, so the campaign converges.
+func (p *ProcPlan) ShardKillAfter(shard, attempt int) (afterRuns int, ok bool) {
+	if p == nil || attempt != 0 || shard < 0 || shard >= p.shards {
+		return 0, false
+	}
+	if n := p.killAfter[shard]; n > 0 {
+		return n, true
+	}
+	return 0, false
+}
+
+// CoordinatorKillRecord is the 1-based WAL record count at which a
+// fresh (non-resumed) coordinator incarnation should die. Resumed
+// incarnations run clean.
+func (p *ProcPlan) CoordinatorKillRecord() int {
+	if p == nil {
+		return 0
+	}
+	return p.coordRecord
+}
+
+// TamperShard is the shard whose sealed outcome the chaos driver
+// corrupts before resuming the coordinator, forcing the seal
+// verification path to demote that shard to a journal resume.
+func (p *ProcPlan) TamperShard() int {
+	if p == nil {
+		return -1
+	}
+	return p.tamper
+}
+
+// FlipByte corrupts one seeded byte of a file in place — the
+// disk-rot primitive the chaos harness applies to sealed outcomes.
+func FlipByte(path string, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("faults: reading %s: %w", path, err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("faults: %s is empty, nothing to flip", path)
+	}
+	i := int(sim.NewRand(seed).Split("flip").Uint64() % uint64(len(data)))
+	data[i] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("faults: rewriting %s: %w", path, err)
+	}
+	return nil
+}
+
+// KillSelf terminates the current process the way chaos does: SIGKILL,
+// no deferred functions, no flushes — exactly what a machine reaping an
+// OOM victim or a yanked power cable leaves behind. os.Exit would be
+// gentler than the failure being modeled.
+func KillSelf() {
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		// Finding our own process cannot fail on supported platforms;
+		// fall back to a hard exit rather than keep running.
+		os.Exit(137)
+	}
+	_ = proc.Kill()
+	// Kill is asynchronous delivery; block until it lands.
+	select {}
+}

@@ -26,15 +26,12 @@
 package journal
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
-	"sync"
 	"time"
 )
 
@@ -89,6 +86,10 @@ const (
 	TypeCampaign Type = "campaign"
 	// TypeStarted marks a run handed to a worker.
 	TypeStarted Type = "started"
+	// TypeRetry marks one failed attempt before a retry: the attempt
+	// number and its error text, so a resumed campaign can reproduce the
+	// run's retry history (and its logged run.retry events) exactly.
+	TypeRetry Type = "retry"
 	// TypeCompleted marks a run that finished (outcome run, skip, or
 	// failed) after the collector drain.
 	TypeCompleted Type = "completed"
@@ -214,15 +215,11 @@ type Options struct {
 const DefaultSyncEvery = 16
 
 // Writer appends records to a journal file. It is safe for concurrent
-// use by the fleet's workers.
+// use by the fleet's workers. The framing, fsync batching, broken-latch,
+// and tear-injection mechanics live in FrameWriter; Writer owns only the
+// record schema.
 type Writer struct {
-	mu        sync.Mutex
-	f         *os.File
-	buf       *bufio.Writer
-	syncEvery int
-	unsynced  int
-	broken    error
-	tearNext  bool
+	fw *FrameWriter
 }
 
 // Create truncates (or creates) the journal at path and writes the
@@ -281,11 +278,7 @@ func Recover(path string, opts Options) (*Writer, *Replay, error) {
 }
 
 func newWriter(f *os.File, opts Options) *Writer {
-	se := opts.SyncEvery
-	if se <= 0 {
-		se = DefaultSyncEvery
-	}
-	return &Writer{f: f, buf: bufio.NewWriter(f), syncEvery: se}
+	return &Writer{fw: NewFrameWriter(f, opts)}
 }
 
 // Append frames, checksums, and writes one record, fsyncing when the
@@ -293,49 +286,23 @@ func newWriter(f *os.File, opts Options) *Writer {
 // further appends: a durability log that silently drops records is worse
 // than none.
 func (w *Writer) Append(rec Record) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.broken != nil {
-		return w.broken
-	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("journal: encoding record: %w", err)
 	}
-	var frame [frameHeaderSize]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
-	if w.tearNext {
-		// Injected crash mid-write: flush a partial frame — the header
-		// plus roughly half the payload — straight to disk, then fail as
-		// the dying process would. The writer stays broken.
-		w.tearNext = false
-		torn := append(frame[:], payload[:len(payload)/2]...)
-		if _, err := w.buf.Write(torn); err == nil {
-			_ = w.buf.Flush()
-			_ = w.f.Sync()
-		}
-		w.broken = ErrTornWrite
-		return w.broken
-	}
-	if _, err := w.buf.Write(frame[:]); err != nil {
-		w.broken = fmt.Errorf("journal: writing frame: %w", err)
-		return w.broken
-	}
-	if _, err := w.buf.Write(payload); err != nil {
-		w.broken = fmt.Errorf("journal: writing payload: %w", err)
-		return w.broken
-	}
-	w.unsynced++
-	if w.unsynced >= w.syncEvery {
-		return w.syncLocked()
-	}
-	return nil
+	return w.fw.Append(payload)
 }
 
 // RunStarted records an app handed to a worker.
 func (w *Writer) RunStarted(app int) error {
 	return w.Append(Record{Type: TypeStarted, App: app})
+}
+
+// RunRetry records one failed attempt (1-based) that the fleet is about
+// to retry, with its error text, so replay can reconstruct the run's
+// retry history verbatim.
+func (w *Writer) RunRetry(app, attempt int, errText string) error {
+	return w.Append(Record{Type: TypeRetry, App: app, Attempts: attempt, Error: errText})
 }
 
 // RunCompleted records a finished run: its outcome, the artifact sha
@@ -366,53 +333,17 @@ func (w *Writer) RunQuarantined(app, attempts int, backoff time.Duration, backof
 }
 
 // Sync flushes buffered records and fsyncs the file.
-func (w *Writer) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.broken != nil {
-		return w.broken
-	}
-	return w.syncLocked()
-}
-
-func (w *Writer) syncLocked() error {
-	if err := w.buf.Flush(); err != nil {
-		w.broken = fmt.Errorf("journal: flushing: %w", err)
-		return w.broken
-	}
-	if err := w.f.Sync(); err != nil {
-		w.broken = fmt.Errorf("journal: fsync: %w", err)
-		return w.broken
-	}
-	w.unsynced = 0
-	return nil
-}
+func (w *Writer) Sync() error { return w.fw.Sync() }
 
 // InjectTear arms the crash-fault hook: the next Append writes a
 // deliberately torn frame (header plus half the payload), fails with
 // ErrTornWrite, and breaks the writer — the deterministic stand-in for a
 // process killed mid-write.
-func (w *Writer) InjectTear() {
-	w.mu.Lock()
-	w.tearNext = true
-	w.mu.Unlock()
-}
+func (w *Writer) InjectTear() { w.fw.InjectTear() }
 
 // Close syncs and releases the file. A broken writer still closes the
 // descriptor.
-func (w *Writer) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	var syncErr error
-	if w.broken == nil {
-		syncErr = w.syncLocked()
-	}
-	closeErr := w.f.Close()
-	if syncErr != nil {
-		return syncErr
-	}
-	return closeErr
-}
+func (w *Writer) Close() error { return w.fw.Close() }
 
 // AppOutcome is the replayed terminal state of one app.
 type AppOutcome struct {
@@ -434,6 +365,13 @@ type AppOutcome struct {
 	Meters *RunMeters
 }
 
+// RetryInfo is one replayed retry record: a failed attempt (1-based)
+// and its error text.
+type RetryInfo struct {
+	Attempt int
+	Error   string
+}
+
 // Replay is the reconstructed campaign state after reading a journal.
 type Replay struct {
 	// Header is the campaign identity record.
@@ -445,6 +383,12 @@ type Replay struct {
 	// InFlight lists apps with a started record but no terminal record —
 	// runs the crash interrupted, which resume must requeue.
 	InFlight map[int]bool
+	// Retries maps app index to the retry records of its newest attempt
+	// sequence (a fresh started record resets the app's list), so replay
+	// can republish the run's retry events exactly. Absent for apps from
+	// journals written before retry records, whose replays simply carry
+	// no retry history.
+	Retries map[int][]RetryInfo
 	// Records is the number of intact records replayed.
 	Records int
 	// ValidLen is the byte offset after the last intact record; Recover
@@ -472,61 +416,32 @@ func ReplayBytes(data []byte) (*Replay, error) {
 	r := &Replay{
 		Outcomes: make(map[int]AppOutcome),
 		InFlight: make(map[int]bool),
+		Retries:  make(map[int][]RetryInfo),
 	}
 	sawHeader := false
-	var off int64
-	total := int64(len(data))
-	for off < total {
-		rest := total - off
-		if rest < frameHeaderSize {
-			// A frame header cut short can only be a torn tail.
-			break
-		}
-		length := int64(binary.LittleEndian.Uint32(data[off : off+4]))
-		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		end := off + frameHeaderSize + length
-		if length > maxRecordSize {
-			// An absurd length is not a record. If the claimed record
-			// would run past EOF it is indistinguishable from a torn
-			// header, so treat it as the tail; a bounded bad frame with
-			// data after it is interior corruption.
-			if end >= total {
-				break
-			}
-			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("frame length %d exceeds limit %d", length, maxRecordSize)}
-		}
-		if end > total {
-			// Payload cut short: torn tail.
-			break
-		}
-		payload := data[off+frameHeaderSize : end]
-		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
-			if end == total {
-				// The final record's checksum fails: a write torn inside
-				// the payload's final sectors. Recoverable.
-				break
-			}
-			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("crc %08x != recorded %08x", got, wantCRC)}
-		}
+	validLen, tornBytes, err := WalkFrames(data, func(off int64, index int, payload []byte) error {
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			// The checksum held, so these exact bytes were appended:
 			// an undecodable payload is corruption (or a version skew),
 			// never a tear.
-			return nil, &CorruptError{Offset: off, Record: r.Records, Reason: fmt.Sprintf("undecodable payload: %v", err)}
+			return &CorruptError{Offset: off, Record: index, Reason: fmt.Sprintf("undecodable payload: %v", err)}
 		}
 		if err := r.apply(rec, off, sawHeader); err != nil {
-			return nil, err
+			return err
 		}
 		sawHeader = true
 		r.Records++
-		off = end
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if !sawHeader {
 		return nil, ErrNoHeader
 	}
-	r.ValidLen = off
-	r.TornBytes = total - off
+	r.ValidLen = validLen
+	r.TornBytes = tornBytes
 	return r, nil
 }
 
@@ -552,6 +467,11 @@ func (r *Replay) apply(rec Record, off int64, sawHeader bool) error {
 			delete(r.Outcomes, rec.App)
 			r.InFlight[rec.App] = true
 		}
+		// A fresh attempt sequence: retry records from a superseded
+		// generation would double the replayed history.
+		delete(r.Retries, rec.App)
+	case TypeRetry:
+		r.Retries[rec.App] = append(r.Retries[rec.App], RetryInfo{Attempt: rec.Attempts, Error: rec.Error})
 	case TypeCompleted:
 		r.Outcomes[rec.App] = AppOutcome{
 			Outcome: rec.Outcome, ArtifactSHA: rec.ArtifactSHA,

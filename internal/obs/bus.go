@@ -55,8 +55,14 @@ const (
 	EvRunSkipped     EventType = "run.skipped"
 	EvRunFailed      EventType = "run.failed"
 	EvRunQuarantined EventType = "run.quarantined"
-	EvRunReplayed    EventType = "run.replayed"
 	EvCampaignDone   EventType = "campaign.done"
+
+	// Deterministic resume marker. Streamed so operators can watch a
+	// resume replay the journal, but NOT logged: a resumed campaign's
+	// event log must stay byte-identical to the uninterrupted run's, and
+	// the uninterrupted run never replays. The replayed app's original
+	// run.* lifecycle events are republished from the journal instead.
+	EvRunReplayed EventType = "run.replayed"
 
 	// Deterministic but topology-bound (streamed, not logged).
 	EvShardStarted  EventType = "shard.started"
@@ -71,6 +77,7 @@ const (
 	EvCollectorTotals  EventType = "collector.totals"
 	EvShardHealthy     EventType = "shard.healthy"
 	EvShardDead        EventType = "shard.dead"
+	EvShardStalled     EventType = "shard.stalled"
 	EvShardTakeover    EventType = "shard.takeover"
 )
 
@@ -79,7 +86,7 @@ const (
 func (t EventType) Logged() bool {
 	switch t {
 	case EvRunStarted, EvRunRetry, EvRunCompleted, EvRunSkipped,
-		EvRunFailed, EvRunQuarantined, EvRunReplayed, EvCampaignDone:
+		EvRunFailed, EvRunQuarantined, EvCampaignDone:
 		return true
 	}
 	return false
@@ -90,7 +97,7 @@ func (t EventType) Logged() bool {
 func (t EventType) WallOnly() bool {
 	switch t {
 	case EvFleetUtilization, EvCollectorTotals, EvShardHealthy,
-		EvShardDead, EvShardTakeover:
+		EvShardDead, EvShardStalled, EvShardTakeover:
 		return true
 	}
 	return false

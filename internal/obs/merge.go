@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -104,4 +105,29 @@ func ProbeHealthz(addr string, timeout time.Duration) error {
 		return fmt.Errorf("obs: probing %s: status %s", addr, resp.Status)
 	}
 	return nil
+}
+
+// FetchProgress reads a shard's progress watermark from its /debug/vars
+// snapshot: the count of apps that reached ANY terminal outcome
+// (completed, skipped, failed, quarantined). The coordinator's stall
+// detector compares successive watermarks — a shard whose /healthz
+// answers but whose watermark stops advancing is live-but-stuck and
+// gets declared dead once the stall deadline passes.
+func FetchProgress(addr string, timeout time.Duration) (int64, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		return 0, fmt.Errorf("obs: fetching progress from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return 0, fmt.Errorf("obs: fetching progress from %s: status %s", addr, resp.Status)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("obs: decoding progress snapshot from %s: %w", addr, err)
+	}
+	return snap.Counters[MFleetCompleted] + snap.Counters[MFleetSkipped] +
+		snap.Counters[MFleetFailed] + snap.Counters[MFleetQuarantined], nil
 }

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Canonical metric names. Instrumentation sites and tests share these
 // so the snapshot namespace stays consistent across pipeline layers.
 const (
@@ -64,12 +66,27 @@ const (
 	// the first actual drop so an idle bus never perturbs snapshot
 	// byte-identity.
 	MBusDropped = "bus_events_dropped_total"
+
+	// Supervision series, owned by the campaign coordinator's registry
+	// (never a shard's): takeovers of dead shards across the whole
+	// campaign — including prior coordinator incarnations restored from
+	// the WAL — and shards declared dead for passing /healthz while their
+	// progress watermark sat still past the stall deadline.
+	MCoordTakeovers = "coordinator_takeovers_total"
+	MCoordStalls    = "coordinator_stalls_detected_total"
 )
 
 // MAttribBuiltinClass names the per-origin-class counter for flows
 // attributed to the "*-<domain category>" pseudo-libraries.
 func MAttribBuiltinClass(class string) string {
 	return "attribution_flows_origin_class_" + class + "_total"
+}
+
+// MCoordShardAttempts names the per-shard attempt gauge on the
+// coordinator registry: how many attempts (1 + takeovers) shard i has
+// consumed, surviving coordinator restarts via the WAL.
+func MCoordShardAttempts(i int) string {
+	return fmt.Sprintf("coordinator_shard_%03d_attempts", i)
 }
 
 // Span names, one per pipeline stage (DESIGN.md §6 span taxonomy).

@@ -91,6 +91,20 @@ type Config struct {
 	// clean completion, and is byte-identical whether the campaign ran as
 	// a single process or as any N-shard split of the same seed.
 	ResultStore string
+	// CoordinatorWAL, when set, makes sharded campaigns (RunSharded)
+	// supervised: the coordinator journals shard attempts, takeover
+	// budget, and sealed outcomes to this path, so a killed coordinator
+	// restarted with Resume picks the campaign up — sealed shards are
+	// verified and reused, in-flight shards resume from their own
+	// journals, and the takeover budget is not reset. Sealed outcomes
+	// live next to it at CoordinatorWAL + ".outcomes".
+	CoordinatorWAL string
+	// ChaosKillAfterRuns, when > 0, SIGKILLs the process after that many
+	// apps reach a terminal outcome in a shard run — the process-level
+	// chaos hook fleetscan's -chaos-kill mode passes to shard children.
+	// The kill is a real SIGKILL: no flushes, no deferred cleanup, only
+	// what the journal already fsynced survives.
+	ChaosKillAfterRuns int
 	// ContinueOnError keeps the fleet running past individual app
 	// failures instead of failing fast on the first one.
 	ContinueOnError bool

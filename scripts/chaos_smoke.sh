@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Process-level chaos smoke for the campaign supervisor (`make chaos`).
+#
+# Runs the same experiment twice:
+#
+#   1. a single-process baseline with -events-out,
+#   2. a 4-shard campaign where the seeded chaos schedule SIGKILLs two
+#      shard children mid-run and the coordinator itself mid-campaign
+#      (so the first invocation MUST die), then re-runs with -resume
+#      until the coordinator WAL replays to completion,
+#
+# and demands the merged event log of the survivor be byte-identical to
+# the baseline's. This is the invariance bar from DESIGN.md: crashes,
+# takeovers, and WAL replay may change how the campaign executes, never
+# what it produces.
+set -u -o pipefail
+
+APPS=${APPS:-40}
+SHARDS=${SHARDS:-4}
+SEED=${SEED:-11}
+CHAOS_SEED=${CHAOS_SEED:-7}
+CHAOS_KILL=${CHAOS_KILL:-2}
+MAX_RESUMES=${MAX_RESUMES:-4}
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d -t chaos-smoke.XXXXXX)
+trap 'rm -rf "$work"' EXIT
+
+echo "chaos-smoke: workdir $work"
+go build -o "$work/fleetscan" ./examples/fleetscan || exit 1
+
+echo "chaos-smoke: baseline (single process, $APPS apps, seed $SEED)"
+"$work/fleetscan" -apps "$APPS" -workers 8 -seed "$SEED" \
+    -journal "$work/base.journal" -artifacts "$work/base-art" \
+    -events-out "$work/base-events.jsonl" >"$work/base.log" 2>&1
+rc=$?
+if [ $rc -ne 0 ]; then
+    echo "chaos-smoke: FAIL — baseline run exited $rc" >&2
+    tail -20 "$work/base.log" >&2
+    exit 1
+fi
+
+echo "chaos-smoke: chaos campaign ($SHARDS shards, chaos-seed $CHAOS_SEED, $CHAOS_KILL shard kills + coordinator kill)"
+"$work/fleetscan" -apps "$APPS" -workers 8 -seed "$SEED" -shards "$SHARDS" \
+    -journal "$work/chaos.journal" -artifacts "$work/chaos-art" \
+    -events-out "$work/chaos-events.jsonl" \
+    -chaos-seed "$CHAOS_SEED" -chaos-kill "$CHAOS_KILL" >"$work/chaos.log" 2>&1
+rc=$?
+if [ $rc -eq 0 ]; then
+    echo "chaos-smoke: FAIL — chaos campaign survived its own coordinator kill (expected nonzero exit)" >&2
+    tail -20 "$work/chaos.log" >&2
+    exit 1
+fi
+echo "chaos-smoke: first incarnation died as scheduled (exit $rc)"
+
+converged=0
+for i in $(seq 1 "$MAX_RESUMES"); do
+    "$work/fleetscan" -apps "$APPS" -workers 8 -seed "$SEED" -shards "$SHARDS" \
+        -journal "$work/chaos.journal" -artifacts "$work/chaos-art" \
+        -events-out "$work/chaos-events.jsonl" -resume >"$work/resume$i.log" 2>&1
+    rc=$?
+    echo "chaos-smoke: resume $i exited $rc"
+    if [ $rc -eq 0 ]; then
+        converged=1
+        break
+    fi
+done
+if [ $converged -ne 1 ]; then
+    echo "chaos-smoke: FAIL — campaign did not converge within $MAX_RESUMES resumes" >&2
+    tail -20 "$work/resume$MAX_RESUMES.log" >&2
+    exit 1
+fi
+
+if ! cmp "$work/base-events.jsonl" "$work/chaos-events.jsonl"; then
+    echo "chaos-smoke: FAIL — merged event log differs from single-process baseline" >&2
+    exit 1
+fi
+
+# The coordinator WAL must replay cleanly and record at least one
+# takeover (the schedule killed shard children) and exactly one done.
+go run ./cmd/libreport -wal "$work/chaos.journal.coordinator" >"$work/wal.txt" || {
+    echo "chaos-smoke: FAIL — coordinator WAL did not replay cleanly" >&2
+    exit 1
+}
+takeovers=$(grep -c '^\[ *[0-9]*\] takeover' "$work/wal.txt")
+dones=$(grep -c '^\[ *[0-9]*\] done' "$work/wal.txt")
+if [ "$takeovers" -lt 1 ] || [ "$dones" -ne 1 ]; then
+    echo "chaos-smoke: FAIL — WAL shows $takeovers takeovers / $dones done records" >&2
+    cat "$work/wal.txt" >&2
+    exit 1
+fi
+
+echo "chaos-smoke: OK — events byte-identical under $CHAOS_KILL shard kills + coordinator kill ($takeovers takeovers, WAL clean)"

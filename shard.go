@@ -11,6 +11,7 @@ import (
 	"libspector/internal/analysis"
 	"libspector/internal/attribution"
 	"libspector/internal/dispatch"
+	"libspector/internal/faults"
 	"libspector/internal/obs"
 	"libspector/internal/resultstore"
 )
@@ -95,6 +96,11 @@ func (e *Experiment) RunSharded(ctx context.Context, shards int) (*CampaignResul
 		// Shard lifecycle and merge progress stream on the campaign bus.
 		Tel: e.cfg.Telemetry,
 	}
+	if e.cfg.CoordinatorWAL != "" {
+		coord.WAL = e.cfg.CoordinatorWAL
+		coord.Resume = e.cfg.Resume
+		coord.Fingerprint = e.cfg.Fingerprint()
+	}
 	out, err := coord.Execute(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("libspector: sharded campaign: %w", err)
@@ -131,6 +137,14 @@ func (e *Experiment) MergeShardOutcomes(outcomes []*dispatch.ShardOutcome) (*Cam
 	}
 	*out = *merged
 	return e.finishCampaign(out, len(outcomes))
+}
+
+// FinishCampaign folds an already-merged coordinator outcome into the
+// campaign result — the process-mode path for callers that ran their own
+// dispatch.Coordinator (fleetscan's supervised parent) and so already
+// hold a CampaignOutcome rather than raw shard outcome files.
+func (e *Experiment) FinishCampaign(out *dispatch.CampaignOutcome, shards int) (*CampaignResult, error) {
+	return e.finishCampaign(out, shards)
 }
 
 // mergeOutcomeList reuses the coordinator's merge for outcomes gathered
@@ -258,6 +272,7 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 	// the flattened attribution records.
 	var summary *dispatch.StreamSummary
 	var sinkErr error
+	terminal := 0
 	for ev := range events {
 		if artifactSink != nil {
 			if err := artifactSink.Consume(ev); err != nil && sinkErr == nil {
@@ -269,7 +284,17 @@ func (e *Experiment) runShardTask(ctx context.Context, task dispatch.ShardTask) 
 				sinkErr = err
 			}
 		}
-		if ev.Kind == dispatch.EventSummary {
+		switch ev.Kind {
+		case dispatch.EventRun, dispatch.EventSkip, dispatch.EventFailure, dispatch.EventQuarantine:
+			terminal++
+			// The chaos kill hook: die — really die, SIGKILL — after N
+			// terminal outcomes. Unsynced journal frames are lost exactly
+			// as a real crash loses them; the takeover attempt resumes
+			// from whatever the journal fsynced.
+			if e.cfg.ChaosKillAfterRuns > 0 && terminal >= e.cfg.ChaosKillAfterRuns {
+				faults.KillSelf()
+			}
+		case dispatch.EventSummary:
 			summary = ev.Summary
 		}
 	}
